@@ -1,0 +1,236 @@
+// Package svqact's root benchmark suite regenerates every table and figure
+// of the paper's evaluation as testing.B benchmarks (one per experiment,
+// over the shared benchmark workspace) and adds microbenchmarks for the
+// engine's core primitives. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks report the wall time of one full experiment
+// regeneration at the benchmark scale; cmd/experiments prints the actual
+// result tables.
+package svqact
+
+import (
+	"sync"
+	"testing"
+
+	"svqact/internal/bench"
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/kernel"
+	"svqact/internal/rank"
+	"svqact/internal/scanstat"
+	"svqact/internal/store"
+	"svqact/internal/synth"
+	"svqact/internal/video"
+)
+
+var (
+	wsOnce sync.Once
+	ws     *bench.Workspace
+)
+
+func workspace() *bench.Workspace {
+	wsOnce.Do(func() {
+		ws = bench.NewWorkspace(bench.Options{Scale: 0.15, Seed: 42})
+	})
+	return ws
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.Find(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	w := workspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table and figure (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for the regenerated numbers).
+
+func BenchmarkFig2_BackgroundProbability(b *testing.B) { runExperiment(b, "fig2") }
+func BenchmarkFig3_F1AllQueries(b *testing.B)          { runExperiment(b, "fig3") }
+func BenchmarkTable3_PredicateVariation(b *testing.B)  { runExperiment(b, "table3") }
+func BenchmarkTable4_DetectionModels(b *testing.B)     { runExperiment(b, "table4") }
+func BenchmarkTable5_NoiseElimination(b *testing.B)    { runExperiment(b, "table5") }
+func BenchmarkFig4_ClipSizeSequences(b *testing.B)     { runExperiment(b, "fig4") }
+func BenchmarkFig5_ClipSizeFrameF1(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkRuntimeDecomposition(b *testing.B)       { runExperiment(b, "runtime") }
+func BenchmarkTable6_CoffeeAndCigarettes(b *testing.B) { runExperiment(b, "table6") }
+func BenchmarkTable7_YouTubeOffline(b *testing.B)      { runExperiment(b, "table7") }
+func BenchmarkTable8_MovieSpeedup(b *testing.B)        { runExperiment(b, "table8") }
+func BenchmarkOfflineAccuracy(b *testing.B)            { runExperiment(b, "accuracy") }
+
+// Ablation benchmarks (design choices called out in DESIGN.md).
+
+func BenchmarkAblationPredicateOrder(b *testing.B) { runExperiment(b, "ablation-order") }
+func BenchmarkAblationShortCircuit(b *testing.B)   { runExperiment(b, "ablation-shortcircuit") }
+func BenchmarkAblationHorizon(b *testing.B)        { runExperiment(b, "ablation-horizon") }
+func BenchmarkDrift(b *testing.B)                  { runExperiment(b, "drift") }
+func BenchmarkExtendedQueries(b *testing.B)        { runExperiment(b, "extended") }
+
+// Microbenchmarks of the engine's primitives.
+
+func BenchmarkScanStatCriticalValue(b *testing.B) {
+	ps := []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Vary p slightly so the process-wide memo does not trivialise the
+		// benchmark.
+		p := ps[i%len(ps)] * (1 + float64(i%97)/1e4)
+		scanstat.CriticalValue(50, p, 20, 0.05)
+	}
+}
+
+func BenchmarkScanStatTail(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scanstat.Tail(4+i%4, 50, 0.02, 20)
+	}
+}
+
+func BenchmarkKernelTick(b *testing.B) {
+	est, err := kernel.NewEstimator(2500, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est.TickN(50, i%5)
+	}
+}
+
+func BenchmarkIntervalIntersect(b *testing.B) {
+	mk := func(stride int) video.IntervalSet {
+		var ivs []video.Interval
+		for s := 0; s < 100_000; s += stride {
+			ivs = append(ivs, video.Interval{Start: s, End: s + stride/2})
+		}
+		return video.NewIntervalSet(ivs...)
+	}
+	a, c := mk(37), mk(53)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.IntersectSet(c)
+	}
+}
+
+func benchVideo(b *testing.B) *synth.Video {
+	b.Helper()
+	v, err := synth.Generate(synth.Script{
+		ID: "bench", Frames: 30_000, FPS: 10, Geometry: video.DefaultGeometry, Seed: 5,
+		Actions: []synth.ActionSpec{{Name: "jumping", MeanGapShots: 120, MeanDurShots: 30}},
+		Objects: []synth.ObjectSpec{
+			{Name: "human", MeanDurFrames: 300, CorrelatedWith: "jumping", CorrelationProb: 0.95},
+			{Name: "car", MeanGapFrames: 3000, MeanDurFrames: 400},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+func BenchmarkDetectorFrameScore(b *testing.B) {
+	v := benchVideo(b)
+	d := detect.NewObjectDetector(detect.MaskRCNN, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.FrameScore(v, "car", i%v.NumFrames())
+	}
+}
+
+func BenchmarkSVAQDClip(b *testing.B) {
+	v := benchVideo(b)
+	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, 1), detect.NewActionRecognizer(detect.I3D, 1))
+	eng, err := core.NewSVAQD(models, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{Objects: []string{"car"}, Action: "jumping"}
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		run, err := eng.NewRun(v, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for run.Step() && i < b.N {
+			i++
+		}
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	v := benchVideo(b)
+	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, 1), detect.NewActionRecognizer(detect.I3D, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.Ingest(v, models, rank.PaperScoring(), rank.DefaultIngestConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreRandomAccess(b *testing.B) {
+	entries := make([]store.Entry, 10_000)
+	for i := range entries {
+		entries[i] = store.Entry{Clip: i, Score: float64(i%97) + 0.5}
+	}
+	dir := b.TempDir()
+	if err := store.WriteTable(dir+"/t.tbl", "t", entries); err != nil {
+		b.Fatal(err)
+	}
+	t, err := store.OpenDiskTable(dir + "/t.tbl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ScoreOf(i % 10_000)
+	}
+}
+
+func BenchmarkRVAQTopK(b *testing.B) {
+	w := workspace()
+	ix, err := w.MovieIndex("coffee_and_cigarettes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := w.Movies().Query("coffee_and_cigarettes")
+	q := core.Query{Objects: spec.Objects, Action: spec.Action}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.RVAQ(ix, q, 5, rank.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRVAQCNFTopK(b *testing.B) {
+	w := workspace()
+	ix, err := w.MovieIndex("titanic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.CNF{Clauses: []core.Clause{
+		{Atoms: []core.Atom{core.ActionAtom("kissing"), core.ActionAtom("talking")}},
+		{Atoms: []core.Atom{core.ObjectAtom("person")}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.RVAQCNF(ix, q, 5, rank.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

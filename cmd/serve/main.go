@@ -1,0 +1,33 @@
+// Command serve runs the HTTP query API: POST statements of the SQL-like
+// dialect to /query and get result sequences as JSON.
+//
+//	serve -addr :8080 -scale 0.25
+//	curl -s localhost:8080/sources
+//	curl -s -X POST localhost:8080/query -d '{"sql":
+//	  "SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID)
+//	   WHERE act='"'"'blowing_leaves'"'"' AND obj.include('"'"'car'"'"')"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"svqact/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		scale = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
+		seed  = flag.Int64("seed", 42, "dataset and model seed")
+	)
+	flag.Parse()
+	srv := server.New(server.Config{Scale: *scale, Seed: *seed})
+	fmt.Printf("svq-act query server listening on %s (scale %.2f)\n", *addr, *scale)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Command svq runs a query of the SQL-like dialect against one of the
+// synthetic benchmark datasets, online (SVAQ/SVAQD) or offline (RVAQ),
+// depending on the query.
+//
+// The PROCESS source names a stream: for -dataset youtube it is a query-set
+// name (q1..q12, all videos of that set concatenated); for -dataset movies
+// it is a movie title (e.g. titanic).
+//
+// Examples:
+//
+//	svq -query "SELECT MERGE(clipID) AS Sequence FROM (PROCESS q2 PRODUCE clipID,
+//	     obj USING ObjectDetector, act USING ActionRecognizer)
+//	     WHERE act='blowing_leaves' AND obj.include('car')"
+//
+//	svq -dataset movies -query "SELECT MERGE(clipID) AS s, RANK(act, obj)
+//	     FROM (PROCESS titanic PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer)
+//	     WHERE act='kissing' AND obj.include('surfboard','boat')
+//	     ORDER BY RANK(act, obj) LIMIT 5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/rank"
+	"svqact/internal/sqlq"
+	"svqact/internal/synth"
+)
+
+func main() {
+	var (
+		query   = flag.String("query", "", "SQL-like query (reads stdin when empty)")
+		dataset = flag.String("dataset", "youtube", "dataset: youtube or movies")
+		scale   = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
+		seed    = flag.Int64("seed", 42, "dataset and model seed")
+		algo    = flag.String("algo", "svaqd", "online algorithm: svaq or svaqd")
+		p0      = flag.Float64("p0", 1e-4, "initial background probability")
+		repo    = flag.String("repo", "", "answer ranked queries from a saved repository (built with cmd/ingest) instead of re-ingesting")
+	)
+	flag.Parse()
+	if err := run(*query, *dataset, *scale, *seed, *algo, *p0, *repo); err != nil {
+		fmt.Fprintln(os.Stderr, "svq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, dataset string, scale float64, seed int64, algo string, p0 float64, repoDir string) error {
+	if query == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		query = string(data)
+	}
+	st, err := sqlq.Parse(query)
+	if err != nil {
+		return err
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		return err
+	}
+
+	models := detect.NewModels(
+		detect.NewObjectDetector(detect.MaskRCNN, seed),
+		detect.NewActionRecognizer(detect.I3D, seed),
+	)
+	if !plan.Online && repoDir != "" {
+		return runRepo(repoDir, plan.Query, plan.K)
+	}
+	stream, err := resolveSource(dataset, plan.Source, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	if !plan.Online {
+		return runOffline(stream, plan.Query, models, plan.K)
+	}
+	if plan.Extended {
+		return runExtended(stream, plan.CNF, models, algo, p0)
+	}
+	return runOnline(stream, plan.Query, models, algo, p0)
+}
+
+// source is the minimal stream interface the command needs.
+type source interface {
+	detect.TruthVideo
+}
+
+func resolveSource(dataset, name string, scale float64, seed int64) (source, error) {
+	switch dataset {
+	case "youtube":
+		d := synth.YouTube(synth.Options{Scale: scale, Seed: seed})
+		spec := d.Query(name)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown youtube query set %q (use q1..q12)", name)
+		}
+		var vids []*synth.Video
+		for _, v := range d.Videos {
+			if !v.ActionPresence(spec.Action).Empty() {
+				vids = append(vids, v)
+			}
+		}
+		return synth.NewConcat(name, vids)
+	case "movies":
+		d := synth.Movies(synth.Options{Scale: scale, Seed: seed})
+		v := d.Video(name)
+		if v == nil {
+			return nil, fmt.Errorf("unknown movie %q", name)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func runOnline(stream source, q core.Query, models detect.Models, algo string, p0 float64) error {
+	cfg := core.DefaultConfig()
+	cfg.P0Object, cfg.P0Action = p0, p0
+	var eng *core.Engine
+	var err error
+	switch algo {
+	case "svaq":
+		eng, err = core.NewSVAQ(models, cfg)
+	case "svaqd":
+		eng, err = core.NewSVAQD(models, cfg)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	var meter detect.Meter
+	eng.SetMeter(&meter)
+	start := time.Now()
+	res, err := eng.Run(stream, q)
+	if err != nil {
+		return err
+	}
+	g := stream.Geometry()
+	fmt.Printf("%s over %s: query %s, %d clips\n", eng.Mode(), stream.ID(), q, res.NumClips)
+	fmt.Printf("result sequences (%d):\n", res.Sequences.NumIntervals())
+	for _, iv := range res.Sequences.Intervals() {
+		fr := g.FrameRangeOfClips(iv)
+		fmt.Printf("  clips %4d..%-4d  frames %6d..%-6d\n", iv.Start, iv.End, fr.Start, fr.End)
+	}
+	for _, ps := range res.Predicates {
+		fmt.Printf("predicate %-16s background=%.2e k_crit=%d positive clips=%d\n",
+			ps.Name, ps.Background, ps.Critical, ps.Clips.TotalLen())
+	}
+	fmt.Printf("engine time %v; inference: %d frames, %d shots (simulated %v)\n",
+		time.Since(start).Round(time.Millisecond),
+		meter.ObjectFrames(), meter.ActionShots(), meter.Cost(models).Round(time.Second))
+	return nil
+}
+
+func runExtended(stream source, q core.CNF, models detect.Models, algo string, p0 float64) error {
+	cfg := core.DefaultConfig()
+	cfg.P0Object, cfg.P0Action = p0, p0
+	var eng *core.Engine
+	var err error
+	switch algo {
+	case "svaq":
+		eng, err = core.NewSVAQ(models, cfg)
+	case "svaqd":
+		eng, err = core.NewSVAQD(models, cfg)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := eng.RunCNF(stream, q)
+	if err != nil {
+		return err
+	}
+	g := stream.Geometry()
+	fmt.Printf("%s (extended) over %s: query %s, %d clips\n", eng.Mode(), stream.ID(), q, res.NumClips)
+	fmt.Printf("result sequences (%d):\n", res.Sequences.NumIntervals())
+	for _, iv := range res.Sequences.Intervals() {
+		fr := g.FrameRangeOfClips(iv)
+		fmt.Printf("  clips %4d..%-4d  frames %6d..%-6d\n", iv.Start, iv.End, fr.Start, fr.End)
+	}
+	for _, ps := range res.Atoms {
+		fmt.Printf("atom %-24s background=%.2e k_crit=%d positive clips=%d\n",
+			ps.Name, ps.Background, ps.Critical, ps.Clips.TotalLen())
+	}
+	fmt.Printf("engine time %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runRepo answers a ranked query from an already-ingested repository.
+func runRepo(dir string, q core.Query, k int) error {
+	repo, err := rank.OpenRepository(dir)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	fmt.Printf("repository %s: %d videos\n", dir, len(repo.Videos()))
+	start := time.Now()
+	res, err := repo.TopK(q, k, rank.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RVAQ top-%d for %s (%d candidate sequences):\n", k, q, res.Candidates)
+	for i, sr := range res.Sequences {
+		vid, local, err := repo.Resolve(sr.Seq.Start)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  #%-2d score %10.2f  %s clips %d..%d\n",
+			i+1, sr.Score(), vid, local, local+sr.Seq.Len()-1)
+	}
+	fmt.Printf("query time %v; %d random accesses\n",
+		time.Since(start).Round(time.Millisecond), res.Stats.Random)
+	return nil
+}
+
+func runOffline(stream source, q core.Query, models detect.Models, k int) error {
+	fmt.Printf("ingesting %s ...\n", stream.ID())
+	ix, err := rank.Ingest(stream, models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := rank.RVAQ(ix, q, k, rank.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RVAQ top-%d for %s over %s (%d candidate sequences):\n",
+		k, q, stream.ID(), res.Candidates)
+	g := stream.Geometry()
+	for i, sr := range res.Sequences {
+		fr := g.FrameRangeOfClips(sr.Seq)
+		fmt.Printf("  #%-2d score %10.2f  clips %4d..%-4d  frames %6d..%-6d\n",
+			i+1, sr.Score(), sr.Seq.Start, sr.Seq.End, fr.Start, fr.End)
+	}
+	fmt.Printf("query time %v; %d random accesses, %d sorted accesses, %d clips scored\n",
+		time.Since(start).Round(time.Millisecond), res.Stats.Random, res.Stats.Sorted, res.ClipsScored)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Quickstart: generate a synthetic video, run an online action query with
+// SVAQD, and print the result sequences alongside the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/synth"
+	"svqact/internal/video"
+)
+
+func main() {
+	// A ten-minute synthetic video: a "jumping" action occurring now and
+	// then, a correlated "human", and an independent "car".
+	v, err := synth.Generate(synth.Script{
+		ID:       "quickstart",
+		Frames:   6_000, // 10 minutes at 10 fps
+		FPS:      10,
+		Geometry: video.DefaultGeometry,
+		Seed:     1,
+		Actions: []synth.ActionSpec{
+			{Name: "jumping", MeanGapShots: 120, MeanDurShots: 30},
+		},
+		Objects: []synth.ObjectSpec{
+			{Name: "human", MeanDurFrames: 350, CorrelatedWith: "jumping", CorrelationProb: 0.95},
+			{Name: "car", MeanGapFrames: 1500, MeanDurFrames: 250},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated detection models with calibrated noise (Mask R-CNN for
+	// objects, I3D for actions).
+	models := detect.NewModels(
+		detect.NewObjectDetector(detect.MaskRCNN, 7),
+		detect.NewActionRecognizer(detect.I3D, 7),
+	)
+
+	// The query: a human jumping while a car is visible.
+	q := core.Query{Objects: []string{"human", "car"}, Action: "jumping"}
+
+	eng, err := core.NewSVAQD(models, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(v, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := v.Geometry()
+	fmt.Printf("query %s over %s (%d clips)\n\n", q, v.ID(), res.NumClips)
+	fmt.Printf("result sequences (%d):\n", res.Sequences.NumIntervals())
+	for _, iv := range res.Sequences.Intervals() {
+		fr := g.FrameRangeOfClips(iv)
+		fmt.Printf("  clips %3d..%-3d  (%5.1fs .. %5.1fs)\n",
+			iv.Start, iv.End, float64(fr.Start)/v.Meta.FPS, float64(fr.End+1)/v.Meta.FPS)
+	}
+
+	truth := v.TruthClips(synth.QuerySpec{Action: q.Action, Objects: q.Objects}, 0)
+	fmt.Printf("\nground truth (%d):\n", truth.NumIntervals())
+	for _, iv := range truth.Intervals() {
+		fmt.Printf("  clips %3d..%-3d\n", iv.Start, iv.End)
+	}
+
+	fmt.Println("\nper-predicate state after the stream:")
+	for _, ps := range res.Predicates {
+		fmt.Printf("  %-10s background=%.2e  k_crit=%d\n", ps.Name, ps.Background, ps.Critical)
+	}
+}

@@ -1,0 +1,132 @@
+// Sqlshell: an interactive loop for the paper's SQL-like dialect over the
+// YouTube benchmark. Each statement is parsed, planned, and executed —
+// streaming (SVAQD) or top-k (RVAQ) depending on whether it ranks.
+//
+//	go run ./examples/sqlshell
+//	svq> SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID,
+//	     obj USING ObjectDetector, act USING ActionRecognizer)
+//	     WHERE act='blowing_leaves' AND obj.include('car')
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/rank"
+	"svqact/internal/sqlq"
+	"svqact/internal/synth"
+)
+
+func main() {
+	fmt.Println("loading youtube benchmark (scale 0.15)...")
+	dataset := synth.YouTube(synth.Options{Scale: 0.15, Seed: 42})
+	models := detect.NewModels(
+		detect.NewObjectDetector(detect.MaskRCNN, 42),
+		detect.NewActionRecognizer(detect.I3D, 42),
+	)
+	fmt.Println("sources: q1..q12 (each the concatenated videos of one query set)")
+	fmt.Println("end statements with a blank line; ctrl-D exits")
+
+	scanner := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	fmt.Print("svq> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.TrimSpace(line) != "" {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			fmt.Print("...> ")
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt != "" {
+			if err := execute(stmt, dataset, models); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("svq> ")
+	}
+	fmt.Println()
+}
+
+func execute(stmt string, dataset *synth.Dataset, models detect.Models) error {
+	st, err := sqlq.Parse(stmt)
+	if err != nil {
+		return err
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		return err
+	}
+	spec := dataset.Query(plan.Source)
+	if spec == nil {
+		return fmt.Errorf("unknown source %q (use q1..q12)", plan.Source)
+	}
+	var vids []*synth.Video
+	for _, v := range dataset.Videos {
+		if !v.ActionPresence(spec.Action).Empty() {
+			vids = append(vids, v)
+		}
+	}
+	stream, err := synth.NewConcat(plan.Source, vids)
+	if err != nil {
+		return err
+	}
+
+	if plan.Online {
+		eng, err := core.NewSVAQD(models, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if plan.Extended {
+			res, err := eng.RunCNF(stream, plan.CNF)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("extended query %s: %d result sequences over %d clips:\n",
+				plan.CNF, res.Sequences.NumIntervals(), res.NumClips)
+			for _, iv := range res.Sequences.Intervals() {
+				fmt.Printf("  clips %4d..%-4d\n", iv.Start, iv.End)
+			}
+			return nil
+		}
+		res, err := eng.Run(stream, plan.Query)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d result sequences over %d clips:\n", res.Sequences.NumIntervals(), res.NumClips)
+		for _, iv := range res.Sequences.Intervals() {
+			fmt.Printf("  clips %4d..%-4d\n", iv.Start, iv.End)
+		}
+		return nil
+	}
+
+	fmt.Printf("ingesting %s for offline processing...\n", plan.Source)
+	var tvs []detect.TruthVideo
+	for _, v := range vids {
+		tvs = append(tvs, v)
+	}
+	ix, err := rank.IngestAll(plan.Source, tvs, models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	if err != nil {
+		return err
+	}
+	res, err := rank.RVAQ(ix, plan.Query, plan.K, rank.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-%d of %d candidates (%d random accesses):\n", plan.K, res.Candidates, res.Stats.Random)
+	for i, sr := range res.Sequences {
+		vid, local := ix.Resolve(sr.Seq.Start)
+		fmt.Printf("  #%d score %9.2f  %s clip %d (global %d..%d)\n",
+			i+1, sr.Score(), vid, local, sr.Seq.Start, sr.Seq.End)
+	}
+	return nil
+}
+
+var _ = log.Fatal

@@ -1,0 +1,3 @@
+module svqact
+
+go 1.22

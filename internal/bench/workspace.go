@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/metrics"
+	"svqact/internal/rank"
+	"svqact/internal/synth"
+	"svqact/internal/video"
+)
+
+// Options configure a benchmark workspace.
+type Options struct {
+	// Scale shrinks the benchmark datasets relative to the paper's video
+	// volumes (1.0 = paper scale). The experiment shapes are stable from
+	// roughly 0.05 upward.
+	Scale float64
+	// Seed drives dataset generation and detector noise.
+	Seed int64
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	return o
+}
+
+// Workspace lazily builds and caches the datasets and ingested indexes the
+// experiments share.
+type Workspace struct {
+	opts Options
+
+	mu      sync.Mutex
+	youtube map[video.Geometry]*synth.Dataset
+	movies  *synth.Dataset
+	indexes map[string]*rank.Index
+}
+
+// NewWorkspace creates a workspace.
+func NewWorkspace(opts Options) *Workspace {
+	return &Workspace{
+		opts:    opts.withDefaults(),
+		youtube: map[video.Geometry]*synth.Dataset{},
+		indexes: map[string]*rank.Index{},
+	}
+}
+
+func (w *Workspace) logf(format string, args ...any) {
+	if w.opts.Log != nil {
+		fmt.Fprintf(w.opts.Log, format+"\n", args...)
+	}
+}
+
+// YouTube returns the Table 1 benchmark at the workspace scale, for the
+// given geometry (the clip-size studies vary it).
+func (w *Workspace) YouTube(g video.Geometry) *synth.Dataset {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if d, ok := w.youtube[g]; ok {
+		return d
+	}
+	w.logf("generating youtube benchmark (scale %.2f, geometry %+v)", w.opts.Scale, g)
+	d := synth.YouTube(synth.Options{Scale: w.opts.Scale, Seed: w.opts.Seed, Geometry: g})
+	w.youtube[g] = d
+	return d
+}
+
+// Movies returns the Table 2 benchmark at the workspace scale.
+func (w *Workspace) Movies() *synth.Dataset {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.movies == nil {
+		w.logf("generating movies benchmark (scale %.2f)", w.opts.Scale)
+		w.movies = synth.Movies(synth.Options{Scale: w.opts.Scale, Seed: w.opts.Seed})
+	}
+	return w.movies
+}
+
+// Models returns the default detection model pair (Mask R-CNN + I3D).
+func (w *Workspace) Models() detect.Models {
+	return detect.NewModels(
+		detect.NewObjectDetector(detect.MaskRCNN, w.opts.Seed),
+		detect.NewActionRecognizer(detect.I3D, w.opts.Seed),
+	)
+}
+
+// ModelsFor builds a model pair from explicit profiles.
+func (w *Workspace) ModelsFor(obj, act detect.Profile) detect.Models {
+	return detect.NewModels(
+		detect.NewObjectDetector(obj, w.opts.Seed),
+		detect.NewActionRecognizer(act, w.opts.Seed),
+	)
+}
+
+// QueryStream returns the concatenated video stream of one YouTube query
+// set (all videos whose script contains the query's action).
+func (w *Workspace) QueryStream(g video.Geometry, queryName string) (*synth.Concat, synth.QuerySpec, error) {
+	d := w.YouTube(g)
+	spec := d.Query(queryName)
+	if spec == nil {
+		return nil, synth.QuerySpec{}, fmt.Errorf("bench: unknown query %q", queryName)
+	}
+	var vids []*synth.Video
+	for _, v := range d.Videos {
+		if !v.ActionPresence(spec.Action).Empty() || contains(v.ActionTypes(), spec.Action) {
+			vids = append(vids, v)
+		}
+	}
+	if len(vids) == 0 {
+		return nil, synth.QuerySpec{}, fmt.Errorf("bench: no videos for query %q", queryName)
+	}
+	c, err := synth.NewConcat("yt-"+queryName, vids)
+	return c, *spec, err
+}
+
+func contains(xs []string, x string) bool {
+	for _, s := range xs {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// MovieIndex ingests (and caches) one movie's offline index.
+func (w *Workspace) MovieIndex(title string) (*rank.Index, error) {
+	w.mu.Lock()
+	if ix, ok := w.indexes["movie/"+title]; ok {
+		w.mu.Unlock()
+		return ix, nil
+	}
+	w.mu.Unlock()
+	d := w.Movies()
+	v := d.Video(title)
+	if v == nil {
+		return nil, fmt.Errorf("bench: unknown movie %q", title)
+	}
+	w.logf("ingesting %s", title)
+	ix, err := rank.Ingest(v, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig())
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.indexes["movie/"+title] = ix
+	w.mu.Unlock()
+	return ix, nil
+}
+
+// YouTubeIndex ingests (and caches) the merged offline index of one YouTube
+// query set.
+func (w *Workspace) YouTubeIndex(queryName string) (*rank.Index, error) {
+	key := "yt/" + queryName
+	w.mu.Lock()
+	if ix, ok := w.indexes[key]; ok {
+		w.mu.Unlock()
+		return ix, nil
+	}
+	w.mu.Unlock()
+	c, _, err := w.QueryStream(video.DefaultGeometry, queryName)
+	if err != nil {
+		return nil, err
+	}
+	w.logf("ingesting youtube set %s (%d videos)", queryName, len(c.Components()))
+	var tvs []detect.TruthVideo
+	for _, v := range c.Components() {
+		tvs = append(tvs, v)
+	}
+	ix, err := rank.IngestAllParallel("yt-"+queryName, tvs, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.indexes[key] = ix
+	w.mu.Unlock()
+	return ix, nil
+}
+
+// OnlineEval runs an online engine over a concatenated query stream and
+// scores it against ground truth at the clip-sequence level.
+func OnlineEval(eng *core.Engine, c *synth.Concat, spec synth.QuerySpec) (metrics.Counts, *core.Result, error) {
+	q := core.Query{Objects: spec.Objects, Action: spec.Action}
+	res, err := eng.Run(c, q)
+	if err != nil {
+		return metrics.Counts{}, nil, err
+	}
+	truth := c.TruthClips(spec, 0)
+	return metrics.MatchSequences(res.Sequences, truth, metrics.DefaultIoU), res, nil
+}
+
+// FrameLevelF1 scores a result at the frame level against ground truth.
+func FrameLevelF1(res *core.Result, c *synth.Concat, spec synth.QuerySpec) float64 {
+	return metrics.UnitCounts(res.FrameSequences(), c.TruthFrames(spec)).F1()
+}

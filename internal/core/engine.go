@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"svqact/internal/detect"
+	"svqact/internal/kernel"
+	"svqact/internal/scanstat"
+	"svqact/internal/video"
+)
+
+// Mode selects between the paper's two online algorithms.
+type Mode int
+
+const (
+	// Static is SVAQ: critical values fixed from the initial background
+	// probabilities (paper Algorithm 1).
+	Static Mode = iota
+	// Dynamic is SVAQD: per-predicate background probabilities estimated
+	// online and critical values refreshed as they drift (Algorithm 3).
+	Dynamic
+)
+
+func (m Mode) String() string {
+	if m == Dynamic {
+		return "SVAQD"
+	}
+	return "SVAQ"
+}
+
+// Engine runs online action queries over streaming videos.
+type Engine struct {
+	models detect.Models
+	cfg    Config
+	mode   Mode
+	meter  *detect.Meter
+}
+
+// NewSVAQ builds the static-background engine.
+func NewSVAQ(models detect.Models, cfg Config) (*Engine, error) {
+	return newEngine(models, cfg, Static)
+}
+
+// NewSVAQD builds the adaptive engine.
+func NewSVAQD(models detect.Models, cfg Config) (*Engine, error) {
+	return newEngine(models, cfg, Dynamic)
+}
+
+func newEngine(models detect.Models, cfg Config, mode Mode) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if models.Objects == nil || models.Actions == nil {
+		return nil, fmt.Errorf("core: engine needs both an object detector and an action recogniser")
+	}
+	return &Engine{models: models, cfg: cfg, mode: mode}, nil
+}
+
+// Mode returns which algorithm the engine runs.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// SetMeter attaches an inference meter; subsequent runs charge their model
+// invocations to it.
+func (e *Engine) SetMeter(m *detect.Meter) { e.meter = m }
+
+// PredicateKind distinguishes object and action predicates in diagnostics.
+type PredicateKind int
+
+const (
+	// ObjectPredicate is evaluated per frame.
+	ObjectPredicate PredicateKind = iota
+	// ActionPredicate is evaluated per shot.
+	ActionPredicate
+)
+
+// PredicateStats reports per-predicate diagnostics of a run.
+type PredicateStats struct {
+	Name string
+	Kind PredicateKind
+	// Clips is the set of clips on which the predicate's indicator was
+	// positive (the offline phase materialises these as the paper's
+	// "individual sequences").
+	Clips video.IntervalSet
+	// RawUnits is the set of occurrence units (frames for objects, shots
+	// for the action) with positive thresholded detections — the
+	// pre-filtering signal.
+	RawUnits video.IntervalSet
+	// Background is the final background probability in effect (the fixed
+	// p0 for SVAQ, the last estimate for SVAQD).
+	Background float64
+	// Critical is the final critical value in effect.
+	Critical int
+	// EvaluatedClips counts the clips on which the predicate was actually
+	// evaluated (short-circuiting skips the rest).
+	EvaluatedClips int
+}
+
+// Result is the outcome of a run over one video.
+type Result struct {
+	Query    Query
+	Mode     Mode
+	Geometry video.Geometry
+	// NumClips is the number of clips in the processed video.
+	NumClips int
+	// Sequences is P_q: maximal runs of clips satisfying the whole query.
+	Sequences video.IntervalSet
+	// Predicates holds per-predicate diagnostics, objects in query order
+	// followed by the action.
+	Predicates []PredicateStats
+}
+
+// FrameSequences converts the clip-level result sequences to frame
+// intervals.
+func (r *Result) FrameSequences() video.IntervalSet {
+	ivs := make([]video.Interval, 0, r.Sequences.NumIntervals())
+	for _, iv := range r.Sequences.Intervals() {
+		ivs = append(ivs, r.Geometry.FrameRangeOfClips(iv))
+	}
+	return video.NewIntervalSet(ivs...)
+}
+
+// Predicate returns the stats for a predicate by name, or nil.
+func (r *Result) Predicate(name string) *PredicateStats {
+	for i := range r.Predicates {
+		if r.Predicates[i].Name == name {
+			return &r.Predicates[i]
+		}
+	}
+	return nil
+}
+
+// Run processes the whole video and returns the result sequences — the
+// batch entry point. For incremental streaming consumption use NewRun/Step.
+func (e *Engine) Run(v detect.TruthVideo, q Query) (*Result, error) {
+	run, err := e.NewRun(v, q)
+	if err != nil {
+		return nil, err
+	}
+	for run.Step() {
+	}
+	return run.Result(), nil
+}
+
+// predState is the per-predicate evaluation state of a run.
+type predState struct {
+	name string
+	kind PredicateKind
+
+	window int // occurrence units per clip (frames or shots)
+
+	crit int // current critical value
+
+	est   *kernel.Estimator        // Dynamic mode only
+	cache *scanstat.CriticalValues // Dynamic mode only
+
+	// recent is a ring of the latest unbiased clip counts; the quantile
+	// gate (Config.NullQuantile) derives an admission threshold from it,
+	// keeping the null-rate estimate robust to the events themselves.
+	recent     []int
+	recentPos  int
+	recentSeen int
+
+	// prev2/prev1 hold the last two unbiased counts so updates can be
+	// applied one clip late with both temporal neighbours known: a count
+	// feeds the estimator only when it and both neighbours are below the
+	// gate threshold, excluding event boundaries from the null estimate.
+	prev2, prev1 int
+	lagSeen      int
+
+	clipInd   []bool // indicator per processed clip
+	rawInd    []bool // indicator per occurrence unit (false when skipped)
+	evaluated int
+}
+
+// Run is an in-progress streaming evaluation over one video. It is not safe
+// for concurrent use.
+type Run struct {
+	e     *Engine
+	v     detect.TruthVideo
+	q     Query
+	geom  video.Geometry
+	preds []*predState // objects in evaluation order, action last or first
+
+	numClips int
+	nextClip int
+	clipInd  []bool
+}
+
+// NewRun prepares a streaming evaluation of q over v. Critical values are
+// initialised from the configured background probabilities; in Dynamic mode
+// each predicate also gets a kernel estimator.
+func (e *Engine) NewRun(v detect.TruthVideo, q Query) (*Run, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	g := v.Geometry()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	r := &Run{
+		e:        e,
+		v:        v,
+		q:        q,
+		geom:     g,
+		numClips: g.NumClips(v.NumFrames()),
+	}
+	r.clipInd = make([]bool, 0, r.numClips)
+
+	fpc, spc := g.FramesPerClip(), g.ShotsPerClip
+	numShots := g.NumShots(v.NumFrames())
+
+	var objs []*predState
+	for _, o := range q.Objects {
+		ps, err := r.newPred(o, ObjectPredicate, fpc, cfg.P0Object, cfg.BandwidthFrames, v.NumFrames())
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, ps)
+	}
+	act, err := r.newPred(q.Action, ActionPredicate, spc, cfg.P0Action, cfg.BandwidthShots, numShots)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ActionFirst {
+		r.preds = append([]*predState{act}, objs...)
+	} else {
+		r.preds = append(objs, act)
+	}
+	return r, nil
+}
+
+// newPred builds the evaluation state for one predicate: its static critical
+// value and, in Dynamic mode, its kernel estimator and critical-value cache.
+func (r *Run) newPred(name string, kind PredicateKind, w int, p0, bw float64, units int) (*predState, error) {
+	cfg := r.e.cfg
+	ps := &predState{
+		name:   name,
+		kind:   kind,
+		window: w,
+		rawInd: make([]bool, units),
+		crit:   scanstat.CriticalValue(w, p0, cfg.HorizonClips, cfg.Alpha),
+	}
+	if r.e.mode == Dynamic {
+		est, err := kernel.NewEstimator(bw, p0)
+		if err != nil {
+			return nil, err
+		}
+		ps.est = est
+		ps.cache = scanstat.NewCriticalValues(w, cfg.HorizonClips, cfg.Alpha, cfg.CritGrid)
+		ps.crit = ps.cache.At(est.P())
+	}
+	return ps, nil
+}
+
+// NumClips returns the number of clips the run will process.
+func (r *Run) NumClips() int { return r.numClips }
+
+// Processed returns the number of clips processed so far.
+func (r *Run) Processed() int { return r.nextClip }
+
+// Step processes the next clip of the stream; it returns false when the
+// stream is exhausted. This is Algorithm 1/3's main loop body: evaluate the
+// clip indicator (Algorithm 2) and, in Dynamic mode, fold the clip's
+// observations into each evaluated predicate's background estimate and
+// refresh its critical value.
+func (r *Run) Step() bool {
+	if r.nextClip >= r.numClips {
+		return false
+	}
+	c := r.nextClip
+	r.nextClip++
+
+	// Every EstimatorSampleEvery-th clip all predicates are evaluated
+	// unconditionally; only these unbiased evaluations (and those of the
+	// always-evaluated first predicate) may feed background estimators.
+	sampled := r.e.cfg.NoShortCircuit || c < r.e.cfg.BootstrapClips ||
+		c%r.e.cfg.EstimatorSampleEvery == 0
+
+	positive := true
+	objectFramesCharged := false
+	for i, ps := range r.preds {
+		if !positive && !r.e.cfg.NoShortCircuit && !sampled {
+			ps.clipInd = append(ps.clipInd, false)
+			continue
+		}
+		count := r.evaluate(ps, c, &objectFramesCharged)
+		ps.evaluated++
+		ind := count >= ps.crit
+		if ps.est != nil && (i == 0 || sampled) {
+			r.learn(ps, count)
+		}
+		ps.clipInd = append(ps.clipInd, ind)
+		if !ind {
+			positive = false
+		}
+	}
+	r.clipInd = append(r.clipInd, positive)
+	return true
+}
+
+// learn feeds one unbiased clip count into the predicate's background
+// estimation machinery: the robust quantile gate plus delayed
+// neighbourhood exclusion.
+//
+// The gate threshold is the NullQuantile-quantile of the recent unbiased
+// counts plus a binomial slack of about two standard deviations: the
+// quantile locates the majority (background) behaviour even when the current
+// estimate is badly off, and the slack keeps the admitted sample covering
+// essentially the whole null distribution so the estimate is not censored
+// downwards. Updates run one clip late so both temporal neighbours of a
+// count are known: a count feeds the estimator only when it and both
+// neighbours fall below the threshold, which keeps the partially covered
+// boundary clips of genuine events (whose counts are individually
+// indistinguishable from noise) out of the null estimate. During warm-up
+// nothing is admitted and the prior holds.
+func (r *Run) learn(ps *predState, count int) {
+	thr, ready := r.gateThreshold(ps)
+
+	// Ring update (the threshold above was computed before this count).
+	if ps.recent == nil {
+		ps.recent = make([]int, r.e.cfg.RobustWindowClips)
+	}
+	ps.recent[ps.recentPos] = count
+	ps.recentPos = (ps.recentPos + 1) % len(ps.recent)
+	ps.recentSeen++
+
+	defer func() {
+		ps.prev2, ps.prev1 = ps.prev1, count
+		ps.lagSeen++
+	}()
+	if !ready || ps.lagSeen < 2 {
+		return
+	}
+	if ps.prev1 <= thr && ps.prev2 <= thr && count <= thr {
+		ps.est.TickN(ps.window, ps.prev1)
+		ps.crit = ps.cache.At(ps.est.P())
+	}
+}
+
+// gateThreshold derives the admission threshold from the recent-count ring.
+// It is only ready once the ring is full: on a partially filled ring a
+// single event occurrence could dominate the quantile, poisoning the null
+// estimate with event counts that a short stream never forgets.
+func (r *Run) gateThreshold(ps *predState) (thr int, ready bool) {
+	if ps.recent == nil || ps.recentSeen < len(ps.recent) {
+		return 0, false
+	}
+	n := len(ps.recent)
+	sorted := make([]int, n)
+	copy(sorted, ps.recent[:n])
+	sort.Ints(sorted)
+	idx := int(r.e.cfg.NullQuantile * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	q := sorted[idx]
+	// Rate implied by the quantile (with a light quarter-count prior so a
+	// zero quantile still grants some slack), then ~2 sd of binomial slack.
+	// A heavier prior would inflate the implied rate so much on small
+	// windows (shots-per-clip can be as low as 2) that the threshold stops
+	// excluding anything.
+	w := float64(ps.window)
+	pt := (float64(q) + 0.25) / (w + 0.5)
+	slack := int(math.Ceil(2 * math.Sqrt(w*pt*(1-pt))))
+	return q + slack, true
+}
+
+// evaluate runs the detector over the clip's occurrence units for one
+// predicate, records the raw indicators, charges the meter, and returns the
+// positive count.
+func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) int {
+	count := 0
+	switch ps.kind {
+	case ObjectPredicate:
+		fr := r.geom.FrameRangeOfClip(clip)
+		if r.e.meter != nil && !*objectFramesCharged {
+			// One object-detector inference per frame covers every type, so
+			// a clip's frames are charged once no matter how many object
+			// predicates read them.
+			r.e.meter.AddObjectFrames(fr.Len())
+			*objectFramesCharged = true
+		}
+		for f := fr.Start; f <= fr.End; f++ {
+			if r.e.models.ObjectPositive(r.v, ps.name, f) {
+				ps.rawInd[f] = true
+				count++
+			}
+		}
+	case ActionPredicate:
+		sr := r.geom.ShotRangeOfClip(clip)
+		if r.e.meter != nil {
+			r.e.meter.AddActionShots(sr.Len())
+		}
+		for s := sr.Start; s <= sr.End; s++ {
+			if r.e.models.ActionPositive(r.v, ps.name, s) {
+				ps.rawInd[s] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Sequences returns the result sequences over the clips processed so far.
+func (r *Run) Sequences() video.IntervalSet { return video.FromIndicator(r.clipInd) }
+
+// Result finalises the run. It may be called at any point; the result covers
+// the clips processed so far.
+func (r *Run) Result() *Result {
+	res := &Result{
+		Query:     r.q,
+		Mode:      r.e.mode,
+		Geometry:  r.geom,
+		NumClips:  r.numClips,
+		Sequences: r.Sequences(),
+	}
+	// Report objects in query order then the action, regardless of the
+	// evaluation order used.
+	ordered := make([]*predState, 0, len(r.preds))
+	for _, name := range r.q.Objects {
+		for _, ps := range r.preds {
+			if ps.kind == ObjectPredicate && ps.name == name {
+				ordered = append(ordered, ps)
+			}
+		}
+	}
+	for _, ps := range r.preds {
+		if ps.kind == ActionPredicate {
+			ordered = append(ordered, ps)
+		}
+	}
+	for _, ps := range ordered {
+		st := PredicateStats{
+			Name:           ps.name,
+			Kind:           ps.kind,
+			Clips:          video.FromIndicator(ps.clipInd),
+			RawUnits:       video.FromIndicator(ps.rawInd),
+			Background:     r.background(ps),
+			Critical:       ps.crit,
+			EvaluatedClips: ps.evaluated,
+		}
+		res.Predicates = append(res.Predicates, st)
+	}
+	return res
+}
+
+func (r *Run) background(ps *predState) float64 {
+	if ps.est != nil {
+		return ps.est.P()
+	}
+	if ps.kind == ObjectPredicate {
+		return r.e.cfg.P0Object
+	}
+	return r.e.cfg.P0Action
+}

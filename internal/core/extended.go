@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"svqact/internal/detect"
+	"svqact/internal/video"
+)
+
+// The paper's footnotes 2-4 sketch how the engine generalises beyond "one
+// action plus object conjunction": relationship predicates become binary
+// per-frame outputs derived from the detections (footnote 2), multiple
+// actions get per-clip indicators combined by conjunction (footnote 3), and
+// disjunctive queries are transformed to conjunctive normal form with one
+// indicator per clause per clip (footnote 4). This file implements that
+// extended model: a CNF of atoms, where every atom carries its own
+// scan-statistics indicator machinery and clauses OR the atom indicators.
+
+// RelationPredicate extends PredicateKind for spatial-relationship atoms
+// (evaluated per frame from pairs of detections).
+const RelationPredicate PredicateKind = 2
+
+// Atom is one primitive predicate of an extended query.
+type Atom struct {
+	Kind PredicateKind
+	// Name is the object type, the action type, or the relation name.
+	Name string
+	// Args holds the two operand object types for relation atoms.
+	Args []string
+}
+
+// ObjectAtom builds an object-presence atom.
+func ObjectAtom(typ string) Atom { return Atom{Kind: ObjectPredicate, Name: typ} }
+
+// ActionAtom builds an action-occurrence atom.
+func ActionAtom(act string) Atom { return Atom{Kind: ActionPredicate, Name: act} }
+
+// RelationAtom builds a spatial-relationship atom between two object types.
+func RelationAtom(rel detect.Relation, a, b string) Atom {
+	return Atom{Kind: RelationPredicate, Name: string(rel), Args: []string{a, b}}
+}
+
+// Validate reports whether the atom is well-formed.
+func (a Atom) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("core: atom with empty name")
+	}
+	switch a.Kind {
+	case ObjectPredicate, ActionPredicate:
+		if len(a.Args) != 0 {
+			return fmt.Errorf("core: %s atom %q takes no arguments", a.Kind.label(), a.Name)
+		}
+	case RelationPredicate:
+		if !detect.ValidRelation(detect.Relation(a.Name)) {
+			return fmt.Errorf("core: unknown relation %q", a.Name)
+		}
+		if len(a.Args) != 2 || a.Args[0] == "" || a.Args[1] == "" {
+			return fmt.Errorf("core: relation %q needs two object operands", a.Name)
+		}
+		if a.Args[0] == a.Args[1] {
+			return fmt.Errorf("core: relation %q needs two distinct object types", a.Name)
+		}
+	default:
+		return fmt.Errorf("core: unknown atom kind %d", a.Kind)
+	}
+	return nil
+}
+
+func (k PredicateKind) label() string {
+	switch k {
+	case ObjectPredicate:
+		return "object"
+	case ActionPredicate:
+		return "action"
+	case RelationPredicate:
+		return "relation"
+	}
+	return "unknown"
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	if a.Kind == RelationPredicate {
+		return fmt.Sprintf("%s(%s,%s)", a.Name, a.Args[0], a.Args[1])
+	}
+	return a.Name
+}
+
+// key identifies the atom for state sharing (two clauses mentioning the
+// same atom share one indicator).
+func (a Atom) key() string {
+	return fmt.Sprintf("%d/%s/%s", a.Kind, a.Name, strings.Join(a.Args, ","))
+}
+
+// Clause is a disjunction of atoms: it holds on a clip when any of its
+// atoms' indicators is positive.
+type Clause struct {
+	Atoms []Atom
+}
+
+// String renders the clause.
+func (c Clause) String() string {
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// CNF is an extended query: a conjunction of clauses.
+type CNF struct {
+	Clauses []Clause
+}
+
+// String renders the query.
+func (q CNF) String() string {
+	parts := make([]string, len(q.Clauses))
+	for i, c := range q.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Validate reports whether the query is well-formed: non-empty clauses of
+// valid atoms, with at least one action atom somewhere (an action query
+// without an action is a plain object query, outside this engine's scope).
+func (q CNF) Validate() error {
+	if len(q.Clauses) == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	hasAction := false
+	for _, c := range q.Clauses {
+		if len(c.Atoms) == 0 {
+			return fmt.Errorf("core: empty clause")
+		}
+		for _, a := range c.Atoms {
+			if err := a.Validate(); err != nil {
+				return err
+			}
+			if a.Kind == ActionPredicate {
+				hasAction = true
+			}
+		}
+	}
+	if !hasAction {
+		return fmt.Errorf("core: extended query needs at least one action atom")
+	}
+	return nil
+}
+
+// FromQuery lifts a basic query (object conjunction plus one action) into
+// CNF form: one single-atom clause per predicate.
+func FromQuery(q Query) CNF {
+	var cnf CNF
+	for _, o := range q.Objects {
+		cnf.Clauses = append(cnf.Clauses, Clause{Atoms: []Atom{ObjectAtom(o)}})
+	}
+	cnf.Clauses = append(cnf.Clauses, Clause{Atoms: []Atom{ActionAtom(q.Action)}})
+	return cnf
+}
+
+// ExtendedResult is the outcome of an extended-query run.
+type ExtendedResult struct {
+	Query    CNF
+	Mode     Mode
+	Geometry video.Geometry
+	NumClips int
+	// Sequences is the merged set of clips satisfying every clause.
+	Sequences video.IntervalSet
+	// Atoms holds per-atom diagnostics in first-appearance order.
+	Atoms []PredicateStats
+}
+
+// Atom returns the stats for an atom by its rendered name, or nil.
+func (r *ExtendedResult) Atom(name string) *PredicateStats {
+	for i := range r.Atoms {
+		if r.Atoms[i].Name == name {
+			return &r.Atoms[i]
+		}
+	}
+	return nil
+}
+
+// FrameSequences converts the clip-level result sequences to frames.
+func (r *ExtendedResult) FrameSequences() video.IntervalSet {
+	ivs := make([]video.Interval, 0, r.Sequences.NumIntervals())
+	for _, iv := range r.Sequences.Intervals() {
+		ivs = append(ivs, r.Geometry.FrameRangeOfClips(iv))
+	}
+	return video.NewIntervalSet(ivs...)
+}
+
+// RunCNF evaluates an extended query over the whole video. Every atom gets
+// the engine's per-clip indicator machinery (static critical values for
+// SVAQ, adaptive for SVAQD); per clip, a clause holds when any of its atoms
+// does and the query holds when every clause does. Atoms are always
+// evaluated on every clip (no short-circuiting), so all estimator samples
+// are unbiased.
+func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	g := v.Geometry()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	numClips := g.NumClips(v.NumFrames())
+	numShots := g.NumShots(v.NumFrames())
+	run := &Run{e: e, v: v, geom: g, numClips: numClips}
+
+	// One predState per distinct atom; clauses reference them by index.
+	type boundAtom struct {
+		atom Atom
+		ps   *predState
+	}
+	var atoms []boundAtom
+	index := map[string]int{}
+	clauseAtoms := make([][]int, len(q.Clauses))
+	for ci, c := range q.Clauses {
+		for _, a := range c.Atoms {
+			k := a.key()
+			i, ok := index[k]
+			if !ok {
+				w, units := g.FramesPerClip(), v.NumFrames()
+				p0, bw := e.cfg.P0Object, e.cfg.BandwidthFrames
+				if a.Kind == ActionPredicate {
+					w, units = g.ShotsPerClip, numShots
+					p0, bw = e.cfg.P0Action, e.cfg.BandwidthShots
+				}
+				ps, err := run.newPred(a.String(), a.Kind, w, p0, bw, units)
+				if err != nil {
+					return nil, err
+				}
+				i = len(atoms)
+				atoms = append(atoms, boundAtom{atom: a, ps: ps})
+				index[k] = i
+			}
+			clauseAtoms[ci] = append(clauseAtoms[ci], i)
+		}
+	}
+
+	clipInd := make([]bool, numClips)
+	for clip := 0; clip < numClips; clip++ {
+		chargedFrames := false
+		for _, ba := range atoms {
+			count := run.evaluateAtom(ba.atom, ba.ps, clip, &chargedFrames)
+			ba.ps.evaluated++
+			ind := count >= ba.ps.crit
+			if ba.ps.est != nil {
+				run.learn(ba.ps, count)
+			}
+			ba.ps.clipInd = append(ba.ps.clipInd, ind)
+		}
+		sat := true
+		for _, refs := range clauseAtoms {
+			any := false
+			for _, i := range refs {
+				if atoms[i].ps.clipInd[clip] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				sat = false
+				break
+			}
+		}
+		clipInd[clip] = sat
+	}
+
+	res := &ExtendedResult{
+		Query:     q,
+		Mode:      e.mode,
+		Geometry:  g,
+		NumClips:  numClips,
+		Sequences: video.FromIndicator(clipInd),
+	}
+	for _, ba := range atoms {
+		res.Atoms = append(res.Atoms, PredicateStats{
+			Name:           ba.ps.name,
+			Kind:           ba.ps.kind,
+			Clips:          video.FromIndicator(ba.ps.clipInd),
+			RawUnits:       video.FromIndicator(ba.ps.rawInd),
+			Background:     run.background(ba.ps),
+			Critical:       ba.ps.crit,
+			EvaluatedClips: ba.ps.evaluated,
+		})
+	}
+	return res, nil
+}
+
+// evaluateAtom computes the atom's positive-unit count over one clip,
+// recording raw indicators and charging the meter.
+func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool) int {
+	count := 0
+	switch a.Kind {
+	case ObjectPredicate:
+		return r.evaluate(ps, clip, chargedFrames)
+	case ActionPredicate:
+		return r.evaluate(ps, clip, chargedFrames)
+	case RelationPredicate:
+		fr := r.geom.FrameRangeOfClip(clip)
+		if r.e.meter != nil && !*chargedFrames {
+			r.e.meter.AddObjectFrames(fr.Len())
+			*chargedFrames = true
+		}
+		for f := fr.Start; f <= fr.End; f++ {
+			if detect.RelationPositive(r.e.models.Objects, r.v, detect.Relation(a.Name), a.Args[0], a.Args[1], f) {
+				ps.rawInd[f] = true
+				count++
+			}
+		}
+	}
+	return count
+}

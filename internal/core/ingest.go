@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"svqact/internal/detect"
+	"svqact/internal/video"
+)
+
+// EvaluateTypes runs the engine's per-clip indicator machinery over each
+// given object and action type independently — the evaluation mode of the
+// offline ingestion phase (paper §4.2), which materialises one set of
+// "individual sequences" (maximal runs of positive clips) per type. No
+// conjunction or short-circuiting applies: every type is evaluated on every
+// clip, and in Dynamic mode every clip feeds the background estimators
+// (subject to the robust quantile gate).
+//
+// The returned maps give the positive-clip interval set per object type and
+// per action type.
+func (e *Engine) EvaluateTypes(v detect.TruthVideo, objects, actions []string) (map[string]video.IntervalSet, map[string]video.IntervalSet, error) {
+	g := v.Geometry()
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg := e.cfg
+	numClips := g.NumClips(v.NumFrames())
+	numShots := g.NumShots(v.NumFrames())
+
+	run := &Run{e: e, v: v, geom: g, numClips: numClips}
+	seen := map[string]bool{}
+	for _, o := range objects {
+		if o == "" || seen["o/"+o] {
+			return nil, nil, fmt.Errorf("core: empty or duplicate object type %q", o)
+		}
+		seen["o/"+o] = true
+		ps, err := run.newPred(o, ObjectPredicate, g.FramesPerClip(), cfg.P0Object, cfg.BandwidthFrames, v.NumFrames())
+		if err != nil {
+			return nil, nil, err
+		}
+		run.preds = append(run.preds, ps)
+	}
+	for _, a := range actions {
+		if a == "" || seen["a/"+a] {
+			return nil, nil, fmt.Errorf("core: empty or duplicate action type %q", a)
+		}
+		seen["a/"+a] = true
+		ps, err := run.newPred(a, ActionPredicate, g.ShotsPerClip, cfg.P0Action, cfg.BandwidthShots, numShots)
+		if err != nil {
+			return nil, nil, err
+		}
+		run.preds = append(run.preds, ps)
+	}
+
+	for c := 0; c < numClips; c++ {
+		objectFramesCharged := false
+		for _, ps := range run.preds {
+			count := run.evaluate(ps, c, &objectFramesCharged)
+			ps.evaluated++
+			ind := count >= ps.crit
+			if ps.est != nil {
+				run.learn(ps, count)
+			}
+			ps.clipInd = append(ps.clipInd, ind)
+		}
+	}
+
+	objSeqs := make(map[string]video.IntervalSet, len(objects))
+	actSeqs := make(map[string]video.IntervalSet, len(actions))
+	for _, ps := range run.preds {
+		set := video.FromIndicator(ps.clipInd)
+		if ps.kind == ObjectPredicate {
+			objSeqs[ps.name] = set
+		} else {
+			actSeqs[ps.name] = set
+		}
+	}
+	return objSeqs, actSeqs, nil
+}

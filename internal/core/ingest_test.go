@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"svqact/internal/metrics"
+	"svqact/internal/synth"
+	"svqact/internal/video"
+)
+
+func TestEvaluateTypesMatchesQueryRun(t *testing.T) {
+	// Per-type evaluation (the ingestion path) must produce exactly the
+	// per-predicate positive clips of an equivalent fully evaluated query
+	// run: both evaluate every predicate on every clip and feed estimators
+	// identically.
+	v := testVideo(t, 21, 40_000)
+	models := noisyModels(8)
+	cfg := DefaultConfig()
+	cfg.NoShortCircuit = true
+
+	eng, err := NewSVAQD(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objSeqs, actSeqs, err := eng.EvaluateTypes(v, []string{"car", "human"}, []string{"jumping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := NewSVAQD(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng2.Run(v, Query{Objects: []string{"car", "human"}, Action: "jumping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"car", "human"} {
+		if objSeqs[name].String() != res.Predicate(name).Clips.String() {
+			t.Errorf("%s: EvaluateTypes %v != query run %v", name, objSeqs[name], res.Predicate(name).Clips)
+		}
+	}
+	if actSeqs["jumping"].String() != res.Predicate("jumping").Clips.String() {
+		t.Errorf("action: EvaluateTypes %v != query run %v", actSeqs["jumping"], res.Predicate("jumping").Clips)
+	}
+}
+
+func TestEvaluateTypesValidation(t *testing.T) {
+	v := testVideo(t, 22, 10_000)
+	eng, _ := NewSVAQD(noisyModels(1), DefaultConfig())
+	if _, _, err := eng.EvaluateTypes(v, []string{"car", "car"}, nil); err == nil {
+		t.Error("duplicate object types should be rejected")
+	}
+	if _, _, err := eng.EvaluateTypes(v, nil, []string{""}); err == nil {
+		t.Error("empty action type should be rejected")
+	}
+	objSeqs, actSeqs, err := eng.EvaluateTypes(v, nil, nil)
+	if err != nil {
+		t.Fatalf("empty type lists should be fine: %v", err)
+	}
+	if len(objSeqs) != 0 || len(actSeqs) != 0 {
+		t.Error("no types should give no sequences")
+	}
+}
+
+func TestEvaluateTypesSameNameAcrossKinds(t *testing.T) {
+	// An object type and an action type may share a name; their indicators
+	// must stay separate.
+	v, err := synth.Generate(synth.Script{
+		ID: "same-name", Frames: 20_000, FPS: 10, Geometry: video.DefaultGeometry, Seed: 31,
+		Actions: []synth.ActionSpec{{Name: "surfing", MeanGapShots: 100, MeanDurShots: 25}},
+		Objects: []synth.ObjectSpec{{Name: "surfing", MeanGapFrames: 2000, MeanDurFrames: 300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := NewSVAQD(noisyModels(2), DefaultConfig())
+	objSeqs, actSeqs, err := eng.EvaluateTypes(v, []string{"surfing"}, []string{"surfing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objSeqs["surfing"].Empty() && actSeqs["surfing"].Empty() {
+		t.Skip("nothing detected in this realisation")
+	}
+	if objSeqs["surfing"].String() == actSeqs["surfing"].String() {
+		t.Error("object and action indicators with the same name should differ")
+	}
+}
+
+func TestSVAQDSurvivesStepDrift(t *testing.T) {
+	// A sudden 8x jump of an object's background rate mid-stream: SVAQD must
+	// remain usable on both sides of the jump.
+	v, err := synth.Generate(synth.Script{
+		ID: "step-drift", Frames: 120_000, FPS: 10, Geometry: video.DefaultGeometry, Seed: 33,
+		Actions: []synth.ActionSpec{{Name: "running", MeanGapShots: 150, MeanDurShots: 25}},
+		Objects: []synth.ObjectSpec{
+			{Name: "person", MeanDurFrames: 280, CorrelatedWith: "running", CorrelationProb: 0.95},
+			{Name: "car", MeanGapFrames: 2500, MeanDurFrames: 120, Rate: synth.StepRate(60_000, 8)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Objects: []string{"person", "car"}, Action: "running"}
+	spec := synth.QuerySpec{Action: q.Action, Objects: q.Objects}
+	truth := v.TruthClips(spec, 0)
+	eng, err := NewSVAQD(noisyModels(3), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := video.Interval{Start: 1200, End: 2399} // clips after the jump
+	after := metrics.UnitCounts(res.Sequences.Clamp(half), truth.Clamp(half))
+	if truth.Clamp(half).TotalLen() >= 3 && after.F1() < 0.4 {
+		t.Errorf("post-drift clip F1 = %.2f (%+v)", after.F1(), after)
+	}
+	overall := metrics.MatchSequences(res.Sequences, truth, metrics.DefaultIoU)
+	if overall.F1() < 0.5 {
+		t.Errorf("overall F1 under drift = %.2f (%+v)", overall.F1(), overall)
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's online query engine: the query model,
+// the per-clip indicator evaluation (Algorithm 2), the static-background
+// streaming algorithm SVAQ (Algorithm 1) and its adaptive variant SVAQD
+// (Algorithm 3).
+//
+// A query conjoins one action predicate with any number of object
+// predicates. Per clip, each object predicate holds when the number of
+// positively detected frames reaches a scan-statistics critical value, and
+// the action predicate holds when the number of positively classified shots
+// reaches its own critical value; the clip satisfies the query when all
+// predicates hold, and maximal runs of satisfying clips are merged into
+// result sequences.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Query is the paper's q: {o_1, ..., o_I; a} — a conjunction of object
+// presence predicates and exactly one action predicate.
+type Query struct {
+	// Objects are the queried object types, evaluated in order (the paper
+	// evaluates predicates sequentially and short-circuits on the first
+	// negative one).
+	Objects []string
+	// Action is the queried action type.
+	Action string
+}
+
+// Validate reports whether the query is well-formed.
+func (q Query) Validate() error {
+	if q.Action == "" {
+		return fmt.Errorf("core: query needs an action predicate")
+	}
+	seen := make(map[string]bool, len(q.Objects))
+	for _, o := range q.Objects {
+		if o == "" {
+			return fmt.Errorf("core: empty object predicate")
+		}
+		if seen[o] {
+			return fmt.Errorf("core: duplicate object predicate %q", o)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// String renders the query in the paper's set notation.
+func (q Query) String() string {
+	s := "{"
+	for i, o := range q.Objects {
+		if i > 0 {
+			s += "; "
+		}
+		s += "o" + fmt.Sprint(i+1) + "=" + o
+	}
+	if len(q.Objects) > 0 {
+		s += "; "
+	}
+	return s + "a=" + q.Action + "}"
+}
+
+// Canonical returns a copy with sorted object predicates; two queries with
+// the same canonical form are semantically identical.
+func (q Query) Canonical() Query {
+	objs := append([]string(nil), q.Objects...)
+	sort.Strings(objs)
+	return Query{Objects: objs, Action: q.Action}
+}
+
+// Config tunes the engine. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Alpha is the significance level of the scan-statistics test (paper
+	// Equation 5).
+	Alpha float64
+	// HorizonClips is L = N/w, the number of scanning windows over which
+	// significance is controlled. The paper leaves the horizon implicit; we
+	// fix it as a config knob.
+	HorizonClips float64
+
+	// P0Object and P0Action seed the background probabilities: SVAQ uses
+	// them as the fixed p0 for its critical values; SVAQD uses them only as
+	// the (quickly forgotten) estimator priors.
+	P0Object float64
+	P0Action float64
+
+	// BandwidthFrames and BandwidthShots are the SVAQD kernel bandwidths u
+	// for object estimators (occurrence unit: frame) and the action
+	// estimator (occurrence unit: shot).
+	BandwidthFrames float64
+	BandwidthShots  float64
+
+	// CritGrid is the log10 quantisation step of the dynamic critical-value
+	// cache: background estimates within the same bucket reuse k_crit.
+	CritGrid float64
+
+	// EstimatorSampleEvery controls SVAQD's unbiased sampling: every n-th
+	// clip, all predicates are evaluated even if an earlier predicate
+	// already failed, and only these unconditional evaluations (plus those
+	// of the first predicate, which is never filtered) feed the background
+	// estimators. Without this, short-circuiting would feed the later
+	// predicates' estimators only clips pre-selected by the earlier
+	// predicates — a sample heavily enriched for the (correlated) events
+	// whose background rate is being estimated.
+	EstimatorSampleEvery int
+
+	// BootstrapClips is the length of the initial bootstrap phase during
+	// which every clip is sampled unconditionally (regardless of
+	// EstimatorSampleEvery), so the background estimators converge within a
+	// fixed prefix of the stream instead of a multiple of the sampling
+	// period.
+	BootstrapClips int
+
+	// NullQuantile makes the background estimation robust to the events
+	// themselves: a clip's count feeds a predicate's estimator only when it
+	// does not exceed the NullQuantile-quantile of the recent counts, so
+	// the minority of clips that actually contain the event cannot inflate
+	// the null rate. Requires event occupancy below roughly this fraction
+	// of clips.
+	NullQuantile float64
+	// RobustWindowClips is how many recent (unbiased) clip counts the
+	// quantile gate considers.
+	RobustWindowClips int
+
+	// NoShortCircuit disables Algorithm 2's early exit, forcing every
+	// predicate to be evaluated on every clip (needed when per-predicate
+	// diagnostics must be complete, e.g. the false-positive-rate study).
+	NoShortCircuit bool
+
+	// ActionFirst evaluates the action predicate before the object
+	// predicates — the predicate-order ablation.
+	ActionFirst bool
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:                0.05,
+		HorizonClips:         20,
+		P0Object:             1e-4,
+		P0Action:             1e-4,
+		BandwidthFrames:      1500,
+		BandwidthShots:       250,
+		CritGrid:             0.02,
+		EstimatorSampleEvery: 4,
+		BootstrapClips:       48,
+		NullQuantile:         0.6,
+		RobustWindowClips:    48,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: Alpha = %v out of (0,1)", c.Alpha)
+	}
+	if c.HorizonClips < 1 {
+		return fmt.Errorf("core: HorizonClips = %v must be >= 1", c.HorizonClips)
+	}
+	if c.P0Object < 0 || c.P0Object > 1 || c.P0Action < 0 || c.P0Action > 1 {
+		return fmt.Errorf("core: background probabilities out of [0,1]")
+	}
+	if c.BandwidthFrames <= 0 || c.BandwidthShots <= 0 {
+		return fmt.Errorf("core: kernel bandwidths must be positive")
+	}
+	if c.CritGrid <= 0 {
+		return fmt.Errorf("core: CritGrid must be positive")
+	}
+	if c.EstimatorSampleEvery < 1 {
+		return fmt.Errorf("core: EstimatorSampleEvery = %d must be >= 1", c.EstimatorSampleEvery)
+	}
+	if c.BootstrapClips < 0 {
+		return fmt.Errorf("core: BootstrapClips = %d must be >= 0", c.BootstrapClips)
+	}
+	if c.NullQuantile <= 0 || c.NullQuantile >= 1 {
+		return fmt.Errorf("core: NullQuantile = %v out of (0,1)", c.NullQuantile)
+	}
+	if c.RobustWindowClips < 4 {
+		return fmt.Errorf("core: RobustWindowClips = %d must be >= 4", c.RobustWindowClips)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package detect
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates inference accounting for the runtime analysis of §5.2:
+// the engine registers each occurrence unit it actually runs a model on
+// (object inference covers all types in one pass, so a frame is charged once
+// no matter how many query predicates read it), and the meter prices the
+// total against the models' simulated unit costs.
+type Meter struct {
+	objectFrames atomic.Int64
+	actionShots  atomic.Int64
+}
+
+// AddObjectFrames records n frames passed through the object detector.
+func (m *Meter) AddObjectFrames(n int) { m.objectFrames.Add(int64(n)) }
+
+// AddActionShots records n shots passed through the action recogniser.
+func (m *Meter) AddActionShots(n int) { m.actionShots.Add(int64(n)) }
+
+// ObjectFrames returns the number of object-detector inferences.
+func (m *Meter) ObjectFrames() int64 { return m.objectFrames.Load() }
+
+// ActionShots returns the number of action-recogniser inferences.
+func (m *Meter) ActionShots() int64 { return m.actionShots.Load() }
+
+// Cost prices the recorded inferences with the given models.
+func (m *Meter) Cost(models Models) time.Duration {
+	oc, ac := time.Duration(0), time.Duration(0)
+	if models.Objects != nil {
+		oc = models.Objects.UnitCost()
+	}
+	if models.Actions != nil {
+		ac = models.Actions.UnitCost()
+	}
+	return time.Duration(m.ObjectFrames())*oc + time.Duration(m.ActionShots())*ac
+}
+
+// Reset zeroes the counters.
+func (m *Meter) Reset() {
+	m.objectFrames.Store(0)
+	m.actionShots.Store(0)
+}

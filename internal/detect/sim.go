@@ -1,0 +1,189 @@
+package detect
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"svqact/internal/video"
+)
+
+// simCore holds the machinery shared by the simulated object detector and
+// action recogniser: profile-driven sampling plus a lazily materialised,
+// deterministic false-positive burst overlay per (video, type).
+type simCore struct {
+	prof Profile
+	seed uint64
+
+	mu       sync.Mutex
+	overlays map[string]video.IntervalSet
+}
+
+func newSimCore(prof Profile, seed int64) *simCore {
+	return &simCore{
+		prof:     prof,
+		seed:     keyed(uint64(seed), hashString(prof.Name)),
+		overlays: make(map[string]video.IntervalSet),
+	}
+}
+
+// burstOverlay returns the false-positive burst intervals for a type in a
+// video, generating them on first use. Bursts are an alternating renewal
+// process drawn from a stream seeded by (model, video, type) only, so they
+// are identical on every pass over the video.
+func (c *simCore) burstOverlay(videoID, typ string, units int) video.IntervalSet {
+	if c.prof.FPBurstGap <= 0 || c.prof.FPBurstLen <= 0 {
+		return video.IntervalSet{}
+	}
+	key := videoID + "\x00" + typ
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.overlays[key]; ok {
+		return s
+	}
+	state := keyed(c.seed, hashString(videoID), hashString(typ), 0xb02575)
+	next := func() float64 {
+		state = mix64(state + 0x9e3779b97f4a7c15)
+		return unitFloat(state)
+	}
+	exp := func(mean float64) float64 {
+		u := next()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		return -mean * math.Log(1-u)
+	}
+	var ivs []video.Interval
+	pos := 0
+	for {
+		pos += 1 + int(exp(c.prof.FPBurstGap))
+		if pos >= units {
+			break
+		}
+		end := min(units-1, pos+int(exp(c.prof.FPBurstLen)))
+		ivs = append(ivs, video.Interval{Start: pos, End: end})
+		pos = end + 1
+	}
+	s := video.NewIntervalSet(ivs...)
+	c.overlays[key] = s
+	return s
+}
+
+// falsePositive decides whether the model hallucinates the absent type on
+// the unit and, if so, returns the score.
+func (c *simCore) falsePositive(v TruthVideo, typ string, unit, units int) (float64, bool) {
+	p := c.prof.FPIID
+	if c.burstOverlay(v.ID(), typ, units).Contains(unit) {
+		p = c.prof.FPWithinBurst
+	}
+	if p <= 0 {
+		return 0, false
+	}
+	h := keyed(c.seed, hashString(v.ID()), hashString(typ), uint64(unit), 0xfa15e)
+	if unitFloat(h) >= p {
+		return 0, false
+	}
+	score := clampScore(c.prof.FPScoreMean + c.prof.FPScoreStd*gauss(mix64(h^0x5c0e)))
+	return score, true
+}
+
+// truePositive decides whether a truly present instance is detected and
+// scored. The extra key distinguishes instances sharing a frame.
+func (c *simCore) truePositive(v TruthVideo, typ string, unit int, extra uint64) (float64, bool) {
+	h := keyed(c.seed, hashString(v.ID()), hashString(typ), uint64(unit), extra, 0x7b0e)
+	if unitFloat(h) >= c.prof.TPR {
+		return 0, false
+	}
+	score := clampScore(c.prof.TPScoreMean + c.prof.TPScoreStd*gauss(mix64(h^0x3d09)))
+	return score, true
+}
+
+// SimObjectDetector is an ObjectDetector that samples detections from a
+// noise profile against ground truth. Construct with NewObjectDetector.
+type SimObjectDetector struct {
+	core *simCore
+}
+
+// NewObjectDetector builds a simulated object detector from a profile. The
+// seed lets experiments draw independent noise realisations; the detections
+// for a fixed (profile, seed) are deterministic.
+func NewObjectDetector(prof Profile, seed int64) *SimObjectDetector {
+	return &SimObjectDetector{core: newSimCore(prof, seed)}
+}
+
+// Name implements ObjectDetector.
+func (d *SimObjectDetector) Name() string { return d.core.prof.Name }
+
+// UnitCost implements ObjectDetector.
+func (d *SimObjectDetector) UnitCost() time.Duration { return d.core.prof.UnitCost }
+
+// FrameScore implements ObjectDetector.
+func (d *SimObjectDetector) FrameScore(v TruthVideo, typ string, frame int) float64 {
+	best := 0.0
+	for _, id := range v.ObjectInstancesAt(typ, frame) {
+		if s, ok := d.core.truePositive(v, typ, frame, uint64(id)); ok && s > best {
+			best = s
+		}
+	}
+	if best > 0 {
+		return best
+	}
+	if !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			return s
+		}
+	}
+	return 0
+}
+
+// FrameDetections implements ObjectDetector.
+func (d *SimObjectDetector) FrameDetections(v TruthVideo, typ string, frame int) []Detection {
+	var out []Detection
+	for _, id := range v.ObjectInstancesAt(typ, frame) {
+		if s, ok := d.core.truePositive(v, typ, frame, uint64(id)); ok {
+			out = append(out, Detection{TrackID: id, Score: s})
+		}
+	}
+	if len(out) == 0 && !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			// Hallucinations get a stable negative identity per ~3-second
+			// window so the tracker-level aggregation sees them as one
+			// phantom instance rather than many.
+			id := -1 - int(keyed(hashString(v.ID()), hashString(typ), uint64(frame/30))%1_000_000)
+			out = append(out, Detection{TrackID: id, Score: s})
+		}
+	}
+	return out
+}
+
+// SimActionRecognizer is an ActionRecognizer sampling per-shot
+// classifications from a noise profile.
+type SimActionRecognizer struct {
+	core *simCore
+}
+
+// NewActionRecognizer builds a simulated action recogniser from a profile.
+func NewActionRecognizer(prof Profile, seed int64) *SimActionRecognizer {
+	return &SimActionRecognizer{core: newSimCore(prof, seed)}
+}
+
+// Name implements ActionRecognizer.
+func (r *SimActionRecognizer) Name() string { return r.core.prof.Name }
+
+// UnitCost implements ActionRecognizer.
+func (r *SimActionRecognizer) UnitCost() time.Duration { return r.core.prof.UnitCost }
+
+// ShotScore implements ActionRecognizer.
+func (r *SimActionRecognizer) ShotScore(v TruthVideo, act string, shot int) float64 {
+	if v.ActionAt(act, shot) {
+		if s, ok := r.core.truePositive(v, act, shot, 0); ok {
+			return s
+		}
+		return 0
+	}
+	numShots := v.Geometry().NumShots(v.NumFrames())
+	if s, ok := r.core.falsePositive(v, act, shot, numShots); ok {
+		return s
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+// Package kernel implements the dynamic background-probability estimator
+// behind SVAQD (paper §3.3, Equation 6).
+//
+// The estimator maintains, per query predicate, a smoothed estimate of the
+// probability that an occurrence unit (a frame for objects, a shot for
+// actions) carries a positive detection. Events are smoothed over time with
+// an exponential kernel K((t-t_n)/u) = exp(-(t-t_n)/u), and the estimate is
+// normalised by the total kernel mass of all occurrence units seen so far —
+// the Diggle edge correction — which makes it unbiased when the background
+// probability is constant:
+//
+//	p_hat(t) = sum_n exp(-(t-t_n)/u) * (1 - exp(-1/u)) / (1 - exp(-t/u)).
+//
+// Both the numerator (event mass) and the denominator (unit mass) decay by
+// exp(-dt/u) as time advances, so updates are O(1) per occurrence unit. A
+// sudden change in the true rate is tracked with time constant u, while the
+// normalisation keeps the estimate calibrated during gradual drift.
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Floor is the smallest probability the estimator reports. The scan
+// statistics layer treats p = 0 as "any event is significant", which a noisy
+// detector should never be granted, so estimates are clamped away from zero.
+const Floor = 1e-9
+
+// Estimator is the per-predicate background probability tracker. The zero
+// value is not usable; construct with NewEstimator.
+type Estimator struct {
+	u float64 // kernel bandwidth in occurrence units
+
+	eventMass float64 // sum of exp(-(t-t_n)/u) over past events
+	unitMass  float64 // sum of exp(-(t-j)/u) over past occurrence units
+
+	// prior blends the initial probability into the estimate as a pseudo
+	// count of priorWeight occurrence units, removing the t -> 0 singularity
+	// of the raw edge-corrected estimator; its influence decays at the same
+	// exponential rate as real observations.
+	prior       float64
+	priorWeight float64
+
+	decay float64 // exp(-1/u), cached
+	units int64   // total occurrence units observed (diagnostics)
+}
+
+// NewEstimator creates an estimator with kernel bandwidth u (in occurrence
+// units) seeded with the initial background probability p0. The seed acts as
+// u/16 pseudo-units of evidence: enough to define the estimate before any
+// observation arrives, small enough that a handful of genuine observations
+// displaces a badly chosen prior (the paper's "eliminates the influence of
+// p0 naturally").
+func NewEstimator(u, p0 float64) (*Estimator, error) {
+	if u <= 0 {
+		return nil, fmt.Errorf("kernel: bandwidth u = %v must be positive", u)
+	}
+	if p0 < 0 || p0 > 1 {
+		return nil, fmt.Errorf("kernel: initial probability %v out of [0,1]", p0)
+	}
+	return &Estimator{
+		u:           u,
+		prior:       p0,
+		priorWeight: u / 16,
+		decay:       math.Exp(-1 / u),
+	}, nil
+}
+
+// Bandwidth returns the kernel bandwidth u.
+func (e *Estimator) Bandwidth() float64 { return e.u }
+
+// Units returns the number of occurrence units observed so far.
+func (e *Estimator) Units() int64 { return e.units }
+
+// Tick advances the estimator by one occurrence unit and records whether the
+// unit carried an event (a positive detection).
+func (e *Estimator) Tick(event bool) {
+	e.eventMass *= e.decay
+	e.unitMass *= e.decay
+	e.priorWeight *= e.decay
+	e.unitMass++
+	if event {
+		e.eventMass++
+	}
+	e.units++
+}
+
+// TickN advances the estimator by n occurrence units of which k carried
+// events. The k events are treated as uniformly spread over the n units; for
+// the clip-sized batches the engine uses (n << u) the difference from exact
+// per-unit placement is far below the estimator's own variance.
+func (e *Estimator) TickN(n, k int) {
+	if n < 0 || k < 0 || k > n {
+		panic(fmt.Sprintf("kernel: TickN(%d, %d) invalid", n, k))
+	}
+	if n == 0 {
+		return
+	}
+	d := math.Pow(e.decay, float64(n))
+	// Total kernel mass contributed by the n new units at the new now:
+	// sum_{j=0}^{n-1} decay^j = (1 - decay^n) / (1 - decay).
+	newMass := (1 - d) / (1 - e.decay)
+	e.eventMass = e.eventMass*d + newMass*float64(k)/float64(n)
+	e.unitMass = e.unitMass*d + newMass
+	e.priorWeight *= d
+	e.units += int64(n)
+}
+
+// P returns the current background probability estimate, clamped to
+// [Floor, 1].
+func (e *Estimator) P() float64 {
+	den := e.unitMass + e.priorWeight
+	if den <= 0 {
+		return clamp(e.prior)
+	}
+	return clamp((e.eventMass + e.prior*e.priorWeight) / den)
+}
+
+func clamp(p float64) float64 {
+	if p < Floor {
+		return Floor
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, u, p0 float64) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(u, p0)
+	if err != nil {
+		t.Fatalf("NewEstimator(%v, %v): %v", u, p0, err)
+	}
+	return e
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0, 0.1); err == nil {
+		t.Error("u=0 should be rejected")
+	}
+	if _, err := NewEstimator(-5, 0.1); err == nil {
+		t.Error("negative u should be rejected")
+	}
+	if _, err := NewEstimator(100, -0.1); err == nil {
+		t.Error("negative p0 should be rejected")
+	}
+	if _, err := NewEstimator(100, 1.1); err == nil {
+		t.Error("p0 > 1 should be rejected")
+	}
+	if _, err := NewEstimator(100, 0.5); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+}
+
+func TestInitialEstimateIsPrior(t *testing.T) {
+	for _, p0 := range []float64{0.001, 0.1, 0.9} {
+		e := mustNew(t, 200, p0)
+		if got := e.P(); math.Abs(got-p0) > 1e-12 {
+			t.Errorf("fresh estimator P() = %v, want prior %v", got, p0)
+		}
+	}
+}
+
+func TestFloorAndCap(t *testing.T) {
+	e := mustNew(t, 100, 0)
+	if got := e.P(); got != Floor {
+		t.Errorf("p0=0 estimate = %v, want Floor", got)
+	}
+	for i := 0; i < 1000; i++ {
+		e.Tick(false)
+	}
+	if got := e.P(); got != Floor {
+		t.Errorf("all-quiet estimate = %v, want Floor", got)
+	}
+	e2 := mustNew(t, 100, 1)
+	for i := 0; i < 1000; i++ {
+		e2.Tick(true)
+	}
+	if got := e2.P(); got > 1 || got < 0.99 {
+		t.Errorf("all-events estimate = %v, want ~1", got)
+	}
+}
+
+func TestConvergesToConstantRate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.02, 0.2, 0.6} {
+		e := mustNew(t, 500, 0.5) // deliberately wrong prior
+		for i := 0; i < 20000; i++ {
+			e.Tick(r.Float64() < p)
+		}
+		got := e.P()
+		// Effective sample size ~ u, so sd ~ sqrt(p(1-p)/u) ~ 0.02.
+		if math.Abs(got-p) > 4*math.Sqrt(p*(1-p)/500)+0.005 {
+			t.Errorf("p=%v: estimate %v did not converge", p, got)
+		}
+	}
+}
+
+func TestTracksSuddenChange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	e := mustNew(t, 300, 0.01)
+	for i := 0; i < 5000; i++ {
+		e.Tick(r.Float64() < 0.01)
+	}
+	low := e.P()
+	if low > 0.03 {
+		t.Fatalf("pre-change estimate %v too high", low)
+	}
+	// Traffic peak: rate jumps 30x. Within ~4 bandwidths the estimate must
+	// have moved most of the way.
+	for i := 0; i < 1200; i++ {
+		e.Tick(r.Float64() < 0.3)
+	}
+	high := e.P()
+	if high < 0.2 {
+		t.Errorf("post-change estimate %v did not adapt (was %v)", high, low)
+	}
+}
+
+func TestPriorWashesOut(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Two estimators with very different priors must agree after seeing the
+	// same long stream — the paper's "eliminates the influence of p0".
+	e1 := mustNew(t, 200, 1e-6)
+	e2 := mustNew(t, 200, 0.9)
+	for i := 0; i < 10000; i++ {
+		ev := r.Float64() < 0.05
+		e1.Tick(ev)
+		e2.Tick(ev)
+	}
+	if d := math.Abs(e1.P() - e2.P()); d > 1e-6 {
+		t.Errorf("priors did not wash out: %v vs %v", e1.P(), e2.P())
+	}
+}
+
+func TestTickNMatchesTicksWhenUniform(t *testing.T) {
+	// TickN with all-or-nothing events must match per-unit Tick exactly.
+	a := mustNew(t, 150, 0.1)
+	b := mustNew(t, 150, 0.1)
+	for i := 0; i < 50; i++ {
+		a.TickN(10, 0)
+		for j := 0; j < 10; j++ {
+			b.Tick(false)
+		}
+		a.TickN(5, 5)
+		for j := 0; j < 5; j++ {
+			b.Tick(true)
+		}
+	}
+	if d := math.Abs(a.P() - b.P()); d > 1e-9 {
+		t.Errorf("TickN diverged from Tick: %v vs %v", a.P(), b.P())
+	}
+	if a.Units() != b.Units() || a.Units() != 750 {
+		t.Errorf("unit counts: %d vs %d", a.Units(), b.Units())
+	}
+}
+
+func TestTickNApproximatesScatteredEvents(t *testing.T) {
+	// Batched updates with events spread inside the batch should stay close
+	// to the exact per-unit update when the batch is much smaller than u.
+	r := rand.New(rand.NewSource(4))
+	exact := mustNew(t, 1000, 0.1)
+	batched := mustNew(t, 1000, 0.1)
+	for c := 0; c < 400; c++ {
+		k := 0
+		for j := 0; j < 50; j++ {
+			ev := r.Float64() < 0.1
+			exact.Tick(ev)
+			if ev {
+				k++
+			}
+		}
+		batched.TickN(50, k)
+	}
+	if d := math.Abs(exact.P() - batched.P()); d > 0.01 {
+		t.Errorf("batched estimate %v too far from exact %v", batched.P(), exact.P())
+	}
+}
+
+func TestTickNValidation(t *testing.T) {
+	e := mustNew(t, 100, 0.1)
+	for _, c := range []struct{ n, k int }{{-1, 0}, {5, -1}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TickN(%d,%d) should panic", c.n, c.k)
+				}
+			}()
+			e.TickN(c.n, c.k)
+		}()
+	}
+	e.TickN(0, 0) // no-op must be fine
+	if e.Units() != 0 {
+		t.Errorf("TickN(0,0) advanced units: %d", e.Units())
+	}
+}
+
+// TestEstimateAlwaysValidProbability is a property test: whatever the input
+// stream, the estimate stays within [Floor, 1].
+func TestEstimateAlwaysValidProbability(t *testing.T) {
+	f := func(seed int64, p0 uint8, stream []bool) bool {
+		e, err := NewEstimator(1+float64((seed%997+997)%997), float64(p0)/255)
+		if err != nil {
+			return true // skip invalid bandwidths (shouldn't happen)
+		}
+		for _, ev := range stream {
+			e.Tick(ev)
+			p := e.P()
+			if p < Floor || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnbiasedUnderConstantRate checks the edge-corrected estimator's mean
+// over many independent short streams is close to the true rate even early
+// on (the bias the correction removes).
+func TestUnbiasedUnderConstantRate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const p = 0.3
+	const streams = 3000
+	sum := 0.0
+	for s := 0; s < streams; s++ {
+		e := mustNew(t, 100, p) // prior equals truth, isolating the kernel bias
+		for i := 0; i < 60; i++ {
+			e.Tick(r.Float64() < p)
+		}
+		sum += e.P()
+	}
+	mean := sum / streams
+	if math.Abs(mean-p) > 0.01 {
+		t.Errorf("mean early estimate %v, want ~%v", mean, p)
+	}
+}
+
+func TestBandwidthAccessor(t *testing.T) {
+	e := mustNew(t, 123, 0.1)
+	if e.Bandwidth() != 123 {
+		t.Errorf("Bandwidth = %v", e.Bandwidth())
+	}
+}

@@ -1,0 +1,113 @@
+// Package metrics implements the evaluation measures of the paper's §5.1:
+// sequence-level F1 under an intersection-over-union matching threshold,
+// frame-level F1, and unit-level false-positive rates with and without the
+// engine's statistical filtering.
+package metrics
+
+import "svqact/internal/video"
+
+// DefaultIoU is the matching threshold eta = 0.5 used throughout the paper's
+// evaluation (and conventionally in detection work).
+const DefaultIoU = 0.5
+
+// Counts holds true positives, false positives and false negatives. Counts
+// from independent videos or queries add.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Add accumulates another count.
+func (c *Counts) Add(o Counts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted (no
+// prediction, no false alarms).
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there was nothing to find.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when both vanish.
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MatchSequences scores predicted result sequences against ground-truth
+// sequences following the paper's rule: a predicted sequence is a true
+// positive iff its IoU with some ground-truth sequence reaches eta; a
+// ground-truth sequence is missed (false negative) iff no predicted sequence
+// reaches IoU eta with it. The matching is deliberately not one-to-one —
+// that is how the paper defines it.
+func MatchSequences(pred, truth video.IntervalSet, eta float64) Counts {
+	var c Counts
+	for _, p := range pred.Intervals() {
+		matched := false
+		for _, t := range truth.Intervals() {
+			if p.IoU(t) >= eta {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for _, t := range truth.Intervals() {
+		matched := false
+		for _, p := range pred.Intervals() {
+			if t.IoU(p) >= eta {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// UnitCounts scores predictions at the individual-unit level (frames or
+// clips): a unit is a true positive when both sets contain it, a false
+// positive when only the prediction does, a false negative when only the
+// truth does.
+func UnitCounts(pred, truth video.IntervalSet) Counts {
+	tp := pred.IntersectSet(truth).TotalLen()
+	return Counts{
+		TP: tp,
+		FP: pred.TotalLen() - tp,
+		FN: truth.TotalLen() - tp,
+	}
+}
+
+// FalsePositiveRate returns |pred \ truth| / |universe \ truth| over a
+// universe of total units [0, total): the fraction of truly negative units
+// flagged positive. It returns 0 when there are no negative units.
+func FalsePositiveRate(pred, truth video.IntervalSet, total int) float64 {
+	bounds := video.Interval{Start: 0, End: total - 1}
+	negatives := total - truth.Clamp(bounds).TotalLen()
+	if negatives <= 0 {
+		return 0
+	}
+	fp := pred.Clamp(bounds).Subtract(truth).TotalLen()
+	return float64(fp) / float64(negatives)
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"svqact/internal/video"
+)
+
+func set(ivs ...video.Interval) video.IntervalSet { return video.NewIntervalSet(ivs...) }
+
+func iv(a, b int) video.Interval { return video.Interval{Start: a, End: b} }
+
+func TestCountsArithmetic(t *testing.T) {
+	c := Counts{TP: 3, FP: 1, FN: 2}
+	c.Add(Counts{TP: 1, FP: 1, FN: 0})
+	if c != (Counts{TP: 4, FP: 2, FN: 2}) {
+		t.Fatalf("Add: %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestCountsDegenerate(t *testing.T) {
+	empty := Counts{}
+	if empty.Precision() != 1 || empty.Recall() != 1 || empty.F1() != 1 {
+		t.Errorf("all-zero counts should score perfect: P=%v R=%v F1=%v",
+			empty.Precision(), empty.Recall(), empty.F1())
+	}
+	onlyFN := Counts{FN: 3}
+	if onlyFN.Precision() != 1 || onlyFN.Recall() != 0 || onlyFN.F1() != 0 {
+		t.Errorf("miss-everything counts wrong: %+v", onlyFN)
+	}
+	onlyFP := Counts{FP: 3}
+	if onlyFP.Precision() != 0 || onlyFP.Recall() != 1 || onlyFP.F1() != 0 {
+		t.Errorf("all-noise counts wrong: %+v", onlyFP)
+	}
+}
+
+func TestMatchSequencesExact(t *testing.T) {
+	truth := set(iv(10, 19), iv(40, 49))
+	pred := set(iv(10, 19), iv(40, 49))
+	c := MatchSequences(pred, truth, DefaultIoU)
+	if c != (Counts{TP: 2, FP: 0, FN: 0}) {
+		t.Errorf("exact match: %+v", c)
+	}
+	if c.F1() != 1 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestMatchSequencesPartial(t *testing.T) {
+	truth := set(iv(10, 19))
+	// IoU([10,19],[13,22]) = 7/13 > 0.5; IoU([10,19],[16,25]) = 4/16 < 0.5.
+	if c := MatchSequences(set(iv(13, 22)), truth, 0.5); c != (Counts{TP: 1}) {
+		t.Errorf("overlapping pred: %+v", c)
+	}
+	if c := MatchSequences(set(iv(16, 25)), truth, 0.5); c != (Counts{TP: 0, FP: 1, FN: 1}) {
+		t.Errorf("weakly overlapping pred: %+v", c)
+	}
+}
+
+func TestMatchSequencesManyToOne(t *testing.T) {
+	// Two fragments each reaching IoU >= eta with the same truth sequence
+	// both count as TP (the paper's matching is not one-to-one). Use a low
+	// eta so both fragments qualify.
+	truth := set(iv(0, 9))
+	pred := set(iv(0, 4), iv(6, 9))
+	c := MatchSequences(pred, truth, 0.3)
+	if c != (Counts{TP: 2, FP: 0, FN: 0}) {
+		t.Errorf("many-to-one: %+v", c)
+	}
+}
+
+func TestMatchSequencesEmpty(t *testing.T) {
+	if c := MatchSequences(video.IntervalSet{}, video.IntervalSet{}, 0.5); c != (Counts{}) {
+		t.Errorf("both empty: %+v", c)
+	}
+	if c := MatchSequences(set(iv(0, 5)), video.IntervalSet{}, 0.5); c != (Counts{FP: 1}) {
+		t.Errorf("pred only: %+v", c)
+	}
+	if c := MatchSequences(video.IntervalSet{}, set(iv(0, 5)), 0.5); c != (Counts{FN: 1}) {
+		t.Errorf("truth only: %+v", c)
+	}
+}
+
+func TestUnitCounts(t *testing.T) {
+	pred := set(iv(0, 9), iv(20, 24))
+	truth := set(iv(5, 14))
+	c := UnitCounts(pred, truth)
+	if c != (Counts{TP: 5, FP: 10, FN: 5}) {
+		t.Errorf("UnitCounts: %+v", c)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	truth := set(iv(0, 49))
+	pred := set(iv(40, 59)) // 10 units outside the truth
+	got := FalsePositiveRate(pred, truth, 100)
+	if math.Abs(got-10.0/50) > 1e-12 {
+		t.Errorf("FPR = %v, want 0.2", got)
+	}
+	if FalsePositiveRate(pred, truth, 50) != 0 {
+		t.Error("no negatives should give FPR 0")
+	}
+	if FalsePositiveRate(video.IntervalSet{}, truth, 100) != 0 {
+		t.Error("no predictions should give FPR 0")
+	}
+	// Predictions beyond the universe must not count.
+	far := set(iv(90, 199))
+	if got := FalsePositiveRate(far, truth, 100); math.Abs(got-10.0/50) > 1e-12 {
+		t.Errorf("clamped FPR = %v, want 0.2", got)
+	}
+}

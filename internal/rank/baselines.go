@@ -1,0 +1,176 @@
+package rank
+
+import (
+	"fmt"
+	"sort"
+
+	"svqact/internal/core"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// PqTraverse is the exhaustive baseline (§5.1): it accesses every clip of
+// every candidate sequence, computes all sequence scores exactly, and
+// returns the k best. Its cost is constant in k and proportional to the
+// total number of candidate clips.
+func PqTraverse(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	pq, err := ix.Pq(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: "Pq-Traverse", Query: q, K: k, Candidates: pq.NumIntervals()}
+	tables, err := ix.queryTables(q, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	f := opts.Scoring.Seq
+	for _, iv := range pq.Intervals() {
+		sum := f.Zero()
+		for c := iv.Start; c <= iv.End; c++ {
+			sum = f.Combine(sum, f.OfClip(scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, c)))
+			res.ClipsScored++
+		}
+		res.Sequences = append(res.Sequences, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
+	}
+	sort.Slice(res.Sequences, func(i, j int) bool { return res.Sequences[i].Lower > res.Sequences[j].Lower })
+	if len(res.Sequences) > k {
+		res.Sequences = res.Sequences[:k]
+	}
+	return res, nil
+}
+
+// FA is the paper's adaptation of Fagin's Algorithm: parallel sorted access
+// over all query tables from the top; every newly seen clip belonging to a
+// candidate sequence is completed by random accesses; sorted access
+// continues until the score of every clip of every candidate sequence has
+// been produced (FA has no per-sequence bounds and no skip mechanism, so it
+// cannot stop earlier), after which sequence scores are computed and the k
+// best returned.
+func FA(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	pq, err := ix.Pq(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: "FA", Query: q, K: k, Candidates: pq.NumIntervals()}
+	if pq.Empty() {
+		return res, nil
+	}
+	tables, err := ix.queryTables(q, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fagin's phase 1: parallel sorted access until every candidate clip
+	// has been seen in every list (the intersection criterion of [15]).
+	// Every newly seen clip is completed by random access; only then is it
+	// checked against the candidate ranges and possibly disregarded.
+	remaining := pq.TotalLen()
+	scores := map[int]float64{}
+	seenIn := map[int]int{}
+	cursors := make([]int, len(tables))
+	for remaining > 0 {
+		progressed := false
+		for i, tbl := range tables {
+			if cursors[i] >= tbl.Len() {
+				continue
+			}
+			e := tbl.SortedAt(cursors[i])
+			cursors[i]++
+			progressed = true
+			seenIn[e.Clip]++
+			if seenIn[e.Clip] == 1 {
+				score := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, e.Clip)
+				res.ClipsScored++
+				if pq.Contains(e.Clip) {
+					scores[e.Clip] = score
+				}
+			}
+			if seenIn[e.Clip] == len(tables) && pq.Contains(e.Clip) {
+				remaining--
+			}
+		}
+		if !progressed {
+			break // tables drained; clips absent from some table remain
+		}
+	}
+
+	f := opts.Scoring.Seq
+	for _, iv := range pq.Intervals() {
+		sum := f.Zero()
+		for c := iv.Start; c <= iv.End; c++ {
+			sum = f.Combine(sum, f.OfClip(scores[c]))
+		}
+		res.Sequences = append(res.Sequences, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
+	}
+	sort.Slice(res.Sequences, func(i, j int) bool { return res.Sequences[i].Lower > res.Sequences[j].Lower })
+	if len(res.Sequences) > k {
+		res.Sequences = res.Sequences[:k]
+	}
+	return res, nil
+}
+
+// Algorithms enumerates the offline algorithms under evaluation, keyed by
+// the names used in the paper's tables.
+var Algorithms = map[string]func(*Index, core.Query, int, Options) (*Result, error){
+	"FA":          FA,
+	"RVAQ-noSkip": rvaqNoSkip,
+	"Pq-Traverse": PqTraverse,
+	"RVAQ":        RVAQ,
+}
+
+func rvaqNoSkip(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+	opts.NoSkip = true
+	return RVAQ(ix, q, k, opts)
+}
+
+// TruthTopK computes the reference answer by exhaustively scoring every
+// candidate sequence directly from the tables without access counting —
+// used by tests to validate every algorithm against the same ground truth.
+func TruthTopK(ix *Index, q core.Query, k int, scoring Scoring) ([]SeqResult, error) {
+	var st store.Stats
+	tables, err := ix.queryTables(q, &st)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := ix.Pq(q)
+	if err != nil {
+		return nil, err
+	}
+	f := scoring.Seq
+	var out []SeqResult
+	for _, iv := range pq.Intervals() {
+		sum := f.Zero()
+		for c := iv.Start; c <= iv.End; c++ {
+			sum = f.Combine(sum, f.OfClip(scoreClip(tables, basicTableScorer{c: scoring.Clip}, c)))
+		}
+		out = append(out, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
+	}
+	sortSeqResults(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// SequencesOf extracts the clip intervals of a result.
+func SequencesOf(rs []SeqResult) video.IntervalSet {
+	ivs := make([]video.Interval, len(rs))
+	for i, r := range rs {
+		ivs[i] = r.Seq
+	}
+	return video.NewIntervalSet(ivs...)
+}

@@ -1,0 +1,183 @@
+package rank
+
+import (
+	"fmt"
+
+	"svqact/internal/core"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// Ranked extended queries: RVAQ generalises from the basic
+// one-action-plus-objects conjunction to CNF queries over object and action
+// atoms (the footnote 3-4 extensions). Candidate sequences intersect, per
+// clause, the union of the atoms' individual sequences; clip scores take
+// the maximum ingested score within each clause and multiply across
+// clauses — monotone in every atom score, so all of §4.1's requirements
+// (and therefore the bound machinery) carry over unchanged.
+//
+// Relation atoms are not supported offline: their per-frame indicators
+// derive from instance geometry that the ingestion phase does not
+// materialise per type pair (doing so would square the table space).
+
+// tableScorer maps the full per-table score vector of a clip to its overall
+// score. It generalises ClipScorer beyond the basic "objects then action"
+// table layout.
+type tableScorer interface {
+	scoreTables(scores []float64) float64
+}
+
+// basicTableScorer adapts a ClipScorer to the basic layout (objects in
+// query order, action last).
+type basicTableScorer struct{ c ClipScorer }
+
+func (b basicTableScorer) scoreTables(scores []float64) float64 {
+	n := len(scores)
+	return b.c.OfPredicates(scores[:n-1], scores[n-1])
+}
+
+// cnfTableScorer scores a clip under a CNF query: the maximum atom score
+// within each clause, multiplied across clauses.
+type cnfTableScorer struct {
+	clauses [][]int // atom (table) indexes per clause
+}
+
+func (s cnfTableScorer) scoreTables(scores []float64) float64 {
+	p := 1.0
+	for _, cl := range s.clauses {
+		m := 0.0
+		for _, i := range cl {
+			if scores[i] > m {
+				m = scores[i]
+			}
+		}
+		p *= m
+	}
+	return p
+}
+
+// cnfTables resolves one table per distinct atom and the clause structure
+// over the table indexes.
+func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int, []video.IntervalSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	var tables []store.Table
+	var seqs []video.IntervalSet
+	index := map[string]int{}
+	clauses := make([][]int, len(q.Clauses))
+	for ci, c := range q.Clauses {
+		for _, a := range c.Atoms {
+			key := a.String()
+			i, ok := index[key]
+			if !ok {
+				var ti *TypeIndex
+				switch a.Kind {
+				case core.ObjectPredicate:
+					ti = ix.Objects[a.Name]
+				case core.ActionPredicate:
+					ti = ix.Actions[a.Name]
+				default:
+					return nil, nil, nil, fmt.Errorf("rank: relation atom %s is not supported offline", a)
+				}
+				if ti == nil {
+					return nil, nil, nil, fmt.Errorf("rank: atom %s not ingested", a)
+				}
+				i = len(tables)
+				tables = append(tables, store.WithStats(ti.Table, st))
+				seqs = append(seqs, ti.Seqs)
+				index[key] = i
+			}
+			clauses[ci] = append(clauses[ci], i)
+		}
+	}
+	return tables, clauses, seqs, nil
+}
+
+// PqCNF computes the candidate sequences of a CNF query: per clause, the
+// union of the atoms' individual sequences; across clauses, the interval
+// intersection.
+func (ix *Index) PqCNF(q core.CNF) (video.IntervalSet, error) {
+	var st store.Stats
+	_, clauses, seqs, err := ix.cnfTables(q, &st)
+	if err != nil {
+		return video.IntervalSet{}, err
+	}
+	sets := make([]video.IntervalSet, len(clauses))
+	for ci, refs := range clauses {
+		var u video.IntervalSet
+		for _, i := range refs {
+			u = u.Union(seqs[i])
+		}
+		sets[ci] = u
+	}
+	return video.IntersectAll(sets...), nil
+}
+
+// RVAQCNF answers a ranked CNF query with the RVAQ machinery over per-atom
+// tables.
+func RVAQCNF(ix *Index, q core.CNF, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	name := "RVAQ-CNF"
+	if opts.NoSkip {
+		name = "RVAQ-CNF-noSkip"
+	}
+	res := &Result{Algorithm: name, K: k}
+	tables, clauses, seqs, err := ix.cnfTables(q, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]video.IntervalSet, len(clauses))
+	for ci, refs := range clauses {
+		var u video.IntervalSet
+		for _, i := range refs {
+			u = u.Union(seqs[i])
+		}
+		sets[ci] = u
+	}
+	pq := video.IntersectAll(sets...)
+	res.Candidates = pq.NumIntervals()
+	if pq.Empty() {
+		return res, nil
+	}
+	scorer := cnfTableScorer{clauses: clauses}
+	if err := topkRun(res, tables, scorer, opts, pq, k); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TruthTopKCNF exhaustively scores every CNF candidate sequence — the test
+// reference for RVAQCNF.
+func TruthTopKCNF(ix *Index, q core.CNF, k int, scoring Scoring) ([]SeqResult, error) {
+	var st store.Stats
+	tables, clauses, _, err := ix.cnfTables(q, &st)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := ix.PqCNF(q)
+	if err != nil {
+		return nil, err
+	}
+	scorer := cnfTableScorer{clauses: clauses}
+	f := scoring.Seq
+	var out []SeqResult
+	for _, iv := range pq.Intervals() {
+		sum := f.Zero()
+		for c := iv.Start; c <= iv.End; c++ {
+			sum = f.Combine(sum, f.OfClip(scoreClip(tables, scorer, c)))
+		}
+		out = append(out, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
+	}
+	sortSeqResults(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

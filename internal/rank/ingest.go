@@ -1,0 +1,180 @@
+package rank
+
+import (
+	"fmt"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// IngestConfig tunes the ingestion phase.
+type IngestConfig struct {
+	// Core configures the adaptive indicator machinery used to materialise
+	// the per-type individual sequences.
+	Core core.Config
+	// Tracker optionally wraps the object detector with simulated tracking
+	// before score aggregation (the paper ingests with an object tracker so
+	// the h function can aggregate per tracked instance).
+	Tracker func(detect.ObjectDetector) detect.ObjectDetector
+}
+
+// DefaultIngestConfig ingests with the engine's default configuration and
+// CenterTrack-style tracking.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{
+		Core:    core.DefaultConfig(),
+		Tracker: func(d detect.ObjectDetector) detect.ObjectDetector { return detect.CenterTrack(d) },
+	}
+}
+
+// Ingest processes one video with the detection models and materialises its
+// query-independent metadata (paper §4.2): for every object and action type
+// the models support on this video, the clip score table (h-aggregated
+// detection scores per clip) and the individual sequences (positive clips
+// per type, computed with the adaptive SVAQD machinery).
+//
+// The returned Index is in-memory; Save persists it for later Load.
+func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
+	if err := scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if models.Objects == nil || models.Actions == nil {
+		return nil, fmt.Errorf("rank: ingestion needs both detection models")
+	}
+	g := v.Geometry()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	objTypes, actTypes := v.ObjectTypes(), v.ActionTypes()
+
+	eng, err := core.NewSVAQD(models, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	objSeqs, actSeqs, err := eng.EvaluateTypes(v, objTypes, actTypes)
+	if err != nil {
+		return nil, err
+	}
+
+	det := models.Objects
+	if cfg.Tracker != nil {
+		det = cfg.Tracker(det)
+	}
+
+	ix := &Index{
+		Name:     v.ID(),
+		NumClips: g.NumClips(v.NumFrames()),
+		Objects:  make(map[string]*TypeIndex, len(objTypes)),
+		Actions:  make(map[string]*TypeIndex, len(actTypes)),
+	}
+
+	// Clip score tables: h aggregates every detection score of the type
+	// within the clip (per tracked instance and frame for objects, per shot
+	// for actions) — the paper's §5 instantiation of h.
+	for _, typ := range objTypes {
+		var entries []store.Entry
+		for c := 0; c < ix.NumClips; c++ {
+			fr := g.FrameRangeOfClip(c)
+			sum := 0.0
+			for f := fr.Start; f <= fr.End; f++ {
+				for _, d := range det.FrameDetections(v, typ, f) {
+					sum += d.Score
+				}
+			}
+			if sum > 0 {
+				entries = append(entries, store.Entry{Clip: c, Score: sum})
+			}
+		}
+		tbl, err := store.NewMemTable(typ, entries)
+		if err != nil {
+			return nil, err
+		}
+		ix.Objects[typ] = &TypeIndex{Table: tbl, Seqs: objSeqs[typ]}
+	}
+	for _, typ := range actTypes {
+		var entries []store.Entry
+		for c := 0; c < ix.NumClips; c++ {
+			sr := g.ShotRangeOfClip(c)
+			sum := 0.0
+			for s := sr.Start; s <= sr.End; s++ {
+				sum += models.Actions.ShotScore(v, typ, s)
+			}
+			if sum > 0 {
+				entries = append(entries, store.Entry{Clip: c, Score: sum})
+			}
+		}
+		tbl, err := store.NewMemTable(typ, entries)
+		if err != nil {
+			return nil, err
+		}
+		ix.Actions[typ] = &TypeIndex{Table: tbl, Seqs: actSeqs[typ]}
+	}
+	return ix, nil
+}
+
+// IngestAll ingests every video of a collection and merges the per-video
+// indexes into one repository index.
+func IngestAll(name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
+	indexes := make([]*Index, 0, len(videos))
+	for _, v := range videos {
+		ix, err := Ingest(v, models, scoring, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rank: ingesting %s: %w", v.ID(), err)
+		}
+		indexes = append(indexes, ix)
+	}
+	return Merge(name, indexes)
+}
+
+// Pq computes the candidate sequences of a query (paper Equation 12): the
+// interval-sweep intersection of the action's individual sequences with
+// every query object's individual sequences.
+func (ix *Index) Pq(q core.Query) (video.IntervalSet, error) {
+	if err := q.Validate(); err != nil {
+		return video.IntervalSet{}, err
+	}
+	act, ok := ix.Actions[q.Action]
+	if !ok {
+		return video.IntervalSet{}, fmt.Errorf("rank: action %q not ingested", q.Action)
+	}
+	sets := []video.IntervalSet{act.Seqs}
+	for _, o := range q.Objects {
+		ti, ok := ix.Objects[o]
+		if !ok {
+			return video.IntervalSet{}, fmt.Errorf("rank: object %q not ingested", o)
+		}
+		sets = append(sets, ti.Seqs)
+	}
+	return video.IntersectAll(sets...), nil
+}
+
+// queryTables returns the per-predicate tables in scoring order (objects in
+// query order, then the action), each wrapped with the given stats counter.
+func (ix *Index) queryTables(q core.Query, st *store.Stats) ([]store.Table, error) {
+	tables := make([]store.Table, 0, len(q.Objects)+1)
+	for _, o := range q.Objects {
+		ti, ok := ix.Objects[o]
+		if !ok {
+			return nil, fmt.Errorf("rank: object %q not ingested", o)
+		}
+		tables = append(tables, store.WithStats(ti.Table, st))
+	}
+	ti, ok := ix.Actions[q.Action]
+	if !ok {
+		return nil, fmt.Errorf("rank: action %q not ingested", q.Action)
+	}
+	tables = append(tables, store.WithStats(ti.Table, st))
+	return tables, nil
+}
+
+// scoreClip computes a clip's overall score via random accesses on every
+// query table. Missing rows contribute zero.
+func scoreClip(tables []store.Table, scorer tableScorer, clip int) float64 {
+	scores := make([]float64, len(tables))
+	for i, t := range tables {
+		scores[i], _ = t.ScoreOf(clip)
+	}
+	return scorer.scoreTables(scores)
+}

@@ -1,0 +1,53 @@
+package rank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"svqact/internal/detect"
+)
+
+// IngestAllParallel ingests a collection of videos concurrently and merges
+// the per-video indexes. Ingestion is embarrassingly parallel across videos
+// (every simulated model draw is a pure function of the video), so this is
+// the default path for large repositories; workers <= 0 uses GOMAXPROCS.
+// The result is identical to IngestAll.
+func IngestAllParallel(name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig, workers int) (*Index, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(videos) {
+		workers = len(videos)
+	}
+	if workers <= 1 {
+		return IngestAll(name, videos, models, scoring, cfg)
+	}
+
+	indexes := make([]*Index, len(videos))
+	errs := make([]error, len(videos))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ix, err := Ingest(videos[i], models, scoring, cfg)
+				indexes[i], errs[i] = ix, err
+			}
+		}()
+	}
+	for i := range videos {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank: ingesting %s: %w", videos[i].ID(), err)
+		}
+	}
+	return Merge(name, indexes)
+}

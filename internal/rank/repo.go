@@ -1,0 +1,149 @@
+package rank
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// Disk layout of a saved repository index:
+//
+//	dir/manifest.json  — name, clip space, video spans, type catalogue
+//	dir/obj_<i>.tbl    — clip score table of the i-th object type
+//	dir/act_<i>.tbl    — clip score table of the i-th action type
+//
+// Tables are written in the store package's binary format; individual
+// sequences are small and live in the manifest.
+
+type manifest struct {
+	Name     string         `json:"name"`
+	NumClips int            `json:"num_clips"`
+	Spans    []manifestSpan `json:"spans,omitempty"`
+	Objects  []manifestType `json:"objects"`
+	Actions  []manifestType `json:"actions"`
+}
+
+type manifestSpan struct {
+	VideoID string `json:"video_id"`
+	Start   int    `json:"start"`
+	Clips   int    `json:"clips"`
+}
+
+type manifestType struct {
+	Type string   `json:"type"`
+	File string   `json:"file"`
+	Seqs [][2]int `json:"seqs"`
+}
+
+// Save persists an index to dir, creating it if needed. Tables are written
+// in the binary clip-score-table format; everything else goes into
+// manifest.json.
+func Save(dir string, ix *Index) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	m := manifest{Name: ix.Name, NumClips: ix.NumClips}
+	for _, s := range ix.spans {
+		m.Spans = append(m.Spans, manifestSpan{VideoID: s.videoID, Start: s.start, Clips: s.clips})
+	}
+	dump := func(prefix string, types []string, src map[string]*TypeIndex) ([]manifestType, error) {
+		var out []manifestType
+		for i, typ := range types {
+			ti := src[typ]
+			file := fmt.Sprintf("%s_%d.tbl", prefix, i)
+			entries := make([]store.Entry, 0, ti.Table.Len())
+			for j := 0; j < ti.Table.Len(); j++ {
+				entries = append(entries, ti.Table.SortedAt(j))
+			}
+			if err := store.WriteTable(filepath.Join(dir, file), typ, entries); err != nil {
+				return nil, err
+			}
+			mt := manifestType{Type: typ, File: file}
+			for _, iv := range ti.Seqs.Intervals() {
+				mt.Seqs = append(mt.Seqs, [2]int{iv.Start, iv.End})
+			}
+			out = append(out, mt)
+		}
+		return out, nil
+	}
+	var err error
+	if m.Objects, err = dump("obj", ix.ObjectTypes(), ix.Objects); err != nil {
+		return err
+	}
+	if m.Actions, err = dump("act", ix.ActionTypes(), ix.Actions); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	return nil
+}
+
+// Load opens a saved index. Tables are opened file-backed (reads hit disk on
+// demand); call Close on the returned index when done.
+func Load(dir string) (*Index, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("rank: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("rank: corrupt manifest in %s: %w", dir, err)
+	}
+	ix := &Index{
+		Name:     m.Name,
+		NumClips: m.NumClips,
+		Objects:  map[string]*TypeIndex{},
+		Actions:  map[string]*TypeIndex{},
+	}
+	for _, s := range m.Spans {
+		ix.spans = append(ix.spans, videoSpan{videoID: s.VideoID, start: s.Start, clips: s.Clips})
+	}
+	load := func(types []manifestType, dst map[string]*TypeIndex) error {
+		for _, mt := range types {
+			tbl, err := store.OpenDiskTable(filepath.Join(dir, mt.File))
+			if err != nil {
+				return err
+			}
+			ivs := make([]video.Interval, len(mt.Seqs))
+			for i, p := range mt.Seqs {
+				ivs[i] = video.Interval{Start: p[0], End: p[1]}
+			}
+			dst[mt.Type] = &TypeIndex{Table: tbl, Seqs: video.NewIntervalSet(ivs...)}
+		}
+		return nil
+	}
+	if err := load(m.Objects, ix.Objects); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if err := load(m.Actions, ix.Actions); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Close releases any file-backed tables of the index. It is a no-op for
+// purely in-memory indexes.
+func (ix *Index) Close() error {
+	var first error
+	for _, m := range []map[string]*TypeIndex{ix.Objects, ix.Actions} {
+		for _, ti := range m {
+			if c, ok := ti.Table.(*store.DiskTable); ok {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return first
+}

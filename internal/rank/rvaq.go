@@ -1,0 +1,300 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"svqact/internal/core"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// SeqResult is one ranked result sequence.
+type SeqResult struct {
+	Seq video.Interval
+	// Lower and Upper bound the sequence score; they coincide when Exact.
+	Lower, Upper float64
+	Exact        bool
+}
+
+// Score returns the exact score when known, otherwise the midpoint of the
+// bounds.
+func (s SeqResult) Score() float64 {
+	if s.Exact {
+		return s.Lower
+	}
+	return (s.Lower + s.Upper) / 2
+}
+
+// Result is the outcome of a top-k query.
+type Result struct {
+	Algorithm string
+	Query     core.Query
+	K         int
+	// Sequences holds the top-k results in non-increasing score order.
+	Sequences []SeqResult
+	// Stats counts the table accesses the query performed.
+	Stats store.Stats
+	// ClipsScored is the number of distinct clips whose full score was
+	// computed.
+	ClipsScored int
+	// Candidates is |P_q|, the number of candidate sequences.
+	Candidates int
+}
+
+// Options tune the RVAQ query phase.
+type Options struct {
+	// Scoring defaults to PaperScoring.
+	Scoring Scoring
+	// NoSkip disables the dynamic skip mechanism (the paper's RVAQ-noSkip
+	// ablation): conclusively excluded sequences keep being refined.
+	NoSkip bool
+	// ApproxScores stops as soon as the top-k set is determined, reporting
+	// score bounds instead of exact scores for the winners. The default
+	// (false) matches the paper's evaluation, which reports exact scores.
+	ApproxScores bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scoring.Clip == nil && o.Scoring.Seq == nil {
+		o.Scoring = PaperScoring()
+	}
+	return o
+}
+
+// seqState tracks the bound bookkeeping of one candidate sequence.
+type seqState struct {
+	iv        video.Interval
+	sum       float64 // f over processed clips
+	processed int
+	excluded  bool // conclusively outside the top-k
+}
+
+func (s *seqState) remaining() int { return s.iv.Len() - s.processed }
+
+// RVAQ answers a top-k action query over an ingested index using the
+// paper's Algorithm 4: candidate sequences come from intersecting the
+// per-predicate individual sequences; the TBClip iterator then delivers
+// extreme-scoring clips, progressively tightening per-sequence score bounds
+// until the top-k set separates; sequences proven irrelevant have their
+// remaining clips added to the skip set.
+func RVAQ(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	pq, err := ix.Pq(q)
+	if err != nil {
+		return nil, err
+	}
+	name := "RVAQ"
+	if opts.NoSkip {
+		name = "RVAQ-noSkip"
+	}
+	res := &Result{Algorithm: name, Query: q, K: k, Candidates: pq.NumIntervals()}
+	if pq.Empty() {
+		return res, nil
+	}
+	tables, err := ix.queryTables(q, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := topkRun(res, tables, basicTableScorer{c: opts.Scoring.Clip}, opts, pq, k); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// topkRun is the shared engine of RVAQ and RVAQCNF (Algorithm 4): bound
+// maintenance over the candidate sequences, the TBClip iterator, the skip
+// set and the Equation 15 stopping condition. The result's Sequences and
+// ClipsScored are filled in; access counts accumulate through the tables'
+// stats wrappers.
+func topkRun(res *Result, tables []store.Table, scorer tableScorer, opts Options, pq video.IntervalSet, k int) error {
+	iter := newTBClip(tables, scorer, pq, opts.NoSkip)
+
+	seqs := make([]*seqState, 0, pq.NumIntervals())
+	for _, iv := range pq.Intervals() {
+		seqs = append(seqs, &seqState{iv: iv})
+	}
+	locate := func(clip int) *seqState {
+		i := sort.Search(len(seqs), func(i int) bool { return seqs[i].iv.End >= clip })
+		if i < len(seqs) && seqs[i].iv.Contains(clip) {
+			return seqs[i]
+		}
+		return nil
+	}
+
+	f := opts.Scoring.Seq
+	sTop, sBtm := math.Inf(1), 0.0
+	upper := func(s *seqState) float64 {
+		if s.remaining() == 0 {
+			return s.sum
+		}
+		return f.Combine(s.sum, f.Repeat(sTop, s.remaining()))
+	}
+	lower := func(s *seqState) float64 {
+		if s.remaining() == 0 {
+			return s.sum
+		}
+		return f.Combine(s.sum, f.Repeat(sBtm, s.remaining()))
+	}
+
+	// separated reports whether the k-th best lower bound dominates every
+	// other sequence's upper bound (paper Equation 15), returning the
+	// current winner set when it does.
+	separated := func() ([]*seqState, bool) {
+		if len(seqs) <= k {
+			return seqs, true
+		}
+		type bounds struct {
+			s      *seqState
+			lo, up float64
+		}
+		bs := make([]bounds, len(seqs))
+		for i, s := range seqs {
+			bs[i] = bounds{s: s, lo: lower(s), up: upper(s)}
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].lo > bs[j].lo })
+		bloK := bs[k-1].lo
+		winners := make([]*seqState, k)
+		for i := 0; i < k; i++ {
+			winners[i] = bs[i].s
+		}
+		for _, b := range bs[k:] {
+			if b.up > bloK {
+				return nil, false
+			}
+		}
+		return winners, true
+	}
+
+	processClip := func(e store.Entry) {
+		if s := locate(e.Clip); s != nil {
+			s.sum = f.Combine(s.sum, f.OfClip(e.Score))
+			s.processed++
+			res.ClipsScored++
+		}
+	}
+
+	var winners []*seqState
+	for {
+		top, btm, hasTop, hasBtm, ok := iter.Next()
+		if !ok {
+			break // every candidate clip processed: all bounds exact
+		}
+		if hasTop {
+			sTop = top.Score
+			processClip(top)
+		}
+		if hasBtm {
+			sBtm = btm.Score
+			processClip(btm)
+		}
+
+		if winners == nil {
+			ws, sep := separated()
+			if !sep {
+				// Even before separation, sequences whose upper bound falls
+				// below the current k-th lower bound can never win: skip
+				// their remaining clips (Algorithm 4 lines 13-14).
+				if !opts.NoSkip {
+					dropHopeless(seqs, k, upper, lower, iter)
+				}
+				continue
+			}
+			winners = ws
+			if opts.ApproxScores {
+				break
+			}
+			if !opts.NoSkip {
+				// The top-k set is fixed; everything else is irrelevant
+				// (Algorithm 4 lines 19-20).
+				inWin := map[*seqState]bool{}
+				for _, w := range winners {
+					inWin[w] = true
+				}
+				for _, s := range seqs {
+					if !inWin[s] && !s.excluded {
+						s.excluded = true
+						iter.Skip(s.iv)
+					}
+				}
+			}
+			// The winners' exact scores no longer need the iterator's
+			// threshold machinery — fetch their remaining clips by direct
+			// random access.
+			for _, s := range winners {
+				for c := s.iv.Start; c <= s.iv.End; c++ {
+					if iter.processed[c] {
+						continue
+					}
+					score, ok := iter.candidates[c]
+					if !ok {
+						score = scoreClip(tables, scorer, c)
+					}
+					iter.mark(c)
+					processClip(store.Entry{Clip: c, Score: score})
+				}
+			}
+			break
+		}
+	}
+
+	if winners == nil {
+		// The iterator drained before separation: all scores are exact, so
+		// rank directly.
+		ws, _ := separated()
+		if ws == nil {
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i].sum > seqs[j].sum })
+			if len(seqs) > k {
+				ws = seqs[:k]
+			} else {
+				ws = seqs
+			}
+		}
+		winners = ws
+	}
+
+	for _, w := range winners {
+		sr := SeqResult{Seq: w.iv, Lower: lower(w), Upper: upper(w), Exact: w.remaining() == 0}
+		res.Sequences = append(res.Sequences, sr)
+	}
+	sort.Slice(res.Sequences, func(i, j int) bool { return res.Sequences[i].Score() > res.Sequences[j].Score() })
+	return nil
+}
+
+// sortSeqResults orders exhaustively scored results by score then position.
+func sortSeqResults(rs []SeqResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Lower != rs[j].Lower {
+			return rs[i].Lower > rs[j].Lower
+		}
+		return rs[i].Seq.Start < rs[j].Seq.Start
+	})
+}
+
+// dropHopeless implements the early skip of Algorithm 4 (lines 13-14):
+// sequences whose upper bound is below the current k-th highest lower bound
+// cannot reach the top-k.
+func dropHopeless(seqs []*seqState, k int, upper, lower func(*seqState) float64, iter *tbClip) {
+	if len(seqs) <= k {
+		return
+	}
+	los := make([]float64, 0, len(seqs))
+	for _, s := range seqs {
+		los = append(los, lower(s))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
+	bloK := los[k-1]
+	for _, s := range seqs {
+		if !s.excluded && upper(s) < bloK {
+			s.excluded = true
+			iter.Skip(s.iv)
+		}
+	}
+}

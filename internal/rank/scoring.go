@@ -1,0 +1,83 @@
+// Package rank implements the paper's offline engine: the ingestion phase
+// that materialises per-type clip score tables and individual sequences
+// (§4.2), and the RVAQ top-k query algorithm with its TBClip iterator
+// (§4.3-4.4), together with the baselines it is evaluated against (FA,
+// RVAQ-noSkip, Pq-Traverse).
+package rank
+
+import "fmt"
+
+// ClipScorer is the paper's g: it combines the per-predicate clip scores
+// (objects in query order, then the action) into the clip's overall score.
+// Implementations must be monotone in every argument.
+type ClipScorer interface {
+	OfPredicates(objScores []float64, actScore float64) float64
+}
+
+// SequenceScorer is the paper's f together with its aggregation operator ⊙
+// (Equation 11): sequence scores combine from disjoint sub-sequence scores,
+// are monotone in each clip score, and never decrease as the sequence grows.
+type SequenceScorer interface {
+	// Zero is the score of an empty sub-sequence (the identity of Combine).
+	Zero() float64
+	// Combine implements ⊙.
+	Combine(a, b float64) float64
+	// OfClip lifts one clip score into a (singleton) sequence score.
+	OfClip(score float64) float64
+	// Repeat returns the sequence score of n clips all scoring s — used to
+	// bound the contribution of unprocessed clips.
+	Repeat(s float64, n int) float64
+}
+
+// Scoring bundles the two scorers a query runs with.
+type Scoring struct {
+	Clip ClipScorer
+	Seq  SequenceScorer
+}
+
+// Validate reports whether both scorers are present.
+func (s Scoring) Validate() error {
+	if s.Clip == nil || s.Seq == nil {
+		return fmt.Errorf("rank: scoring needs both a clip scorer and a sequence scorer")
+	}
+	return nil
+}
+
+// PaperScoring returns the instantiation used in the paper's experiments
+// (§5): g multiplies the action score by the sum of object scores, f sums
+// clip scores over the sequence, and ⊙ is addition.
+func PaperScoring() Scoring {
+	return Scoring{Clip: ProductOfSums{}, Seq: Additive{}}
+}
+
+// ProductOfSums is the paper's experimental g: S_q(c) = S_a(c) * Σ S_oi(c).
+// For object-less queries the product degenerates to the action score.
+type ProductOfSums struct{}
+
+// OfPredicates implements ClipScorer.
+func (ProductOfSums) OfPredicates(objScores []float64, actScore float64) float64 {
+	if len(objScores) == 0 {
+		return actScore
+	}
+	sum := 0.0
+	for _, s := range objScores {
+		sum += s
+	}
+	return actScore * sum
+}
+
+// Additive is the paper's experimental f: the sequence score is the sum of
+// its clip scores, and ⊙ is addition.
+type Additive struct{}
+
+// Zero implements SequenceScorer.
+func (Additive) Zero() float64 { return 0 }
+
+// Combine implements SequenceScorer.
+func (Additive) Combine(a, b float64) float64 { return a + b }
+
+// OfClip implements SequenceScorer.
+func (Additive) OfClip(s float64) float64 { return s }
+
+// Repeat implements SequenceScorer.
+func (Additive) Repeat(s float64, n int) float64 { return s * float64(n) }

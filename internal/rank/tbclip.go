@@ -1,0 +1,216 @@
+package rank
+
+import (
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// tbClip is the paper's TBClip iterator (Algorithm 5): it incrementally
+// yields the highest-scoring and the lowest-scoring clip among the
+// not-yet-processed clips of the candidate sequences, by running sorted
+// access in parallel over every query table from both ends, with random
+// accesses to complete the scores of newly seen clips.
+//
+// The implementation grounds Algorithm 5's bound semantics in the threshold
+// algorithm: a seen candidate is returned as the top (resp. bottom) clip
+// only once its full score reaches the threshold g(top frontiers) (resp.
+// falls to g(bottom frontiers)), which makes the returned scores true
+// upper/lower bounds for every clip still unprocessed. Clips in the skip set
+// are observed during sorted access but never random-accessed or returned.
+type tbClip struct {
+	tables []store.Table
+	scorer tableScorer
+	pq     video.IntervalSet
+
+	// scoreAll mimics running without any skip set (the paper's RVAQ-noSkip
+	// ablation): every clip seen during sorted access has its full score
+	// computed by random accesses, even clips outside the candidate
+	// sequences whose score is then discarded.
+	scoreAll bool
+
+	// candidates holds seen, fully scored, unprocessed, unskipped clips.
+	candidates map[int]float64
+	processed  map[int]bool
+	skipped    video.IntervalSet
+	seen       map[int]bool
+
+	// remaining counts candidate-sequence clips not yet processed or
+	// skipped; the iterator is exhausted when it hits zero, even if table
+	// rows remain unscanned.
+	remaining int
+
+	topCur []int // next rank-region row from the top, per table
+	btmCur []int // next rank-region row from the bottom, per table
+
+	topFrontier []float64
+	btmFrontier []float64
+}
+
+func newTBClip(tables []store.Table, scorer tableScorer, pq video.IntervalSet, scoreAll bool) *tbClip {
+	n := len(tables)
+	t := &tbClip{
+		tables:      tables,
+		scorer:      scorer,
+		pq:          pq,
+		scoreAll:    scoreAll,
+		remaining:   pq.TotalLen(),
+		candidates:  map[int]float64{},
+		processed:   map[int]bool{},
+		seen:        map[int]bool{},
+		topCur:      make([]int, n),
+		btmCur:      make([]int, n),
+		topFrontier: make([]float64, n),
+		btmFrontier: make([]float64, n),
+	}
+	for i, tbl := range tables {
+		t.btmCur[i] = tbl.Len() - 1
+		if tbl.Len() > 0 {
+			// Until a row is read, the frontiers bound the table's score
+			// range: the top row's score from above is unknown, so seed
+			// with the extremes actually stored.
+			t.topFrontier[i] = tbl.SortedAt(0).Score
+			t.btmFrontier[i] = 0
+		}
+	}
+	return t
+}
+
+// Skip excludes a clip range from all further processing.
+func (t *tbClip) Skip(iv video.Interval) {
+	t.skipped = t.skipped.Union(video.NewIntervalSet(iv))
+	for c := iv.Start; c <= iv.End; c++ {
+		delete(t.candidates, c)
+		if t.pq.Contains(c) && !t.processed[c] {
+			t.processed[c] = true // nothing further will touch it
+			t.remaining--
+		}
+	}
+}
+
+// exhausted reports whether every table row has been seen.
+func (t *tbClip) exhausted() bool {
+	for i, tbl := range t.tables {
+		if t.topCur[i] <= t.btmCur[i] && tbl.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mark records a candidate clip as processed.
+func (t *tbClip) mark(clip int) {
+	if !t.processed[clip] {
+		t.processed[clip] = true
+		t.remaining--
+	}
+	delete(t.candidates, clip)
+}
+
+// admitRow ingests one sorted-access row: unseen candidate clips get their
+// full score computed by random access.
+func (t *tbClip) admitRow(e store.Entry) {
+	if t.seen[e.Clip] {
+		return
+	}
+	t.seen[e.Clip] = true
+	if t.processed[e.Clip] || t.skipped.Contains(e.Clip) {
+		return
+	}
+	if !t.pq.Contains(e.Clip) {
+		if t.scoreAll {
+			// Without a skip set the iterator cannot tell candidate clips
+			// apart before scoring them; the accesses are paid and the
+			// result thrown away.
+			scoreClip(t.tables, t.scorer, e.Clip)
+		}
+		return
+	}
+	t.candidates[e.Clip] = scoreClip(t.tables, t.scorer, e.Clip)
+}
+
+// advance performs one parallel sorted-access round from both ends.
+func (t *tbClip) advance() {
+	for i, tbl := range t.tables {
+		if t.topCur[i] <= t.btmCur[i] {
+			e := tbl.SortedAt(t.topCur[i])
+			t.topCur[i]++
+			t.topFrontier[i] = e.Score
+			t.admitRow(e)
+		}
+		if t.btmCur[i] >= t.topCur[i] {
+			e := tbl.SortedAt(t.btmCur[i])
+			t.btmCur[i]--
+			t.btmFrontier[i] = e.Score
+			t.admitRow(e)
+		}
+	}
+}
+
+// thresholds returns the TA bounds for clips not yet seen: any unseen clip
+// scores at most the scorer applied to the top frontiers and at least the
+// scorer applied to the bottom frontiers (the scorer is monotone in every
+// component).
+func (t *tbClip) thresholds() (hi, lo float64) {
+	return t.scorer.scoreTables(t.topFrontier), t.scorer.scoreTables(t.btmFrontier)
+}
+
+func (t *tbClip) best() (int, float64, bool) {
+	found := false
+	var c int
+	var s float64
+	for clip, sc := range t.candidates {
+		if !found || sc > s || (sc == s && clip < c) {
+			found, c, s = true, clip, sc
+		}
+	}
+	return c, s, found
+}
+
+func (t *tbClip) worst() (int, float64, bool) {
+	found := false
+	var c int
+	var s float64
+	for clip, sc := range t.candidates {
+		if !found || sc < s || (sc == s && clip < c) {
+			found, c, s = true, clip, sc
+		}
+	}
+	return c, s, found
+}
+
+// Next returns the next top clip and bottom clip with their scores. When a
+// single candidate remains it is returned as the top clip only. ok is false
+// when every candidate clip has been processed or skipped.
+func (t *tbClip) Next() (top, btm store.Entry, hasTop, hasBtm, ok bool) {
+	// Grow the seen set until the best (and worst) candidates provably
+	// dominate everything unseen.
+	for {
+		if t.remaining <= 0 {
+			return top, btm, false, false, false
+		}
+		done := t.exhausted()
+		hi, lo := t.thresholds()
+		c, s, found := t.best()
+		if found && (done || s >= hi) {
+			wc, ws, wfound := t.worst()
+			top = store.Entry{Clip: c, Score: s}
+			t.mark(c)
+			if wfound && wc != c && (done || ws <= lo) {
+				btm = store.Entry{Clip: wc, Score: ws}
+				t.mark(wc)
+				return top, btm, true, true, true
+			}
+			if wfound && wc != c {
+				// The bottom is not yet certain; keep it for later rather
+				// than over-scanning — the caller treats the missing bottom
+				// conservatively.
+				return top, btm, true, false, true
+			}
+			return top, btm, true, false, true
+		}
+		if done {
+			return top, btm, false, false, false
+		}
+		t.advance()
+	}
+}

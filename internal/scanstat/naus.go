@@ -1,0 +1,314 @@
+package scanstat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Q2 returns the exact probability that no window of w consecutive trials
+// among 2w Bernoulli(p) trials contains k or more successes:
+//
+//	Q2 = F(k-1)^2 - b(k) * sum_{r=0}^{k-2} F(r)
+//
+// where b and F are the Binomial(w, p) pmf and cdf. The identity follows
+// from a reflection argument on the window-count walk: every length-w window
+// inside 2w trials crosses the half boundary, so the maximum window count is
+// N1 + max(0, max_y (V_y - U_y)) for the two half prefix-count processes,
+// whose maximum obeys an exact reflection identity because the paired step
+// distribution is symmetric.
+func Q2(k, w int, p float64) float64 {
+	if err := checkArgs(k, w, p); err != nil {
+		panic(err)
+	}
+	if k > w {
+		return 1 // a w-window cannot hold more than w successes
+	}
+	b := NewBinom(w, p)
+	g := 0.0
+	for r := 0; r <= k-2; r++ {
+		g += b.CDF(r)
+	}
+	q := b.CDF(k-1)*b.CDF(k-1) - b.PMF(k)*g
+	return clampProb(q)
+}
+
+// Q3 returns the exact probability that no window of w consecutive trials
+// among 3w Bernoulli(p) trials contains k or more successes. It runs an
+// O(w k^4) dynamic program over the three w-blocks.
+//
+// Derivation: split trials into blocks B1 B2 B3 of w each. Window counts are
+// C_{y+1} = R1_y + V_y (windows crossing the B1/B2 boundary) and
+// C_{w+1+y} = R2_y + T_y (crossing B2/B3), for y = 0..w, where R1_y and R2_y
+// count block successes not yet passed by the window start, and V_y, T_y are
+// prefix counts of B2 and B3. R1 and R2 are Markov when conditioned on their
+// remaining counts (exchangeability of iid trials), and T has iid Bernoulli
+// increments, so the joint survival probability is a small DP over the state
+// (R1_y, V_y, R2_y, T_y) restricted to R1+V <= k-1 and R2+T <= k-1.
+func Q3(k, w int, p float64) float64 {
+	if err := checkArgs(k, w, p); err != nil {
+		panic(err)
+	}
+	if k > w {
+		return 1
+	}
+	prior := NewBinom(w, p)
+
+	// pairIdx enumerates pairs (a, b) with a+b <= k-1, a,b >= 0.
+	np := k * (k + 1) / 2
+	pairIdx := func(a, b int) int {
+		// Pairs ordered by a: for fixed a, b in [0, k-1-a].
+		// offset(a) = sum_{i<a} (k-i) = a*k - a(a-1)/2
+		return a*k - a*(a-1)/2 + b
+	}
+
+	// cur[i1*np+i2]: i1 indexes (r1, v), i2 indexes (r2, t).
+	cur := make([]float64, np*np)
+	next := make([]float64, np*np)
+
+	// y = 0: v = t = 0, r1 = N1 <= k-1, r2 = N2 <= k-1.
+	for r1 := 0; r1 <= k-1; r1++ {
+		for r2 := 0; r2 <= k-1; r2++ {
+			cur[pairIdx(r1, 0)*np+pairIdx(r2, 0)] = prior.PMF(r1) * prior.PMF(r2)
+		}
+	}
+
+	for y := 0; y < w; y++ {
+		m := float64(w - y) // trials remaining in each of B1, B2
+		for i := range next {
+			next[i] = 0
+		}
+		for r1 := 0; r1 <= k-1; r1++ {
+			for v := 0; v+r1 <= k-1; v++ {
+				i1 := pairIdx(r1, v)
+				for r2 := 0; r2 <= k-1; r2++ {
+					for t := 0; t+r2 <= k-1; t++ {
+						pr := cur[i1*np+pairIdx(r2, t)]
+						if pr == 0 {
+							continue
+						}
+						// Probability the leaving B1 trial is a success, given
+						// r1 successes remain among the m undecided trials.
+						a1 := float64(r1) / m
+						a2 := float64(r2) / m
+						for d1 := 0; d1 <= 1; d1++ { // B1 leave success?
+							p1 := a1
+							nr1 := r1 - 1
+							if d1 == 0 {
+								p1, nr1 = 1-a1, r1
+							}
+							if p1 == 0 {
+								continue
+							}
+							for d2 := 0; d2 <= 1; d2++ { // B2 leave success?
+								p2 := a2
+								nr2, nv := r2-1, v+1
+								if d2 == 0 {
+									p2, nr2, nv = 1-a2, r2, v
+								}
+								if p2 == 0 {
+									continue
+								}
+								for d3 := 0; d3 <= 1; d3++ { // B3 arrival success?
+									p3 := p
+									nt := t + 1
+									if d3 == 0 {
+										p3, nt = 1-p, t
+									}
+									if p3 == 0 {
+										continue
+									}
+									if nr1+nv > k-1 || nr2+nt > k-1 {
+										continue // a window reached k: path dies
+									}
+									next[pairIdx(nr1, nv)*np+pairIdx(nr2, nt)] += pr * p1 * p2 * p3
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+
+	total := 0.0
+	for _, v := range cur {
+		total += v
+	}
+	return clampProb(total)
+}
+
+// Tail returns P(S_w(N) >= k | p, w, L) with N = L*w, the probability that
+// some window of w consecutive trials among N contains at least k successes.
+// L may be fractional and must be >= 1.
+//
+// For L <= 2 it interpolates the exact single- and double-window survival
+// probabilities; for L > 2 it uses the Naus product-type extrapolation
+// 1 - Q2 (Q3/Q2)^(L-2) with the exact Q2 and Q3 above.
+func Tail(k, w int, p, L float64) float64 {
+	if err := checkArgs(k, w, p); err != nil {
+		panic(err)
+	}
+	if L < 1 {
+		panic(fmt.Sprintf("scanstat: L = %v < 1", L))
+	}
+	if k > w {
+		return 0
+	}
+	if k <= 0 {
+		return 1
+	}
+	q1 := NewBinom(w, p).CDF(k - 1) // P(S_w(w) < k)
+	if L <= 2 {
+		q2 := Q2(k, w, p)
+		return clampProb(1 - extrapolate(q1, q2, L-1))
+	}
+	q2 := Q2(k, w, p)
+	q3 := q3For(k, w, p, q1, q2)
+	return clampProb(1 - extrapolate(q2, q3, L-2))
+}
+
+// q3ExactMaxK bounds the exact dynamic program: its state count grows as
+// k^4, so beyond this point Q3 is replaced by the classical product-type
+// estimate Q3 ~ Q2^2/Q1 (the same spacings-ratio argument the L>3
+// extrapolation rests on). Queries operate at small critical values — the
+// fallback only engages while an adaptive background estimate passes through
+// a high-probability regime, where precision is irrelevant because nothing
+// is significant anyway.
+const q3ExactMaxK = 25
+
+func q3For(k, w int, p, q1, q2 float64) float64 {
+	if k <= q3ExactMaxK {
+		return Q3(k, w, p)
+	}
+	if q1 <= 0 {
+		return 0
+	}
+	return clampProb(q2 * q2 / q1)
+}
+
+// extrapolate computes qa * (qb/qa)^t in log space, treating a zero survival
+// probability as zero (certain detection).
+func extrapolate(qa, qb float64, t float64) float64 {
+	if qa <= 0 || qb <= 0 {
+		return 0
+	}
+	return math.Exp(math.Log(qa) + t*(math.Log(qb)-math.Log(qa)))
+}
+
+// critCache memoises CriticalValue process-wide: the function is pure and
+// the adaptive engine queries the same (w, p-bucket, L, alpha) points over
+// and over across runs.
+var critCache sync.Map
+
+type critKey struct {
+	w        int
+	p, l, al float64
+}
+
+// CriticalValue returns the smallest k such that
+// P(S_w(N) >= k | p, w, L) <= alpha — the paper's k_crit (Equation 5). The
+// tail is non-increasing in k, so a binary search over [1, w] suffices.
+//
+// If even k = w is not significant (the background probability is too high
+// for any in-window count to be surprising) it returns w+1, a sentinel the
+// indicator logic treats as "never positive".
+func CriticalValue(w int, p, L, alpha float64) int {
+	if w <= 0 {
+		panic("scanstat: window must be positive")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("scanstat: alpha = %v out of (0,1)", alpha))
+	}
+	if p <= 0 {
+		return 1 // any success at all is significant against p = 0
+	}
+	if p >= 1 {
+		return w + 1
+	}
+	key := critKey{w: w, p: p, l: L, al: alpha}
+	if k, ok := critCache.Load(key); ok {
+		return k.(int)
+	}
+	k := criticalValueSearch(w, p, L, alpha)
+	critCache.Store(key, k)
+	return k
+}
+
+func criticalValueSearch(w int, p, L, alpha float64) int {
+	// Binary search over [1, w+1]; the virtual k = w+1 has tail 0 <= alpha,
+	// so the invariant Tail(hi) <= alpha < Tail(lo-1) always holds.
+	lo, hi := 1, w+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Tail(mid, w, p, L) <= alpha {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// CriticalValues is a memoizing wrapper around CriticalValue for callers that
+// recompute k_crit as an estimated background probability drifts (SVAQD). The
+// probability is quantized on a logarithmic grid before lookup, trading an at
+// most quantum-sized relative perturbation of p for a high hit rate.
+type CriticalValues struct {
+	w     int
+	l     float64
+	alpha float64
+	grid  float64 // log10 quantum, e.g. 0.01 for 100 buckets per decade
+	cache map[int]int
+}
+
+// NewCriticalValues builds a cache for window w, horizon ratio L and
+// significance level alpha, quantizing log10(p) to multiples of grid.
+func NewCriticalValues(w int, L, alpha, grid float64) *CriticalValues {
+	if grid <= 0 {
+		panic("scanstat: grid must be positive")
+	}
+	return &CriticalValues{w: w, l: L, alpha: alpha, grid: grid, cache: make(map[int]int)}
+}
+
+// At returns the (possibly cached) critical value for background
+// probability p.
+func (c *CriticalValues) At(p float64) int {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return c.w + 1
+	}
+	bucket := int(math.Round(math.Log10(p) / c.grid))
+	if k, ok := c.cache[bucket]; ok {
+		return k
+	}
+	k := CriticalValue(c.w, math.Pow(10, float64(bucket)*c.grid), c.l, c.alpha)
+	c.cache[bucket] = k
+	return k
+}
+
+func checkArgs(k, w int, p float64) error {
+	if w <= 0 {
+		return fmt.Errorf("scanstat: window w = %d must be positive", w)
+	}
+	if k < 0 {
+		return fmt.Errorf("scanstat: k = %d must be non-negative", k)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("scanstat: p = %v out of [0,1]", p)
+	}
+	return nil
+}
+
+func clampProb(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

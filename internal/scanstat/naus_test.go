@@ -1,0 +1,348 @@
+package scanstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exactQ computes P(S_w(N) < k) by full enumeration of all 2^N Bernoulli
+// sequences — the ground truth the closed form and the DP must match.
+func exactQ(k, w, N int, p float64) float64 {
+	total := 0.0
+	for mask := 0; mask < (1 << N); mask++ {
+		cnt := 0
+		for i := 0; i < w; i++ {
+			if mask&(1<<i) != 0 {
+				cnt++
+			}
+		}
+		mx := cnt
+		for y := 1; y+w <= N; y++ {
+			if mask&(1<<(y-1)) != 0 {
+				cnt--
+			}
+			if mask&(1<<(y+w-1)) != 0 {
+				cnt++
+			}
+			if cnt > mx {
+				mx = cnt
+			}
+		}
+		if mx < k {
+			ones := 0
+			for i := 0; i < N; i++ {
+				if mask&(1<<i) != 0 {
+					ones++
+				}
+			}
+			total += math.Pow(p, float64(ones)) * math.Pow(1-p, float64(N-ones))
+		}
+	}
+	return total
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 50, 200} {
+		for _, p := range []float64{0, 1e-6, 1e-3, 0.5, 0.97, 1} {
+			b := NewBinom(n, p)
+			sum := 0.0
+			for j := 0; j <= n; j++ {
+				sum += b.PMF(j)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("n=%d p=%g: pmf sums to %v", n, p, sum)
+			}
+			if b.CDF(n) != 1 || b.CDF(-1) != 0 {
+				t.Errorf("n=%d p=%g: cdf boundaries wrong", n, p)
+			}
+			if b.Tail(0) != 1 {
+				t.Errorf("n=%d p=%g: Tail(0) = %v", n, p, b.Tail(0))
+			}
+		}
+	}
+}
+
+func TestBinomKnownValues(t *testing.T) {
+	b := NewBinom(4, 0.5)
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for j, w := range want {
+		if got := b.PMF(j); math.Abs(got-w) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", j, got, w)
+		}
+	}
+	if got := b.CDF(2); math.Abs(got-11.0/16) > 1e-12 {
+		t.Errorf("CDF(2) = %v", got)
+	}
+	if got := b.Tail(3); math.Abs(got-5.0/16) > 1e-12 {
+		t.Errorf("Tail(3) = %v", got)
+	}
+}
+
+func TestBinomDegenerate(t *testing.T) {
+	b0 := NewBinom(10, 0)
+	if b0.PMF(0) != 1 || b0.PMF(1) != 0 {
+		t.Error("p=0 pmf should be a point mass at 0")
+	}
+	b1 := NewBinom(10, 1)
+	if b1.PMF(10) != 1 || b1.PMF(9) != 0 {
+		t.Error("p=1 pmf should be a point mass at n")
+	}
+}
+
+func TestQ2MatchesEnumeration(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 7, 9} {
+		for k := 1; k <= w+1; k++ {
+			for _, p := range []float64{0.05, 0.2, 0.5, 0.8, 0.95} {
+				got := Q2(k, w, p)
+				want := exactQ(k, w, 2*w, p)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("Q2(k=%d,w=%d,p=%g) = %v, want %v", k, w, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQ3MatchesEnumeration(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 6} {
+		for k := 1; k <= w+1; k++ {
+			for _, p := range []float64{0.1, 0.35, 0.5, 0.75} {
+				got := Q3(k, w, p)
+				want := exactQ(k, w, 3*w, p)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("Q3(k=%d,w=%d,p=%g) = %v, want %v", k, w, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQ2Q3Degenerate(t *testing.T) {
+	if got := Q2(0, 5, 0.3); got != 0 {
+		t.Errorf("Q2(k=0) = %v, want 0 (S>=0 is certain)", got)
+	}
+	if got := Q3(0, 5, 0.3); got != 0 {
+		t.Errorf("Q3(k=0) = %v, want 0", got)
+	}
+	if got := Q2(6, 5, 0.3); got != 1 {
+		t.Errorf("Q2(k>w) = %v, want 1", got)
+	}
+	if got := Q3(6, 5, 0.3); got != 1 {
+		t.Errorf("Q3(k>w) = %v, want 1", got)
+	}
+	if got := Q2(3, 5, 0); got != 1 {
+		t.Errorf("Q2(p=0) = %v, want 1", got)
+	}
+	if got := Q3(3, 5, 1); got != 0 {
+		t.Errorf("Q3(p=1,k<=w) = %v, want 0", got)
+	}
+}
+
+func TestTailExactAtSmallL(t *testing.T) {
+	// L = 1, 2, 3 are exact: single window binomial, Q2, Q3.
+	for _, p := range []float64{0.1, 0.4} {
+		w, k := 6, 3
+		if got, want := Tail(k, w, p, 1), 1-NewBinom(w, p).CDF(k-1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Tail L=1: %v want %v", got, want)
+		}
+		if got, want := Tail(k, w, p, 2), 1-Q2(k, w, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Tail L=2: %v want %v", got, want)
+		}
+		if got, want := Tail(k, w, p, 3), 1-Q3(k, w, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Tail L=3: %v want %v", got, want)
+		}
+	}
+}
+
+// mcTail estimates P(S_w(N) >= k) by simulation.
+func mcTail(k, w, N int, p float64, trials int, r *rand.Rand) float64 {
+	hits := 0
+	buf := make([]bool, N)
+	for t := 0; t < trials; t++ {
+		for i := range buf {
+			buf[i] = r.Float64() < p
+		}
+		cnt := 0
+		for i := 0; i < w; i++ {
+			if buf[i] {
+				cnt++
+			}
+		}
+		mx := cnt
+		for y := w; y < N; y++ {
+			if buf[y] {
+				cnt++
+			}
+			if buf[y-w] {
+				cnt--
+			}
+			if cnt > mx {
+				mx = cnt
+			}
+		}
+		if mx >= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// TestTailMonteCarlo validates the product-type extrapolation beyond L=3 on
+// window sizes the engine actually uses (50-frame clips).
+func TestTailMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo validation is slow")
+	}
+	r := rand.New(rand.NewSource(42))
+	cases := []struct {
+		k, w int
+		p    float64
+		L    float64
+	}{
+		{3, 50, 0.01, 10},
+		{5, 50, 0.02, 20},
+		{4, 20, 0.05, 8},
+		{8, 50, 0.05, 40},
+		{3, 10, 0.05, 12},
+	}
+	for _, c := range cases {
+		approx := Tail(c.k, c.w, c.p, c.L)
+		emp := mcTail(c.k, c.w, int(c.L)*c.w, c.p, 20000, r)
+		// Approximation plus MC noise: accept 0.015 absolute + 15% relative.
+		tol := 0.015 + 0.15*emp
+		if math.Abs(approx-emp) > tol {
+			t.Errorf("Tail(k=%d,w=%d,p=%g,L=%g) = %v, MC = %v (tol %v)",
+				c.k, c.w, c.p, c.L, approx, emp, tol)
+		}
+	}
+}
+
+func TestTailMonotoneInK(t *testing.T) {
+	for _, p := range []float64{0.001, 0.05, 0.3} {
+		prev := 1.1
+		for k := 1; k <= 20; k++ {
+			got := Tail(k, 20, p, 15)
+			if got > prev+1e-12 {
+				t.Errorf("Tail not non-increasing at k=%d p=%g: %v > %v", k, p, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestTailMonotoneInPAndL(t *testing.T) {
+	prev := -1.0
+	for _, p := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.3} {
+		got := Tail(4, 50, p, 10)
+		if got < prev-1e-12 {
+			t.Errorf("Tail not non-decreasing in p at %g: %v < %v", p, got, prev)
+		}
+		prev = got
+	}
+	prev = -1.0
+	for _, L := range []float64{1, 2, 3, 5, 10, 50, 200} {
+		got := Tail(4, 50, 0.01, L)
+		if got < prev-1e-12 {
+			t.Errorf("Tail not non-decreasing in L at %g: %v < %v", L, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCriticalValueDefinition(t *testing.T) {
+	// k_crit must be the smallest significant k.
+	for _, c := range []struct {
+		w     int
+		p, L  float64
+		alpha float64
+	}{
+		{50, 1e-4, 100, 0.05},
+		{50, 1e-2, 100, 0.05},
+		{50, 0.1, 100, 0.05},
+		{5, 0.05, 100, 0.05},
+		{20, 0.3, 10, 0.01},
+	} {
+		k := CriticalValue(c.w, c.p, c.L, c.alpha)
+		if k < 1 || k > c.w+1 {
+			t.Fatalf("CriticalValue(%+v) = %d out of range", c, k)
+		}
+		if k <= c.w {
+			if got := Tail(k, c.w, c.p, c.L); got > c.alpha {
+				t.Errorf("%+v: Tail(k_crit=%d) = %v > alpha", c, k, got)
+			}
+		}
+		if k > 1 {
+			if got := Tail(k-1, c.w, c.p, c.L); got <= c.alpha {
+				t.Errorf("%+v: Tail(k_crit-1=%d) = %v <= alpha, k_crit not minimal", c, k-1, got)
+			}
+		}
+	}
+}
+
+func TestCriticalValueEdges(t *testing.T) {
+	if got := CriticalValue(50, 0, 100, 0.05); got != 1 {
+		t.Errorf("p=0: k_crit = %d, want 1", got)
+	}
+	if got := CriticalValue(50, 1, 100, 0.05); got != 51 {
+		t.Errorf("p=1: k_crit = %d, want w+1", got)
+	}
+	// Very high background: even a full window is unsurprising.
+	if got := CriticalValue(5, 0.99, 1000, 0.05); got != 6 {
+		t.Errorf("p=0.99: k_crit = %d, want w+1 sentinel", got)
+	}
+}
+
+func TestCriticalValueMonotoneInP(t *testing.T) {
+	prev := 0
+	for _, p := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3} {
+		k := CriticalValue(50, p, 100, 0.05)
+		if k < prev {
+			t.Errorf("k_crit not non-decreasing in p: k(%g) = %d < %d", p, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestCriticalValuesCache(t *testing.T) {
+	c := NewCriticalValues(50, 100, 0.05, 0.01)
+	exact := CriticalValue(50, 1e-4, 100, 0.05)
+	got := c.At(1e-4)
+	if got != exact {
+		t.Errorf("cached At(1e-4) = %d, exact %d", got, exact)
+	}
+	// Same bucket should be served from the cache (same answer).
+	if again := c.At(1.001e-4); again != got {
+		t.Errorf("near-identical p got %d, want %d", again, got)
+	}
+	if c.At(0) != 1 {
+		t.Error("At(0) should be 1")
+	}
+	if c.At(1) != 51 {
+		t.Error("At(1) should be w+1")
+	}
+	if c.At(2) != 51 {
+		t.Error("At(p>1) should be w+1")
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	assertPanics(t, "negative k", func() { Q2(-1, 5, 0.5) })
+	assertPanics(t, "zero w", func() { Q3(1, 0, 0.5) })
+	assertPanics(t, "bad p", func() { Tail(1, 5, 1.5, 2) })
+	assertPanics(t, "L<1", func() { Tail(1, 5, 0.5, 0.5) })
+	assertPanics(t, "bad alpha", func() { CriticalValue(5, 0.5, 2, 0) })
+	assertPanics(t, "bad grid", func() { NewCriticalValues(5, 2, 0.05, 0) })
+	assertPanics(t, "negative n", func() { NewBinom(-1, 0.5) })
+	assertPanics(t, "binom bad p", func() { NewBinom(5, -0.1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

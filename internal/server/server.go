@@ -1,0 +1,322 @@
+// Package server exposes the query engine over HTTP: statements of the
+// SQL-like dialect are POSTed to /query and executed against the benchmark
+// datasets — streaming (SVAQ/SVAQD) or ranked offline (RVAQ with lazy
+// ingestion) according to the statement's plan.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/rank"
+	"svqact/internal/sqlq"
+	"svqact/internal/synth"
+)
+
+// Config parameterises a server instance.
+type Config struct {
+	// Scale and Seed control the benchmark datasets served.
+	Scale float64
+	Seed  int64
+}
+
+// Server resolves query sources against the benchmark datasets and caches
+// offline indexes per source. It is safe for concurrent use.
+type Server struct {
+	cfg    Config
+	models detect.Models
+
+	once    sync.Once
+	youtube *synth.Dataset
+	movies  *synth.Dataset
+
+	mu      sync.Mutex
+	streams map[string]detect.TruthVideo
+	indexes map[string]*rank.Index
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.25
+	}
+	return &Server{
+		cfg: cfg,
+		models: detect.NewModels(
+			detect.NewObjectDetector(detect.MaskRCNN, cfg.Seed),
+			detect.NewActionRecognizer(detect.I3D, cfg.Seed),
+		),
+		streams: map[string]detect.TruthVideo{},
+		indexes: map[string]*rank.Index{},
+	}
+}
+
+func (s *Server) datasets() (*synth.Dataset, *synth.Dataset) {
+	s.once.Do(func() {
+		s.youtube = synth.YouTube(synth.Options{Scale: s.cfg.Scale, Seed: s.cfg.Seed})
+		s.movies = synth.Movies(synth.Options{Scale: s.cfg.Scale, Seed: s.cfg.Seed})
+	})
+	return s.youtube, s.movies
+}
+
+// Sources lists the resolvable PROCESS sources.
+func (s *Server) Sources() []string {
+	yt, mv := s.datasets()
+	var out []string
+	for _, q := range yt.Queries {
+		out = append(out, q.Name)
+	}
+	for _, v := range mv.Videos {
+		out = append(out, v.ID())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolve maps a PROCESS source to a stream.
+func (s *Server) resolve(name string) (detect.TruthVideo, error) {
+	s.mu.Lock()
+	if v, ok := s.streams[name]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+
+	yt, mv := s.datasets()
+	var stream detect.TruthVideo
+	if v := mv.Video(name); v != nil {
+		stream = v
+	} else if spec := yt.Query(name); spec != nil {
+		var vids []*synth.Video
+		for _, v := range yt.Videos {
+			if !v.ActionPresence(spec.Action).Empty() {
+				vids = append(vids, v)
+			}
+		}
+		c, err := synth.NewConcat(name, vids)
+		if err != nil {
+			return nil, err
+		}
+		stream = c
+	} else {
+		return nil, fmt.Errorf("unknown source %q", name)
+	}
+	s.mu.Lock()
+	s.streams[name] = stream
+	s.mu.Unlock()
+	return stream, nil
+}
+
+// index lazily ingests a source for offline queries.
+func (s *Server) index(name string) (*rank.Index, error) {
+	s.mu.Lock()
+	if ix, ok := s.indexes[name]; ok {
+		s.mu.Unlock()
+		return ix, nil
+	}
+	s.mu.Unlock()
+	stream, err := s.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	var ix *rank.Index
+	if c, ok := stream.(*synth.Concat); ok {
+		var tvs []detect.TruthVideo
+		for _, v := range c.Components() {
+			tvs = append(tvs, v)
+		}
+		ix, err = rank.IngestAllParallel(name, tvs, s.models, rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
+	} else {
+		ix, err = rank.Ingest(stream, s.models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.indexes[name] = ix
+	s.mu.Unlock()
+	return ix, nil
+}
+
+// QueryRequest is the /query request body.
+type QueryRequest struct {
+	// SQL is a statement of the dialect.
+	SQL string `json:"sql"`
+	// Algo selects the online algorithm: "svaqd" (default) or "svaq".
+	Algo string `json:"algo,omitempty"`
+}
+
+// Sequence is one result sequence.
+type Sequence struct {
+	StartClip  int     `json:"start_clip"`
+	EndClip    int     `json:"end_clip"`
+	StartFrame int     `json:"start_frame"`
+	EndFrame   int     `json:"end_frame"`
+	Score      float64 `json:"score,omitempty"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Source     string     `json:"source"`
+	Mode       string     `json:"mode"` // SVAQ, SVAQD or RVAQ
+	Extended   bool       `json:"extended,omitempty"`
+	K          int        `json:"k,omitempty"`
+	Candidates int        `json:"candidates,omitempty"`
+	NumClips   int        `json:"num_clips"`
+	Sequences  []Sequence `json:"sequences"`
+	ElapsedMS  int64      `json:"elapsed_ms"`
+	// RandomAccesses counts offline table accesses (RVAQ only).
+	RandomAccesses int64 `json:"random_accesses,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/sources", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"sources": s.Sources()})
+	})
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	st, err := sqlq.Parse(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp, err := s.execute(plan, req.Algo)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if _, ok := err.(notFoundError); ok {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type notFoundError struct{ error }
+
+func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
+	start := time.Now()
+	stream, err := s.resolve(plan.Source)
+	if err != nil {
+		return nil, notFoundError{err}
+	}
+	g := stream.Geometry()
+	resp := &QueryResponse{Source: plan.Source}
+
+	if plan.Online {
+		cfg := core.DefaultConfig()
+		var eng *core.Engine
+		switch algo {
+		case "", "svaqd":
+			eng, err = core.NewSVAQD(s.models, cfg)
+		case "svaq":
+			eng, err = core.NewSVAQ(s.models, cfg)
+		default:
+			return nil, notFoundError{fmt.Errorf("unknown algorithm %q", algo)}
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Mode = eng.Mode().String()
+		if plan.Extended {
+			res, err := eng.RunCNF(stream, plan.CNF)
+			if err != nil {
+				return nil, err
+			}
+			resp.Extended = true
+			resp.NumClips = res.NumClips
+			for _, iv := range res.Sequences.Intervals() {
+				fr := g.FrameRangeOfClips(iv)
+				resp.Sequences = append(resp.Sequences, Sequence{
+					StartClip: iv.Start, EndClip: iv.End,
+					StartFrame: fr.Start, EndFrame: fr.End,
+				})
+			}
+		} else {
+			res, err := eng.Run(stream, plan.Query)
+			if err != nil {
+				return nil, err
+			}
+			resp.NumClips = res.NumClips
+			for _, iv := range res.Sequences.Intervals() {
+				fr := g.FrameRangeOfClips(iv)
+				resp.Sequences = append(resp.Sequences, Sequence{
+					StartClip: iv.Start, EndClip: iv.End,
+					StartFrame: fr.Start, EndFrame: fr.End,
+				})
+			}
+		}
+	} else {
+		ix, err := s.index(plan.Source)
+		if err != nil {
+			return nil, err
+		}
+		var res *rank.Result
+		if plan.Extended {
+			res, err = rank.RVAQCNF(ix, plan.CNF, plan.K, rank.Options{})
+			resp.Extended = true
+		} else {
+			res, err = rank.RVAQ(ix, plan.Query, plan.K, rank.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Mode = res.Algorithm
+		resp.K = plan.K
+		resp.Candidates = res.Candidates
+		resp.NumClips = ix.NumClips
+		resp.RandomAccesses = res.Stats.Random
+		for _, sr := range res.Sequences {
+			fr := g.FrameRangeOfClips(sr.Seq)
+			resp.Sequences = append(resp.Sequences, Sequence{
+				StartClip: sr.Seq.Start, EndClip: sr.Seq.End,
+				StartFrame: fr.Start, EndFrame: fr.End,
+				Score: sr.Score(),
+			})
+		}
+	}
+	resp.ElapsedMS = time.Since(start).Milliseconds()
+	return resp, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

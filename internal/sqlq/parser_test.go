@@ -1,0 +1,313 @@
+package sqlq
+
+import (
+	"strings"
+	"testing"
+)
+
+const onlineQuery = `
+SELECT MERGE(clipID) AS Sequence
+FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+WHERE act='jumping' AND obj.include('car', 'human')`
+
+const offlineQuery = `
+SELECT MERGE(clipID) AS Sequence, RANK(act, obj)
+FROM (PROCESS movies PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer)
+WHERE act='kissing' AND obj.include('surfboard', 'boat')
+ORDER BY RANK(act, obj) LIMIT 5`
+
+func TestParseOnline(t *testing.T) {
+	st, err := Parse(onlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != "inputVideo" {
+		t.Errorf("source = %q", st.Source)
+	}
+	if st.Action != "jumping" {
+		t.Errorf("action = %q", st.Action)
+	}
+	if len(st.Objects) != 2 || st.Objects[0] != "car" || st.Objects[1] != "human" {
+		t.Errorf("objects = %v", st.Objects)
+	}
+	if st.Offline() {
+		t.Error("online query classified as offline")
+	}
+	if len(st.Produces) != 3 {
+		t.Fatalf("produces = %v", st.Produces)
+	}
+	if st.Produces[1].Field != "obj" || st.Produces[1].Model != "ObjectDetector" {
+		t.Errorf("produce[1] = %+v", st.Produces[1])
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Online || plan.Query.Action != "jumping" || plan.Source != "inputVideo" {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestParseOffline(t *testing.T) {
+	st, err := Parse(offlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SelectRank || !st.OrderByRank || st.Limit != 5 {
+		t.Errorf("rank flags: %+v", st)
+	}
+	if !st.Offline() {
+		t.Error("offline query classified as online")
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Online || plan.K != 5 || plan.Source != "movies" {
+		t.Errorf("plan = %+v", plan)
+	}
+	q := plan.Query
+	if q.Action != "kissing" || len(q.Objects) != 2 {
+		t.Errorf("query = %v", q)
+	}
+}
+
+func TestParseActionCallSyntax(t *testing.T) {
+	// The paper's first-page form: det = Action('robot_dancing','car','human').
+	st, err := Parse(`SELECT MERGE(frameSequence) FROM (PROCESS inputVideo PRODUCE frameSequence, det USING VisionModel)
+WHERE det = Action('robot_dancing', 'car', 'human')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Action != "robot_dancing" {
+		t.Errorf("action = %q", st.Action)
+	}
+	if len(st.Objects) != 2 {
+		t.Errorf("objects = %v", st.Objects)
+	}
+}
+
+func TestParseIncAlias(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='a' AND obj.inc('x')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Objects) != 1 || st.Objects[0] != "x" {
+		t.Errorf("objects = %v", st.Objects)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st, err := Parse(`select merge(clipID) as s from (process v produce clipID) where act='a' limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Limit != 3 || st.Action != "a" {
+		t.Errorf("%+v", st)
+	}
+	if !st.Offline() {
+		t.Error("LIMIT should imply offline")
+	}
+}
+
+func TestParseObjectlessQuery(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, act USING I3D) WHERE act='blowing_leaves'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Objects) != 0 || st.Action != "blowing_leaves" {
+		t.Errorf("%+v", st)
+	}
+	if _, err := st.Plan(); err != nil {
+		t.Errorf("plan: %v", err)
+	}
+}
+
+func TestParseMultipleIncludeClauses(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID)
+WHERE obj.include('a') AND act='x' AND obj.include('b','c')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Objects) != 3 {
+		t.Errorf("objects = %v", st.Objects)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a';`); err != nil {
+		t.Errorf("trailing semicolon rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":              ``,
+		"no select":          `FROM x`,
+		"no merge":           `SELECT x FROM (PROCESS v PRODUCE c) WHERE act='a'`,
+		"unterminated":       `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a`,
+		"no action":          `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE obj.include('x')`,
+		"bad method":         `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND obj.near('x')`,
+		"bad limit":          `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' LIMIT 0`,
+		"trailing garbage":   `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' nonsense`,
+		"missing paren":      `SELECT MERGE(c FROM (PROCESS v PRODUCE c) WHERE act='a'`,
+		"bad char":           `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND @`,
+		"no produce":         `SELECT MERGE(c) FROM (PROCESS v) WHERE act='a'`,
+		"order without rank": `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' ORDER BY score`,
+		"empty include":      `SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND obj.include()`,
+	}
+	for name, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, q)
+		}
+	}
+}
+
+func TestParseDuplicateObjectRejectedAtPlan(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND obj.include('x','x')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Plan(); err == nil {
+		t.Error("duplicate objects should fail planning")
+	}
+}
+
+func TestParseTwoActionConjunction(t *testing.T) {
+	// Footnote 3: multiple action predicates form a conjunction and plan
+	// onto the extended (CNF) path.
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND act='b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Basic() {
+		t.Error("two-action statement should not be basic")
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Extended || len(plan.CNF.Clauses) != 2 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestParseOrGroup(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+WHERE (act='jumping' OR act='dancing') AND obj.include('car')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Basic() {
+		t.Error("OR group should not be basic")
+	}
+	cnf := st.CNF()
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("clauses = %v", cnf.Clauses)
+	}
+	if len(cnf.Clauses[0].Atoms) != 2 {
+		t.Errorf("OR clause atoms = %v", cnf.Clauses[0].Atoms)
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Extended || !plan.Online {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestParseRelationPredicate(t *testing.T) {
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+WHERE act='jumping' AND rel.leftOf('human', 'car') AND rel.near('dog', 'car')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Basic() {
+		t.Error("relation statement should not be basic")
+	}
+	cnf := st.CNF()
+	if len(cnf.Clauses) != 3 {
+		t.Fatalf("clauses = %v", cnf.Clauses)
+	}
+	if got := cnf.Clauses[1].Atoms[0].String(); got != "left_of(human,car)" {
+		t.Errorf("relation atom = %q", got)
+	}
+	if _, err := st.Plan(); err != nil {
+		t.Errorf("plan: %v", err)
+	}
+}
+
+func TestParseRelationErrors(t *testing.T) {
+	bad := []string{
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND rel.leftOf('x')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND rel.leftOf('x','y','z')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND rel.hoversOver('x','y')`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+	// Identical operands parse but fail planning (atom validation).
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND rel.near('x','x')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Plan(); err == nil {
+		t.Error("identical relation operands should fail planning")
+	}
+}
+
+func TestParseExtendedOfflinePlans(t *testing.T) {
+	// OR groups and multi-action statements may be ranked (RVAQCNF)...
+	st, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+WHERE (act='a' OR act='b') LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatalf("ranked OR group should plan: %v", err)
+	}
+	if plan.Online || !plan.Extended || plan.K != 5 {
+		t.Errorf("plan = %+v", plan)
+	}
+	// ...but ranked relation predicates are rejected (no per-pair geometry
+	// in the ingested metadata).
+	st2, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c)
+WHERE act='a' AND rel.near('x','y') LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Plan(); err == nil {
+		t.Error("ranked relation query should be rejected at planning")
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	toks, err := lex(`a 'hello world' "double" 42 ( ) , = .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokString, tokString, tokNumber,
+		tokPunct, tokPunct, tokPunct, tokPunct, tokPunct, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %v, want %v (%+v)", i, toks[i].kind, k, toks[i])
+		}
+	}
+	if toks[1].text != "hello world" {
+		t.Errorf("string text = %q", toks[1].text)
+	}
+}
+
+func TestErrorsMentionOffset(t *testing.T) {
+	_, err := Parse(`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act=42`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry an offset: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package sqlq
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds the parser arbitrary byte soup; it must
+// return an error or a statement, never panic.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", input)
+				ok = false
+			}
+		}()
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserKeywordSoup throws random sequences of dialect tokens at
+// the parser — closer to real near-miss inputs than raw bytes.
+func TestQuickParserKeywordSoup(t *testing.T) {
+	words := []string{
+		"SELECT", "MERGE", "FROM", "PROCESS", "PRODUCE", "USING", "WHERE",
+		"AND", "OR", "ORDER", "BY", "RANK", "LIMIT", "AS", "act", "obj",
+		"rel", "include", "leftOf", "near", "(", ")", ",", "=", ".", "'x'",
+		"'car'", "42", "clipID", "inputVideo",
+	}
+	f := func(picks []uint8) (ok bool) {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(words[int(p)%len(words)])
+			sb.WriteByte(' ')
+		}
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", sb.String())
+				ok = false
+			}
+		}()
+		if st, err := Parse(sb.String()); err == nil {
+			// Whatever parses must also survive planning (or fail cleanly).
+			_, _ = st.Plan()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripBasicQueries generates well-formed basic statements and
+// checks that parsing recovers exactly the query that was rendered.
+func TestQuickRoundTripBasicQueries(t *testing.T) {
+	names := []string{"a", "bb", "c_c", "dog", "jumping", "wine_glass"}
+	f := func(actIdx uint8, objIdx []uint8, limit uint8) bool {
+		act := names[int(actIdx)%len(names)]
+		seen := map[string]bool{}
+		var objs []string
+		for _, oi := range objIdx {
+			n := names[int(oi)%len(names)]
+			if !seen[n] {
+				seen[n] = true
+				objs = append(objs, n)
+			}
+		}
+		var sb strings.Builder
+		sb.WriteString("SELECT MERGE(clipID) AS s FROM (PROCESS src PRODUCE clipID) WHERE act='")
+		sb.WriteString(act)
+		sb.WriteString("'")
+		for _, o := range objs {
+			sb.WriteString(" AND obj.include('")
+			sb.WriteString(o)
+			sb.WriteString("')")
+		}
+		k := int(limit)%20 + 1
+		if limit%2 == 0 {
+			sb.WriteString(" LIMIT ")
+			sb.WriteString(strings.Repeat("", 0))
+			sb.WriteString(itoa(k))
+		}
+		st, err := Parse(sb.String())
+		if err != nil {
+			t.Logf("parse failed for %q: %v", sb.String(), err)
+			return false
+		}
+		if st.Action != act {
+			return false
+		}
+		if len(st.Objects) != len(objs) {
+			return false
+		}
+		for i := range objs {
+			if st.Objects[i] != objs[i] {
+				return false
+			}
+		}
+		if limit%2 == 0 && st.Limit != k {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Disk layout of a clip score table:
+//
+//	offset 0:  magic "SVQTBL1\n" (8 bytes)
+//	offset 8:  row count, uint64 little-endian
+//	offset 16: name length, uint16; name bytes
+//	then:      count rows ordered by non-increasing score (rank region)
+//	then:      count rows ordered by ascending clip id   (clip region)
+//
+// Each row is 12 bytes: clip uint32, score float64. The rank region serves
+// sorted scans from either end; the clip region serves random access via
+// binary search. Rows are written twice to trade disk (24 bytes per clip and
+// type, negligible) for strictly sequential reads on both access paths.
+
+var diskMagic = [8]byte{'S', 'V', 'Q', 'T', 'B', 'L', '1', '\n'}
+
+const rowSize = 12
+
+// WriteTable writes a clip score table to path in the binary format above.
+func WriteTable(path, name string, entries []Entry) error {
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("store: table name too long (%d bytes)", len(name))
+	}
+	byRank := append([]Entry(nil), entries...)
+	seen := make(map[int]bool, len(byRank))
+	for _, e := range byRank {
+		if e.Clip < 0 || e.Clip > math.MaxUint32 {
+			return fmt.Errorf("store: clip id %d out of range", e.Clip)
+		}
+		if seen[e.Clip] {
+			return fmt.Errorf("store: duplicate clip %d in table %q", e.Clip, name)
+		}
+		seen[e.Clip] = true
+	}
+	sort.Slice(byRank, func(i, j int) bool {
+		if byRank[i].Score != byRank[j].Score {
+			return byRank[i].Score > byRank[j].Score
+		}
+		return byRank[i].Clip < byRank[j].Clip
+	})
+	byClip := append([]Entry(nil), byRank...)
+	sort.Slice(byClip, func(i, j int) bool { return byClip[i].Clip < byClip[j].Clip })
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	write := func(data any) {
+		if err == nil {
+			err = binary.Write(w, binary.LittleEndian, data)
+		}
+	}
+	write(diskMagic)
+	write(uint64(len(byRank)))
+	write(uint16(len(name)))
+	if err == nil {
+		_, err = w.WriteString(name)
+	}
+	writeRows := func(rows []Entry) {
+		for _, e := range rows {
+			write(uint32(e.Clip))
+			write(e.Score)
+		}
+	}
+	writeRows(byRank)
+	writeRows(byClip)
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// DiskTable is a file-backed clip score table. It reads rows on demand with
+// ReadAt, so opening is O(1) in table size.
+type DiskTable struct {
+	f       *os.File
+	name    string
+	count   int
+	rankOff int64
+	clipOff int64
+}
+
+// OpenDiskTable opens a table written by WriteTable.
+func OpenDiskTable(path string) (*DiskTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	t := &DiskTable{f: f}
+	if err := t.readHeader(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func (t *DiskTable) readHeader() error {
+	var magic [8]byte
+	if _, err := io.ReadFull(t.f, magic[:]); err != nil {
+		return err
+	}
+	if magic != diskMagic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	var count uint64
+	if err := binary.Read(t.f, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	var nameLen uint16
+	if err := binary.Read(t.f, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(t.f, name); err != nil {
+		return err
+	}
+	t.name = string(name)
+	t.count = int(count)
+	t.rankOff = int64(8 + 8 + 2 + int(nameLen))
+	t.clipOff = t.rankOff + int64(t.count)*rowSize
+	return nil
+}
+
+// Close releases the underlying file.
+func (t *DiskTable) Close() error { return t.f.Close() }
+
+// Name implements Table.
+func (t *DiskTable) Name() string { return t.name }
+
+// Len implements Table.
+func (t *DiskTable) Len() int { return t.count }
+
+func (t *DiskTable) rowAt(off int64) Entry {
+	var buf [rowSize]byte
+	if _, err := t.f.ReadAt(buf[:], off); err != nil {
+		panic(fmt.Sprintf("store: reading row of %s: %v", t.name, err))
+	}
+	clip := binary.LittleEndian.Uint32(buf[0:4])
+	score := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12]))
+	return Entry{Clip: int(clip), Score: score}
+}
+
+// SortedAt implements Table.
+func (t *DiskTable) SortedAt(i int) Entry {
+	if i < 0 || i >= t.count {
+		panic(fmt.Sprintf("store: SortedAt(%d) out of range [0,%d)", i, t.count))
+	}
+	return t.rowAt(t.rankOff + int64(i)*rowSize)
+}
+
+// ScoreOf implements Table by binary search over the clip-ordered region.
+func (t *DiskTable) ScoreOf(clip int) (float64, bool) {
+	lo, hi := 0, t.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := t.rowAt(t.clipOff + int64(mid)*rowSize)
+		switch {
+		case e.Clip == clip:
+			return e.Score, true
+		case e.Clip < clip:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// entriesValue draws a random set of unique-clip entries.
+type entriesValue struct{ E []Entry }
+
+// Generate implements quick.Generator.
+func (entriesValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(60)
+	perm := r.Perm(200)
+	e := make([]Entry, n)
+	for i := range e {
+		e[i] = Entry{Clip: perm[i], Score: r.Float64() * 50}
+	}
+	return reflect.ValueOf(entriesValue{E: e})
+}
+
+func TestQuickMemTableInvariants(t *testing.T) {
+	f := func(v entriesValue) bool {
+		tbl, err := NewMemTable("q", v.E)
+		if err != nil {
+			return false
+		}
+		if tbl.Len() != len(v.E) {
+			return false
+		}
+		// Rank order is non-increasing and every entry is findable.
+		for i := 0; i < tbl.Len(); i++ {
+			if i > 0 && tbl.SortedAt(i).Score > tbl.SortedAt(i-1).Score {
+				return false
+			}
+		}
+		for _, e := range v.E {
+			s, ok := tbl.ScoreOf(e.Clip)
+			if !ok || s != e.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(v entriesValue) bool {
+		i++
+		path := filepath.Join(dir, "t.tbl")
+		if err := WriteTable(path, "t", v.E); err != nil {
+			return false
+		}
+		dt, err := OpenDiskTable(path)
+		if err != nil {
+			return false
+		}
+		defer dt.Close()
+		mem, err := NewMemTable("t", v.E)
+		if err != nil {
+			return false
+		}
+		if dt.Len() != mem.Len() {
+			return false
+		}
+		for j := 0; j < mem.Len(); j++ {
+			if dt.SortedAt(j) != mem.SortedAt(j) {
+				return false
+			}
+		}
+		for _, e := range v.E {
+			ds, dok := dt.ScoreOf(e.Clip)
+			if !dok || ds != e.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func sampleEntries(n int, seed int64) []Entry {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(n * 3)
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Clip: perm[i], Score: r.Float64() * 100}
+	}
+	return entries
+}
+
+func TestMemTableOrdering(t *testing.T) {
+	entries := sampleEntries(500, 1)
+	tbl, err := NewMemTable("car", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "car" || tbl.Len() != 500 {
+		t.Fatalf("name/len wrong: %s %d", tbl.Name(), tbl.Len())
+	}
+	for i := 1; i < tbl.Len(); i++ {
+		if tbl.SortedAt(i).Score > tbl.SortedAt(i-1).Score {
+			t.Fatalf("rank order violated at %d", i)
+		}
+	}
+	for _, e := range entries {
+		s, ok := tbl.ScoreOf(e.Clip)
+		if !ok || s != e.Score {
+			t.Fatalf("ScoreOf(%d) = %v,%v want %v", e.Clip, s, ok, e.Score)
+		}
+	}
+	if _, ok := tbl.ScoreOf(-1); ok {
+		t.Error("absent clip should not be found")
+	}
+}
+
+func TestMemTableRejectsDuplicates(t *testing.T) {
+	_, err := NewMemTable("x", []Entry{{Clip: 1, Score: 2}, {Clip: 1, Score: 3}})
+	if err == nil {
+		t.Fatal("duplicate clip should be rejected")
+	}
+}
+
+func TestMemTableTieBreakDeterministic(t *testing.T) {
+	a, _ := NewMemTable("x", []Entry{{Clip: 5, Score: 1}, {Clip: 2, Score: 1}, {Clip: 9, Score: 1}})
+	if a.SortedAt(0).Clip != 2 || a.SortedAt(1).Clip != 5 || a.SortedAt(2).Clip != 9 {
+		t.Errorf("equal scores must order by clip id: %v %v %v", a.SortedAt(0), a.SortedAt(1), a.SortedAt(2))
+	}
+}
+
+func TestDiskTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "car.tbl")
+	entries := sampleEntries(1000, 2)
+	if err := WriteTable(path, "car", entries); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDiskTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	mem, _ := NewMemTable("car", entries)
+	if dt.Name() != "car" || dt.Len() != mem.Len() {
+		t.Fatalf("header mismatch: %s %d", dt.Name(), dt.Len())
+	}
+	for i := 0; i < mem.Len(); i++ {
+		if dt.SortedAt(i) != mem.SortedAt(i) {
+			t.Fatalf("row %d: disk %v mem %v", i, dt.SortedAt(i), mem.SortedAt(i))
+		}
+	}
+	for _, e := range entries {
+		s, ok := dt.ScoreOf(e.Clip)
+		if !ok || s != e.Score {
+			t.Fatalf("disk ScoreOf(%d) = %v,%v", e.Clip, s, ok)
+		}
+	}
+	if _, ok := dt.ScoreOf(999_999); ok {
+		t.Error("absent clip found on disk")
+	}
+}
+
+func TestDiskTableEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.tbl")
+	if err := WriteTable(path, "nothing", nil); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDiskTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	if dt.Len() != 0 {
+		t.Errorf("Len = %d", dt.Len())
+	}
+	if _, ok := dt.ScoreOf(0); ok {
+		t.Error("empty table should find nothing")
+	}
+}
+
+func TestWriteTableValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteTable(filepath.Join(dir, "d.tbl"), "d", []Entry{{Clip: 1, Score: 1}, {Clip: 1, Score: 2}}); err == nil {
+		t.Error("duplicate clips should be rejected")
+	}
+	if err := WriteTable(filepath.Join(dir, "n.tbl"), "n", []Entry{{Clip: -1, Score: 1}}); err == nil {
+		t.Error("negative clip should be rejected")
+	}
+	if err := WriteTable(filepath.Join(dir, "missing", "x.tbl"), "x", nil); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+func TestOpenDiskTableBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.tbl")
+	if err := os.WriteFile(bad, []byte("not a table at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskTable(bad); err == nil {
+		t.Error("garbage file should fail to open")
+	}
+	if _, err := OpenDiskTable(filepath.Join(dir, "absent.tbl")); err == nil {
+		t.Error("absent file should fail to open")
+	}
+}
+
+func TestSortedAtOutOfRangePanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.tbl")
+	if err := WriteTable(path, "p", []Entry{{Clip: 0, Score: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDiskTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	dt.SortedAt(5)
+}
+
+func TestStatsCounting(t *testing.T) {
+	tbl, _ := NewMemTable("x", sampleEntries(100, 3))
+	var st Stats
+	c := WithStats(tbl, &st)
+	if c.Name() != "x" || c.Len() != 100 {
+		t.Fatal("wrapper must delegate metadata without counting")
+	}
+	if st.Sorted != 0 || st.Random != 0 {
+		t.Fatal("metadata should not count as accesses")
+	}
+	for i := 0; i < 10; i++ {
+		c.SortedAt(i)
+	}
+	c.ScoreOf(1)
+	c.ScoreOf(2)
+	c.ScoreOf(-5)
+	if st.Sorted != 10 || st.Random != 3 {
+		t.Errorf("stats = %+v, want 10 sorted, 3 random", st)
+	}
+	var total Stats
+	total.Add(st)
+	total.Add(Stats{Sorted: 1, Random: 2})
+	if total.Sorted != 11 || total.Random != 5 {
+		t.Errorf("Add = %+v", total)
+	}
+}
+
+// TestDiskMatchesMemProperty exercises both implementations with identical
+// random workloads.
+func TestDiskMatchesMemProperty(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		entries := sampleEntries(257, seed)
+		path := filepath.Join(t.TempDir(), "t.tbl")
+		if err := WriteTable(path, "t", entries); err != nil {
+			t.Fatal(err)
+		}
+		dt, err := OpenDiskTable(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, _ := NewMemTable("t", entries)
+		r := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 500; trial++ {
+			if r.Intn(2) == 0 {
+				i := r.Intn(mem.Len())
+				if dt.SortedAt(i) != mem.SortedAt(i) {
+					t.Fatalf("SortedAt(%d) differs", i)
+				}
+			} else {
+				clip := r.Intn(800)
+				ds, dok := dt.ScoreOf(clip)
+				ms, mok := mem.ScoreOf(clip)
+				if ds != ms || dok != mok {
+					t.Fatalf("ScoreOf(%d): disk %v,%v mem %v,%v", clip, ds, dok, ms, mok)
+				}
+			}
+		}
+		dt.Close()
+	}
+}
+
+// TestScoresSortedByClipRegion validates the on-disk clip region is usable
+// for range scans by clip id (ingestion invariant).
+func TestScoresSortedByClipRegion(t *testing.T) {
+	entries := sampleEntries(300, 5)
+	path := filepath.Join(t.TempDir(), "t.tbl")
+	if err := WriteTable(path, "t", entries); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDiskTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	clips := make([]int, len(entries))
+	for i, e := range entries {
+		clips[i] = e.Clip
+	}
+	sort.Ints(clips)
+	// Every clip must be findable, which exercises the full binary-search
+	// region in clip order.
+	for _, c := range clips {
+		if _, ok := dt.ScoreOf(c); !ok {
+			t.Fatalf("clip %d not found", c)
+		}
+	}
+}

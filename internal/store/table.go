@@ -1,0 +1,122 @@
+// Package store provides the storage layer of the offline engine: per-type
+// clip score tables materialised during ingestion and consulted by the top-k
+// query phase.
+//
+// A clip score table holds (clip, score) rows for one object or action type,
+// ordered by score. The top-k algorithms consume tables through exactly the
+// access patterns of the threshold-algorithm family: sorted access from the
+// top, sorted access from the bottom, and random access by clip id — so the
+// Table interface exposes precisely those, and the Stats wrapper counts them
+// (the unit the paper's Tables 6 and 7 report).
+//
+// Two implementations are provided: an in-memory table and a file-backed
+// table with a fixed-record binary layout (one region ordered by score for
+// sorted scans, one ordered by clip id for random lookups by binary search).
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one row of a clip score table.
+type Entry struct {
+	Clip  int
+	Score float64
+}
+
+// Table is the read interface of a clip score table. Rows are unique per
+// clip. Implementations must be safe for concurrent readers.
+type Table interface {
+	// Name identifies the table (typically the object or action type).
+	Name() string
+	// Len returns the number of rows.
+	Len() int
+	// SortedAt returns the i-th row in non-increasing score order; i counts
+	// from the top (0 is the highest score). This serves both forward
+	// sorted access (i ascending) and reverse sorted access from the bottom
+	// (i descending from Len()-1).
+	SortedAt(i int) Entry
+	// ScoreOf returns the score stored for the clip, or false if the table
+	// has no row for it.
+	ScoreOf(clip int) (float64, bool)
+}
+
+// Stats counts table accesses during a query. The paper's offline evaluation
+// compares algorithms by the number of random accesses; sorted accesses are
+// counted as well for completeness.
+type Stats struct {
+	Sorted int64
+	Random int64
+}
+
+// Add accumulates another stats value.
+func (s *Stats) Add(o Stats) {
+	s.Sorted += o.Sorted
+	s.Random += o.Random
+}
+
+// counted decorates a Table with access counting.
+type counted struct {
+	t  Table
+	st *Stats
+}
+
+// WithStats returns a view of t that increments st on every access.
+func WithStats(t Table, st *Stats) Table { return &counted{t: t, st: st} }
+
+func (c *counted) Name() string { return c.t.Name() }
+func (c *counted) Len() int     { return c.t.Len() }
+func (c *counted) SortedAt(i int) Entry {
+	c.st.Sorted++
+	return c.t.SortedAt(i)
+}
+func (c *counted) ScoreOf(clip int) (float64, bool) {
+	c.st.Random++
+	return c.t.ScoreOf(clip)
+}
+
+// MemTable is an in-memory clip score table.
+type MemTable struct {
+	name   string
+	byRank []Entry // non-increasing score
+	byClip map[int]float64
+}
+
+// NewMemTable builds an in-memory table from arbitrary-order entries. Clips
+// must be unique.
+func NewMemTable(name string, entries []Entry) (*MemTable, error) {
+	t := &MemTable{
+		name:   name,
+		byRank: append([]Entry(nil), entries...),
+		byClip: make(map[int]float64, len(entries)),
+	}
+	for _, e := range entries {
+		if _, dup := t.byClip[e.Clip]; dup {
+			return nil, fmt.Errorf("store: duplicate clip %d in table %q", e.Clip, name)
+		}
+		t.byClip[e.Clip] = e.Score
+	}
+	sort.Slice(t.byRank, func(i, j int) bool {
+		if t.byRank[i].Score != t.byRank[j].Score {
+			return t.byRank[i].Score > t.byRank[j].Score
+		}
+		return t.byRank[i].Clip < t.byRank[j].Clip // deterministic tie-break
+	})
+	return t, nil
+}
+
+// Name implements Table.
+func (t *MemTable) Name() string { return t.name }
+
+// Len implements Table.
+func (t *MemTable) Len() int { return len(t.byRank) }
+
+// SortedAt implements Table.
+func (t *MemTable) SortedAt(i int) Entry { return t.byRank[i] }
+
+// ScoreOf implements Table.
+func (t *MemTable) ScoreOf(clip int) (float64, bool) {
+	s, ok := t.byClip[clip]
+	return s, ok
+}

@@ -1,0 +1,78 @@
+package synth
+
+import "math"
+
+// The generators in this package derive all randomness from SplitMix64
+// hashes of structured keys (seed, video, type, index ...) rather than from
+// a shared stateful RNG. This keeps every generated artefact a pure function
+// of the dataset seed: regenerating a video, replaying a stream, or
+// re-running ingestion always observes identical ground truth.
+
+// splitmix64 is the SplitMix64 finalizer, a fast high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4a2e24f643db7
+	return x ^ (x >> 31)
+}
+
+// hashKey folds a string into a 64-bit key.
+func hashKey(s string) uint64 {
+	// FNV-1a, then mixed; good enough for seeding.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h)
+}
+
+// rng is a tiny deterministic PRNG (SplitMix64 stream) used for sequential
+// draws inside one generation task.
+type rng struct{ state uint64 }
+
+func newRNG(parts ...uint64) *rng {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return &rng{state: h}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return splitmix64(r.state)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponential draw with the given mean.
+func (r *rng) exp(mean float64) float64 {
+	u := r.float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// norm returns a normal draw (Box-Muller).
+func (r *rng) norm(mean, std float64) float64 {
+	u1 := r.float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + std*z
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

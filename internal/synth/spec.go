@@ -1,0 +1,201 @@
+// Package synth generates synthetic videos with scripted ground truth: per
+// video, the frame intervals during which each object type is present (as
+// individually tracked instances) and the shot intervals during which each
+// action occurs.
+//
+// The engine under test never inspects pixels — it consumes per-frame and
+// per-shot detector outputs — so a world that produces exactly those event
+// streams, with controllable densities, durations, predicate correlation and
+// non-stationary background rates, exercises the same code paths as the
+// paper's real videos (see DESIGN.md, substitution table). The package also
+// defines the two benchmark datasets mirroring the paper's evaluation: the
+// YouTube/ActivityNet query workload of Table 1 and the Movies workload of
+// Table 2.
+package synth
+
+import (
+	"fmt"
+
+	"svqact/internal/video"
+)
+
+// RateFn modulates an appearance rate over time; it receives the frame (or
+// shot) index and returns a non-negative multiplier. A nil RateFn means a
+// constant rate.
+type RateFn func(unit int) float64
+
+// ConstantRate returns a RateFn with a fixed multiplier.
+func ConstantRate(m float64) RateFn { return func(int) float64 { return m } }
+
+// PeakRate models the paper's surveillance-camera example: the base rate is
+// multiplied by peak during recurring windows of peakLen units every period
+// units — traffic peaks at certain times of day.
+func PeakRate(period, peakLen int, peak float64) RateFn {
+	return func(unit int) float64 {
+		if period <= 0 {
+			return 1
+		}
+		if unit%period < peakLen {
+			return peak
+		}
+		return 1
+	}
+}
+
+// StepRate jumps the multiplier from 1 to level at the given unit — a sudden
+// regime change for adaptivity experiments.
+func StepRate(at int, level float64) RateFn {
+	return func(unit int) float64 {
+		if unit >= at {
+			return level
+		}
+		return 1
+	}
+}
+
+// ActionSpec scripts one action type: an alternating renewal process over
+// shots with exponential gaps and durations.
+type ActionSpec struct {
+	Name string
+	// MeanGapShots is the expected number of shots between occurrences.
+	MeanGapShots float64
+	// MeanDurShots is the expected occurrence length in shots.
+	MeanDurShots float64
+	// Rate optionally modulates the start rate over time.
+	Rate RateFn
+}
+
+// ObjectSpec scripts one object type. Appearances come from two sources: a
+// background renewal process (like actions, over frames), and — when
+// CorrelatedWith names an action — appearances tied to that action's
+// occurrences, which is how the benchmark reproduces the paper's correlated
+// predicates (e.g. a faucet visible while dishes are washed).
+type ObjectSpec struct {
+	Name string
+	// MeanGapFrames is the expected gap between background appearances. Use
+	// a very large value (or 0 with CorrelatedWith set) for objects that only
+	// show up alongside their action.
+	MeanGapFrames float64
+	// MeanDurFrames is the expected appearance duration in frames.
+	MeanDurFrames float64
+	// CorrelatedWith optionally names an action in the same script.
+	CorrelatedWith string
+	// CorrelationProb is the probability that an occurrence of the
+	// correlated action is accompanied by this object.
+	CorrelationProb float64
+	// Rate optionally modulates the background appearance rate.
+	Rate RateFn
+}
+
+// Script is the full generation recipe for one video.
+type Script struct {
+	ID       string
+	Frames   int
+	FPS      float64
+	Geometry video.Geometry
+	Actions  []ActionSpec
+	Objects  []ObjectSpec
+	Seed     int64
+}
+
+// Validate checks the script for inconsistencies before generation.
+func (s Script) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("synth: script needs an ID")
+	}
+	if s.Frames <= 0 {
+		return fmt.Errorf("synth: script %q: Frames = %d must be positive", s.ID, s.Frames)
+	}
+	if s.FPS <= 0 {
+		return fmt.Errorf("synth: script %q: FPS = %v must be positive", s.ID, s.FPS)
+	}
+	if err := s.Geometry.Validate(); err != nil {
+		return fmt.Errorf("synth: script %q: %w", s.ID, err)
+	}
+	actions := map[string]bool{}
+	for _, a := range s.Actions {
+		if a.Name == "" {
+			return fmt.Errorf("synth: script %q: action with empty name", s.ID)
+		}
+		if actions[a.Name] {
+			return fmt.Errorf("synth: script %q: duplicate action %q", s.ID, a.Name)
+		}
+		actions[a.Name] = true
+		if a.MeanGapShots <= 0 || a.MeanDurShots <= 0 {
+			return fmt.Errorf("synth: script %q: action %q needs positive gap and duration", s.ID, a.Name)
+		}
+	}
+	objects := map[string]bool{}
+	for _, o := range s.Objects {
+		if o.Name == "" {
+			return fmt.Errorf("synth: script %q: object with empty name", s.ID)
+		}
+		if objects[o.Name] {
+			return fmt.Errorf("synth: script %q: duplicate object %q", s.ID, o.Name)
+		}
+		objects[o.Name] = true
+		if o.MeanDurFrames <= 0 {
+			return fmt.Errorf("synth: script %q: object %q needs a positive duration", s.ID, o.Name)
+		}
+		if o.MeanGapFrames < 0 {
+			return fmt.Errorf("synth: script %q: object %q has negative gap", s.ID, o.Name)
+		}
+		if o.MeanGapFrames == 0 && o.CorrelatedWith == "" {
+			return fmt.Errorf("synth: script %q: object %q has neither background rate nor correlation", s.ID, o.Name)
+		}
+		if o.CorrelatedWith != "" {
+			if !actions[o.CorrelatedWith] {
+				return fmt.Errorf("synth: script %q: object %q correlates with unknown action %q", s.ID, o.Name, o.CorrelatedWith)
+			}
+			if o.CorrelationProb < 0 || o.CorrelationProb > 1 {
+				return fmt.Errorf("synth: script %q: object %q correlation probability %v out of [0,1]", s.ID, o.Name, o.CorrelationProb)
+			}
+		}
+	}
+	return nil
+}
+
+// QuerySpec names the predicates of one benchmark query: one action and any
+// number of object types (the paper's q: {o_1..o_I; a}).
+type QuerySpec struct {
+	Name    string
+	Action  string
+	Objects []string
+}
+
+// Dataset is a generated benchmark: a collection of videos plus the queries
+// the paper evaluates on them.
+type Dataset struct {
+	Name    string
+	Videos  []*Video
+	Queries []QuerySpec
+}
+
+// TotalFrames sums the frames across all videos.
+func (d *Dataset) TotalFrames() int {
+	t := 0
+	for _, v := range d.Videos {
+		t += v.Meta.NumFrames
+	}
+	return t
+}
+
+// Video returns the video with the given ID, or nil.
+func (d *Dataset) Video(id string) *Video {
+	for _, v := range d.Videos {
+		if v.Meta.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// Query returns the query with the given name, or nil.
+func (d *Dataset) Query(name string) *QuerySpec {
+	for i := range d.Queries {
+		if d.Queries[i].Name == name {
+			return &d.Queries[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package video
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genSet draws a random canonical interval set for testing/quick.
+func genSet(r *rand.Rand) IntervalSet {
+	n := r.Intn(8)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		a := r.Intn(80)
+		ivs[i] = Interval{Start: a, End: a + r.Intn(12)}
+	}
+	return NewIntervalSet(ivs...)
+}
+
+// setValue adapts genSet to quick's generator interface.
+type setValue struct{ S IntervalSet }
+
+// Generate implements quick.Generator.
+func (setValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setValue{S: genSet(r)})
+}
+
+func TestQuickIntersectionCommutes(t *testing.T) {
+	f := func(a, b setValue) bool {
+		x := a.S.IntersectSet(b.S)
+		y := b.S.IntersectSet(a.S)
+		return x.String() == y.String() && x.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutesAndAbsorbs(t *testing.T) {
+	f := func(a, b setValue) bool {
+		u := a.S.Union(b.S)
+		if u.String() != b.S.Union(a.S).String() {
+			return false
+		}
+		// a ⊆ a∪b and (a∪b)∩a = a.
+		return u.IntersectSet(a.S).String() == a.S.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorganLike(t *testing.T) {
+	// a \ b = a ∩ (universe \ b) over a bounded universe.
+	universe := NewIntervalSet(Interval{Start: 0, End: 200})
+	f := func(a, b setValue) bool {
+		direct := a.S.Subtract(b.S)
+		viaComplement := a.S.IntersectSet(universe.Subtract(b.S))
+		return direct.Clamp(Interval{Start: 0, End: 200}).String() == viaComplement.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndicatorRoundTrip(t *testing.T) {
+	f := func(v setValue) bool {
+		const n = 120
+		clamped := v.S.Clamp(Interval{Start: 0, End: n - 1})
+		back := FromIndicator(clamped.Indicator(n))
+		return back.String() == clamped.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectAllSubset(t *testing.T) {
+	f := func(a, b, c setValue) bool {
+		all := IntersectAll(a.S, b.S, c.S)
+		for _, s := range []IntervalSet{a.S, b.S, c.S} {
+			// all ⊆ s
+			if all.Subtract(s).TotalLen() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTotalLenConsistent(t *testing.T) {
+	// |a| + |b| = |a∪b| + |a∩b|.
+	f := func(a, b setValue) bool {
+		return a.S.TotalLen()+b.S.TotalLen() ==
+			a.S.Union(b.S).TotalLen()+a.S.IntersectSet(b.S).TotalLen()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

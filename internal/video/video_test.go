@@ -1,0 +1,335 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		ok   bool
+		name string
+	}{
+		{DefaultGeometry, true, "default"},
+		{Geometry{FramesPerShot: 1, ShotsPerClip: 1}, true, "unit"},
+		{Geometry{FramesPerShot: 0, ShotsPerClip: 5}, false, "zero frames per shot"},
+		{Geometry{FramesPerShot: 10, ShotsPerClip: 0}, false, "zero shots per clip"},
+		{Geometry{FramesPerShot: -3, ShotsPerClip: 2}, false, "negative"},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestGeometryConversions(t *testing.T) {
+	g := Geometry{FramesPerShot: 10, ShotsPerClip: 5}
+	if got := g.FramesPerClip(); got != 50 {
+		t.Fatalf("FramesPerClip = %d, want 50", got)
+	}
+	if got := g.ShotOfFrame(0); got != 0 {
+		t.Errorf("ShotOfFrame(0) = %d", got)
+	}
+	if got := g.ShotOfFrame(9); got != 0 {
+		t.Errorf("ShotOfFrame(9) = %d, want 0", got)
+	}
+	if got := g.ShotOfFrame(10); got != 1 {
+		t.Errorf("ShotOfFrame(10) = %d, want 1", got)
+	}
+	if got := g.ClipOfFrame(49); got != 0 {
+		t.Errorf("ClipOfFrame(49) = %d, want 0", got)
+	}
+	if got := g.ClipOfFrame(50); got != 1 {
+		t.Errorf("ClipOfFrame(50) = %d, want 1", got)
+	}
+	if got := g.ClipOfShot(4); got != 0 {
+		t.Errorf("ClipOfShot(4) = %d, want 0", got)
+	}
+	if got := g.ClipOfShot(5); got != 1 {
+		t.Errorf("ClipOfShot(5) = %d, want 1", got)
+	}
+	if got := g.FrameRangeOfClip(2); got != (Interval{100, 149}) {
+		t.Errorf("FrameRangeOfClip(2) = %v", got)
+	}
+	if got := g.ShotRangeOfClip(3); got != (Interval{15, 19}) {
+		t.Errorf("ShotRangeOfClip(3) = %v", got)
+	}
+	if got := g.FrameRangeOfShot(7); got != (Interval{70, 79}) {
+		t.Errorf("FrameRangeOfShot(7) = %v", got)
+	}
+	if got := g.FrameRangeOfClips(Interval{1, 2}); got != (Interval{50, 149}) {
+		t.Errorf("FrameRangeOfClips([1,2]) = %v", got)
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := Geometry{FramesPerShot: 10, ShotsPerClip: 5}
+	if got := g.NumClips(500); got != 10 {
+		t.Errorf("NumClips(500) = %d, want 10", got)
+	}
+	if got := g.NumClips(549); got != 10 {
+		t.Errorf("NumClips(549) = %d, want 10 (trailing partial clip dropped)", got)
+	}
+	if got := g.NumShots(95); got != 9 {
+		t.Errorf("NumShots(95) = %d, want 9", got)
+	}
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	g := Geometry{FramesPerShot: 7, ShotsPerClip: 3}
+	for v := 0; v < 1000; v++ {
+		c := g.ClipOfFrame(v)
+		if r := g.FrameRangeOfClip(c); !r.Contains(v) {
+			t.Fatalf("frame %d: clip %d range %v does not contain it", v, c, r)
+		}
+		s := g.ShotOfFrame(v)
+		if r := g.FrameRangeOfShot(s); !r.Contains(v) {
+			t.Fatalf("frame %d: shot %d range %v does not contain it", v, s, r)
+		}
+		if g.ClipOfShot(s) != c {
+			t.Fatalf("frame %d: shot clip %d != frame clip %d", v, g.ClipOfShot(s), c)
+		}
+	}
+}
+
+func TestMetaDuration(t *testing.T) {
+	m := Meta{ID: "v", NumFrames: 3000, FPS: 30, Geometry: DefaultGeometry}
+	if got := m.DurationSeconds(); got != 100 {
+		t.Errorf("DurationSeconds = %v, want 100", got)
+	}
+	if got := m.NumClips(); got != 60 {
+		t.Errorf("NumClips = %d, want 60", got)
+	}
+	if got := m.NumShots(); got != 300 {
+		t.Errorf("NumShots = %d, want 300", got)
+	}
+	if got := (Meta{NumFrames: 10}).DurationSeconds(); got != 0 {
+		t.Errorf("zero-FPS DurationSeconds = %v, want 0", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{3, 7}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d, want 5", iv.Len())
+	}
+	if (Interval{5, 4}).Len() != 0 {
+		t.Error("inverted interval should have Len 0")
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(8) || iv.Contains(2) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !iv.Overlaps(Interval{7, 9}) || iv.Overlaps(Interval{8, 9}) {
+		t.Error("Overlaps boundary behaviour wrong")
+	}
+	if !iv.Adjacent(Interval{8, 10}) || !(Interval{8, 10}).Adjacent(iv) || iv.Adjacent(Interval{9, 10}) {
+		t.Error("Adjacent behaviour wrong")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got, ok := Interval{3, 7}.Intersect(Interval{5, 10})
+	if !ok || got != (Interval{5, 7}) {
+		t.Errorf("Intersect = %v,%v", got, ok)
+	}
+	if _, ok := (Interval{3, 7}).Intersect(Interval{8, 10}); ok {
+		t.Error("disjoint intervals should not intersect")
+	}
+}
+
+func TestIntervalIoU(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want float64
+	}{
+		{Interval{0, 9}, Interval{0, 9}, 1},
+		{Interval{0, 9}, Interval{10, 19}, 0},
+		{Interval{0, 9}, Interval{5, 14}, 5.0 / 15.0},
+		{Interval{0, 4}, Interval{0, 9}, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.a.IoU(c.b); got != c.want {
+			t.Errorf("IoU(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.IoU(c.a); got != c.want {
+			t.Errorf("IoU symmetric (%v,%v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNewIntervalSetCanonicalises(t *testing.T) {
+	s := NewIntervalSet(Interval{5, 7}, Interval{1, 2}, Interval{3, 4}, Interval{10, 12}, Interval{11, 15}, Interval{20, 19})
+	want := []Interval{{1, 7}, {10, 15}}
+	got := s.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("intervals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", got, want)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.TotalLen() != 13 {
+		t.Errorf("TotalLen = %d, want 13", s.TotalLen())
+	}
+	if s.NumIntervals() != 2 {
+		t.Errorf("NumIntervals = %d, want 2", s.NumIntervals())
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewIntervalSet(Interval{1, 3}, Interval{7, 9})
+	for _, x := range []int{1, 2, 3, 7, 8, 9} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []int{0, 4, 5, 6, 10} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if (IntervalSet{}).Contains(0) {
+		t.Error("empty set should contain nothing")
+	}
+}
+
+func TestIntervalSetSpan(t *testing.T) {
+	s := NewIntervalSet(Interval{4, 5}, Interval{9, 11})
+	sp, ok := s.Span()
+	if !ok || sp != (Interval{4, 11}) {
+		t.Errorf("Span = %v,%v", sp, ok)
+	}
+	if _, ok := (IntervalSet{}).Span(); ok {
+		t.Error("empty set should have no span")
+	}
+}
+
+func TestIntersectSet(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10}, Interval{20, 30})
+	b := NewIntervalSet(Interval{5, 25})
+	got := a.IntersectSet(b)
+	want := NewIntervalSet(Interval{5, 10}, Interval{20, 25})
+	if got.String() != want.String() {
+		t.Errorf("IntersectSet = %v, want %v", got, want)
+	}
+	if !a.IntersectSet(IntervalSet{}).Empty() {
+		t.Error("intersection with empty should be empty")
+	}
+	// Adjacent pieces from the right operand must merge back into one run.
+	c := NewIntervalSet(Interval{0, 2}, Interval{4, 5})
+	d := NewIntervalSet(Interval{0, 5})
+	got = d.IntersectSet(c)
+	if got.String() != c.String() {
+		t.Errorf("IntersectSet with cover = %v, want %v", got, c)
+	}
+}
+
+func TestIntersectAll(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 100})
+	b := NewIntervalSet(Interval{10, 50}, Interval{60, 90})
+	c := NewIntervalSet(Interval{40, 70})
+	got := IntersectAll(a, b, c)
+	want := NewIntervalSet(Interval{40, 50}, Interval{60, 70})
+	if got.String() != want.String() {
+		t.Errorf("IntersectAll = %v, want %v", got, want)
+	}
+	if !IntersectAll().Empty() {
+		t.Error("IntersectAll() should be empty")
+	}
+	if got := IntersectAll(a); got.String() != a.String() {
+		t.Errorf("IntersectAll(a) = %v, want %v", got, a)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10})
+	b := NewIntervalSet(Interval{3, 5}, Interval{8, 12})
+	got := a.Subtract(b)
+	want := NewIntervalSet(Interval{0, 2}, Interval{6, 7})
+	if got.String() != want.String() {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+	if got := a.Subtract(IntervalSet{}); got.String() != a.String() {
+		t.Errorf("Subtract empty = %v, want %v", got, a)
+	}
+	if got := a.Subtract(a); !got.Empty() {
+		t.Errorf("Subtract self = %v, want empty", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10}, Interval{20, 30})
+	got := a.Clamp(Interval{5, 25})
+	want := NewIntervalSet(Interval{5, 10}, Interval{20, 25})
+	if got.String() != want.String() {
+		t.Errorf("Clamp = %v, want %v", got, want)
+	}
+}
+
+func TestFromIndicatorAndBack(t *testing.T) {
+	ind := []bool{false, true, true, false, true, false, false, true}
+	s := FromIndicator(ind)
+	want := NewIntervalSet(Interval{1, 2}, Interval{4, 4}, Interval{7, 7})
+	if s.String() != want.String() {
+		t.Errorf("FromIndicator = %v, want %v", s, want)
+	}
+	back := s.Indicator(len(ind))
+	for i := range ind {
+		if back[i] != ind[i] {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, back, ind)
+		}
+	}
+	if !FromIndicator(nil).Empty() {
+		t.Error("FromIndicator(nil) should be empty")
+	}
+	if got := FromIndicator([]bool{true, true}); got.String() != NewIntervalSet(Interval{0, 1}).String() {
+		t.Errorf("all-true indicator = %v", got)
+	}
+}
+
+func randomSet(r *rand.Rand, maxUnit int) IntervalSet {
+	n := r.Intn(6)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		a := r.Intn(maxUnit)
+		b := a + r.Intn(10)
+		ivs[i] = Interval{a, b}
+	}
+	return NewIntervalSet(ivs...)
+}
+
+// TestIntervalSetProperties cross-checks the sweep-based set algebra against
+// a brute-force membership model on random inputs.
+func TestIntervalSetProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const maxUnit = 60
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomSet(r, maxUnit), randomSet(r, maxUnit)
+		inter := a.IntersectSet(b)
+		uni := a.Union(b)
+		sub := a.Subtract(b)
+		for _, s := range []IntervalSet{inter, uni, sub} {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d: invalid result set: %v", trial, err)
+			}
+		}
+		for x := 0; x < maxUnit+12; x++ {
+			ina, inb := a.Contains(x), b.Contains(x)
+			if inter.Contains(x) != (ina && inb) {
+				t.Fatalf("trial %d: intersect membership wrong at %d (a=%v b=%v)", trial, x, a, b)
+			}
+			if uni.Contains(x) != (ina || inb) {
+				t.Fatalf("trial %d: union membership wrong at %d (a=%v b=%v)", trial, x, a, b)
+			}
+			if sub.Contains(x) != (ina && !inb) {
+				t.Fatalf("trial %d: subtract membership wrong at %d (a=%v b=%v)", trial, x, a, b)
+			}
+		}
+	}
+}
