@@ -11,6 +11,7 @@
 package svqact
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -159,7 +160,7 @@ func BenchmarkSVAQDClip(b *testing.B) {
 	q := core.Query{Objects: []string{"car"}, Action: "jumping"}
 	b.ResetTimer()
 	for i := 0; i < b.N; {
-		run, err := eng.NewRun(v, q)
+		run, err := eng.NewRun(context.Background(), v, q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkIngest(b *testing.B) {
 	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, 1), detect.NewActionRecognizer(detect.I3D, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rank.Ingest(v, models, rank.PaperScoring(), rank.DefaultIngestConfig()); err != nil {
+		if _, err := rank.Ingest(context.Background(), v, models, rank.PaperScoring(), rank.DefaultIngestConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +212,7 @@ func BenchmarkRVAQTopK(b *testing.B) {
 	q := core.Query{Objects: spec.Objects, Action: spec.Action}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rank.RVAQ(ix, q, 5, rank.Options{}); err != nil {
+		if _, err := rank.RVAQ(context.Background(), ix, q, 5, rank.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -229,7 +230,7 @@ func BenchmarkRVAQCNFTopK(b *testing.B) {
 	}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rank.RVAQCNF(ix, q, 5, rank.Options{}); err != nil {
+		if _, err := rank.RVAQCNF(context.Background(), ix, q, 5, rank.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +52,7 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 		defer repo.Close()
 		for _, v := range d.Videos {
 			start := time.Now()
-			ix, err := rank.Ingest(v, models, rank.PaperScoring(), cfg)
+			ix, err := rank.Ingest(context.Background(), v, models, rank.PaperScoring(), cfg)
 			if err != nil {
 				return err
 			}
@@ -85,7 +86,7 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 				}
 			}
 			start := time.Now()
-			ix, err := rank.IngestAllParallel("yt-"+name, vids, models, rank.PaperScoring(), cfg, 0)
+			ix, err := rank.IngestAllParallel(context.Background(), "yt-"+name, vids, models, rank.PaperScoring(), cfg, 0)
 			if err != nil {
 				return err
 			}

@@ -6,28 +6,115 @@
 //	curl -s -X POST localhost:8080/query -d '{"sql":
 //	  "SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID)
 //	   WHERE act='"'"'blowing_leaves'"'"' AND obj.include('"'"'car'"'"')"}'
+//
+// The process installs the hardened serving stack: listener-level timeouts,
+// per-query deadlines and admission control (see internal/server), and a
+// graceful SIGTERM/SIGINT shutdown that drains in-flight queries before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"svqact/internal/detect"
 	"svqact/internal/server"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		scale = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
-		seed  = flag.Int64("seed", 42, "dataset and model seed")
+		addr    = flag.String("addr", ":8080", "listen address")
+		scale   = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
+		seed    = flag.Int64("seed", 42, "dataset and model seed")
+		timeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline")
+		conc    = flag.Int("max-concurrent", 8, "queries executing at once")
+		queue   = flag.Int("queue-depth", 16, "requests allowed to wait for a slot")
+		wait    = flag.Duration("queue-wait", 2*time.Second, "max wait for an execution slot")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+
+		faultTransient = flag.Float64("fault-transient", 0, "injected transient detector failure rate [0,1)")
+		faultPermanent = flag.Float64("fault-permanent", 0, "injected permanent detector failure rate [0,1)")
+		faultSpike     = flag.Float64("fault-spike", 0, "injected latency spike rate [0,1)")
+		faultDelay     = flag.Duration("fault-spike-delay", 5*time.Millisecond, "injected latency spike duration")
+		retries        = flag.Int("detect-retries", 3, "attempts per detector invocation")
+		budget         = flag.Float64("failure-budget", 0.25, "max fraction of clips flagged before a query degrades")
 	)
 	flag.Parse()
-	srv := server.New(server.Config{Scale: *scale, Seed: *seed})
-	fmt.Printf("svq-act query server listening on %s (scale %.2f)\n", *addr, *scale)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	cfg := server.Config{
+		Scale:         *scale,
+		Seed:          *seed,
+		QueryTimeout:  *timeout,
+		MaxConcurrent: *conc,
+		QueueDepth:    *queue,
+		QueueWait:     *wait,
+		Retry:         detect.RetryConfig{Attempts: *retries},
+		FailureBudget: *budget,
+	}
+	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {
+		fc := &detect.FaultConfig{
+			TransientRate: *faultTransient,
+			PermanentRate: *faultPermanent,
+			SpikeRate:     *faultSpike,
+			SpikeDelay:    *faultDelay,
+			Seed:          *seed,
+		}
+		if err := fc.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(2)
+		}
+		cfg.Fault = fc
+		log.Printf("fault injection on: transient %.2f, permanent %.2f, spikes %.2f/%s",
+			*faultTransient, *faultPermanent, *faultSpike, *faultDelay)
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	log.Printf("svq-act query server listening on %s (scale %.2f)", ln.Addr(), *scale)
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Writes must outlast the slowest admitted query plus queue wait.
+		WriteTimeout: *timeout + *wait + 10*time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight queries (max %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		log.Printf("shutdown complete")
 	}
 }

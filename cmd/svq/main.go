@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -138,7 +139,7 @@ func runOnline(stream source, q core.Query, models detect.Models, algo string, p
 	var meter detect.Meter
 	eng.SetMeter(&meter)
 	start := time.Now()
-	res, err := eng.Run(stream, q)
+	res, err := eng.Run(context.Background(), stream, q)
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func runExtended(stream source, q core.CNF, models detect.Models, algo string, p
 		return err
 	}
 	start := time.Now()
-	res, err := eng.RunCNF(stream, q)
+	res, err := eng.RunCNF(context.Background(), stream, q)
 	if err != nil {
 		return err
 	}
@@ -204,7 +205,7 @@ func runRepo(dir string, q core.Query, k int) error {
 	defer repo.Close()
 	fmt.Printf("repository %s: %d videos\n", dir, len(repo.Videos()))
 	start := time.Now()
-	res, err := repo.TopK(q, k, rank.Options{})
+	res, err := repo.TopK(context.Background(), q, k, rank.Options{})
 	if err != nil {
 		return err
 	}
@@ -224,12 +225,12 @@ func runRepo(dir string, q core.Query, k int) error {
 
 func runOffline(stream source, q core.Query, models detect.Models, k int) error {
 	fmt.Printf("ingesting %s ...\n", stream.ID())
-	ix, err := rank.Ingest(stream, models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	ix, err := rank.Ingest(context.Background(), stream, models, rank.PaperScoring(), rank.DefaultIngestConfig())
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := rank.RVAQ(ix, q, k, rank.Options{})
+	res, err := rank.RVAQ(context.Background(), ix, q, k, rank.Options{})
 	if err != nil {
 		return err
 	}

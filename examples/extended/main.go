@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 		}},
 	}
 	for _, q := range queries {
-		res, err := eng.RunCNF(v, q)
+		res, err := eng.RunCNF(context.Background(), v, q)
 		if err != nil {
 			log.Fatal(err)
 		}

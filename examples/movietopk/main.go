@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +33,7 @@ func main() {
 
 	// Ingestion phase (§4.2): query-independent, one pass over the video.
 	fmt.Printf("ingesting %s (%d frames, %d clips)...\n", v.ID(), v.NumFrames(), v.Meta.NumClips())
-	ix, err := rank.Ingest(v, models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	ix, err := rank.Ingest(context.Background(), v, models, rank.PaperScoring(), rank.DefaultIngestConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 
 	q := core.Query{Objects: spec.Objects, Action: spec.Action}
 	const k = 5
-	res, err := rank.RVAQ(loaded, q, k, rank.Options{})
+	res, err := rank.RVAQ(context.Background(), loaded, q, k, rank.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 			float64(fr.Start)/v.Meta.FPS/60, float64(fr.End+1)/v.Meta.FPS/60)
 	}
 
-	trav, err := rank.PqTraverse(loaded, q, k, rank.Options{})
+	trav, err := rank.PqTraverse(context.Background(), loaded, q, k, rank.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

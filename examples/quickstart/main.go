@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Run(v, q)
+	res, err := eng.Run(context.Background(), v, q)
 	if err != nil {
 		log.Fatal(err)
 	}

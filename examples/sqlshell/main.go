@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -85,7 +86,7 @@ func execute(stmt string, dataset *synth.Dataset, models detect.Models) error {
 			return err
 		}
 		if plan.Extended {
-			res, err := eng.RunCNF(stream, plan.CNF)
+			res, err := eng.RunCNF(context.Background(), stream, plan.CNF)
 			if err != nil {
 				return err
 			}
@@ -96,7 +97,7 @@ func execute(stmt string, dataset *synth.Dataset, models detect.Models) error {
 			}
 			return nil
 		}
-		res, err := eng.Run(stream, plan.Query)
+		res, err := eng.Run(context.Background(), stream, plan.Query)
 		if err != nil {
 			return err
 		}
@@ -112,11 +113,11 @@ func execute(stmt string, dataset *synth.Dataset, models detect.Models) error {
 	for _, v := range vids {
 		tvs = append(tvs, v)
 	}
-	ix, err := rank.IngestAll(plan.Source, tvs, models, rank.PaperScoring(), rank.DefaultIngestConfig())
+	ix, err := rank.IngestAll(context.Background(), plan.Source, tvs, models, rank.PaperScoring(), rank.DefaultIngestConfig())
 	if err != nil {
 		return err
 	}
-	res, err := rank.RVAQ(ix, plan.Query, plan.K, rank.Options{})
+	res, err := rank.RVAQ(context.Background(), ix, plan.Query, plan.K, rank.Options{})
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := eng.Run(v, q)
+		res, err := eng.Run(context.Background(), v, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func main() {
 
 	// Show SVAQD's background estimate following the traffic waves.
 	eng, _ := core.NewSVAQD(models, core.DefaultConfig())
-	run, err := eng.NewRun(v, q)
+	run, err := eng.NewRun(context.Background(), v, q)
 	if err != nil {
 		log.Fatal(err)
 	}

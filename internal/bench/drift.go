@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"svqact/internal/core"
@@ -65,7 +66,7 @@ func DriftExperiment(w *Workspace) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Run(v, q)
+		res, err := eng.Run(context.Background(), v, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"svqact/internal/core"
 	"svqact/internal/detect"
 	"svqact/internal/metrics"
@@ -67,7 +69,7 @@ func ExtendedQueries(w *Workspace) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := eng.RunCNF(v, q.cnf)
+			res, err := eng.RunCNF(context.Background(), v, q.cnf)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,7 +43,7 @@ func offlineRun(ix *rank.Index, algo string, q core.Query, k int) (*rank.Result,
 		return nil, 0, fmt.Errorf("bench: unknown algorithm %q", algo)
 	}
 	start := time.Now()
-	res, err := fn(ix, q, k, rank.Options{})
+	res, err := fn(context.Background(), ix, q, k, rank.Options{})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -204,7 +205,7 @@ func OfflineAccuracy(w *Workspace) ([]Table, error) {
 		v := d.Video(title)
 		q := core.Query{Objects: spec.Objects, Action: spec.Action}
 		for _, k := range []int{5, 10} {
-			res, err := rank.RVAQ(ix, q, k, rank.Options{})
+			res, err := rank.RVAQ(context.Background(), ix, q, k, rank.Options{})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -210,7 +211,7 @@ func Table5(w *Workspace) ([]Table, error) {
 			return nil, err
 		}
 		q := core.Query{Objects: fq.spec.Objects, Action: fq.spec.Action}
-		res, err := eng.Run(stream, q)
+		res, err := eng.Run(context.Background(), stream, q)
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +358,7 @@ func RuntimeDecomposition(w *Workspace) ([]Table, error) {
 	eng.SetMeter(&meter)
 	q := core.Query{Objects: spec.Objects, Action: spec.Action}
 	start := time.Now()
-	if _, err := eng.Run(stream, q); err != nil {
+	if _, err := eng.Run(context.Background(), stream, q); err != nil {
 		return nil, err
 	}
 	engineTime := time.Since(start)

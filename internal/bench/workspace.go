@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -143,7 +144,7 @@ func (w *Workspace) MovieIndex(title string) (*rank.Index, error) {
 		return nil, fmt.Errorf("bench: unknown movie %q", title)
 	}
 	w.logf("ingesting %s", title)
-	ix, err := rank.Ingest(v, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig())
+	ix, err := rank.Ingest(context.Background(), v, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +173,7 @@ func (w *Workspace) YouTubeIndex(queryName string) (*rank.Index, error) {
 	for _, v := range c.Components() {
 		tvs = append(tvs, v)
 	}
-	ix, err := rank.IngestAllParallel("yt-"+queryName, tvs, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
+	ix, err := rank.IngestAllParallel(context.Background(), "yt-"+queryName, tvs, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +187,7 @@ func (w *Workspace) YouTubeIndex(queryName string) (*rank.Index, error) {
 // scores it against ground truth at the clip-sequence level.
 func OnlineEval(eng *core.Engine, c *synth.Concat, spec synth.QuerySpec) (metrics.Counts, *core.Result, error) {
 	q := core.Query{Objects: spec.Objects, Action: spec.Action}
-	res, err := eng.Run(c, q)
+	res, err := eng.Run(context.Background(), c, q)
 	if err != nil {
 		return metrics.Counts{}, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -49,6 +50,7 @@ func NewSVAQD(models detect.Models, cfg Config) (*Engine, error) {
 }
 
 func newEngine(models detect.Models, cfg Config, mode Mode) (*Engine, error) {
+	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,6 +108,10 @@ type Result struct {
 	NumClips int
 	// Sequences is P_q: maximal runs of clips satisfying the whole query.
 	Sequences video.IntervalSet
+	// Flagged is the set of clips skipped after detector retry exhaustion
+	// (their indicator is conservatively negative) — the degraded-but-alive
+	// outcome of the failure model.
+	Flagged video.IntervalSet
 	// Predicates holds per-predicate diagnostics, objects in query order
 	// followed by the action.
 	Predicates []PredicateStats
@@ -133,14 +139,19 @@ func (r *Result) Predicate(name string) *PredicateStats {
 
 // Run processes the whole video and returns the result sequences — the
 // batch entry point. For incremental streaming consumption use NewRun/Step.
-func (e *Engine) Run(v detect.TruthVideo, q Query) (*Result, error) {
-	run, err := e.NewRun(v, q)
+//
+// The run honours ctx: on deadline expiry or cancellation it stops between
+// clips and returns the partial result covering the clips processed so far
+// together with an *InterruptedError. A run whose flagged clips exceed the
+// failure budget likewise returns its partial result and a *DegradedError.
+func (e *Engine) Run(ctx context.Context, v detect.TruthVideo, q Query) (*Result, error) {
+	run, err := e.NewRun(ctx, v, q)
 	if err != nil {
 		return nil, err
 	}
 	for run.Step() {
 	}
-	return run.Result(), nil
+	return run.Result(), run.Err()
 }
 
 // predState is the per-predicate evaluation state of a run.
@@ -178,6 +189,7 @@ type predState struct {
 // for concurrent use.
 type Run struct {
 	e     *Engine
+	ctx   context.Context
 	v     detect.TruthVideo
 	q     Query
 	geom  video.Geometry
@@ -186,12 +198,19 @@ type Run struct {
 	numClips int
 	nextClip int
 	clipInd  []bool
+
+	// Failure-model state: flagged marks processed clips skipped after
+	// retry exhaustion; err latches the terminal error of the run.
+	flagged      []bool
+	flaggedCount int
+	err          error
 }
 
 // NewRun prepares a streaming evaluation of q over v. Critical values are
 // initialised from the configured background probabilities; in Dynamic mode
-// each predicate also gets a kernel estimator.
-func (e *Engine) NewRun(v detect.TruthVideo, q Query) (*Run, error) {
+// each predicate also gets a kernel estimator. The context is checked before
+// every clip; a nil ctx means context.Background.
+func (e *Engine) NewRun(ctx context.Context, v detect.TruthVideo, q Query) (*Run, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,9 +218,13 @@ func (e *Engine) NewRun(v detect.TruthVideo, q Query) (*Run, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := e.cfg
 	r := &Run{
 		e:        e,
+		ctx:      ctx,
 		v:        v,
 		q:        q,
 		geom:     g,
@@ -261,13 +284,32 @@ func (r *Run) NumClips() int { return r.numClips }
 // Processed returns the number of clips processed so far.
 func (r *Run) Processed() int { return r.nextClip }
 
+// Err returns the terminal error of the run: an *InterruptedError when the
+// context ended mid-stream, a *DegradedError when flagged clips exceeded the
+// failure budget, nil while the run is healthy. Once set, Step returns
+// false.
+func (r *Run) Err() error { return r.err }
+
+// Flagged returns the clips skipped so far after detector retry exhaustion.
+func (r *Run) Flagged() video.IntervalSet { return video.FromIndicator(r.flagged) }
+
 // Step processes the next clip of the stream; it returns false when the
-// stream is exhausted. This is Algorithm 1/3's main loop body: evaluate the
-// clip indicator (Algorithm 2) and, in Dynamic mode, fold the clip's
-// observations into each evaluated predicate's background estimate and
-// refresh its critical value.
+// stream is exhausted, the context has ended, or the run has degraded past
+// the failure budget (check Err). This is Algorithm 1/3's main loop body:
+// evaluate the clip indicator (Algorithm 2) and, in Dynamic mode, fold the
+// clip's observations into each evaluated predicate's background estimate
+// and refresh its critical value.
+//
+// A detector invocation that still fails after the configured retries does
+// not abort the run: the clip is flagged, its indicator forced negative, and
+// processing continues — until the flagged fraction exceeds the failure
+// budget, at which point the run stops with a DegradedError.
 func (r *Run) Step() bool {
-	if r.nextClip >= r.numClips {
+	if r.err != nil || r.nextClip >= r.numClips {
+		return false
+	}
+	if cerr := r.ctx.Err(); cerr != nil {
+		r.err = &InterruptedError{Processed: r.nextClip, Total: r.numClips, Err: cerr}
 		return false
 	}
 	c := r.nextClip
@@ -280,13 +322,28 @@ func (r *Run) Step() bool {
 		c%r.e.cfg.EstimatorSampleEvery == 0
 
 	positive := true
+	var clipErr error // detection failure flagging this clip
 	objectFramesCharged := false
 	for i, ps := range r.preds {
-		if !positive && !r.e.cfg.NoShortCircuit && !sampled {
+		if clipErr != nil || r.err != nil ||
+			(!positive && !r.e.cfg.NoShortCircuit && !sampled) {
 			ps.clipInd = append(ps.clipInd, false)
 			continue
 		}
-		count := r.evaluate(ps, c, &objectFramesCharged)
+		count, err := r.evaluate(ps, c, &objectFramesCharged)
+		if err != nil {
+			// Keep per-predicate indicator alignment, then decide whether
+			// this is an interruption (context ended during retries) or a
+			// skip-and-flag detection failure.
+			ps.clipInd = append(ps.clipInd, false)
+			positive = false
+			if r.ctx.Err() != nil {
+				r.err = &InterruptedError{Processed: c, Total: r.numClips, Err: r.ctx.Err()}
+			} else {
+				clipErr = err
+			}
+			continue
+		}
 		ps.evaluated++
 		ind := count >= ps.crit
 		if ps.est != nil && (i == 0 || sampled) {
@@ -298,6 +355,16 @@ func (r *Run) Step() bool {
 		}
 	}
 	r.clipInd = append(r.clipInd, positive)
+	r.flagged = append(r.flagged, clipErr != nil)
+	if clipErr != nil {
+		r.flaggedCount++
+		if float64(r.flaggedCount) > r.e.cfg.FailureBudget*float64(r.numClips) {
+			r.err = &DegradedError{
+				Flagged: r.flaggedCount, Processed: r.nextClip, Total: r.numClips,
+				Budget: r.e.cfg.FailureBudget, Err: clipErr,
+			}
+		}
+	}
 	return true
 }
 
@@ -370,8 +437,9 @@ func (r *Run) gateThreshold(ps *predState) (thr int, ready bool) {
 
 // evaluate runs the detector over the clip's occurrence units for one
 // predicate, records the raw indicators, charges the meter, and returns the
-// positive count.
-func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) int {
+// positive count. A detector invocation that fails after retries aborts the
+// clip's evaluation with the error (the caller flags the clip).
+func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int, error) {
 	count := 0
 	switch ps.kind {
 	case ObjectPredicate:
@@ -384,7 +452,11 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) int {
 			*objectFramesCharged = true
 		}
 		for f := fr.Start; f <= fr.End; f++ {
-			if r.e.models.ObjectPositive(r.v, ps.name, f) {
+			score, err := r.objectScore(ps.name, f)
+			if err != nil {
+				return 0, err
+			}
+			if score >= r.e.models.ObjThreshold {
 				ps.rawInd[f] = true
 				count++
 			}
@@ -395,13 +467,50 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) int {
 			r.e.meter.AddActionShots(sr.Len())
 		}
 		for s := sr.Start; s <= sr.End; s++ {
-			if r.e.models.ActionPositive(r.v, ps.name, s) {
+			score, err := r.actionScore(ps.name, s)
+			if err != nil {
+				return 0, err
+			}
+			if score >= r.e.models.ActThreshold {
 				ps.rawInd[s] = true
 				count++
 			}
 		}
 	}
-	return count
+	return count, nil
+}
+
+// objectScore invokes the object detector on one frame, retrying transient
+// failures of fallible detectors with exponential backoff. Infallible
+// detectors take the direct path.
+func (r *Run) objectScore(typ string, frame int) (float64, error) {
+	m := r.e.models
+	if _, ok := m.Objects.(detect.FallibleObjectDetector); !ok {
+		return m.Objects.FrameScore(r.v, typ, frame), nil
+	}
+	var s float64
+	err := detect.Retry(r.ctx, r.e.cfg.Retry, func(attempt int) error {
+		var err error
+		s, err = m.ObjectScoreAttempt(r.v, typ, frame, attempt)
+		return err
+	})
+	return s, err
+}
+
+// actionScore invokes the action recogniser on one shot, retrying transient
+// failures of fallible recognisers.
+func (r *Run) actionScore(act string, shot int) (float64, error) {
+	m := r.e.models
+	if _, ok := m.Actions.(detect.FallibleActionRecognizer); !ok {
+		return m.Actions.ShotScore(r.v, act, shot), nil
+	}
+	var s float64
+	err := detect.Retry(r.ctx, r.e.cfg.Retry, func(attempt int) error {
+		var err error
+		s, err = m.ActionScoreAttempt(r.v, act, shot, attempt)
+		return err
+	})
+	return s, err
 }
 
 // Sequences returns the result sequences over the clips processed so far.
@@ -416,6 +525,7 @@ func (r *Run) Result() *Result {
 		Geometry:  r.geom,
 		NumClips:  r.numClips,
 		Sequences: r.Sequences(),
+		Flagged:   r.Flagged(),
 	}
 	// Report objects in query order then the action, regardless of the
 	// evaluation order used.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"svqact/internal/detect"
@@ -119,7 +120,7 @@ func TestNewEngineValidation(t *testing.T) {
 
 func TestRunRejectsBadQuery(t *testing.T) {
 	e, _ := NewSVAQD(idealModels(), DefaultConfig())
-	if _, err := e.Run(testVideo(t, 1, 10_000), Query{}); err == nil {
+	if _, err := e.Run(context.Background(), testVideo(t, 1, 10_000), Query{}); err == nil {
 		t.Error("bad query should be rejected")
 	}
 }
@@ -135,7 +136,7 @@ func TestIdealModelsHighF1(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Run(v, q)
+		res, err := e.Run(context.Background(), v, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestSVAQDRobustToBadPrior(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.Run(v, q)
+		res, err := e.Run(context.Background(), v, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestShortCircuitSkipsLaterPredicates(t *testing.T) {
 	v := testVideo(t, 4, 40_000)
 	q := Query{Objects: []string{"car", "human"}, Action: "jumping"}
 	e, _ := NewSVAQD(noisyModels(1), DefaultConfig())
-	res, err := e.Run(v, q)
+	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestShortCircuitSkipsLaterPredicates(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NoShortCircuit = true
 	e2, _ := NewSVAQD(noisyModels(1), cfg)
-	res2, err := e2.Run(v, q)
+	res2, err := e2.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestActionFirstOrdering(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ActionFirst = true
 	e, _ := NewSVAQD(noisyModels(2), cfg)
-	res, err := e.Run(v, q)
+	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestMeterCharging(t *testing.T) {
 	cfg.NoShortCircuit = true
 	e, _ := NewSVAQD(noisyModels(3), cfg)
 	e.SetMeter(&m)
-	if _, err := e.Run(v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
+	if _, err := e.Run(context.Background(), v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := m.ObjectFrames(), int64(numClips*fpc); got != want {
@@ -267,7 +268,7 @@ func TestMeterCharging(t *testing.T) {
 	var m2 detect.Meter
 	e2, _ := NewSVAQD(noisyModels(3), DefaultConfig())
 	e2.SetMeter(&m2)
-	if _, err := e2.Run(v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
+	if _, err := e2.Run(context.Background(), v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
 		t.Fatal(err)
 	}
 	if m2.ActionShots() >= m.ActionShots() {
@@ -280,11 +281,11 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	q := Query{Objects: []string{"car"}, Action: "jumping"}
 	e, _ := NewSVAQD(noisyModels(4), DefaultConfig())
 
-	batch, err := e.Run(v, q)
+	batch, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := e.NewRun(v, q)
+	run, err := e.NewRun(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestPartialResultCoversPrefix(t *testing.T) {
 	v := testVideo(t, 8, 30_000)
 	q := Query{Objects: []string{"car"}, Action: "jumping"}
 	e, _ := NewSVAQD(noisyModels(5), DefaultConfig())
-	run, _ := e.NewRun(v, q)
+	run, _ := e.NewRun(context.Background(), v, q)
 	for i := 0; i < 100; i++ {
 		if !run.Step() {
 			t.Fatal("stream ended early")
@@ -332,7 +333,7 @@ func TestFrameSequencesConversion(t *testing.T) {
 	v := testVideo(t, 9, 20_000)
 	q := Query{Objects: []string{"human"}, Action: "jumping"}
 	e, _ := NewSVAQD(idealModels(), DefaultConfig())
-	res, err := e.Run(v, q)
+	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestDynamicBackgroundTracksReality(t *testing.T) {
 	q := Query{Objects: []string{"car"}, Action: "jumping"}
 	models := noisyModels(6)
 	e, _ := NewSVAQD(models, DefaultConfig())
-	res, err := e.Run(v, q)
+	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestDynamicBackgroundTracksReality(t *testing.T) {
 func TestPredicateLookup(t *testing.T) {
 	v := testVideo(t, 11, 10_000)
 	e, _ := NewSVAQ(idealModels(), DefaultConfig())
-	res, err := e.Run(v, Query{Objects: []string{"car"}, Action: "jumping"})
+	res, err := e.Run(context.Background(), v, Query{Objects: []string{"car"}, Action: "jumping"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestObjectlessQuery(t *testing.T) {
 	v := testVideo(t, 12, 30_000)
 	q := Query{Action: "jumping"}
 	e, _ := NewSVAQD(idealModels(), DefaultConfig())
-	res, err := e.Run(v, q)
+	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}

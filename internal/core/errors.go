@@ -1,0 +1,41 @@
+package core
+
+import "fmt"
+
+// InterruptedError reports a run stopped by its context — deadline expiry or
+// caller cancellation — before the stream was exhausted. The partial result
+// returned alongside it covers the clips processed so far.
+type InterruptedError struct {
+	// Processed and Total count clips.
+	Processed, Total int
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("core: query interrupted after %d/%d clips: %v", e.Processed, e.Total, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is.
+func (e *InterruptedError) Unwrap() error { return e.Err }
+
+// DegradedError reports a run abandoned because too many clips were flagged:
+// detector invocations kept failing after retry exhaustion and the flagged
+// fraction exceeded the configured failure budget, so the result would be
+// mostly holes.
+type DegradedError struct {
+	// Flagged counts clips skipped after retry exhaustion; Processed and
+	// Total count clips; Budget is the configured tolerance.
+	Flagged, Processed, Total int
+	Budget                    float64
+	// Err is a sample detection error from a flagged clip.
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("core: degraded beyond failure budget %.2f: %d of %d processed clips flagged (of %d total): %v",
+		e.Budget, e.Flagged, e.Processed, e.Total, e.Err)
+}
+
+// Unwrap exposes the sample detection error to errors.As.
+func (e *DegradedError) Unwrap() error { return e.Err }

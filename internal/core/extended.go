@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -171,6 +172,8 @@ type ExtendedResult struct {
 	NumClips int
 	// Sequences is the merged set of clips satisfying every clause.
 	Sequences video.IntervalSet
+	// Flagged is the set of clips skipped after detector retry exhaustion.
+	Flagged video.IntervalSet
 	// Atoms holds per-atom diagnostics in first-appearance order.
 	Atoms []PredicateStats
 }
@@ -200,7 +203,11 @@ func (r *ExtendedResult) FrameSequences() video.IntervalSet {
 // does and the query holds when every clause does. Atoms are always
 // evaluated on every clip (no short-circuiting), so all estimator samples
 // are unbiased.
-func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
+//
+// Like Run, RunCNF honours ctx between clips (returning the partial result
+// plus an *InterruptedError) and flags clips whose detector invocations fail
+// after retries, aborting with a *DegradedError past the failure budget.
+func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,9 +215,12 @@ func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	numClips := g.NumClips(v.NumFrames())
 	numShots := g.NumShots(v.NumFrames())
-	run := &Run{e: e, v: v, geom: g, numClips: numClips}
+	run := &Run{e: e, ctx: ctx, v: v, geom: g, numClips: numClips}
 
 	// One predState per distinct atom; clauses reference them by index.
 	type boundAtom struct {
@@ -243,11 +253,30 @@ func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
 		}
 	}
 
-	clipInd := make([]bool, numClips)
-	for clip := 0; clip < numClips; clip++ {
+	clipInd := make([]bool, 0, numClips)
+	var runErr error
+	for clip := 0; clip < numClips && runErr == nil; clip++ {
+		if cerr := ctx.Err(); cerr != nil {
+			runErr = &InterruptedError{Processed: clip, Total: numClips, Err: cerr}
+			break
+		}
 		chargedFrames := false
+		var clipErr error
 		for _, ba := range atoms {
-			count := run.evaluateAtom(ba.atom, ba.ps, clip, &chargedFrames)
+			if clipErr != nil || runErr != nil {
+				ba.ps.clipInd = append(ba.ps.clipInd, false)
+				continue
+			}
+			count, err := run.evaluateAtom(ba.atom, ba.ps, clip, &chargedFrames)
+			if err != nil {
+				ba.ps.clipInd = append(ba.ps.clipInd, false)
+				if ctx.Err() != nil {
+					runErr = &InterruptedError{Processed: clip, Total: numClips, Err: ctx.Err()}
+				} else {
+					clipErr = err
+				}
+				continue
+			}
 			ba.ps.evaluated++
 			ind := count >= ba.ps.crit
 			if ba.ps.est != nil {
@@ -255,29 +284,44 @@ func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
 			}
 			ba.ps.clipInd = append(ba.ps.clipInd, ind)
 		}
-		sat := true
-		for _, refs := range clauseAtoms {
-			any := false
-			for _, i := range refs {
-				if atoms[i].ps.clipInd[clip] {
-					any = true
+		sat := clipErr == nil && runErr == nil
+		if sat {
+			for _, refs := range clauseAtoms {
+				any := false
+				for _, i := range refs {
+					if atoms[i].ps.clipInd[clip] {
+						any = true
+						break
+					}
+				}
+				if !any {
+					sat = false
 					break
 				}
 			}
-			if !any {
-				sat = false
-				break
+		}
+		clipInd = append(clipInd, sat)
+		run.flagged = append(run.flagged, clipErr != nil)
+		if clipErr != nil {
+			run.flaggedCount++
+			if float64(run.flaggedCount) > e.cfg.FailureBudget*float64(numClips) {
+				runErr = &DegradedError{
+					Flagged: run.flaggedCount, Processed: clip + 1, Total: numClips,
+					Budget: e.cfg.FailureBudget, Err: clipErr,
+				}
 			}
 		}
-		clipInd[clip] = sat
 	}
 
+	// On interruption or degradation the result covers the clips processed
+	// so far and accompanies the error.
 	res := &ExtendedResult{
 		Query:     q,
 		Mode:      e.mode,
 		Geometry:  g,
 		NumClips:  numClips,
 		Sequences: video.FromIndicator(clipInd),
+		Flagged:   run.Flagged(),
 	}
 	for _, ba := range atoms {
 		res.Atoms = append(res.Atoms, PredicateStats{
@@ -290,12 +334,13 @@ func (e *Engine) RunCNF(v detect.TruthVideo, q CNF) (*ExtendedResult, error) {
 			EvaluatedClips: ba.ps.evaluated,
 		})
 	}
-	return res, nil
+	return res, runErr
 }
 
 // evaluateAtom computes the atom's positive-unit count over one clip,
-// recording raw indicators and charging the meter.
-func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool) int {
+// recording raw indicators and charging the meter. Detection failures
+// surface as errors (the caller flags the clip).
+func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool) (int, error) {
 	count := 0
 	switch a.Kind {
 	case ObjectPredicate:
@@ -315,5 +360,5 @@ func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool)
 			}
 		}
 	}
-	return count
+	return count, nil
 }

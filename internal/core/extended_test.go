@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"svqact/internal/detect"
@@ -98,11 +99,11 @@ func TestFromQueryEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	basic, err := eng.Run(v, q)
+	basic, err := eng.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext, err := eng.RunCNF(v, FromQuery(q))
+	ext, err := eng.RunCNF(context.Background(), v, FromQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFromQueryEquivalence(t *testing.T) {
 
 func TestRunCNFRejectsBadQuery(t *testing.T) {
 	eng, _ := NewSVAQD(idealModels(), DefaultConfig())
-	if _, err := eng.RunCNF(extTestVideo(t, 2), CNF{}); err == nil {
+	if _, err := eng.RunCNF(context.Background(), extTestVideo(t, 2), CNF{}); err == nil {
 		t.Error("empty CNF should be rejected")
 	}
 }
@@ -166,7 +167,7 @@ func TestMultipleActionsConjunction(t *testing.T) {
 		{Atoms: []Atom{ActionAtom("dancing")}},
 	}}
 	eng, _ := NewSVAQD(idealModels(), DefaultConfig())
-	res, err := eng.RunCNF(v, q)
+	res, err := eng.RunCNF(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestMultipleActionsConjunction(t *testing.T) {
 		t.Errorf("two-action conjunction F1 = %.2f (%+v, truth %v)", c.F1(), c, truth)
 	}
 	// The conjunction must be a subset of each single-action query.
-	single, err := eng.RunCNF(v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("jumping")}}, {Atoms: []Atom{ObjectAtom("human")}}}})
+	single, err := eng.RunCNF(context.Background(), v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("jumping")}}, {Atoms: []Atom{ObjectAtom("human")}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,17 +189,17 @@ func TestDisjunctionIsUnionLike(t *testing.T) {
 	// individual action queries cover, clip-wise.
 	v := extTestVideo(t, 7)
 	eng, _ := NewSVAQD(idealModels(), DefaultConfig())
-	or, err := eng.RunCNF(v, CNF{Clauses: []Clause{
+	or, err := eng.RunCNF(context.Background(), v, CNF{Clauses: []Clause{
 		{Atoms: []Atom{ActionAtom("jumping"), ActionAtom("dancing")}},
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	onlyJ, err := eng.RunCNF(v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("jumping")}}}})
+	onlyJ, err := eng.RunCNF(context.Background(), v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("jumping")}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	onlyD, err := eng.RunCNF(v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("dancing")}}}})
+	onlyD, err := eng.RunCNF(context.Background(), v, CNF{Clauses: []Clause{{Atoms: []Atom{ActionAtom("dancing")}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestRelationAtomAgainstTruth(t *testing.T) {
 		{Atoms: []Atom{RelationAtom(detect.Near, "human", "car")}},
 	}}
 	eng, _ := NewSVAQD(idealModels(), DefaultConfig())
-	res, err := eng.RunCNF(v, q)
+	res, err := eng.RunCNF(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestSharedAtomStateAcrossClauses(t *testing.T) {
 		{Atoms: []Atom{ObjectAtom("car"), ObjectAtom("dog")}},
 	}}
 	eng, _ := NewSVAQD(noisyModels(4), DefaultConfig())
-	res, err := eng.RunCNF(v, q)
+	res, err := eng.RunCNF(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}

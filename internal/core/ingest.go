@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"svqact/internal/detect"
@@ -17,16 +18,25 @@ import (
 //
 // The returned maps give the positive-clip interval set per object type and
 // per action type.
-func (e *Engine) EvaluateTypes(v detect.TruthVideo, objects, actions []string) (map[string]video.IntervalSet, map[string]video.IntervalSet, error) {
+//
+// The context is checked between clips: ingestion of a long video aborts
+// promptly (with an *InterruptedError) when the caller goes away. Clips
+// whose detector invocations fail after retries are flagged per predicate
+// (indicator negative); past the failure budget the evaluation aborts with a
+// *DegradedError.
+func (e *Engine) EvaluateTypes(ctx context.Context, v detect.TruthVideo, objects, actions []string) (map[string]video.IntervalSet, map[string]video.IntervalSet, error) {
 	g := v.Geometry()
 	if err := g.Validate(); err != nil {
 		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cfg := e.cfg
 	numClips := g.NumClips(v.NumFrames())
 	numShots := g.NumShots(v.NumFrames())
 
-	run := &Run{e: e, v: v, geom: g, numClips: numClips}
+	run := &Run{e: e, ctx: ctx, v: v, geom: g, numClips: numClips}
 	seen := map[string]bool{}
 	for _, o := range objects {
 		if o == "" || seen["o/"+o] {
@@ -52,15 +62,40 @@ func (e *Engine) EvaluateTypes(v detect.TruthVideo, objects, actions []string) (
 	}
 
 	for c := 0; c < numClips; c++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, &InterruptedError{Processed: c, Total: numClips, Err: cerr}
+		}
 		objectFramesCharged := false
+		var clipErr error
 		for _, ps := range run.preds {
-			count := run.evaluate(ps, c, &objectFramesCharged)
+			if clipErr != nil {
+				ps.clipInd = append(ps.clipInd, false)
+				continue
+			}
+			count, err := run.evaluate(ps, c, &objectFramesCharged)
+			if err != nil {
+				ps.clipInd = append(ps.clipInd, false)
+				if ctx.Err() != nil {
+					return nil, nil, &InterruptedError{Processed: c, Total: numClips, Err: ctx.Err()}
+				}
+				clipErr = err
+				continue
+			}
 			ps.evaluated++
 			ind := count >= ps.crit
 			if ps.est != nil {
 				run.learn(ps, count)
 			}
 			ps.clipInd = append(ps.clipInd, ind)
+		}
+		if clipErr != nil {
+			run.flaggedCount++
+			if float64(run.flaggedCount) > cfg.FailureBudget*float64(numClips) {
+				return nil, nil, &DegradedError{
+					Flagged: run.flaggedCount, Processed: c + 1, Total: numClips,
+					Budget: cfg.FailureBudget, Err: clipErr,
+				}
+			}
 		}
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"svqact/internal/metrics"
@@ -22,7 +23,7 @@ func TestEvaluateTypesMatchesQueryRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	objSeqs, actSeqs, err := eng.EvaluateTypes(v, []string{"car", "human"}, []string{"jumping"})
+	objSeqs, actSeqs, err := eng.EvaluateTypes(context.Background(), v, []string{"car", "human"}, []string{"jumping"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestEvaluateTypesMatchesQueryRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng2.Run(v, Query{Objects: []string{"car", "human"}, Action: "jumping"})
+	res, err := eng2.Run(context.Background(), v, Query{Objects: []string{"car", "human"}, Action: "jumping"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,13 +49,13 @@ func TestEvaluateTypesMatchesQueryRun(t *testing.T) {
 func TestEvaluateTypesValidation(t *testing.T) {
 	v := testVideo(t, 22, 10_000)
 	eng, _ := NewSVAQD(noisyModels(1), DefaultConfig())
-	if _, _, err := eng.EvaluateTypes(v, []string{"car", "car"}, nil); err == nil {
+	if _, _, err := eng.EvaluateTypes(context.Background(), v, []string{"car", "car"}, nil); err == nil {
 		t.Error("duplicate object types should be rejected")
 	}
-	if _, _, err := eng.EvaluateTypes(v, nil, []string{""}); err == nil {
+	if _, _, err := eng.EvaluateTypes(context.Background(), v, nil, []string{""}); err == nil {
 		t.Error("empty action type should be rejected")
 	}
-	objSeqs, actSeqs, err := eng.EvaluateTypes(v, nil, nil)
+	objSeqs, actSeqs, err := eng.EvaluateTypes(context.Background(), v, nil, nil)
 	if err != nil {
 		t.Fatalf("empty type lists should be fine: %v", err)
 	}
@@ -75,7 +76,7 @@ func TestEvaluateTypesSameNameAcrossKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng, _ := NewSVAQD(noisyModels(2), DefaultConfig())
-	objSeqs, actSeqs, err := eng.EvaluateTypes(v, []string{"surfing"}, []string{"surfing"})
+	objSeqs, actSeqs, err := eng.EvaluateTypes(context.Background(), v, []string{"surfing"}, []string{"surfing"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestSVAQDSurvivesStepDrift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(v, q)
+	res, err := eng.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}

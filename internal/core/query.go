@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"svqact/internal/detect"
 )
 
 // Query is the paper's q: {o_1, ..., o_I; a} — a conjunction of object
@@ -132,6 +134,17 @@ type Config struct {
 	// ActionFirst evaluates the action predicate before the object
 	// predicates — the predicate-order ablation.
 	ActionFirst bool
+
+	// Retry tunes retrying of failed detector invocations (fallible models
+	// only; the simulated models never fail unless fault-injected). The zero
+	// value means detect.DefaultRetryConfig.
+	Retry detect.RetryConfig
+
+	// FailureBudget is the fraction of a video's clips that may be flagged
+	// (skipped after retry exhaustion) before the run aborts with a
+	// DegradedError instead of silently returning a result that is mostly
+	// holes. Zero means the default of 0.25.
+	FailureBudget float64
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -148,7 +161,25 @@ func DefaultConfig() Config {
 		BootstrapClips:       48,
 		NullQuantile:         0.6,
 		RobustWindowClips:    48,
+		Retry:                detect.DefaultRetryConfig(),
+		FailureBudget:        0.25,
 	}
+}
+
+// DefaultFailureBudget is the flagged-clip tolerance used when
+// Config.FailureBudget is zero.
+const DefaultFailureBudget = 0.25
+
+// withDefaults fills the failure-model knobs a zero-valued or pre-existing
+// Config leaves unset, so older literals keep validating.
+func (c Config) withDefaults() Config {
+	if c.Retry.Attempts == 0 {
+		c.Retry = detect.DefaultRetryConfig()
+	}
+	if c.FailureBudget == 0 {
+		c.FailureBudget = DefaultFailureBudget
+	}
+	return c
 }
 
 // Validate reports whether the configuration is usable.
@@ -179,6 +210,12 @@ func (c Config) Validate() error {
 	}
 	if c.RobustWindowClips < 4 {
 		return fmt.Errorf("core: RobustWindowClips = %d must be >= 4", c.RobustWindowClips)
+	}
+	if c.FailureBudget < 0 || c.FailureBudget > 1 {
+		return fmt.Errorf("core: FailureBudget = %v out of [0,1]", c.FailureBudget)
+	}
+	if c.Retry.Attempts < 0 {
+		return fmt.Errorf("core: Retry.Attempts = %d must be >= 0", c.Retry.Attempts)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,14 +13,18 @@ import (
 // PqTraverse is the exhaustive baseline (§5.1): it accesses every clip of
 // every candidate sequence, computes all sequence scores exactly, and
 // returns the k best. Its cost is constant in k and proportional to the
-// total number of candidate clips.
-func PqTraverse(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+// total number of candidate clips. The context is checked once per
+// candidate sequence.
+func PqTraverse(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	pq, err := ix.Pq(q)
 	if err != nil {
@@ -32,9 +37,16 @@ func PqTraverse(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	}
 	f := opts.Scoring.Seq
 	for _, iv := range pq.Intervals() {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &core.InterruptedError{Processed: res.ClipsScored, Total: pq.TotalLen(), Err: cerr}
+		}
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			sum = f.Combine(sum, f.OfClip(scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, c)))
+			s, err := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, c)
+			if err != nil {
+				return nil, err
+			}
+			sum = f.Combine(sum, f.OfClip(s))
 			res.ClipsScored++
 		}
 		res.Sequences = append(res.Sequences, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
@@ -52,14 +64,17 @@ func PqTraverse(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 // continues until the score of every clip of every candidate sequence has
 // been produced (FA has no per-sequence bounds and no skip mechanism, so it
 // cannot stop earlier), after which sequence scores are computed and the k
-// best returned.
-func FA(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+// best returned. The context is checked once per sorted-access round.
+func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("rank: k = %d must be positive", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	pq, err := ix.Pq(q)
 	if err != nil {
@@ -83,17 +98,26 @@ func FA(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	seenIn := map[int]int{}
 	cursors := make([]int, len(tables))
 	for remaining > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &core.InterruptedError{Processed: res.ClipsScored, Total: pq.TotalLen(), Err: cerr}
+		}
 		progressed := false
 		for i, tbl := range tables {
 			if cursors[i] >= tbl.Len() {
 				continue
 			}
-			e := tbl.SortedAt(cursors[i])
+			e, err := tbl.SortedAt(cursors[i])
+			if err != nil {
+				return nil, err
+			}
 			cursors[i]++
 			progressed = true
 			seenIn[e.Clip]++
 			if seenIn[e.Clip] == 1 {
-				score := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, e.Clip)
+				score, err := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, e.Clip)
+				if err != nil {
+					return nil, err
+				}
 				res.ClipsScored++
 				if pq.Contains(e.Clip) {
 					scores[e.Clip] = score
@@ -125,16 +149,16 @@ func FA(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 
 // Algorithms enumerates the offline algorithms under evaluation, keyed by
 // the names used in the paper's tables.
-var Algorithms = map[string]func(*Index, core.Query, int, Options) (*Result, error){
+var Algorithms = map[string]func(context.Context, *Index, core.Query, int, Options) (*Result, error){
 	"FA":          FA,
 	"RVAQ-noSkip": rvaqNoSkip,
 	"Pq-Traverse": PqTraverse,
 	"RVAQ":        RVAQ,
 }
 
-func rvaqNoSkip(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+func rvaqNoSkip(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	opts.NoSkip = true
-	return RVAQ(ix, q, k, opts)
+	return RVAQ(ctx, ix, q, k, opts)
 }
 
 // TruthTopK computes the reference answer by exhaustively scoring every
@@ -155,7 +179,11 @@ func TruthTopK(ix *Index, q core.Query, k int, scoring Scoring) ([]SeqResult, er
 	for _, iv := range pq.Intervals() {
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			sum = f.Combine(sum, f.OfClip(scoreClip(tables, basicTableScorer{c: scoring.Clip}, c)))
+			s, err := scoreClip(tables, basicTableScorer{c: scoring.Clip}, c)
+			if err != nil {
+				return nil, err
+			}
+			sum = f.Combine(sum, f.OfClip(s))
 		}
 		out = append(out, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
 	}

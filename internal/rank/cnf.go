@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 
 	"svqact/internal/core"
@@ -115,8 +116,8 @@ func (ix *Index) PqCNF(q core.CNF) (video.IntervalSet, error) {
 }
 
 // RVAQCNF answers a ranked CNF query with the RVAQ machinery over per-atom
-// tables.
-func RVAQCNF(ix *Index, q core.CNF, k int, opts Options) (*Result, error) {
+// tables. Like RVAQ it honours ctx between iterator rounds.
+func RVAQCNF(ctx context.Context, ix *Index, q core.CNF, k int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
@@ -147,7 +148,7 @@ func RVAQCNF(ix *Index, q core.CNF, k int, opts Options) (*Result, error) {
 		return res, nil
 	}
 	scorer := cnfTableScorer{clauses: clauses}
-	if err := topkRun(res, tables, scorer, opts, pq, k); err != nil {
+	if err := topkRun(ctx, res, tables, scorer, opts, pq, k); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -171,7 +172,11 @@ func TruthTopKCNF(ix *Index, q core.CNF, k int, scoring Scoring) ([]SeqResult, e
 	for _, iv := range pq.Intervals() {
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			sum = f.Combine(sum, f.OfClip(scoreClip(tables, scorer, c)))
+			s, err := scoreClip(tables, scorer, c)
+			if err != nil {
+				return nil, err
+			}
+			sum = f.Combine(sum, f.OfClip(s))
 		}
 		out = append(out, SeqResult{Seq: iv, Lower: sum, Upper: sum, Exact: true})
 	}

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,7 +28,7 @@ func cnfTestIndex(t *testing.T) *Index {
 		t.Fatal(err)
 	}
 	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, 41), detect.NewActionRecognizer(detect.I3D, 41))
-	ix, err := Ingest(v, models, PaperScoring(), DefaultIngestConfig())
+	ix, err := Ingest(context.Background(), v, models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRVAQCNFAgreesWithExhaustive(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, noSkip := range []bool{false, true} {
-				got, err := RVAQCNF(ix, q, k, Options{NoSkip: noSkip})
+				got, err := RVAQCNF(context.Background(), ix, q, k, Options{NoSkip: noSkip})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -120,11 +121,11 @@ func TestPqCNFSemantics(t *testing.T) {
 func TestRVAQCNFSkipSavesWork(t *testing.T) {
 	ix := cnfTestIndex(t)
 	q := cnfQueries[0]
-	with, err := RVAQCNF(ix, q, 1, Options{})
+	with, err := RVAQCNF(context.Background(), ix, q, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := RVAQCNF(ix, q, 1, Options{NoSkip: true})
+	without, err := RVAQCNF(context.Background(), ix, q, 1, Options{NoSkip: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,23 +137,23 @@ func TestRVAQCNFSkipSavesWork(t *testing.T) {
 
 func TestRVAQCNFErrors(t *testing.T) {
 	ix := cnfTestIndex(t)
-	if _, err := RVAQCNF(ix, core.CNF{}, 3, Options{}); err == nil {
+	if _, err := RVAQCNF(context.Background(), ix, core.CNF{}, 3, Options{}); err == nil {
 		t.Error("empty CNF should fail")
 	}
-	if _, err := RVAQCNF(ix, cnfQueries[0], 0, Options{}); err == nil {
+	if _, err := RVAQCNF(context.Background(), ix, cnfQueries[0], 0, Options{}); err == nil {
 		t.Error("k=0 should fail")
 	}
 	rel := core.CNF{Clauses: []core.Clause{
 		{Atoms: []core.Atom{core.ActionAtom("jumping")}},
 		{Atoms: []core.Atom{core.RelationAtom(detect.Near, "human", "car")}},
 	}}
-	if _, err := RVAQCNF(ix, rel, 3, Options{}); err == nil {
+	if _, err := RVAQCNF(context.Background(), ix, rel, 3, Options{}); err == nil {
 		t.Error("relation atoms should be rejected offline")
 	}
 	unknown := core.CNF{Clauses: []core.Clause{
 		{Atoms: []core.Atom{core.ActionAtom("nope")}},
 	}}
-	if _, err := RVAQCNF(ix, unknown, 3, Options{}); err == nil {
+	if _, err := RVAQCNF(context.Background(), ix, unknown, 3, Options{}); err == nil {
 		t.Error("unknown atom should fail")
 	}
 }

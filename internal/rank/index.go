@@ -87,7 +87,10 @@ func Merge(name string, indexes []*Index) (*Index, error) {
 		out.spans = append(out.spans, videoSpan{videoID: ix.Name, start: offset, clips: ix.NumClips})
 		shift := func(ti *TypeIndex, entries map[string][]store.Entry, seqs map[string][]video.Interval, typ string) error {
 			for i := 0; i < ti.Table.Len(); i++ {
-				e := ti.Table.SortedAt(i)
+				e, err := ti.Table.SortedAt(i)
+				if err != nil {
+					return err
+				}
 				entries[typ] = append(entries[typ], store.Entry{Clip: e.Clip + offset, Score: e.Score})
 			}
 			for _, iv := range ti.Seqs.Intervals() {

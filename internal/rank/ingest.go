@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 
 	"svqact/internal/core"
@@ -36,12 +37,20 @@ func DefaultIngestConfig() IngestConfig {
 // per type, computed with the adaptive SVAQD machinery).
 //
 // The returned Index is in-memory; Save persists it for later Load.
-func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
+//
+// Ingestion honours ctx between clips, and retries transient failures of
+// fallible detection models with the configured backoff; a unit that still
+// fails after retries contributes no score (the engine-side individual
+// sequences independently flag such clips and enforce the failure budget).
+func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
 	if err := scoring.Validate(); err != nil {
 		return nil, err
 	}
 	if models.Objects == nil || models.Actions == nil {
 		return nil, fmt.Errorf("rank: ingestion needs both detection models")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	g := v.Geometry()
 	if err := g.Validate(); err != nil {
@@ -53,7 +62,7 @@ func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg Inge
 	if err != nil {
 		return nil, err
 	}
-	objSeqs, actSeqs, err := eng.EvaluateTypes(v, objTypes, actTypes)
+	objSeqs, actSeqs, err := eng.EvaluateTypes(ctx, v, objTypes, actTypes)
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +70,10 @@ func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg Inge
 	det := models.Objects
 	if cfg.Tracker != nil {
 		det = cfg.Tracker(det)
+	}
+	retry := cfg.Core.Retry
+	if retry.Attempts == 0 {
+		retry = detect.DefaultRetryConfig()
 	}
 
 	ix := &Index{
@@ -76,10 +89,25 @@ func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg Inge
 	for _, typ := range objTypes {
 		var entries []store.Entry
 		for c := 0; c < ix.NumClips; c++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: cerr}
+			}
 			fr := g.FrameRangeOfClip(c)
 			sum := 0.0
 			for f := fr.Start; f <= fr.End; f++ {
-				for _, d := range det.FrameDetections(v, typ, f) {
+				var dets []detect.Detection
+				err := detect.Retry(ctx, retry, func(attempt int) error {
+					var err error
+					dets, err = detect.FrameDetectionsAttempt(det, v, typ, f, attempt)
+					return err
+				})
+				if err != nil {
+					if ctx.Err() != nil {
+						return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
+					}
+					continue // flagged by EvaluateTypes; score the rest
+				}
+				for _, d := range dets {
 					sum += d.Score
 				}
 			}
@@ -96,10 +124,25 @@ func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg Inge
 	for _, typ := range actTypes {
 		var entries []store.Entry
 		for c := 0; c < ix.NumClips; c++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: cerr}
+			}
 			sr := g.ShotRangeOfClip(c)
 			sum := 0.0
 			for s := sr.Start; s <= sr.End; s++ {
-				sum += models.Actions.ShotScore(v, typ, s)
+				var score float64
+				err := detect.Retry(ctx, retry, func(attempt int) error {
+					var err error
+					score, err = models.ActionScoreAttempt(v, typ, s, attempt)
+					return err
+				})
+				if err != nil {
+					if ctx.Err() != nil {
+						return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
+					}
+					continue
+				}
+				sum += score
 			}
 			if sum > 0 {
 				entries = append(entries, store.Entry{Clip: c, Score: sum})
@@ -116,10 +159,10 @@ func Ingest(v detect.TruthVideo, models detect.Models, scoring Scoring, cfg Inge
 
 // IngestAll ingests every video of a collection and merges the per-video
 // indexes into one repository index.
-func IngestAll(name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
+func IngestAll(ctx context.Context, name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig) (*Index, error) {
 	indexes := make([]*Index, 0, len(videos))
 	for _, v := range videos {
-		ix, err := Ingest(v, models, scoring, cfg)
+		ix, err := Ingest(ctx, v, models, scoring, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("rank: ingesting %s: %w", v.ID(), err)
 		}
@@ -170,11 +213,16 @@ func (ix *Index) queryTables(q core.Query, st *store.Stats) ([]store.Table, erro
 }
 
 // scoreClip computes a clip's overall score via random accesses on every
-// query table. Missing rows contribute zero.
-func scoreClip(tables []store.Table, scorer tableScorer, clip int) float64 {
+// query table. Missing rows contribute zero; table read failures surface as
+// errors.
+func scoreClip(tables []store.Table, scorer tableScorer, clip int) (float64, error) {
 	scores := make([]float64, len(tables))
 	for i, t := range tables {
-		scores[i], _ = t.ScoreOf(clip)
+		s, _, err := t.ScoreOf(clip)
+		if err != nil {
+			return 0, err
+		}
+		scores[i] = s
 	}
-	return scorer.scoreTables(scores)
+	return scorer.scoreTables(scores), nil
 }

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,8 +13,12 @@ import (
 // the per-video indexes. Ingestion is embarrassingly parallel across videos
 // (every simulated model draw is a pure function of the video), so this is
 // the default path for large repositories; workers <= 0 uses GOMAXPROCS.
-// The result is identical to IngestAll.
-func IngestAllParallel(name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig, workers int) (*Index, error) {
+// The result is identical to IngestAll. Cancelling ctx stops every worker at
+// its next clip boundary.
+func IngestAllParallel(ctx context.Context, name string, videos []detect.TruthVideo, models detect.Models, scoring Scoring, cfg IngestConfig, workers int) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -21,7 +26,7 @@ func IngestAllParallel(name string, videos []detect.TruthVideo, models detect.Mo
 		workers = len(videos)
 	}
 	if workers <= 1 {
-		return IngestAll(name, videos, models, scoring, cfg)
+		return IngestAll(ctx, name, videos, models, scoring, cfg)
 	}
 
 	indexes := make([]*Index, len(videos))
@@ -33,7 +38,7 @@ func IngestAllParallel(name string, videos []detect.TruthVideo, models detect.Mo
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				ix, err := Ingest(videos[i], models, scoring, cfg)
+				ix, err := Ingest(ctx, videos[i], models, scoring, cfg)
 				indexes[i], errs[i] = ix, err
 			}
 		}()

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -155,7 +156,7 @@ func TestAllAlgorithmsAgree(t *testing.T) {
 				t.Fatal(err)
 			}
 			for name, algo := range Algorithms {
-				res, err := algo(ix, testQuery, k, Options{})
+				res, err := algo(context.Background(), ix, testQuery, k, Options{})
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -172,7 +173,7 @@ func TestRVAQFewerAccessesThanBaselines(t *testing.T) {
 	ix := buildIndex(t, 500, 42, []int{6, 12, 3, 18, 9, 4, 11, 7, 15, 2, 8, 10, 5, 13, 4})
 	k := 3
 	run := func(name string) *Result {
-		res, err := Algorithms[name](ix, testQuery, k, Options{})
+		res, err := Algorithms[name](context.Background(), ix, testQuery, k, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -198,11 +199,11 @@ func TestRVAQFewerAccessesThanBaselines(t *testing.T) {
 func TestRVAQApproachesTraverseAtMaxK(t *testing.T) {
 	ix := buildIndex(t, 300, 7, []int{5, 8, 3, 12, 6, 9})
 	kMax := 6
-	rvaq, err := RVAQ(ix, testQuery, kMax, Options{})
+	rvaq, err := RVAQ(context.Background(), ix, testQuery, kMax, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	trav, err := PqTraverse(ix, testQuery, kMax, Options{})
+	trav, err := PqTraverse(context.Background(), ix, testQuery, kMax, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +216,11 @@ func TestRVAQApproachesTraverseAtMaxK(t *testing.T) {
 
 func TestRVAQApproxScores(t *testing.T) {
 	ix := buildIndex(t, 300, 9, []int{5, 8, 3, 12, 6, 9, 7, 4})
-	exact, err := RVAQ(ix, testQuery, 2, Options{})
+	exact, err := RVAQ(context.Background(), ix, testQuery, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := RVAQ(ix, testQuery, 2, Options{ApproxScores: true})
+	approx, err := RVAQ(context.Background(), ix, testQuery, 2, Options{ApproxScores: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestRVAQApproxScores(t *testing.T) {
 func TestTopKDegenerate(t *testing.T) {
 	ix := buildIndex(t, 200, 3, []int{4, 6})
 	// k exceeding the number of candidates returns all of them.
-	res, err := RVAQ(ix, testQuery, 10, Options{})
+	res, err := RVAQ(context.Background(), ix, testQuery, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestTopKDegenerate(t *testing.T) {
 	}
 	// k <= 0 is rejected.
 	for name, algo := range Algorithms {
-		if _, err := algo(ix, testQuery, 0, Options{}); err == nil {
+		if _, err := algo(context.Background(), ix, testQuery, 0, Options{}); err == nil {
 			t.Errorf("%s: k=0 should error", name)
 		}
 	}
@@ -267,7 +268,7 @@ func TestTopKDegenerate(t *testing.T) {
 		Actions: map[string]*TypeIndex{"jumping": {Table: mustMem(t, "jumping", nil)}},
 	}
 	for name, algo := range Algorithms {
-		res, err := algo(empty, testQuery, 3, Options{})
+		res, err := algo(context.Background(), empty, testQuery, 3, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -295,7 +296,7 @@ func ingestedTestIndex(t *testing.T, frames int, seed int64) (*Index, *synth.Vid
 		t.Fatal(err)
 	}
 	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, seed), detect.NewActionRecognizer(detect.I3D, seed))
-	ix, err := Ingest(v, models, PaperScoring(), DefaultIngestConfig())
+	ix, err := Ingest(context.Background(), v, models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestIngestProducesCoherentIndex(t *testing.T) {
 	}
 	// Query end-to-end over the ingested index.
 	q := core.Query{Objects: []string{"car"}, Action: "jumping"}
-	res, err := RVAQ(ix, q, 5, Options{})
+	res, err := RVAQ(context.Background(), ix, q, 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,11 +359,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	q := core.Query{Objects: []string{"car", "human"}, Action: "jumping"}
 	for name, algo := range Algorithms {
-		a, err := algo(ix, q, 4, Options{})
+		a, err := algo(context.Background(), ix, q, 4, Options{})
 		if err != nil {
 			t.Fatalf("%s mem: %v", name, err)
 		}
-		b, err := algo(loaded, q, 4, Options{})
+		b, err := algo(context.Background(), loaded, q, 4, Options{})
 		if err != nil {
 			t.Fatalf("%s disk: %v", name, err)
 		}
@@ -399,7 +400,7 @@ func TestMergeOffsetsAndResolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	models := detect.NewModels(detect.NewObjectDetector(detect.MaskRCNN, 18), detect.NewActionRecognizer(detect.I3D, 18))
-	b, err := Ingest(bSrc, models, PaperScoring(), DefaultIngestConfig())
+	b, err := Ingest(context.Background(), bSrc, models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,9 +432,12 @@ func TestMergeOffsetsAndResolve(t *testing.T) {
 	carA := a.Objects["car"].Table
 	carM := merged.Objects["car"].Table
 	for i := 0; i < carA.Len(); i += 7 {
-		e := carA.SortedAt(i)
-		s, ok := carM.ScoreOf(e.Clip)
-		if !ok || s != e.Score {
+		e, err := carA.SortedAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok, err := carM.ScoreOf(e.Clip)
+		if err != nil || !ok || s != e.Score {
 			t.Fatalf("merged score mismatch at clip %d", e.Clip)
 		}
 	}
@@ -452,16 +456,16 @@ func TestIngestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Ingest(v, detect.Models{}, PaperScoring(), DefaultIngestConfig()); err == nil {
+	if _, err := Ingest(context.Background(), v, detect.Models{}, PaperScoring(), DefaultIngestConfig()); err == nil {
 		t.Error("ingest without models should fail")
 	}
 	models := detect.NewModels(detect.NewObjectDetector(detect.IdealObject, 0), detect.NewActionRecognizer(detect.IdealAction, 0))
-	if _, err := Ingest(v, models, Scoring{}, DefaultIngestConfig()); err == nil {
+	if _, err := Ingest(context.Background(), v, models, Scoring{}, DefaultIngestConfig()); err == nil {
 		t.Error("ingest without scoring should fail")
 	}
 	cfg := DefaultIngestConfig()
 	cfg.Tracker = nil // tracking optional
-	if _, err := Ingest(v, models, PaperScoring(), cfg); err != nil {
+	if _, err := Ingest(context.Background(), v, models, PaperScoring(), cfg); err != nil {
 		t.Errorf("ingest without tracker failed: %v", err)
 	}
 }
@@ -474,11 +478,17 @@ func TestTBClipOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	pq, _ := ix.Pq(testQuery)
-	iter := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	iter, err := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var tops, btms []float64
 	seen := map[int]bool{}
 	for {
-		top, btm, hasTop, hasBtm, ok := iter.Next()
+		top, btm, hasTop, hasBtm, ok, err := iter.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			break
 		}
@@ -520,12 +530,18 @@ func TestTBClipSkip(t *testing.T) {
 	var st store.Stats
 	tables, _ := ix.queryTables(testQuery, &st)
 	pq, _ := ix.Pq(testQuery)
-	iter := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	iter, err := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := pq.Intervals()[1]
 	iter.Skip(skip)
 	count := 0
 	for {
-		top, btm, hasTop, hasBtm, ok := iter.Next()
+		top, btm, hasTop, hasBtm, ok, err := iter.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			break
 		}

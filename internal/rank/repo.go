@@ -57,7 +57,11 @@ func Save(dir string, ix *Index) error {
 			file := fmt.Sprintf("%s_%d.tbl", prefix, i)
 			entries := make([]store.Entry, 0, ti.Table.Len())
 			for j := 0; j < ti.Table.Len(); j++ {
-				entries = append(entries, ti.Table.SortedAt(j))
+				e, err := ti.Table.SortedAt(j)
+				if err != nil {
+					return nil, err
+				}
+				entries = append(entries, e)
 			}
 			if err := store.WriteTable(filepath.Join(dir, file), typ, entries); err != nil {
 				return nil, err

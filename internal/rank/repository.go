@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -148,13 +149,13 @@ func (r *Repository) Merged() (*Index, error) {
 	return m, nil
 }
 
-// TopK answers a ranked query over the whole repository.
-func (r *Repository) TopK(q core.Query, k int, opts Options) (*Result, error) {
+// TopK answers a ranked query over the whole repository, honouring ctx.
+func (r *Repository) TopK(ctx context.Context, q core.Query, k int, opts Options) (*Result, error) {
 	m, err := r.Merged()
 	if err != nil {
 		return nil, err
 	}
-	return RVAQ(m, q, k, opts)
+	return RVAQ(ctx, m, q, k, opts)
 }
 
 // Resolve maps a merged-view clip id back to (member video, local clip).

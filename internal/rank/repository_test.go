@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -48,11 +49,11 @@ func TestRepositoryLifecycle(t *testing.T) {
 	}
 
 	models := repoModels(1)
-	a, err := Ingest(repoVideo(t, "vid-a", 1), models, PaperScoring(), DefaultIngestConfig())
+	a, err := Ingest(context.Background(), repoVideo(t, "vid-a", 1), models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Ingest(repoVideo(t, "vid-b", 2), models, PaperScoring(), DefaultIngestConfig())
+	b, err := Ingest(context.Background(), repoVideo(t, "vid-b", 2), models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRepositoryLifecycle(t *testing.T) {
 		t.Error("duplicate member should be rejected")
 	}
 
-	res, err := repo.TopK(repoQuery, 3, Options{})
+	res, err := repo.TopK(context.Background(), repoQuery, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRepositoryLifecycle(t *testing.T) {
 	if err := repo.Remove("vid-b"); err == nil {
 		t.Error("double remove should fail")
 	}
-	res2, err := repo.TopK(repoQuery, 3, Options{})
+	res2, err := repo.TopK(context.Background(), repoQuery, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRepositoryLifecycle(t *testing.T) {
 	if got := repo2.Videos(); len(got) != 1 || got[0] != "vid-a" {
 		t.Fatalf("reopened Videos = %v", got)
 	}
-	res3, err := repo2.TopK(repoQuery, 3, Options{})
+	res3, err := repo2.TopK(context.Background(), repoQuery, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestIngestAllParallelMatchesSerial(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		vids = append(vids, repoVideo(t, "p-"+string(rune('a'+i)), int64(10+i)))
 	}
-	serial, err := IngestAll("set", vids, models, PaperScoring(), DefaultIngestConfig())
+	serial, err := IngestAll(context.Background(), "set", vids, models, PaperScoring(), DefaultIngestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := IngestAllParallel("set", vids, models, PaperScoring(), DefaultIngestConfig(), 3)
+	parallel, err := IngestAllParallel(context.Background(), "set", vids, models, PaperScoring(), DefaultIngestConfig(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,9 @@ func TestIngestAllParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("object %s differs between serial and parallel ingestion", typ)
 		}
 		for i := 0; i < ti.Table.Len(); i++ {
-			if ti.Table.SortedAt(i) != pt.Table.SortedAt(i) {
+			se, serr := ti.Table.SortedAt(i)
+			pe, perr := pt.Table.SortedAt(i)
+			if serr != nil || perr != nil || se != pe {
 				t.Fatalf("object %s row %d differs", typ, i)
 			}
 		}
@@ -197,7 +200,7 @@ func TestIngestAllParallelMatchesSerial(t *testing.T) {
 		}
 	}
 	// Degenerate worker counts fall back safely.
-	one, err := IngestAllParallel("set", vids, models, PaperScoring(), DefaultIngestConfig(), 1)
+	one, err := IngestAllParallel(context.Background(), "set", vids, models, PaperScoring(), DefaultIngestConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -79,7 +80,11 @@ func (s *seqState) remaining() int { return s.iv.Len() - s.processed }
 // extreme-scoring clips, progressively tightening per-sequence score bounds
 // until the top-k set separates; sequences proven irrelevant have their
 // remaining clips added to the skip set.
-func RVAQ(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
+//
+// The context is checked between iterator rounds, so a deadlined or
+// abandoned query stops touching the tables promptly; table read failures
+// surface as errors instead of panics.
+func RVAQ(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
@@ -103,7 +108,7 @@ func RVAQ(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := topkRun(res, tables, basicTableScorer{c: opts.Scoring.Clip}, opts, pq, k); err != nil {
+	if err := topkRun(ctx, res, tables, basicTableScorer{c: opts.Scoring.Clip}, opts, pq, k); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -114,8 +119,14 @@ func RVAQ(ix *Index, q core.Query, k int, opts Options) (*Result, error) {
 // set and the Equation 15 stopping condition. The result's Sequences and
 // ClipsScored are filled in; access counts accumulate through the tables'
 // stats wrappers.
-func topkRun(res *Result, tables []store.Table, scorer tableScorer, opts Options, pq video.IntervalSet, k int) error {
-	iter := newTBClip(tables, scorer, pq, opts.NoSkip)
+func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tableScorer, opts Options, pq video.IntervalSet, k int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	iter, err := newTBClip(tables, scorer, pq, opts.NoSkip)
+	if err != nil {
+		return err
+	}
 
 	seqs := make([]*seqState, 0, pq.NumIntervals())
 	for _, iv := range pq.Intervals() {
@@ -183,7 +194,13 @@ func topkRun(res *Result, tables []store.Table, scorer tableScorer, opts Options
 
 	var winners []*seqState
 	for {
-		top, btm, hasTop, hasBtm, ok := iter.Next()
+		if cerr := ctx.Err(); cerr != nil {
+			return &core.InterruptedError{Processed: res.ClipsScored, Total: pq.TotalLen(), Err: cerr}
+		}
+		top, btm, hasTop, hasBtm, ok, err := iter.Next()
+		if err != nil {
+			return err
+		}
 		if !ok {
 			break // every candidate clip processed: all bounds exact
 		}
@@ -235,7 +252,11 @@ func topkRun(res *Result, tables []store.Table, scorer tableScorer, opts Options
 					}
 					score, ok := iter.candidates[c]
 					if !ok {
-						score = scoreClip(tables, scorer, c)
+						var err error
+						score, err = scoreClip(tables, scorer, c)
+						if err != nil {
+							return err
+						}
 					}
 					iter.mark(c)
 					processClip(store.Entry{Clip: c, Score: score})

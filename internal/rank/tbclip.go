@@ -46,7 +46,7 @@ type tbClip struct {
 	btmFrontier []float64
 }
 
-func newTBClip(tables []store.Table, scorer tableScorer, pq video.IntervalSet, scoreAll bool) *tbClip {
+func newTBClip(tables []store.Table, scorer tableScorer, pq video.IntervalSet, scoreAll bool) (*tbClip, error) {
 	n := len(tables)
 	t := &tbClip{
 		tables:      tables,
@@ -68,11 +68,15 @@ func newTBClip(tables []store.Table, scorer tableScorer, pq video.IntervalSet, s
 			// Until a row is read, the frontiers bound the table's score
 			// range: the top row's score from above is unknown, so seed
 			// with the extremes actually stored.
-			t.topFrontier[i] = tbl.SortedAt(0).Score
+			e, err := tbl.SortedAt(0)
+			if err != nil {
+				return nil, err
+			}
+			t.topFrontier[i] = e.Score
 			t.btmFrontier[i] = 0
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Skip excludes a clip range from all further processing.
@@ -108,42 +112,60 @@ func (t *tbClip) mark(clip int) {
 
 // admitRow ingests one sorted-access row: unseen candidate clips get their
 // full score computed by random access.
-func (t *tbClip) admitRow(e store.Entry) {
+func (t *tbClip) admitRow(e store.Entry) error {
 	if t.seen[e.Clip] {
-		return
+		return nil
 	}
 	t.seen[e.Clip] = true
 	if t.processed[e.Clip] || t.skipped.Contains(e.Clip) {
-		return
+		return nil
 	}
 	if !t.pq.Contains(e.Clip) {
 		if t.scoreAll {
 			// Without a skip set the iterator cannot tell candidate clips
 			// apart before scoring them; the accesses are paid and the
 			// result thrown away.
-			scoreClip(t.tables, t.scorer, e.Clip)
+			if _, err := scoreClip(t.tables, t.scorer, e.Clip); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	t.candidates[e.Clip] = scoreClip(t.tables, t.scorer, e.Clip)
+	s, err := scoreClip(t.tables, t.scorer, e.Clip)
+	if err != nil {
+		return err
+	}
+	t.candidates[e.Clip] = s
+	return nil
 }
 
 // advance performs one parallel sorted-access round from both ends.
-func (t *tbClip) advance() {
+func (t *tbClip) advance() error {
 	for i, tbl := range t.tables {
 		if t.topCur[i] <= t.btmCur[i] {
-			e := tbl.SortedAt(t.topCur[i])
+			e, err := tbl.SortedAt(t.topCur[i])
+			if err != nil {
+				return err
+			}
 			t.topCur[i]++
 			t.topFrontier[i] = e.Score
-			t.admitRow(e)
+			if err := t.admitRow(e); err != nil {
+				return err
+			}
 		}
 		if t.btmCur[i] >= t.topCur[i] {
-			e := tbl.SortedAt(t.btmCur[i])
+			e, err := tbl.SortedAt(t.btmCur[i])
+			if err != nil {
+				return err
+			}
 			t.btmCur[i]--
 			t.btmFrontier[i] = e.Score
-			t.admitRow(e)
+			if err := t.admitRow(e); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // thresholds returns the TA bounds for clips not yet seen: any unseen clip
@@ -180,13 +202,14 @@ func (t *tbClip) worst() (int, float64, bool) {
 
 // Next returns the next top clip and bottom clip with their scores. When a
 // single candidate remains it is returned as the top clip only. ok is false
-// when every candidate clip has been processed or skipped.
-func (t *tbClip) Next() (top, btm store.Entry, hasTop, hasBtm, ok bool) {
+// when every candidate clip has been processed or skipped. A table read
+// failure surfaces as err.
+func (t *tbClip) Next() (top, btm store.Entry, hasTop, hasBtm, ok bool, err error) {
 	// Grow the seen set until the best (and worst) candidates provably
 	// dominate everything unseen.
 	for {
 		if t.remaining <= 0 {
-			return top, btm, false, false, false
+			return top, btm, false, false, false, nil
 		}
 		done := t.exhausted()
 		hi, lo := t.thresholds()
@@ -198,19 +221,21 @@ func (t *tbClip) Next() (top, btm store.Entry, hasTop, hasBtm, ok bool) {
 			if wfound && wc != c && (done || ws <= lo) {
 				btm = store.Entry{Clip: wc, Score: ws}
 				t.mark(wc)
-				return top, btm, true, true, true
+				return top, btm, true, true, true, nil
 			}
 			if wfound && wc != c {
 				// The bottom is not yet certain; keep it for later rather
 				// than over-scanning — the caller treats the missing bottom
 				// conservatively.
-				return top, btm, true, false, true
+				return top, btm, true, false, true, nil
 			}
-			return top, btm, true, false, true
+			return top, btm, true, false, true, nil
 		}
 		if done {
-			return top, btm, false, false, false
+			return top, btm, false, false, false, nil
 		}
-		t.advance()
+		if err := t.advance(); err != nil {
+			return top, btm, false, false, false, err
+		}
 	}
 }

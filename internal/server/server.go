@@ -2,14 +2,27 @@
 // SQL-like dialect are POSTed to /query and executed against the benchmark
 // datasets — streaming (SVAQ/SVAQD) or ranked offline (RVAQ with lazy
 // ingestion) according to the statement's plan.
+//
+// The serving path is hardened for unattended operation: every query runs
+// under a deadline and the client's cancellation, admission control bounds
+// the number of concurrent queries (excess requests wait briefly, then get
+// 429 with Retry-After), request bodies are size-limited, and handler panics
+// are contained and reported as JSON 500s instead of tearing down the
+// connection.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"svqact/internal/core"
@@ -24,6 +37,58 @@ type Config struct {
 	// Scale and Seed control the benchmark datasets served.
 	Scale float64
 	Seed  int64
+
+	// QueryTimeout bounds the execution of one query; 0 means 30s and a
+	// negative value disables the deadline (the client's disconnect still
+	// cancels).
+	QueryTimeout time.Duration
+	// MaxConcurrent bounds the queries executing at once; 0 means 8.
+	MaxConcurrent int
+	// QueueDepth bounds how many requests may wait for an execution slot
+	// beyond MaxConcurrent; 0 means 16. Requests beyond the queue are
+	// rejected immediately with 429.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// giving up with 429; 0 means 2s.
+	QueueWait time.Duration
+	// MaxBodyBytes bounds the /query request body; 0 means 1 MiB.
+	MaxBodyBytes int64
+
+	// Fault, when set, wraps the detection models with the fault injector —
+	// the operational testbed for the retry and skip-and-flag machinery.
+	Fault *detect.FaultConfig
+	// Retry and FailureBudget configure the engines built per query; zero
+	// values take the core defaults.
+	Retry         detect.RetryConfig
+	FailureBudget float64
+
+	// Logf receives operational log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
 }
 
 // Server resolves query sources against the benchmark datasets and caches
@@ -31,6 +96,16 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	models detect.Models
+	start  time.Time
+
+	// sem holds one token per admitted query; waiting counts requests
+	// queued for a token.
+	sem      chan struct{}
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	served   atomic.Uint64
+	rejected atomic.Uint64
+	panics   atomic.Uint64
 
 	once    sync.Once
 	youtube *synth.Dataset
@@ -43,18 +118,34 @@ type Server struct {
 
 // New creates a server.
 func New(cfg Config) *Server {
-	if cfg.Scale == 0 {
-		cfg.Scale = 0.25
+	cfg = cfg.withDefaults()
+	models := detect.NewModels(
+		detect.NewObjectDetector(detect.MaskRCNN, cfg.Seed),
+		detect.NewActionRecognizer(detect.I3D, cfg.Seed),
+	)
+	if cfg.Fault != nil {
+		models.Objects = detect.InjectObjectFaults(models.Objects, *cfg.Fault)
+		models.Actions = detect.InjectActionFaults(models.Actions, *cfg.Fault)
 	}
 	return &Server{
-		cfg: cfg,
-		models: detect.NewModels(
-			detect.NewObjectDetector(detect.MaskRCNN, cfg.Seed),
-			detect.NewActionRecognizer(detect.I3D, cfg.Seed),
-		),
+		cfg:     cfg,
+		models:  models,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		streams: map[string]detect.TruthVideo{},
 		indexes: map[string]*rank.Index{},
 	}
+}
+
+func (s *Server) engineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if s.cfg.Retry.Attempts > 0 {
+		cfg.Retry = s.cfg.Retry
+	}
+	if s.cfg.FailureBudget > 0 {
+		cfg.FailureBudget = s.cfg.FailureBudget
+	}
+	return cfg
 }
 
 func (s *Server) datasets() (*synth.Dataset, *synth.Dataset) {
@@ -114,7 +205,7 @@ func (s *Server) resolve(name string) (detect.TruthVideo, error) {
 }
 
 // index lazily ingests a source for offline queries.
-func (s *Server) index(name string) (*rank.Index, error) {
+func (s *Server) index(ctx context.Context, name string) (*rank.Index, error) {
 	s.mu.Lock()
 	if ix, ok := s.indexes[name]; ok {
 		s.mu.Unlock()
@@ -125,15 +216,17 @@ func (s *Server) index(name string) (*rank.Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	icfg := rank.DefaultIngestConfig()
+	icfg.Core = s.engineConfig()
 	var ix *rank.Index
 	if c, ok := stream.(*synth.Concat); ok {
 		var tvs []detect.TruthVideo
 		for _, v := range c.Components() {
 			tvs = append(tvs, v)
 		}
-		ix, err = rank.IngestAllParallel(name, tvs, s.models, rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
+		ix, err = rank.IngestAllParallel(ctx, name, tvs, s.models, rank.PaperScoring(), icfg, 0)
 	} else {
-		ix, err = rank.Ingest(stream, s.models, rank.PaperScoring(), rank.DefaultIngestConfig())
+		ix, err = rank.Ingest(ctx, stream, s.models, rank.PaperScoring(), icfg)
 	}
 	if err != nil {
 		return nil, err
@@ -170,20 +263,57 @@ type QueryResponse struct {
 	Candidates int        `json:"candidates,omitempty"`
 	NumClips   int        `json:"num_clips"`
 	Sequences  []Sequence `json:"sequences"`
-	ElapsedMS  int64      `json:"elapsed_ms"`
+	// FlaggedClips counts clips skipped after detector retry exhaustion
+	// (online modes with fault injection only).
+	FlaggedClips int   `json:"flagged_clips,omitempty"`
+	ElapsedMS    int64 `json:"elapsed_ms"`
 	// RandomAccesses counts offline table accesses (RVAQ only).
 	RandomAccesses int64 `json:"random_accesses,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Processed/Total report partial progress for interrupted or degraded
+	// queries (clips processed before the query stopped).
+	Processed int `json:"processed,omitempty"`
+	Total     int `json:"total,omitempty"`
 }
 
-// Handler returns the HTTP handler.
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Inflight      int64   `json:"inflight"`
+	Waiting       int64   `json:"waiting"`
+	Capacity      int     `json:"capacity"`
+	QueueDepth    int     `json:"queue_depth"`
+	Served        uint64  `json:"served"`
+	Rejected      uint64  `json:"rejected"`
+	Panics        uint64  `json:"panics"`
+}
+
+// Health reports the server's live admission counters.
+func (s *Server) Health() Health {
+	return Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Inflight:      s.inflight.Load(),
+		Waiting:       s.waiting.Load(),
+		Capacity:      s.cfg.MaxConcurrent,
+		QueueDepth:    s.cfg.QueueDepth,
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+	}
+}
+
+// Handler returns the HTTP handler. Every route runs under the
+// panic-recovery middleware; /query additionally runs under admission
+// control, the body size limit, and the per-query deadline.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("/sources", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -192,8 +322,71 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string][]string{"sources": s.Sources()})
 	})
-	mux.HandleFunc("/query", s.handleQuery)
-	return mux
+	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
+	return s.recover(mux)
+}
+
+// recover converts handler panics into JSON 500s with a logged stack,
+// keeping one poisoned request from crashing the process. Panics raised by
+// the net/http machinery itself to abort a connection are re-raised.
+func (s *Server) recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.cfg.Logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best-effort: if the handler already wrote, this is a no-op.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit applies the admission controller: at most MaxConcurrent queries
+// execute, at most QueueDepth more wait up to QueueWait for a slot, and
+// everything beyond that is rejected with 429 + Retry-After.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+			s.waiting.Add(-1)
+			s.reject(w, "queue full")
+			return
+		}
+		timer := time.NewTimer(s.cfg.QueueWait)
+		defer timer.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-timer.C:
+			s.waiting.Add(-1)
+			s.reject(w, "saturated")
+			return
+		case <-r.Context().Done():
+			s.waiting.Add(-1)
+			return // client gone; nothing to write
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+		s.served.Add(1)
+	})
+}
+
+func (s *Server) reject(w http.ResponseWriter, why string) {
+	s.rejected.Add(1)
+	retry := s.cfg.QueueWait.Seconds()
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry)))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server " + why + "; retry later"})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -201,8 +394,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
@@ -216,21 +415,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.execute(plan, req.Algo)
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	resp, err := s.execute(ctx, plan, req.Algo)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if _, ok := err.(notFoundError); ok {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		status, body := errorStatus(err)
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// errorStatus maps execution errors to HTTP statuses: unknown sources are
+// 404, interrupted queries (deadline or disconnect) are 504 with partial
+// progress, degraded queries (failure budget exceeded) are 502, and
+// everything else is 500.
+func errorStatus(err error) (int, errorResponse) {
+	var nf notFoundError
+	if errors.As(err, &nf) {
+		return http.StatusNotFound, errorResponse{Error: err.Error()}
+	}
+	var ie *core.InterruptedError
+	if errors.As(err, &ie) {
+		return http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Processed: ie.Processed, Total: ie.Total}
+	}
+	var de *core.DegradedError
+	if errors.As(err, &de) {
+		return http.StatusBadGateway, errorResponse{Error: err.Error(), Processed: de.Processed, Total: de.Total}
+	}
+	return http.StatusInternalServerError, errorResponse{Error: err.Error()}
+}
+
 type notFoundError struct{ error }
 
-func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
+func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*QueryResponse, error) {
 	start := time.Now()
 	stream, err := s.resolve(plan.Source)
 	if err != nil {
@@ -240,7 +463,7 @@ func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
 	resp := &QueryResponse{Source: plan.Source}
 
 	if plan.Online {
-		cfg := core.DefaultConfig()
+		cfg := s.engineConfig()
 		var eng *core.Engine
 		switch algo {
 		case "", "svaqd":
@@ -255,12 +478,13 @@ func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
 		}
 		resp.Mode = eng.Mode().String()
 		if plan.Extended {
-			res, err := eng.RunCNF(stream, plan.CNF)
+			res, err := eng.RunCNF(ctx, stream, plan.CNF)
 			if err != nil {
 				return nil, err
 			}
 			resp.Extended = true
 			resp.NumClips = res.NumClips
+			resp.FlaggedClips = res.Flagged.TotalLen()
 			for _, iv := range res.Sequences.Intervals() {
 				fr := g.FrameRangeOfClips(iv)
 				resp.Sequences = append(resp.Sequences, Sequence{
@@ -269,11 +493,12 @@ func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
 				})
 			}
 		} else {
-			res, err := eng.Run(stream, plan.Query)
+			res, err := eng.Run(ctx, stream, plan.Query)
 			if err != nil {
 				return nil, err
 			}
 			resp.NumClips = res.NumClips
+			resp.FlaggedClips = res.Flagged.TotalLen()
 			for _, iv := range res.Sequences.Intervals() {
 				fr := g.FrameRangeOfClips(iv)
 				resp.Sequences = append(resp.Sequences, Sequence{
@@ -283,16 +508,16 @@ func (s *Server) execute(plan sqlq.Plan, algo string) (*QueryResponse, error) {
 			}
 		}
 	} else {
-		ix, err := s.index(plan.Source)
+		ix, err := s.index(ctx, plan.Source)
 		if err != nil {
 			return nil, err
 		}
 		var res *rank.Result
 		if plan.Extended {
-			res, err = rank.RVAQCNF(ix, plan.CNF, plan.K, rank.Options{})
+			res, err = rank.RVAQCNF(ctx, ix, plan.CNF, plan.K, rank.Options{})
 			resp.Extended = true
 		} else {
-			res, err = rank.RVAQ(ix, plan.Query, plan.K, rank.Options{})
+			res, err = rank.RVAQ(ctx, ix, plan.Query, plan.K, rank.Options{})
 		}
 		if err != nil {
 			return nil, err

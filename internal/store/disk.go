@@ -148,38 +148,41 @@ func (t *DiskTable) Name() string { return t.name }
 // Len implements Table.
 func (t *DiskTable) Len() int { return t.count }
 
-func (t *DiskTable) rowAt(off int64) Entry {
+func (t *DiskTable) rowAt(off int64) (Entry, error) {
 	var buf [rowSize]byte
 	if _, err := t.f.ReadAt(buf[:], off); err != nil {
-		panic(fmt.Sprintf("store: reading row of %s: %v", t.name, err))
+		return Entry{}, fmt.Errorf("store: reading row of %s: %w", t.name, err)
 	}
 	clip := binary.LittleEndian.Uint32(buf[0:4])
 	score := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12]))
-	return Entry{Clip: int(clip), Score: score}
+	return Entry{Clip: int(clip), Score: score}, nil
 }
 
 // SortedAt implements Table.
-func (t *DiskTable) SortedAt(i int) Entry {
+func (t *DiskTable) SortedAt(i int) (Entry, error) {
 	if i < 0 || i >= t.count {
-		panic(fmt.Sprintf("store: SortedAt(%d) out of range [0,%d)", i, t.count))
+		return Entry{}, fmt.Errorf("store: SortedAt(%d) out of range [0,%d) in table %q", i, t.count, t.name)
 	}
 	return t.rowAt(t.rankOff + int64(i)*rowSize)
 }
 
 // ScoreOf implements Table by binary search over the clip-ordered region.
-func (t *DiskTable) ScoreOf(clip int) (float64, bool) {
+func (t *DiskTable) ScoreOf(clip int) (float64, bool, error) {
 	lo, hi := 0, t.count
 	for lo < hi {
 		mid := (lo + hi) / 2
-		e := t.rowAt(t.clipOff + int64(mid)*rowSize)
+		e, err := t.rowAt(t.clipOff + int64(mid)*rowSize)
+		if err != nil {
+			return 0, false, err
+		}
 		switch {
 		case e.Clip == clip:
-			return e.Score, true
+			return e.Score, true, nil
 		case e.Clip < clip:
 			lo = mid + 1
 		default:
 			hi = mid
 		}
 	}
-	return 0, false
+	return 0, false, nil
 }

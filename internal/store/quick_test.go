@@ -32,14 +32,22 @@ func TestQuickMemTableInvariants(t *testing.T) {
 			return false
 		}
 		// Rank order is non-increasing and every entry is findable.
-		for i := 0; i < tbl.Len(); i++ {
-			if i > 0 && tbl.SortedAt(i).Score > tbl.SortedAt(i-1).Score {
+		for i := 1; i < tbl.Len(); i++ {
+			cur, err := tbl.SortedAt(i)
+			if err != nil {
+				return false
+			}
+			prev, err := tbl.SortedAt(i - 1)
+			if err != nil {
+				return false
+			}
+			if cur.Score > prev.Score {
 				return false
 			}
 		}
 		for _, e := range v.E {
-			s, ok := tbl.ScoreOf(e.Clip)
-			if !ok || s != e.Score {
+			s, ok, err := tbl.ScoreOf(e.Clip)
+			if err != nil || !ok || s != e.Score {
 				return false
 			}
 		}
@@ -72,13 +80,15 @@ func TestQuickDiskRoundTrip(t *testing.T) {
 			return false
 		}
 		for j := 0; j < mem.Len(); j++ {
-			if dt.SortedAt(j) != mem.SortedAt(j) {
+			de, derr := dt.SortedAt(j)
+			me, merr := mem.SortedAt(j)
+			if derr != nil || merr != nil || de != me {
 				return false
 			}
 		}
 		for _, e := range v.E {
-			ds, dok := dt.ScoreOf(e.Clip)
-			if !dok || ds != e.Score {
+			ds, dok, derr := dt.ScoreOf(e.Clip)
+			if derr != nil || !dok || ds != e.Score {
 				return false
 			}
 		}

@@ -8,6 +8,26 @@ import (
 	"testing"
 )
 
+// at reads a sorted row, failing the test on error.
+func at(tb testing.TB, t Table, i int) Entry {
+	tb.Helper()
+	e, err := t.SortedAt(i)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// score random-accesses a clip, failing the test on error.
+func score(tb testing.TB, t Table, clip int) (float64, bool) {
+	tb.Helper()
+	s, ok, err := t.ScoreOf(clip)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s, ok
+}
+
 func sampleEntries(n int, seed int64) []Entry {
 	r := rand.New(rand.NewSource(seed))
 	perm := r.Perm(n * 3)
@@ -28,17 +48,17 @@ func TestMemTableOrdering(t *testing.T) {
 		t.Fatalf("name/len wrong: %s %d", tbl.Name(), tbl.Len())
 	}
 	for i := 1; i < tbl.Len(); i++ {
-		if tbl.SortedAt(i).Score > tbl.SortedAt(i-1).Score {
+		if at(t, tbl, i).Score > at(t, tbl, i-1).Score {
 			t.Fatalf("rank order violated at %d", i)
 		}
 	}
 	for _, e := range entries {
-		s, ok := tbl.ScoreOf(e.Clip)
+		s, ok := score(t, tbl, e.Clip)
 		if !ok || s != e.Score {
 			t.Fatalf("ScoreOf(%d) = %v,%v want %v", e.Clip, s, ok, e.Score)
 		}
 	}
-	if _, ok := tbl.ScoreOf(-1); ok {
+	if _, ok := score(t, tbl, -1); ok {
 		t.Error("absent clip should not be found")
 	}
 }
@@ -52,8 +72,8 @@ func TestMemTableRejectsDuplicates(t *testing.T) {
 
 func TestMemTableTieBreakDeterministic(t *testing.T) {
 	a, _ := NewMemTable("x", []Entry{{Clip: 5, Score: 1}, {Clip: 2, Score: 1}, {Clip: 9, Score: 1}})
-	if a.SortedAt(0).Clip != 2 || a.SortedAt(1).Clip != 5 || a.SortedAt(2).Clip != 9 {
-		t.Errorf("equal scores must order by clip id: %v %v %v", a.SortedAt(0), a.SortedAt(1), a.SortedAt(2))
+	if at(t, a, 0).Clip != 2 || at(t, a, 1).Clip != 5 || at(t, a, 2).Clip != 9 {
+		t.Errorf("equal scores must order by clip id: %v %v %v", at(t, a, 0), at(t, a, 1), at(t, a, 2))
 	}
 }
 
@@ -74,17 +94,17 @@ func TestDiskTableRoundTrip(t *testing.T) {
 		t.Fatalf("header mismatch: %s %d", dt.Name(), dt.Len())
 	}
 	for i := 0; i < mem.Len(); i++ {
-		if dt.SortedAt(i) != mem.SortedAt(i) {
-			t.Fatalf("row %d: disk %v mem %v", i, dt.SortedAt(i), mem.SortedAt(i))
+		if at(t, dt, i) != at(t, mem, i) {
+			t.Fatalf("row %d: disk %v mem %v", i, at(t, dt, i), at(t, mem, i))
 		}
 	}
 	for _, e := range entries {
-		s, ok := dt.ScoreOf(e.Clip)
+		s, ok := score(t, dt, e.Clip)
 		if !ok || s != e.Score {
 			t.Fatalf("disk ScoreOf(%d) = %v,%v", e.Clip, s, ok)
 		}
 	}
-	if _, ok := dt.ScoreOf(999_999); ok {
+	if _, ok := score(t, dt, 999_999); ok {
 		t.Error("absent clip found on disk")
 	}
 }
@@ -102,7 +122,7 @@ func TestDiskTableEmpty(t *testing.T) {
 	if dt.Len() != 0 {
 		t.Errorf("Len = %d", dt.Len())
 	}
-	if _, ok := dt.ScoreOf(0); ok {
+	if _, ok := score(t, dt, 0); ok {
 		t.Error("empty table should find nothing")
 	}
 }
@@ -134,7 +154,7 @@ func TestOpenDiskTableBadFile(t *testing.T) {
 	}
 }
 
-func TestSortedAtOutOfRangePanics(t *testing.T) {
+func TestSortedAtOutOfRangeErrors(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "p.tbl")
 	if err := WriteTable(path, "p", []Entry{{Clip: 0, Score: 1}}); err != nil {
 		t.Fatal(err)
@@ -144,12 +164,47 @@ func TestSortedAtOutOfRangePanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dt.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	if _, err := dt.SortedAt(5); err == nil {
+		t.Error("out-of-range row should return an error, not panic")
+	}
+	if _, err := dt.SortedAt(-1); err == nil {
+		t.Error("negative row should return an error")
+	}
+	mem, _ := NewMemTable("p", []Entry{{Clip: 0, Score: 1}})
+	if _, err := mem.SortedAt(7); err == nil {
+		t.Error("mem out-of-range row should return an error")
+	}
+}
+
+// TestDiskTableTruncatedRead exercises the error path of a table whose data
+// region is cut short: random and sorted accesses must fail cleanly.
+func TestDiskTableTruncatedRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.tbl")
+	if err := WriteTable(path, "trunc", sampleEntries(64, 9)); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := OpenDiskTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for i := 0; i < dt.Len(); i++ {
+		if _, err := dt.SortedAt(i); err != nil {
+			sawErr = true
+			break
 		}
-	}()
-	dt.SortedAt(5)
+	}
+	if !sawErr {
+		t.Error("reads past the truncation point should error")
+	}
 }
 
 func TestStatsCounting(t *testing.T) {
@@ -197,13 +252,13 @@ func TestDiskMatchesMemProperty(t *testing.T) {
 		for trial := 0; trial < 500; trial++ {
 			if r.Intn(2) == 0 {
 				i := r.Intn(mem.Len())
-				if dt.SortedAt(i) != mem.SortedAt(i) {
+				if at(t, dt, i) != at(t, mem, i) {
 					t.Fatalf("SortedAt(%d) differs", i)
 				}
 			} else {
 				clip := r.Intn(800)
-				ds, dok := dt.ScoreOf(clip)
-				ms, mok := mem.ScoreOf(clip)
+				ds, dok := score(t, dt, clip)
+				ms, mok := score(t, mem, clip)
 				if ds != ms || dok != mok {
 					t.Fatalf("ScoreOf(%d): disk %v,%v mem %v,%v", clip, ds, dok, ms, mok)
 				}
@@ -234,7 +289,7 @@ func TestScoresSortedByClipRegion(t *testing.T) {
 	// Every clip must be findable, which exercises the full binary-search
 	// region in clip order.
 	for _, c := range clips {
-		if _, ok := dt.ScoreOf(c); !ok {
+		if _, ok := score(t, dt, c); !ok {
 			t.Fatalf("clip %d not found", c)
 		}
 	}

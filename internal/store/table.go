@@ -27,6 +27,10 @@ type Entry struct {
 
 // Table is the read interface of a clip score table. Rows are unique per
 // clip. Implementations must be safe for concurrent readers.
+//
+// Accessors return errors instead of panicking: a file-backed table can hit
+// I/O failures (truncated file, yanked disk) on any read, and a query must
+// degrade into a structured error rather than take the process down.
 type Table interface {
 	// Name identifies the table (typically the object or action type).
 	Name() string
@@ -35,11 +39,12 @@ type Table interface {
 	// SortedAt returns the i-th row in non-increasing score order; i counts
 	// from the top (0 is the highest score). This serves both forward
 	// sorted access (i ascending) and reverse sorted access from the bottom
-	// (i descending from Len()-1).
-	SortedAt(i int) Entry
+	// (i descending from Len()-1). Out-of-range indexes and read failures
+	// return an error.
+	SortedAt(i int) (Entry, error)
 	// ScoreOf returns the score stored for the clip, or false if the table
-	// has no row for it.
-	ScoreOf(clip int) (float64, bool)
+	// has no row for it. Read failures return an error.
+	ScoreOf(clip int) (float64, bool, error)
 }
 
 // Stats counts table accesses during a query. The paper's offline evaluation
@@ -67,11 +72,11 @@ func WithStats(t Table, st *Stats) Table { return &counted{t: t, st: st} }
 
 func (c *counted) Name() string { return c.t.Name() }
 func (c *counted) Len() int     { return c.t.Len() }
-func (c *counted) SortedAt(i int) Entry {
+func (c *counted) SortedAt(i int) (Entry, error) {
 	c.st.Sorted++
 	return c.t.SortedAt(i)
 }
-func (c *counted) ScoreOf(clip int) (float64, bool) {
+func (c *counted) ScoreOf(clip int) (float64, bool, error) {
 	c.st.Random++
 	return c.t.ScoreOf(clip)
 }
@@ -113,10 +118,15 @@ func (t *MemTable) Name() string { return t.name }
 func (t *MemTable) Len() int { return len(t.byRank) }
 
 // SortedAt implements Table.
-func (t *MemTable) SortedAt(i int) Entry { return t.byRank[i] }
+func (t *MemTable) SortedAt(i int) (Entry, error) {
+	if i < 0 || i >= len(t.byRank) {
+		return Entry{}, fmt.Errorf("store: SortedAt(%d) out of range [0,%d) in table %q", i, len(t.byRank), t.name)
+	}
+	return t.byRank[i], nil
+}
 
 // ScoreOf implements Table.
-func (t *MemTable) ScoreOf(clip int) (float64, bool) {
+func (t *MemTable) ScoreOf(clip int) (float64, bool, error) {
 	s, ok := t.byClip[clip]
-	return s, ok
+	return s, ok, nil
 }

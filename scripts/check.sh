@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide verification: vet, build, then the full test suite under the
+# race detector. CI runs exactly this; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
