@@ -10,7 +10,9 @@
 // The process installs the hardened serving stack: listener-level timeouts,
 // per-query deadlines and admission control (see internal/server), and a
 // graceful SIGTERM/SIGINT shutdown that drains in-flight queries before
-// exiting.
+// exiting. Operational state is observable at /healthz (admission JSON),
+// /metrics (Prometheus text format) and, with -pprof, /debug/pprof/.
+// Logs are structured JSON lines on stderr (log/slog).
 package main
 
 import (
@@ -18,9 +20,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,8 +50,13 @@ func main() {
 		faultDelay     = flag.Duration("fault-spike-delay", 5*time.Millisecond, "injected latency spike duration")
 		retries        = flag.Int("detect-retries", 3, "attempts per detector invocation")
 		budget         = flag.Float64("failure-budget", 0.25, "max fraction of clips flagged before a query degrades")
+
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	cfg := server.Config{
 		Scale:         *scale,
@@ -59,6 +67,7 @@ func main() {
 		QueueWait:     *wait,
 		Retry:         detect.RetryConfig{Attempts: *retries},
 		FailureBudget: *budget,
+		Logger:        logger,
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {
 		fc := &detect.FaultConfig{
@@ -73,20 +82,37 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Fault = fc
-		log.Printf("fault injection on: transient %.2f, permanent %.2f, spikes %.2f/%s",
-			*faultTransient, *faultPermanent, *faultSpike, *faultDelay)
+		logger.Info("fault injection on",
+			"transient", *faultTransient, "permanent", *faultPermanent,
+			"spike", *faultSpike, "spike_delay", faultDelay.String())
 	}
 	srv := server.New(cfg)
+
+	handler := srv.Handler()
+	if *withPprof {
+		// Compose pprof onto an outer mux so the server's handler keeps
+		// owning every other route (including its recovery middleware).
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("svq-act query server listening on %s (scale %.2f)", ln.Addr(), *scale)
+	logger.Info("svq-act query server listening",
+		"addr", ln.Addr().String(), "scale", *scale)
 
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		// Writes must outlast the slowest admitted query plus queue wait.
@@ -107,14 +133,14 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down: draining in-flight queries (max %s)", *drain)
+		logger.Info("shutting down: draining in-flight queries", "max_wait", drain.String())
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("drain incomplete: %v", err)
+			logger.Error("drain incomplete", "error", err.Error())
 			_ = hs.Close()
 			os.Exit(1)
 		}
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }

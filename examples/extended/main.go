@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/synth"
 	"svqact/internal/video"
 )
@@ -58,11 +60,14 @@ func main() {
 			{Atoms: []core.Atom{core.RelationAtom(detect.Near, "human", "dog")}},
 		}},
 	}
+	lat := obs.NewHistogram(nil)
 	for _, q := range queries {
+		start := time.Now()
 		res, err := eng.RunCNF(context.Background(), v, q)
 		if err != nil {
 			log.Fatal(err)
 		}
+		lat.ObserveDuration(time.Since(start))
 		fmt.Printf("query: %s\n", q)
 		if res.Sequences.Empty() {
 			fmt.Println("  (no result sequences)")
@@ -78,4 +83,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	fmt.Printf("CNF query latency: %s\n", lat.Summary())
 }

@@ -13,8 +13,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"time"
+
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/rank"
 	"svqact/internal/synth"
 )
@@ -58,10 +61,13 @@ func main() {
 
 	q := core.Query{Objects: spec.Objects, Action: spec.Action}
 	const k = 5
+	rvaqLat := obs.NewHistogram(nil)
+	start := time.Now()
 	res, err := rank.RVAQ(context.Background(), loaded, q, k, rank.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rvaqLat.ObserveDuration(time.Since(start))
 	fmt.Printf("RVAQ top-%d for %s (%d candidate sequences):\n", k, q, res.Candidates)
 	for i, sr := range res.Sequences {
 		fr := v.Geometry().FrameRangeOfClips(sr.Seq)
@@ -70,11 +76,17 @@ func main() {
 			float64(fr.Start)/v.Meta.FPS/60, float64(fr.End+1)/v.Meta.FPS/60)
 	}
 
+	travLat := obs.NewHistogram(nil)
+	start = time.Now()
 	trav, err := rank.PqTraverse(context.Background(), loaded, q, k, rank.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	travLat.ObserveDuration(time.Since(start))
 	fmt.Printf("\naccess costs:      random   sorted   clips scored\n")
 	fmt.Printf("  RVAQ         %9d %8d %14d\n", res.Stats.Random, res.Stats.Sorted, res.ClipsScored)
 	fmt.Printf("  Pq-Traverse  %9d %8d %14d\n", trav.Stats.Random, trav.Stats.Sorted, trav.ClipsScored)
+	fmt.Printf("\nquery latency:\n")
+	fmt.Printf("  RVAQ         %s\n", rvaqLat.Summary())
+	fmt.Printf("  Pq-Traverse  %s\n", travLat.Summary())
 }

@@ -8,9 +8,11 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/synth"
 	"svqact/internal/video"
 )
@@ -50,10 +52,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	lat := obs.NewHistogram(nil)
+	start := time.Now()
 	res, err := eng.Run(context.Background(), v, q)
 	if err != nil {
 		log.Fatal(err)
 	}
+	lat.ObserveDuration(time.Since(start))
 
 	g := v.Geometry()
 	fmt.Printf("query %s over %s (%d clips)\n\n", q, v.ID(), res.NumClips)
@@ -74,4 +79,6 @@ func main() {
 	for _, ps := range res.Predicates {
 		fmt.Printf("  %-10s background=%.2e  k_crit=%d\n", ps.Name, ps.Background, ps.Critical)
 	}
+
+	fmt.Printf("\nquery latency: %s\n", lat.Summary())
 }

@@ -12,9 +12,12 @@ import (
 	"fmt"
 	"log"
 
+	"time"
+
 	"svqact/internal/core"
 	"svqact/internal/detect"
 	"svqact/internal/metrics"
+	"svqact/internal/obs"
 	"svqact/internal/synth"
 	"svqact/internal/video"
 )
@@ -67,16 +70,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		lat := obs.NewHistogram(nil)
+		start := time.Now()
 		res, err := eng.Run(context.Background(), v, q)
 		if err != nil {
 			log.Fatal(err)
 		}
+		lat.ObserveDuration(time.Since(start))
 		c := metrics.MatchSequences(res.Sequences, truth, metrics.DefaultIoU)
 		fmt.Printf("%-24s sequences=%-3d precision=%.2f recall=%.2f F1=%.2f\n",
 			mk.name, res.Sequences.NumIntervals(), c.Precision(), c.Recall(), c.F1())
 		car := res.Predicate("car")
 		fmt.Printf("%24s car background estimate: %.4f (k_crit=%d)\n",
 			"", car.Background, car.Critical)
+		fmt.Printf("%24s latency: %s\n", "", lat.Summary())
 	}
 
 	// Show SVAQD's background estimate following the traffic waves.

@@ -135,6 +135,7 @@ var Experiments = []Experiment{
 	{"ablation-order", "Predicate evaluation order", AblationPredicateOrder},
 	{"ablation-shortcircuit", "Short-circuit inference savings", AblationShortCircuit},
 	{"ablation-horizon", "Significance horizon sweep", AblationHorizon},
+	{"latency", "Online query latency percentiles", LatencyProfile},
 	{"drift", "Non-stationary background (surveillance peaks)", DriftExperiment},
 	{"extended", "Extended queries: relations, multi-action, disjunction", ExtendedQueries},
 }

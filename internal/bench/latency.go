@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"svqact/internal/core"
+	"svqact/internal/obs"
+	"svqact/internal/video"
+)
+
+// latencyRuns is how many times each engine is run; enough for stable
+// percentiles without dominating the experiment suite's runtime.
+const latencyRuns = 5
+
+// LatencyProfile characterises end-to-end query latency per engine with the
+// shared obs.Histogram percentile machinery — the same instrument the
+// serving path exposes as svqact_query_duration_seconds, so bench numbers
+// and /metrics scrapes are directly comparable. Each engine runs the q2
+// query repeatedly over a fresh engine (online ingestion is the cost being
+// measured; nothing is cached between runs).
+func LatencyProfile(w *Workspace) ([]Table, error) {
+	stream, spec, err := w.QueryStream(video.DefaultGeometry, "q2")
+	if err != nil {
+		return nil, err
+	}
+	q := core.Query{Objects: spec.Objects, Action: spec.Action}
+	t := Table{
+		Title:  fmt.Sprintf("Online query latency percentiles (q2, %d runs)", latencyRuns),
+		Header: []string{"engine", "latency profile"},
+	}
+	for _, mode := range []core.Mode{core.Static, core.Dynamic} {
+		h := obs.NewHistogram(nil)
+		for i := 0; i < latencyRuns; i++ {
+			var eng *core.Engine
+			if mode == core.Static {
+				eng, err = core.NewSVAQ(w.Models(), core.DefaultConfig())
+			} else {
+				eng, err = core.NewSVAQD(w.Models(), core.DefaultConfig())
+			}
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := eng.Run(context.Background(), stream, q); err != nil {
+				return nil, err
+			}
+			h.ObserveDuration(time.Since(start))
+		}
+		t.AddRow(mode.String(), h.Summary())
+	}
+	return []Table{t}, nil
+}

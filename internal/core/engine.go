@@ -2,12 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"svqact/internal/detect"
 	"svqact/internal/kernel"
+	"svqact/internal/obs"
 	"svqact/internal/scanstat"
 	"svqact/internal/video"
 )
@@ -57,7 +60,7 @@ func newEngine(models detect.Models, cfg Config, mode Mode) (*Engine, error) {
 	if models.Objects == nil || models.Actions == nil {
 		return nil, fmt.Errorf("core: engine needs both an object detector and an action recogniser")
 	}
-	return &Engine{models: models, cfg: cfg, mode: mode}, nil
+	return &Engine{models: models, cfg: cfg, mode: mode, meter: cfg.Meter}, nil
 }
 
 // Mode returns which algorithm the engine runs.
@@ -183,6 +186,13 @@ type predState struct {
 	clipInd   []bool // indicator per processed clip
 	rawInd    []bool // indicator per occurrence unit (false when skipped)
 	evaluated int
+
+	// Per-run observability: cumulative time spent evaluating this
+	// predicate's detector calls, occurrence units scored, and critical-value
+	// refreshes applied (Dynamic mode).
+	evalTime   time.Duration
+	units      int
+	recomputes int
 }
 
 // Run is an in-progress streaming evaluation over one video. It is not safe
@@ -204,6 +214,13 @@ type Run struct {
 	flagged      []bool
 	flaggedCount int
 	err          error
+
+	// Observability: the trace carried by the run's context (nil when the
+	// caller attached none), the run's start time, and whether the run's
+	// spans were already emitted (Result may be called repeatedly).
+	trace        *obs.Trace
+	started      time.Time
+	spansEmitted bool
 }
 
 // NewRun prepares a streaming evaluation of q over v. Critical values are
@@ -229,6 +246,8 @@ func (e *Engine) NewRun(ctx context.Context, v detect.TruthVideo, q Query) (*Run
 		q:        q,
 		geom:     g,
 		numClips: g.NumClips(v.NumFrames()),
+		trace:    obs.TraceFrom(ctx),
+		started:  time.Now(),
 	}
 	r.clipInd = make([]bool, 0, r.numClips)
 
@@ -357,6 +376,7 @@ func (r *Run) Step() bool {
 	r.clipInd = append(r.clipInd, positive)
 	r.flagged = append(r.flagged, clipErr != nil)
 	if clipErr != nil {
+		r.recordFlagged(clipErr)
 		r.flaggedCount++
 		if float64(r.flaggedCount) > r.e.cfg.FailureBudget*float64(r.numClips) {
 			r.err = &DegradedError{
@@ -403,7 +423,10 @@ func (r *Run) learn(ps *predState, count int) {
 	}
 	if ps.prev1 <= thr && ps.prev2 <= thr && count <= thr {
 		ps.est.TickN(ps.window, ps.prev1)
-		ps.crit = ps.cache.At(ps.est.P())
+		if crit := ps.cache.At(ps.est.P()); crit != ps.crit {
+			ps.crit = crit
+			ps.recomputes++
+		}
 	}
 }
 
@@ -436,10 +459,12 @@ func (r *Run) gateThreshold(ps *predState) (thr int, ready bool) {
 }
 
 // evaluate runs the detector over the clip's occurrence units for one
-// predicate, records the raw indicators, charges the meter, and returns the
-// positive count. A detector invocation that fails after retries aborts the
-// clip's evaluation with the error (the caller flags the clip).
+// predicate, records the raw indicators, charges the meter and the
+// predicate's evaluation-time accumulator, and returns the positive count. A
+// detector invocation that fails after retries aborts the clip's evaluation
+// with the error (the caller flags the clip).
 func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int, error) {
+	defer func(t0 time.Time) { ps.evalTime += time.Since(t0) }(time.Now())
 	count := 0
 	switch ps.kind {
 	case ObjectPredicate:
@@ -456,6 +481,7 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 			if err != nil {
 				return 0, err
 			}
+			ps.units++
 			if score >= r.e.models.ObjThreshold {
 				ps.rawInd[f] = true
 				count++
@@ -471,6 +497,7 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 			if err != nil {
 				return 0, err
 			}
+			ps.units++
 			if score >= r.e.models.ActThreshold {
 				ps.rawInd[s] = true
 				count++
@@ -482,16 +509,20 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 
 // objectScore invokes the object detector on one frame, retrying transient
 // failures of fallible detectors with exponential backoff. Infallible
-// detectors take the direct path.
+// detectors take the direct path. Every attempt and fault is charged to the
+// meter.
 func (r *Run) objectScore(typ string, frame int) (float64, error) {
 	m := r.e.models
 	if _, ok := m.Objects.(detect.FallibleObjectDetector); !ok {
+		r.recordAttempt(detect.KindObject, 0)
 		return m.Objects.FrameScore(r.v, typ, frame), nil
 	}
 	var s float64
 	err := detect.Retry(r.ctx, r.e.cfg.Retry, func(attempt int) error {
+		r.recordAttempt(detect.KindObject, attempt)
 		var err error
 		s, err = m.ObjectScoreAttempt(r.v, typ, frame, attempt)
+		r.recordFault(err)
 		return err
 	})
 	return s, err
@@ -502,15 +533,53 @@ func (r *Run) objectScore(typ string, frame int) (float64, error) {
 func (r *Run) actionScore(act string, shot int) (float64, error) {
 	m := r.e.models
 	if _, ok := m.Actions.(detect.FallibleActionRecognizer); !ok {
+		r.recordAttempt(detect.KindAction, 0)
 		return m.Actions.ShotScore(r.v, act, shot), nil
 	}
 	var s float64
 	err := detect.Retry(r.ctx, r.e.cfg.Retry, func(attempt int) error {
+		r.recordAttempt(detect.KindAction, attempt)
 		var err error
 		s, err = m.ActionScoreAttempt(r.v, act, shot, attempt)
+		r.recordFault(err)
 		return err
 	})
 	return s, err
+}
+
+// recordAttempt charges one invocation attempt to the meter, if any.
+func (r *Run) recordAttempt(kind string, attempt int) {
+	if m := r.e.meter; m != nil {
+		m.RecordAttempt(kind, attempt)
+	}
+}
+
+// recordFault charges one failed invocation attempt to the meter. Context
+// errors (the run being cancelled mid-retry) are not detector faults.
+func (r *Run) recordFault(err error) {
+	m := r.e.meter
+	if m == nil || err == nil {
+		return
+	}
+	var de *detect.DetectionError
+	if errors.As(err, &de) {
+		m.RecordFault(de.Kind, de.Transient)
+	}
+}
+
+// recordFlagged charges one skipped-and-flagged clip to the meter,
+// attributed to the detector kind whose retries were exhausted.
+func (r *Run) recordFlagged(clipErr error) {
+	m := r.e.meter
+	if m == nil || clipErr == nil {
+		return
+	}
+	kind := detect.KindObject
+	var de *detect.DetectionError
+	if errors.As(clipErr, &de) {
+		kind = de.Kind
+	}
+	m.RecordFlagged(kind)
 }
 
 // Sequences returns the result sequences over the clips processed so far.
@@ -554,7 +623,36 @@ func (r *Run) Result() *Result {
 		}
 		res.Predicates = append(res.Predicates, st)
 	}
+	r.emitSpans("engine.run", ordered)
 	return res
+}
+
+// emitSpans surfaces the run's accounting on the context's trace, once: an
+// engine-level span covering the whole run plus one span per predicate whose
+// duration is the predicate's accumulated detector-evaluation time (the
+// paper's per-stage cost decomposition — short-circuit savings and SVAQD
+// recomputation are readable directly off the spans).
+func (r *Run) emitSpans(root string, preds []*predState) {
+	if r.trace == nil || r.spansEmitted {
+		return
+	}
+	r.spansEmitted = true
+	eng := r.trace.AddSpan(root, r.started, time.Since(r.started))
+	eng.SetAttr("mode", r.e.mode.String())
+	eng.SetAttr("clips_processed", r.nextClip)
+	eng.SetAttr("num_clips", r.numClips)
+	eng.SetAttr("flagged_clips", r.flaggedCount)
+	for _, ps := range preds {
+		sp := r.trace.AddSpan("predicate:"+ps.name, r.started, ps.evalTime)
+		sp.SetAttr("kind", ps.kind.label())
+		sp.SetAttr("evaluated_clips", ps.evaluated)
+		sp.SetAttr("units_scored", ps.units)
+		sp.SetAttr("k_crit", ps.crit)
+		sp.SetAttr("background", r.background(ps))
+		if r.e.mode == Dynamic {
+			sp.SetAttr("k_crit_recomputes", ps.recomputes)
+		}
+	}
 }
 
 func (r *Run) background(ps *predState) float64 {

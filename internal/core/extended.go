@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/video"
 )
 
@@ -220,7 +222,10 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 	}
 	numClips := g.NumClips(v.NumFrames())
 	numShots := g.NumShots(v.NumFrames())
-	run := &Run{e: e, ctx: ctx, v: v, geom: g, numClips: numClips}
+	run := &Run{
+		e: e, ctx: ctx, v: v, geom: g, numClips: numClips,
+		trace: obs.TraceFrom(ctx), started: time.Now(),
+	}
 
 	// One predState per distinct atom; clauses reference them by index.
 	type boundAtom struct {
@@ -303,6 +308,7 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 		clipInd = append(clipInd, sat)
 		run.flagged = append(run.flagged, clipErr != nil)
 		if clipErr != nil {
+			run.recordFlagged(clipErr)
 			run.flaggedCount++
 			if float64(run.flaggedCount) > e.cfg.FailureBudget*float64(numClips) {
 				runErr = &DegradedError{
@@ -334,6 +340,12 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 			EvaluatedClips: ba.ps.evaluated,
 		})
 	}
+	run.nextClip = len(clipInd)
+	states := make([]*predState, len(atoms))
+	for i, ba := range atoms {
+		states[i] = ba.ps
+	}
+	run.emitSpans("engine.run_cnf", states)
 	return res, runErr
 }
 
@@ -348,12 +360,14 @@ func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool)
 	case ActionPredicate:
 		return r.evaluate(ps, clip, chargedFrames)
 	case RelationPredicate:
+		defer func(t0 time.Time) { ps.evalTime += time.Since(t0) }(time.Now())
 		fr := r.geom.FrameRangeOfClip(clip)
 		if r.e.meter != nil && !*chargedFrames {
 			r.e.meter.AddObjectFrames(fr.Len())
 			*chargedFrames = true
 		}
 		for f := fr.Start; f <= fr.End; f++ {
+			ps.units++
 			if detect.RelationPositive(r.e.models.Objects, r.v, detect.Relation(a.Name), a.Args[0], a.Args[1], f) {
 				ps.rawInd[f] = true
 				count++

@@ -145,6 +145,13 @@ type Config struct {
 	// DegradedError instead of silently returning a result that is mostly
 	// holes. Zero means the default of 0.25.
 	FailureBudget float64
+
+	// Meter, when set, receives every engine's inference, retry, fault and
+	// flagged-clip accounting (equivalent to calling SetMeter on each engine
+	// built from this config). The serving path uses a process-lifetime meter
+	// here so ingestion engines created deep inside rank charge the same
+	// scraped counters.
+	Meter *detect.Meter
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.

@@ -1,18 +1,45 @@
 package detect
 
 import (
-	"sync/atomic"
 	"time"
+
+	"svqact/internal/obs"
 )
 
-// Meter accumulates inference accounting for the runtime analysis of §5.2:
-// the engine registers each occurrence unit it actually runs a model on
-// (object inference covers all types in one pass, so a frame is charged once
-// no matter how many query predicates read it), and the meter prices the
+// Detector kinds, the label values of the per-kind metrics and the Kind
+// field of DetectionError.
+const (
+	KindObject = "object"
+	KindAction = "action"
+)
+
+// Meter accumulates inference accounting for the runtime analysis of §5.2
+// and the serving metrics: the engine registers each occurrence unit it
+// actually runs a model on (object inference covers all types in one pass,
+// so a frame is charged once no matter how many query predicates read it),
+// every invocation attempt with its retry/fault outcome, and every clip
+// skipped-and-flagged after retry exhaustion. The meter prices the inference
 // total against the models' simulated unit costs.
+//
+// Counters are obs instruments, so a server-lifetime meter exposes them
+// directly on /metrics via Register — the engine's charge sites are the only
+// accounting path. The zero value is ready to use.
 type Meter struct {
-	objectFrames atomic.Int64
-	actionShots  atomic.Int64
+	objectFrames obs.Counter
+	actionShots  obs.Counter
+
+	objAttempts obs.Counter
+	actAttempts obs.Counter
+	objRetries  obs.Counter
+	actRetries  obs.Counter
+
+	objTransient obs.Counter
+	actTransient obs.Counter
+	objPermanent obs.Counter
+	actPermanent obs.Counter
+
+	objFlagged obs.Counter
+	actFlagged obs.Counter
 }
 
 // AddObjectFrames records n frames passed through the object detector.
@@ -22,10 +49,85 @@ func (m *Meter) AddObjectFrames(n int) { m.objectFrames.Add(int64(n)) }
 func (m *Meter) AddActionShots(n int) { m.actionShots.Add(int64(n)) }
 
 // ObjectFrames returns the number of object-detector inferences.
-func (m *Meter) ObjectFrames() int64 { return m.objectFrames.Load() }
+func (m *Meter) ObjectFrames() int64 { return m.objectFrames.Value() }
 
 // ActionShots returns the number of action-recogniser inferences.
-func (m *Meter) ActionShots() int64 { return m.actionShots.Load() }
+func (m *Meter) ActionShots() int64 { return m.actionShots.Value() }
+
+// RecordAttempt records one model invocation attempt; attempts past the
+// first additionally count as retries.
+func (m *Meter) RecordAttempt(kind string, attempt int) {
+	a, r := &m.objAttempts, &m.objRetries
+	if kind == KindAction {
+		a, r = &m.actAttempts, &m.actRetries
+	}
+	a.Inc()
+	if attempt > 0 {
+		r.Inc()
+	}
+}
+
+// RecordFault records one failed invocation attempt by outcome class.
+func (m *Meter) RecordFault(kind string, transient bool) {
+	switch {
+	case kind == KindAction && transient:
+		m.actTransient.Inc()
+	case kind == KindAction:
+		m.actPermanent.Inc()
+	case transient:
+		m.objTransient.Inc()
+	default:
+		m.objPermanent.Inc()
+	}
+}
+
+// RecordFlagged records one clip skipped-and-flagged after retry exhaustion,
+// attributed to the detector kind whose invocation exhausted its retries.
+func (m *Meter) RecordFlagged(kind string) {
+	if kind == KindAction {
+		m.actFlagged.Inc()
+	} else {
+		m.objFlagged.Inc()
+	}
+}
+
+// Attempts returns the invocation attempts recorded for the kind.
+func (m *Meter) Attempts(kind string) int64 {
+	if kind == KindAction {
+		return m.actAttempts.Value()
+	}
+	return m.objAttempts.Value()
+}
+
+// Retries returns the re-attempts (attempt > 0) recorded for the kind.
+func (m *Meter) Retries(kind string) int64 {
+	if kind == KindAction {
+		return m.actRetries.Value()
+	}
+	return m.objRetries.Value()
+}
+
+// Faults returns the failed attempts of the given outcome class.
+func (m *Meter) Faults(kind string, transient bool) int64 {
+	switch {
+	case kind == KindAction && transient:
+		return m.actTransient.Value()
+	case kind == KindAction:
+		return m.actPermanent.Value()
+	case transient:
+		return m.objTransient.Value()
+	default:
+		return m.objPermanent.Value()
+	}
+}
+
+// Flagged returns the clips skipped-and-flagged for the kind.
+func (m *Meter) Flagged(kind string) int64 {
+	if kind == KindAction {
+		return m.actFlagged.Value()
+	}
+	return m.objFlagged.Value()
+}
 
 // Cost prices the recorded inferences with the given models.
 func (m *Meter) Cost(models Models) time.Duration {
@@ -39,8 +141,52 @@ func (m *Meter) Cost(models Models) time.Duration {
 	return time.Duration(m.ObjectFrames())*oc + time.Duration(m.ActionShots())*ac
 }
 
-// Reset zeroes the counters.
+// Reset zeroes every counter. Only meaningful for per-run meters; a meter
+// registered for scraping must stay monotone.
 func (m *Meter) Reset() {
-	m.objectFrames.Store(0)
-	m.actionShots.Store(0)
+	for _, c := range []*obs.Counter{
+		&m.objectFrames, &m.actionShots,
+		&m.objAttempts, &m.actAttempts, &m.objRetries, &m.actRetries,
+		&m.objTransient, &m.actTransient, &m.objPermanent, &m.actPermanent,
+		&m.objFlagged, &m.actFlagged,
+	} {
+		c.Reset()
+	}
+}
+
+// Register exposes the meter's counters on the registry as the
+// svqact_detect_* metric families, labelled by detector kind. The registry
+// serves the very counters the engine charges, so /metrics can never
+// disagree with the meter.
+func (m *Meter) Register(r *obs.Registry) {
+	kind := func(k string) obs.Label { return obs.L("kind", k) }
+	r.AttachCounter("svqact_detect_inferences_total",
+		"Model inference units executed (frames for objects, shots for actions).",
+		&m.objectFrames, kind(KindObject))
+	r.AttachCounter("svqact_detect_inferences_total", "",
+		&m.actionShots, kind(KindAction))
+	r.AttachCounter("svqact_detect_attempts_total",
+		"Model invocation attempts, including retries.",
+		&m.objAttempts, kind(KindObject))
+	r.AttachCounter("svqact_detect_attempts_total", "",
+		&m.actAttempts, kind(KindAction))
+	r.AttachCounter("svqact_detect_retries_total",
+		"Model invocation re-attempts after a transient failure.",
+		&m.objRetries, kind(KindObject))
+	r.AttachCounter("svqact_detect_retries_total", "",
+		&m.actRetries, kind(KindAction))
+	r.AttachCounter("svqact_detect_faults_total",
+		"Failed model invocation attempts by outcome class.",
+		&m.objTransient, kind(KindObject), obs.L("outcome", "transient"))
+	r.AttachCounter("svqact_detect_faults_total", "",
+		&m.objPermanent, kind(KindObject), obs.L("outcome", "permanent"))
+	r.AttachCounter("svqact_detect_faults_total", "",
+		&m.actTransient, kind(KindAction), obs.L("outcome", "transient"))
+	r.AttachCounter("svqact_detect_faults_total", "",
+		&m.actPermanent, kind(KindAction), obs.L("outcome", "permanent"))
+	r.AttachCounter("svqact_detect_flagged_clips_total",
+		"Clips skipped-and-flagged after detector retry exhaustion.",
+		&m.objFlagged, kind(KindObject))
+	r.AttachCounter("svqact_detect_flagged_clips_total", "",
+		&m.actFlagged, kind(KindAction))
 }

@@ -1,0 +1,240 @@
+// Package obs is the repo's observability layer: a stdlib-only metrics
+// registry (atomic counters, gauges and fixed-bucket latency histograms
+// rendered in the Prometheus text exposition format), per-query trace spans
+// propagated through context.Context, and query-ID generation.
+//
+// Instruments are plain types usable on their own — a zero-value Counter or
+// Gauge works, and NewHistogram builds a histogram without any registry — so
+// per-run accounting objects (detect.Meter, bench timers) and the globally
+// scraped serving metrics share one implementation. A Registry attaches
+// instruments to metric families for the /metrics endpoint; attaching is
+// exposition only and never changes how an instrument is charged.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter. Only meaningful for unregistered per-run
+// accounting (a scraped counter must stay monotone).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a value that can go up and down. The zero value is ready to use
+// and safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets are the default histogram bucket upper bounds for query
+// latencies, in seconds: 1ms up to 30s, roughly exponential. Chosen to
+// straddle both the sub-millisecond cached-index queries and full-stream
+// online runs under the default 30s deadline.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations (typically
+// latencies in seconds). It is safe for concurrent use.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram with the given strictly increasing bucket
+// upper bounds; nil or empty means DefLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+	updateFloat(&h.min, v, func(cur, v float64) bool { return v < cur })
+	updateFloat(&h.max, v, func(cur, v float64) bool { return v > cur })
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the mean observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation, 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.min.Load())
+}
+
+// Max returns the largest observation, 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket, clamped to the observed min/max. It returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.Max()
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi > h.Max() {
+				hi = h.Max()
+			}
+			if lo < h.Min() {
+				lo = h.Min()
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / c
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Summary renders the distribution one-line, the shared latency format used
+// by the bench tables and the examples:
+//
+//	n=12 mean=8.2ms p50=7.1ms p90=14.3ms p99=21.0ms max=22.5ms
+func (h *Histogram) Summary() string {
+	n := h.Count()
+	if n == 0 {
+		return "n=0"
+	}
+	f := func(s float64) string {
+		return time.Duration(s * float64(time.Second)).Round(100 * time.Microsecond).String()
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		n, f(h.Mean()), f(h.Quantile(0.5)), f(h.Quantile(0.9)), f(h.Quantile(0.99)), f(h.Max()))
+}
+
+// snapshot returns the cumulative bucket counts (le semantics), total count
+// and sum, coherent enough for exposition.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+// addFloat atomically adds v to the float64 bits stored in a.
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// updateFloat atomically replaces the stored float when better(cur, v).
+func updateFloat(a *atomic.Uint64, v float64, better func(cur, v float64) bool) {
+	for {
+		old := a.Load()
+		if !better(math.Float64frombits(old), v) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

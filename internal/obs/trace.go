@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NewQueryID returns a fresh 16-hex-char query identifier.
+func NewQueryID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively impossible on supported
+		// platforms; a constant fallback keeps the serving path alive.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Trace collects the spans of one query. It is safe for concurrent use:
+// parallel ingestion workers append spans from their own goroutines.
+type Trace struct {
+	mu    sync.Mutex
+	id    string
+	start time.Time
+	spans []*Span
+}
+
+// NewTrace starts a trace identified by id (typically a NewQueryID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace's query ID.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span is one timed stage of a query. Spans are created by StartSpan (live
+// wall-clock spans, ended with End) or AddSpan (pre-measured stages, e.g. a
+// predicate's accumulated evaluation time reported at the end of a run).
+type Span struct {
+	mu    sync.Mutex
+	trace *Trace
+	name  string
+	start time.Time
+	dur   time.Duration
+	ended bool
+	attrs map[string]any
+}
+
+// StartSpan opens a live span on the context's trace. It returns nil when
+// the context carries no trace; every Span method is nil-safe, so
+// instrumented code needs no conditionals.
+func StartSpan(ctx context.Context, name string) *Span {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return nil
+	}
+	s := &Span{trace: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// AddSpan records a pre-measured span: a stage that began at start and ran
+// for dur of accumulated work. Nil-safe on the trace.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{trace: t, name: name, start: start, dur: dur, ended: true}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes a live span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+	return s
+}
+
+// SpanSnapshot is the JSON form of one span; StartMS is relative to the
+// trace start.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of a trace, surfaced in the /query response
+// under "trace".
+type TraceSnapshot struct {
+	QueryID    string         `json:"query_id"`
+	DurationMS float64        `json:"duration_ms"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the trace for the response body. Live spans still open
+// report their duration so far. Spans are ordered by start time, then name.
+func (t *Trace) Snapshot() *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+
+	snap := &TraceSnapshot{
+		QueryID:    t.id,
+		DurationMS: float64(time.Since(t.start)) / float64(time.Millisecond),
+	}
+	for _, s := range spans {
+		s.mu.Lock()
+		d := s.dur
+		if !s.ended {
+			d = time.Since(s.start)
+		}
+		var attrs map[string]any
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]any, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+		}
+		ss := SpanSnapshot{
+			Name:       s.name,
+			StartMS:    float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+			DurationMS: float64(d) / float64(time.Millisecond),
+			Attrs:      attrs,
+		}
+		s.mu.Unlock()
+		snap.Spans = append(snap.Spans, ss)
+	}
+	sort.SliceStable(snap.Spans, func(i, j int) bool {
+		if snap.Spans[i].StartMS != snap.Spans[j].StartMS {
+			return snap.Spans[i].StartMS < snap.Spans[j].StartMS
+		}
+		return snap.Spans[i].Name < snap.Spans[j].Name
+	})
+	return snap
+}
+
+// SpanNames returns the names of every span recorded so far, in insertion
+// order (test helper and log enrichment).
+func (t *Trace) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, len(t.spans))
+	for i, s := range t.spans {
+		names[i] = s.name
+	}
+	return names
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewQueryID(t *testing.T) {
+	a, b := NewQueryID(), NewQueryID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("query IDs %q/%q, want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("consecutive query IDs collide: %q", a)
+	}
+	for _, r := range a {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			t.Fatalf("non-hex rune %q in %q", r, a)
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc123")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not recoverable from context")
+	}
+
+	s := StartSpan(ctx, "stage.one")
+	s.SetAttr("k", 3)
+	s.End()
+	s.End() // second End keeps the first duration
+	tr.AddSpan("stage.pre", tr.start, 5*time.Millisecond).SetAttr("units", 7)
+
+	snap := tr.Snapshot()
+	if snap.QueryID != "abc123" {
+		t.Errorf("snapshot query id = %q", snap.QueryID)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(snap.Spans))
+	}
+	// Ordered by start: the pre-measured span starts at the trace start.
+	if snap.Spans[0].Name != "stage.pre" || snap.Spans[0].DurationMS != 5 {
+		t.Errorf("first span = %+v", snap.Spans[0])
+	}
+	if snap.Spans[1].Name != "stage.one" || snap.Spans[1].Attrs["k"] != 3 {
+		t.Errorf("second span = %+v", snap.Spans[1])
+	}
+	names := tr.SpanNames()
+	if len(names) != 2 || names[0] != "stage.one" {
+		t.Errorf("span names = %v (insertion order expected)", names)
+	}
+}
+
+// TestNilSafety: instrumented code paths run without a trace on the context;
+// every span operation must be a no-op, never a nil dereference.
+func TestNilSafety(t *testing.T) {
+	s := StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("StartSpan without a trace should return nil")
+	}
+	s.SetAttr("k", 1)
+	s.End()
+	var tr *Trace
+	if tr.ID() != "" || tr.Snapshot() != nil || tr.SpanNames() != nil {
+		t.Error("nil trace accessors should return zero values")
+	}
+	tr.AddSpan("y", time.Now(), time.Second).End()
+	if TraceFrom(nil) != nil {
+		t.Error("TraceFrom(nil) should be nil")
+	}
+}
+
+// TestTraceConcurrent appends spans from many goroutines (parallel ingestion
+// does this); meaningful under -race.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(NewQueryID())
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := StartSpan(ctx, "w")
+				sp.SetAttr("j", j)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot().Spans); got != 1600 {
+		t.Errorf("spans = %d, want 1600", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"svqact/internal/core"
+	"svqact/internal/obs"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -31,6 +32,7 @@ func PqTraverse(ctx context.Context, ix *Index, q core.Query, k int, opts Option
 		return nil, err
 	}
 	res := &Result{Algorithm: "Pq-Traverse", Query: q, K: k, Candidates: pq.NumIntervals()}
+	defer finishTopkSpan(obs.StartSpan(ctx, "rank.topk"), res)
 	tables, err := ix.queryTables(q, &res.Stats)
 	if err != nil {
 		return nil, err
@@ -81,6 +83,7 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 		return nil, err
 	}
 	res := &Result{Algorithm: "FA", Query: q, K: k, Candidates: pq.NumIntervals()}
+	defer finishTopkSpan(obs.StartSpan(ctx, "rank.topk"), res)
 	if pq.Empty() {
 		return res, nil
 	}
@@ -130,6 +133,7 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 		if !progressed {
 			break // tables drained; clips absent from some table remain
 		}
+		res.Rounds++
 	}
 
 	f := opts.Scoring.Seq

@@ -6,6 +6,7 @@ import (
 
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -57,6 +58,10 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 		return nil, err
 	}
 	objTypes, actTypes := v.ObjectTypes(), v.ActionTypes()
+
+	span := obs.StartSpan(ctx, "rank.ingest").SetAttr("video", v.ID()).
+		SetAttr("object_types", len(objTypes)).SetAttr("action_types", len(actTypes))
+	defer span.End()
 
 	eng, err := core.NewSVAQD(models, cfg.Core)
 	if err != nil {
@@ -154,6 +159,7 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 		}
 		ix.Actions[typ] = &TypeIndex{Table: tbl, Seqs: actSeqs[typ]}
 	}
+	span.SetAttr("clips", ix.NumClips)
 	return ix, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"svqact/internal/core"
+	"svqact/internal/obs"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -42,6 +43,10 @@ type Result struct {
 	ClipsScored int
 	// Candidates is |P_q|, the number of candidate sequences.
 	Candidates int
+	// Rounds is the number of parallel sorted-access rounds the traversal
+	// performed (TBClip iterator rounds for RVAQ, Fagin phase-1 rounds for
+	// FA; zero for Pq-Traverse, which scans by random access only).
+	Rounds int
 }
 
 // Options tune the RVAQ query phase.
@@ -127,6 +132,11 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 	if err != nil {
 		return err
 	}
+	span := obs.StartSpan(ctx, "rank.topk")
+	defer func() {
+		res.Rounds = iter.rounds
+		finishTopkSpan(span, res)
+	}()
 
 	seqs := make([]*seqState, 0, pq.NumIntervals())
 	for _, iv := range pq.Intervals() {
@@ -287,6 +297,19 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 	}
 	sort.Slice(res.Sequences, func(i, j int) bool { return res.Sequences[i].Score() > res.Sequences[j].Score() })
 	return nil
+}
+
+// finishTopkSpan closes a rank.topk span with the query-phase attributes
+// shared by every ranking algorithm.
+func finishTopkSpan(span *obs.Span, res *Result) {
+	span.SetAttr("algorithm", res.Algorithm).
+		SetAttr("k", res.K).
+		SetAttr("candidates", res.Candidates).
+		SetAttr("rounds", res.Rounds).
+		SetAttr("clips_scored", res.ClipsScored).
+		SetAttr("sorted_accesses", res.Stats.Sorted).
+		SetAttr("random_accesses", res.Stats.Random)
+	span.End()
 }
 
 // sortSeqResults orders exhaustively scored results by score then position.

@@ -39,6 +39,10 @@ type tbClip struct {
 	// rows remain unscanned.
 	remaining int
 
+	// rounds counts the parallel sorted-access rounds performed — the
+	// traversal depth reported in Result.Rounds and the rank.topk span.
+	rounds int
+
 	topCur []int // next rank-region row from the top, per table
 	btmCur []int // next rank-region row from the bottom, per table
 
@@ -141,6 +145,7 @@ func (t *tbClip) admitRow(e store.Entry) error {
 
 // advance performs one parallel sorted-access round from both ends.
 func (t *tbClip) advance() error {
+	t.rounds++
 	for i, tbl := range t.tables {
 		if t.topCur[i] <= t.btmCur[i] {
 			e, err := tbl.SortedAt(t.topCur[i])

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"svqact/internal/detect"
+)
+
+const objectQuery = `{"sql": "SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID) WHERE act='blowing_leaves' AND obj.include('car')"}`
+
+func scrape(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	return rr.Body.String()
+}
+
+// metricValue extracts the value of an exactly matching series line.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in metrics output", series)
+	return 0
+}
+
+// TestQueryTraceAndStableID: a completed query carries a trace whose spans
+// cover the engine run and every evaluated predicate, under one query ID
+// that matches the X-Query-ID header.
+func TestQueryTraceAndStableID(t *testing.T) {
+	s := New(Config{Scale: 0.05, Seed: 42})
+	h := s.Handler()
+	rr := postQuery(h, objectQuery)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rr.Code, rr.Body)
+	}
+	hdr := rr.Header().Get("X-Query-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(hdr) {
+		t.Fatalf("X-Query-ID = %q, want 16 hex chars", hdr)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.QueryID != hdr {
+		t.Errorf("body query_id %q != header %q", qr.QueryID, hdr)
+	}
+	if qr.Trace == nil {
+		t.Fatal("response has no trace")
+	}
+	if qr.Trace.QueryID != hdr {
+		t.Errorf("trace query_id %q != header %q", qr.Trace.QueryID, hdr)
+	}
+	names := map[string]bool{}
+	for _, sp := range qr.Trace.Spans {
+		names[sp.Name] = true
+		if sp.DurationMS < 0 {
+			t.Errorf("span %q has negative duration", sp.Name)
+		}
+	}
+	for _, want := range []string{"engine.run", "predicate:car", "predicate:blowing_leaves"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, qr.Trace.Spans)
+		}
+	}
+}
+
+// TestMetricsEndpointFamilies: /metrics serves every advertised family and
+// agrees with /healthz on the shared counters.
+func TestMetricsEndpointFamilies(t *testing.T) {
+	s := New(Config{Scale: 0.05, Seed: 42})
+	h := s.Handler()
+	if rr := postQuery(h, objectQuery); rr.Code != http.StatusOK {
+		t.Fatalf("query status = %d: %s", rr.Code, rr.Body)
+	}
+	body := scrape(t, h)
+	for _, fam := range []string{
+		"svqact_queries_inflight",
+		"svqact_queries_waiting",
+		"svqact_queries_served_total",
+		"svqact_queries_rejected_total",
+		"svqact_panics_total",
+		"svqact_query_duration_seconds",
+		"svqact_rank_sorted_accesses_total",
+		"svqact_rank_random_accesses_total",
+		"svqact_uptime_seconds",
+		"svqact_detect_inferences_total",
+		"svqact_detect_attempts_total",
+		"svqact_detect_retries_total",
+		"svqact_detect_faults_total",
+		"svqact_detect_flagged_clips_total",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("metrics output missing family %s", fam)
+		}
+	}
+	if v := metricValue(t, body, "svqact_query_duration_seconds_count"); v != 1 {
+		t.Errorf("latency histogram count = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `svqact_detect_inferences_total{kind="object"}`); v <= 0 {
+		t.Errorf("object inferences = %v, want > 0", v)
+	}
+	hz := s.Health()
+	if v := metricValue(t, body, "svqact_queries_served_total"); uint64(v) != hz.Served {
+		t.Errorf("served: metrics %v != healthz %d", v, hz.Served)
+	}
+}
+
+// TestFaultCountersOnMetrics: a fault-injected query drives the retry and
+// flagged-clip counters, and the response still reports the flagged clips.
+func TestFaultCountersOnMetrics(t *testing.T) {
+	s := New(Config{
+		Scale: 0.05, Seed: 42,
+		Fault:         &detect.FaultConfig{TransientRate: 0.1, PermanentRate: 0.05, Seed: 7},
+		FailureBudget: 0.5,
+	})
+	h := s.Handler()
+	rr := postQuery(h, cheapQuery)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rr.Code, rr.Body)
+	}
+	body := scrape(t, h)
+	if v := metricValue(t, body, `svqact_detect_retries_total{kind="action"}`); v <= 0 {
+		t.Errorf("action retries = %v, want > 0 under transient faults", v)
+	}
+	if v := metricValue(t, body, `svqact_detect_faults_total{kind="action",outcome="transient"}`); v <= 0 {
+		t.Errorf("transient action faults = %v, want > 0", v)
+	}
+	flagged := metricValue(t, body, `svqact_detect_flagged_clips_total{kind="action"}`) +
+		metricValue(t, body, `svqact_detect_flagged_clips_total{kind="object"}`)
+	if flagged <= 0 {
+		t.Errorf("flagged clips = %v, want > 0 under permanent faults", flagged)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if float64(qr.FlaggedClips) != flagged {
+		t.Errorf("response flagged %d != metric %v (one accounting path)", qr.FlaggedClips, flagged)
+	}
+}
+
+// TestOfflineQueryTrace: RVAQ responses carry the ranking spans and charge
+// the rank access counters.
+func TestOfflineQueryTrace(t *testing.T) {
+	s := New(Config{Scale: 0.05, Seed: 42})
+	h := s.Handler()
+	rr := postQuery(h, `{"sql": "SELECT MERGE(clipID) AS s, RANK(act, obj) FROM (PROCESS titanic PRODUCE clipID) WHERE act='kissing' AND obj.include('boat') ORDER BY RANK(act, obj) LIMIT 2"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rr.Code, rr.Body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Trace == nil {
+		t.Fatal("offline response has no trace")
+	}
+	var sawTopk, sawIngest bool
+	for _, sp := range qr.Trace.Spans {
+		if sp.Name == "rank.topk" {
+			sawTopk = true
+			if sp.Attrs["algorithm"] != "RVAQ" {
+				t.Errorf("rank.topk attrs = %v", sp.Attrs)
+			}
+		}
+		if sp.Name == "rank.ingest" {
+			sawIngest = true
+		}
+	}
+	if !sawTopk || !sawIngest {
+		t.Errorf("offline trace spans missing (topk %v, ingest %v): %+v", sawTopk, sawIngest, qr.Trace.Spans)
+	}
+	body := scrape(t, h)
+	if v := metricValue(t, body, "svqact_rank_random_accesses_total"); v <= 0 {
+		t.Errorf("rank random accesses = %v, want > 0", v)
+	}
+}

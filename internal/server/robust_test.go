@@ -2,7 +2,8 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -75,7 +76,7 @@ func TestQueueOverflowRejectsImmediately(t *testing.T) {
 		defer wg.Done()
 		postQuery(h, `{`)
 	}()
-	for i := 0; s.waiting.Load() == 0; i++ {
+	for i := 0; s.waiting.Value() == 0; i++ {
 		if i > 1000 {
 			t.Fatal("queued request never registered")
 		}
@@ -102,10 +103,9 @@ func TestQueueOverflowRejectsImmediately(t *testing.T) {
 // a log line with the stack, and a bumped panics counter — and the next
 // request is served normally.
 func TestPanicRecoveryReturnsJSON500(t *testing.T) {
-	var logged []string
-	s := New(Config{Scale: 0.05, Seed: 42, Logf: func(format string, args ...any) {
-		logged = append(logged, fmt.Sprintf(format, args...))
-	}})
+	var logged strings.Builder
+	s := New(Config{Scale: 0.05, Seed: 42,
+		Logger: slog.New(slog.NewTextHandler(&logged, nil))})
 	calls := 0
 	h := s.recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls++
@@ -127,11 +127,11 @@ func TestPanicRecoveryReturnsJSON500(t *testing.T) {
 	if !strings.Contains(body.Error, "boom") {
 		t.Errorf("error = %q, want the panic value", body.Error)
 	}
-	if s.panics.Load() != 1 {
-		t.Errorf("panics counter = %d", s.panics.Load())
+	if s.panics.Value() != 1 {
+		t.Errorf("panics counter = %d", s.panics.Value())
 	}
-	if len(logged) != 1 || !strings.Contains(logged[0], "boom") || !strings.Contains(logged[0], "goroutine") {
-		t.Errorf("panic not logged with stack: %q", logged)
+	if out := logged.String(); !strings.Contains(out, "boom") || !strings.Contains(out, "goroutine") {
+		t.Errorf("panic not logged with stack: %q", out)
 	}
 
 	rr2 := httptest.NewRecorder()
@@ -144,7 +144,8 @@ func TestPanicRecoveryReturnsJSON500(t *testing.T) {
 // TestPanicRecoveryReraisesAbortHandler: http.ErrAbortHandler keeps its
 // net/http meaning and passes through the middleware.
 func TestPanicRecoveryReraisesAbortHandler(t *testing.T) {
-	s := New(Config{Scale: 0.05, Seed: 42, Logf: func(string, ...any) {}})
+	s := New(Config{Scale: 0.05, Seed: 42,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	h := s.recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic(http.ErrAbortHandler)
 	}))
@@ -152,7 +153,7 @@ func TestPanicRecoveryReraisesAbortHandler(t *testing.T) {
 		if recover() != http.ErrAbortHandler {
 			t.Error("ErrAbortHandler must be re-raised, not swallowed")
 		}
-		if s.panics.Load() != 0 {
+		if s.panics.Value() != 0 {
 			t.Error("ErrAbortHandler must not count as a handler panic")
 		}
 	}()

@@ -16,17 +16,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/rank"
 	"svqact/internal/sqlq"
 	"svqact/internal/synth"
@@ -62,8 +62,13 @@ type Config struct {
 	Retry         detect.RetryConfig
 	FailureBudget float64
 
-	// Logf receives operational log lines; nil means log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational log lines (one per query,
+	// plus panic reports); nil means slog.Default().
+	Logger *slog.Logger
+
+	// Registry receives the server's metrics and serves /metrics; nil means
+	// a fresh registry per server, keeping test instances independent.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -85,8 +90,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
 	}
 	return c
 }
@@ -97,15 +105,29 @@ type Server struct {
 	cfg    Config
 	models detect.Models
 	start  time.Time
+	log    *slog.Logger
+	reg    *obs.Registry
 
-	// sem holds one token per admitted query; waiting counts requests
-	// queued for a token.
+	// sem holds one token per admitted query. The admission and outcome
+	// counters live on the registry, so /healthz and /metrics read the same
+	// instruments.
 	sem      chan struct{}
-	waiting  atomic.Int64
-	inflight atomic.Int64
-	served   atomic.Uint64
-	rejected atomic.Uint64
-	panics   atomic.Uint64
+	waiting  *obs.Gauge
+	inflight *obs.Gauge
+	served   *obs.Counter
+	rejected *obs.Counter
+	panics   *obs.Counter
+
+	// latency is the end-to-end /query execution histogram; rankSorted and
+	// rankRandom accumulate offline score-table accesses across queries.
+	latency    *obs.Histogram
+	rankSorted *obs.Counter
+	rankRandom *obs.Counter
+
+	// meter is the process-lifetime inference meter every engine charges
+	// (wired through core.Config.Meter, so ingestion engines deep inside
+	// rank charge it too).
+	meter detect.Meter
 
 	once    sync.Once
 	youtube *synth.Dataset
@@ -127,15 +149,42 @@ func New(cfg Config) *Server {
 		models.Objects = detect.InjectObjectFaults(models.Objects, *cfg.Fault)
 		models.Actions = detect.InjectActionFaults(models.Actions, *cfg.Fault)
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		models:  models,
 		start:   time.Now(),
+		log:     cfg.Logger,
+		reg:     cfg.Registry,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		streams: map[string]detect.TruthVideo{},
 		indexes: map[string]*rank.Index{},
 	}
+	r := s.reg
+	s.waiting = r.Gauge("svqact_queries_waiting",
+		"Requests queued for an execution slot.")
+	s.inflight = r.Gauge("svqact_queries_inflight",
+		"Queries currently executing.")
+	s.served = r.Counter("svqact_queries_served_total",
+		"Admitted queries whose handler completed (any status).")
+	s.rejected = r.Counter("svqact_queries_rejected_total",
+		"Requests rejected by admission control with 429.")
+	s.panics = r.Counter("svqact_panics_total",
+		"Handler panics contained by the recovery middleware.")
+	s.latency = r.Histogram("svqact_query_duration_seconds",
+		"End-to-end /query execution latency.", nil)
+	s.rankSorted = r.Counter("svqact_rank_sorted_accesses_total",
+		"Sorted score-table accesses performed by offline queries.")
+	s.rankRandom = r.Counter("svqact_rank_random_accesses_total",
+		"Random score-table accesses performed by offline queries.")
+	r.GaugeFunc("svqact_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.meter.Register(r)
+	return s
 }
+
+// Registry returns the server's metrics registry (the one /metrics serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 func (s *Server) engineConfig() core.Config {
 	cfg := core.DefaultConfig()
@@ -145,6 +194,7 @@ func (s *Server) engineConfig() core.Config {
 	if s.cfg.FailureBudget > 0 {
 		cfg.FailureBudget = s.cfg.FailureBudget
 	}
+	cfg.Meter = &s.meter
 	return cfg
 }
 
@@ -256,6 +306,9 @@ type Sequence struct {
 
 // QueryResponse is the /query response body.
 type QueryResponse struct {
+	// QueryID identifies the query across the response, the X-Query-ID
+	// header, the trace and the server log line.
+	QueryID    string     `json:"query_id,omitempty"`
 	Source     string     `json:"source"`
 	Mode       string     `json:"mode"` // SVAQ, SVAQD or RVAQ
 	Extended   bool       `json:"extended,omitempty"`
@@ -269,10 +322,14 @@ type QueryResponse struct {
 	ElapsedMS    int64 `json:"elapsed_ms"`
 	// RandomAccesses counts offline table accesses (RVAQ only).
 	RandomAccesses int64 `json:"random_accesses,omitempty"`
+	// Trace is the query's span tree: per-predicate evaluation, ranking
+	// traversal and ingestion stages with durations and attributes.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	QueryID string `json:"query_id,omitempty"`
 	// Processed/Total report partial progress for interrupted or degraded
 	// queries (clips processed before the query stopped).
 	Processed int `json:"processed,omitempty"`
@@ -292,18 +349,19 @@ type Health struct {
 	Panics        uint64  `json:"panics"`
 }
 
-// Health reports the server's live admission counters.
+// Health reports the server's live admission counters. It reads the same
+// registry-backed instruments /metrics scrapes, so the two views agree.
 func (s *Server) Health() Health {
 	return Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Inflight:      s.inflight.Load(),
-		Waiting:       s.waiting.Load(),
+		Inflight:      s.inflight.Value(),
+		Waiting:       s.waiting.Value(),
 		Capacity:      s.cfg.MaxConcurrent,
 		QueueDepth:    s.cfg.QueueDepth,
-		Served:        s.served.Load(),
-		Rejected:      s.rejected.Load(),
-		Panics:        s.panics.Load(),
+		Served:        uint64(s.served.Value()),
+		Rejected:      uint64(s.rejected.Value()),
+		Panics:        uint64(s.panics.Value()),
 	}
 }
 
@@ -322,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string][]string{"sources": s.Sources()})
 	})
+	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
 	return s.recover(mux)
 }
@@ -339,8 +398,10 @@ func (s *Server) recover(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
-			s.cfg.Logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.panics.Inc()
+			s.log.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Best-effort: if the handler already wrote, this is a no-op.
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
 		}()
@@ -374,13 +435,18 @@ func (s *Server) admit(next http.Handler) http.Handler {
 		defer func() { <-s.sem }()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		// The query is admitted: mint its ID and trace here so queueing
+		// time is excluded but everything the handler does is covered.
+		qid := obs.NewQueryID()
+		w.Header().Set("X-Query-ID", qid)
+		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(qid)))
 		next.ServeHTTP(w, r)
-		s.served.Add(1)
+		s.served.Inc()
 	})
 }
 
 func (s *Server) reject(w http.ResponseWriter, why string) {
-	s.rejected.Add(1)
+	s.rejected.Inc()
 	retry := s.cfg.QueueWait.Seconds()
 	if retry < 1 {
 		retry = 1
@@ -390,8 +456,10 @@ func (s *Server) reject(w http.ResponseWriter, why string) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	trace := obs.TraceFrom(r.Context())
+	qid := trace.ID()
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", QueryID: qid})
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -399,36 +467,80 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error(), QueryID: qid})
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error(), QueryID: qid})
 		return
 	}
 	st, err := sqlq.Parse(req.SQL)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+	if err == nil {
+		var plan sqlq.Plan
+		if plan, err = st.Plan(); err == nil {
+			s.runQuery(w, r, plan, req, qid, trace)
+			return
+		}
 	}
-	plan, err := st.Plan()
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
+	s.logQuery(qid, req.SQL, err, http.StatusBadRequest, 0)
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), QueryID: qid})
+}
 
+// runQuery executes a planned statement, observing the latency histogram,
+// emitting the per-query log line, and attaching the trace to the response.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, plan sqlq.Plan, req QueryRequest, qid string, trace *obs.Trace) {
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	start := time.Now()
 	resp, err := s.execute(ctx, plan, req.Algo)
+	elapsed := time.Since(start)
+	s.latency.ObserveDuration(elapsed)
 	if err != nil {
 		status, body := errorStatus(err)
+		body.QueryID = qid
+		s.logQuery(qid, req.SQL, err, status, elapsed)
 		writeJSON(w, status, body)
 		return
 	}
+	resp.QueryID = qid
+	resp.Trace = trace.Snapshot()
+	s.logQuery(qid, req.SQL, nil, http.StatusOK, elapsed)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logQuery emits the structured per-query log line: query ID, statement,
+// outcome class and degraded/interrupted status.
+func (s *Server) logQuery(qid, stmt string, err error, status int, elapsed time.Duration) {
+	var ie *core.InterruptedError
+	var de *core.DegradedError
+	interrupted := errors.As(err, &ie)
+	degraded := errors.As(err, &de)
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case interrupted:
+		outcome = "interrupted"
+	case degraded:
+		outcome = "degraded"
+	case status == http.StatusBadRequest:
+		outcome = "bad_request"
+	default:
+		outcome = "error"
+	}
+	attrs := []any{
+		"query_id", qid, "statement", stmt, "outcome", outcome,
+		"degraded", degraded, "interrupted", interrupted,
+		"status", status, "elapsed_ms", elapsed.Milliseconds(),
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		s.log.Warn("query", attrs...)
+		return
+	}
+	s.log.Info("query", attrs...)
 }
 
 // errorStatus maps execution errors to HTTP statuses: unknown sources are
@@ -522,6 +634,8 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 		if err != nil {
 			return nil, err
 		}
+		s.rankSorted.Add(res.Stats.Sorted)
+		s.rankRandom.Add(res.Stats.Random)
 		resp.Mode = res.Algorithm
 		resp.K = plan.K
 		resp.Candidates = res.Candidates

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo-wide verification: vet, build, then the full test suite under the
-# race detector. CI runs exactly this; run it locally before pushing.
+# Repo-wide verification: vet, build, the full test suite under the race
+# detector, then the observability smoke test against a live cmd/serve.
+# CI runs exactly this; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +13,8 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go run ./scripts/smoke"
+go run ./scripts/smoke
 
 echo "OK"

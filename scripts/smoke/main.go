@@ -1,0 +1,311 @@
+// Smoke is the observability end-to-end check CI runs after the unit
+// suites (scripts/check.sh): it builds and starts cmd/serve with fault
+// injection, executes a query over plain HTTP (no curl), and then verifies
+// the whole observability surface — X-Query-ID header, trace spans in the
+// response, the structured JSON log line, and a /metrics scrape that must
+// contain every required metric family, obey Prometheus naming
+// conventions, and show the fault machinery's counters moving.
+//
+//	go run ./scripts/smoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const query = `{"sql": "SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID) WHERE act='blowing_leaves' AND obj.include('car')"}`
+
+// requiredFamilies must all appear on /metrics after one query.
+var requiredFamilies = []string{
+	"svqact_queries_inflight",
+	"svqact_queries_waiting",
+	"svqact_queries_served_total",
+	"svqact_queries_rejected_total",
+	"svqact_panics_total",
+	"svqact_query_duration_seconds",
+	"svqact_rank_sorted_accesses_total",
+	"svqact_rank_random_accesses_total",
+	"svqact_uptime_seconds",
+	"svqact_detect_inferences_total",
+	"svqact_detect_attempts_total",
+	"svqact_detect_retries_total",
+	"svqact_detect_faults_total",
+	"svqact_detect_flagged_clips_total",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: OK")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "svqact-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/serve").CombinedOutput(); err != nil {
+		return fmt.Errorf("building cmd/serve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-scale", "0.05",
+		"-fault-transient", "0.1", "-fault-permanent", "0.005",
+		"-detect-retries", "3", "-failure-budget", "0.9")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The server logs structured JSON; its listening line carries the
+	// resolved ephemeral address, and later lines the per-query records.
+	var mu sync.Mutex
+	var logLines []map[string]any
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec map[string]any
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue
+			}
+			mu.Lock()
+			logLines = append(logLines, rec)
+			mu.Unlock()
+			if rec["msg"] == "svq-act query server listening" {
+				if a, ok := rec["addr"].(string); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+	}()
+
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server never logged its listening address")
+	}
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	// Execute the fault-injected query and check the trace surface.
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(query))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query status %d: %s", resp.StatusCode, body)
+	}
+	qid := resp.Header.Get("X-Query-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(qid) {
+		return fmt.Errorf("X-Query-ID = %q, want 16 hex chars", qid)
+	}
+	var qr struct {
+		QueryID string `json:"query_id"`
+		Trace   *struct {
+			QueryID string `json:"query_id"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return fmt.Errorf("query response not JSON: %v", err)
+	}
+	if qr.QueryID != qid || qr.Trace == nil || qr.Trace.QueryID != qid {
+		return fmt.Errorf("query ID not stable across header/body/trace: header %q body %q", qid, qr.QueryID)
+	}
+	spans := map[string]bool{}
+	for _, sp := range qr.Trace.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"engine.run", "predicate:car", "predicate:blowing_leaves"} {
+		if !spans[want] {
+			return fmt.Errorf("trace missing span %q (have %v)", want, qr.Trace.Spans)
+		}
+	}
+
+	// Scrape and validate /metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("metrics content type %q", ct)
+	}
+	if err := validateExposition(mbody); err != nil {
+		return err
+	}
+	text := string(mbody)
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			return fmt.Errorf("metrics missing family %s", fam)
+		}
+	}
+	for _, nonzero := range []string{
+		`svqact_detect_retries_total{kind="action"}`,
+		`svqact_detect_flagged_clips_total{kind="action"}`,
+		`svqact_query_duration_seconds_count`,
+	} {
+		v, ok := seriesValue(text, nonzero)
+		if !ok {
+			return fmt.Errorf("metrics missing series %s", nonzero)
+		}
+		if v <= 0 {
+			return fmt.Errorf("series %s = %v, want > 0 under fault injection", nonzero, v)
+		}
+	}
+
+	// /healthz and /metrics must agree on the shared counters.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	var hz struct {
+		Served float64 `json:"served"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		return err
+	}
+	hresp.Body.Close()
+	if v, _ := seriesValue(text, "svqact_queries_served_total"); v != hz.Served {
+		return fmt.Errorf("served disagrees: metrics %v, healthz %v", v, hz.Served)
+	}
+
+	// The query must have produced a structured log line.
+	mu.Lock()
+	defer mu.Unlock()
+	for _, rec := range logLines {
+		if rec["msg"] == "query" && rec["query_id"] == qid {
+			for _, key := range []string{"statement", "outcome", "degraded", "interrupted"} {
+				if _, ok := rec[key]; !ok {
+					return fmt.Errorf("query log line missing %q: %v", key, rec)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("no structured log line for query %s", qid)
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy")
+}
+
+var (
+	seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?(Inf|[0-9].*))$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// validateExposition enforces the Prometheus text format conventions the
+// registry promises: legal metric and label names, a # TYPE line per
+// family, and counter families named *_total.
+func validateExposition(body []byte) error {
+	types := map[string]string{}
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		s := string(line)
+		switch {
+		case s == "":
+		case strings.HasPrefix(s, "# TYPE "):
+			fields := strings.Fields(s)
+			if len(fields) != 4 {
+				return fmt.Errorf("malformed TYPE line %q", s)
+			}
+			name, typ := fields[2], fields[3]
+			types[name] = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("counter %q violates the _total naming convention", name)
+			}
+		case strings.HasPrefix(s, "# HELP "):
+		case strings.HasPrefix(s, "#"):
+			return fmt.Errorf("unknown comment line %q", s)
+		default:
+			m := seriesRe.FindStringSubmatch(s)
+			if m == nil {
+				return fmt.Errorf("malformed series line %q", s)
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+			if _, ok := types[m[1]]; !ok {
+				if _, ok := types[base]; !ok {
+					return fmt.Errorf("series %q has no TYPE declaration", m[1])
+				}
+			}
+			if m[2] != "" {
+				for _, pair := range strings.Split(strings.Trim(m[2], "{}"), ",") {
+					name, _, ok := strings.Cut(pair, "=")
+					if !ok || !labelRe.MatchString(name) {
+						return fmt.Errorf("bad label %q in %q", pair, s)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func seriesValue(text, series string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscan(rest, &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
