@@ -5,6 +5,7 @@
 //	experiments                 # run everything at the default scale
 //	experiments -run fig2       # one experiment
 //	experiments -scale 1 -v     # paper-scale workload with progress logging
+//	experiments -bench-json BENCH_scaling.json   # machine-readable fleet-scaling report
 package main
 
 import (
@@ -20,11 +21,13 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment ids (empty = all)")
-		scale   = flag.Float64("scale", 0.25, "dataset scale relative to the paper's video volumes")
-		seed    = flag.Int64("seed", 42, "dataset and model seed")
-		verbose = flag.Bool("v", false, "log progress to stderr")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run       = flag.String("run", "", "comma-separated experiment ids (empty = all)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale relative to the paper's video volumes")
+		seed      = flag.Int64("seed", 42, "dataset and model seed")
+		workers   = flag.Int("workers", 0, "videos ingested/evaluated concurrently (<= 0 = GOMAXPROCS)")
+		benchJSON = flag.String("bench-json", "", "write the machine-readable fleet-scaling report to this file")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -39,7 +42,12 @@ func main() {
 	if *verbose {
 		log = os.Stderr
 	}
-	w := bench.NewWorkspace(bench.Options{Scale: *scale, Seed: *seed, Log: log})
+	w := bench.NewWorkspace(bench.Options{Scale: *scale, Seed: *seed, Workers: *workers, Log: log})
+
+	if *benchJSON != "" && *run == "" {
+		// -bench-json alone means "just produce the scaling report".
+		*run = "scaling"
+	}
 
 	var selected []bench.Experiment
 	if *run == "" {
@@ -68,5 +76,18 @@ func main() {
 		for _, t := range tables {
 			fmt.Println(t.Format())
 		}
+	}
+
+	if *benchJSON != "" {
+		rep, err := w.Scaling()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: scaling report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteScalingJSON(*benchJSON, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote scaling report to %s\n", *benchJSON)
 	}
 }

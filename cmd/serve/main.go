@@ -1,5 +1,8 @@
 // Command serve runs the HTTP query API: POST statements of the SQL-like
-// dialect to /query and get result sequences as JSON.
+// dialect to /query and get result sequences as JSON. POST the same online
+// statements to /query/batch to evaluate the query-set source as a parallel
+// fleet, one result per component video (-workers bounds the per-batch
+// concurrency).
 //
 //	serve -addr :8080 -scale 0.25
 //	curl -s localhost:8080/sources
@@ -43,6 +46,7 @@ func main() {
 		queue   = flag.Int("queue-depth", 16, "requests allowed to wait for a slot")
 		wait    = flag.Duration("queue-wait", 2*time.Second, "max wait for an execution slot")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+		workers = flag.Int("workers", 0, "videos evaluated concurrently per /query/batch fleet (<= 0 = GOMAXPROCS)")
 
 		faultTransient = flag.Float64("fault-transient", 0, "injected transient detector failure rate [0,1)")
 		faultPermanent = flag.Float64("fault-permanent", 0, "injected permanent detector failure rate [0,1)")
@@ -67,6 +71,7 @@ func main() {
 		QueueWait:     *wait,
 		Retry:         detect.RetryConfig{Attempts: *retries},
 		FailureBudget: *budget,
+		Workers:       *workers,
 		Logger:        logger,
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {

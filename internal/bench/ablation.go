@@ -136,6 +136,7 @@ var Experiments = []Experiment{
 	{"ablation-shortcircuit", "Short-circuit inference savings", AblationShortCircuit},
 	{"ablation-horizon", "Significance horizon sweep", AblationHorizon},
 	{"latency", "Online query latency percentiles", LatencyProfile},
+	{"scaling", "Fleet throughput vs worker count (RunAll)", ScalingExperiment},
 	{"drift", "Non-stationary background (surveillance peaks)", DriftExperiment},
 	{"extended", "Extended queries: relations, multi-action, disjunction", ExtendedQueries},
 }

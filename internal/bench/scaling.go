@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/obs"
+	"svqact/internal/synth"
+	"svqact/internal/video"
+)
+
+// scalingFleetSize is the number of synthetic videos in the scaling fleet —
+// large enough that the worker pool stays saturated across every measured
+// worker count.
+const scalingFleetSize = 64
+
+// scalingWorkers are the measured pool sizes.
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// ScalingPoint is one worker-count measurement of the fleet-scaling
+// experiment.
+type ScalingPoint struct {
+	Workers         int     `json:"workers"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	VideosPerSecond float64 `json:"videos_per_second"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Per-video run latency percentiles, in seconds.
+	VideoLatencyP50 float64 `json:"video_latency_p50_seconds"`
+	VideoLatencyP90 float64 `json:"video_latency_p90_seconds"`
+	VideoLatencyP99 float64 `json:"video_latency_p99_seconds"`
+}
+
+// ScalingReport is the machine-readable output of the scaling experiment
+// (written to BENCH_scaling.json by cmd/experiments -bench-json).
+type ScalingReport struct {
+	FleetSize      int            `json:"fleet_size"`
+	FramesPerVideo int            `json:"frames_per_video"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Scale          float64        `json:"scale"`
+	Seed           int64          `json:"seed"`
+	Points         []ScalingPoint `json:"points"`
+}
+
+// scalingFleet generates the fleet: distinct scripts (one per seed) so the
+// videos are not trivially identical, small enough that the whole sweep stays
+// in the experiment suite's time budget.
+func (w *Workspace) scalingFleet() ([]detect.TruthVideo, core.Query, error) {
+	frames := int(8000 * w.opts.Scale)
+	if frames < 500 {
+		frames = 500
+	}
+	vids := make([]detect.TruthVideo, scalingFleetSize)
+	for i := range vids {
+		v, err := synth.Generate(synth.Script{
+			ID:       fmt.Sprintf("scale-%02d", i),
+			Frames:   frames,
+			FPS:      10,
+			Geometry: video.DefaultGeometry,
+			Seed:     w.opts.Seed + int64(1000+i),
+			Actions:  []synth.ActionSpec{{Name: "jumping", MeanGapShots: 90, MeanDurShots: 30}},
+			Objects: []synth.ObjectSpec{
+				{Name: "human", MeanDurFrames: 300, CorrelatedWith: "jumping", CorrelationProb: 0.95},
+			},
+		})
+		if err != nil {
+			return nil, core.Query{}, err
+		}
+		vids[i] = v
+	}
+	return vids, core.Query{Objects: []string{"human"}, Action: "jumping"}, nil
+}
+
+// Scaling runs the fleet through core.RunAll once per worker count and
+// measures end-to-end throughput plus per-video latency percentiles. All runs
+// share the process-wide critical-value grid (scanstat.Shared), so only the
+// first run pays for the Naus searches.
+func (w *Workspace) Scaling() (*ScalingReport, error) {
+	vids, q, err := w.scalingFleet()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScalingReport{
+		FleetSize:      len(vids),
+		FramesPerVideo: vids[0].NumFrames(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Scale:          w.opts.Scale,
+		Seed:           w.opts.Seed,
+	}
+	// Warm the process-wide critical-value grid so the first measured point
+	// does not pay for the Naus searches the later points get for free.
+	warm, err := core.NewSVAQD(w.Models(), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := warm.Run(context.Background(), vids[0], q); err != nil {
+		return nil, err
+	}
+	var serial float64
+	for _, workers := range scalingWorkers {
+		eng, err := core.NewSVAQD(w.Models(), core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		h := obs.NewHistogram(nil)
+		start := time.Now()
+		fr, err := eng.RunAll(context.Background(), vids, q, core.FleetOptions{
+			Workers:  workers,
+			OnResult: func(vr core.VideoResult) { h.ObserveDuration(vr.Elapsed) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling fleet (workers=%d): %w", workers, err)
+		}
+		if fr.OK != len(vids) {
+			return nil, fmt.Errorf("bench: scaling fleet (workers=%d): %d of %d videos not ok", workers, len(vids)-fr.OK, len(vids))
+		}
+		elapsed := time.Since(start).Seconds()
+		p := ScalingPoint{
+			Workers:         workers,
+			ElapsedSeconds:  elapsed,
+			VideosPerSecond: float64(len(vids)) / elapsed,
+			VideoLatencyP50: h.Quantile(0.50),
+			VideoLatencyP90: h.Quantile(0.90),
+			VideoLatencyP99: h.Quantile(0.99),
+		}
+		if workers == 1 {
+			serial = elapsed
+		}
+		if serial > 0 {
+			p.SpeedupVsSerial = serial / elapsed
+		}
+		w.logf("scaling: workers=%d elapsed=%.2fs throughput=%.1f videos/s", workers, elapsed, p.VideosPerSecond)
+		rep.Points = append(rep.Points, p)
+	}
+	return rep, nil
+}
+
+// ScalingExperiment renders the scaling sweep as a table; the same data is
+// available machine-readably via Workspace.Scaling / WriteScalingJSON.
+func ScalingExperiment(w *Workspace) ([]Table, error) {
+	rep, err := w.Scaling()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Fleet scaling: throughput vs workers (%d videos × %d frames, SVAQD, GOMAXPROCS=%d)",
+			rep.FleetSize, rep.FramesPerVideo, rep.GOMAXPROCS),
+		Header: []string{"workers", "elapsed (s)", "videos/s", "speedup", "video p50/p90/p99 (ms)"},
+	}
+	for _, p := range rep.Points {
+		t.AddRow(
+			fmt.Sprint(p.Workers),
+			f2(p.ElapsedSeconds),
+			f1(p.VideosPerSecond),
+			f2(p.SpeedupVsSerial)+"x",
+			fmt.Sprintf("%.0f/%.0f/%.0f", p.VideoLatencyP50*1e3, p.VideoLatencyP90*1e3, p.VideoLatencyP99*1e3),
+		)
+	}
+	return []Table{t}, nil
+}
+
+// WriteScalingJSON writes the report as indented JSON (BENCH_scaling.json).
+func WriteScalingJSON(path string, rep *ScalingReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

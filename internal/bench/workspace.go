@@ -22,6 +22,9 @@ type Options struct {
 	Scale float64
 	// Seed drives dataset generation and detector noise.
 	Seed int64
+	// Workers bounds the videos ingested concurrently when building offline
+	// indexes; <= 0 means GOMAXPROCS.
+	Workers int
 	// Log, when set, receives progress lines.
 	Log io.Writer
 }
@@ -173,7 +176,7 @@ func (w *Workspace) YouTubeIndex(queryName string) (*rank.Index, error) {
 	for _, v := range c.Components() {
 		tvs = append(tvs, v)
 	}
-	ix, err := rank.IngestAllParallel(context.Background(), "yt-"+queryName, tvs, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig(), 0)
+	ix, err := rank.IngestAllParallel(context.Background(), "yt-"+queryName, tvs, w.Models(), rank.PaperScoring(), rank.DefaultIngestConfig(), w.opts.Workers)
 	if err != nil {
 		return nil, err
 	}

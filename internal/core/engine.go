@@ -107,8 +107,11 @@ type Result struct {
 	Query    Query
 	Mode     Mode
 	Geometry video.Geometry
-	// NumClips is the number of clips in the processed video.
-	NumClips int
+	// NumClips is the number of clips in the processed video; Processed
+	// counts the clips actually evaluated (smaller when the run was cut
+	// short by cancellation or degradation).
+	NumClips  int
+	Processed int
 	// Sequences is P_q: maximal runs of clips satisfying the whole query.
 	Sequences video.IntervalSet
 	// Flagged is the set of clips skipped after detector retry exhaustion
@@ -291,7 +294,10 @@ func (r *Run) newPred(name string, kind PredicateKind, w int, p0, bw float64, un
 			return nil, err
 		}
 		ps.est = est
-		ps.cache = scanstat.NewCriticalValues(w, cfg.HorizonClips, cfg.Alpha, cfg.CritGrid)
+		// The grid is shared process-wide: every run at this configuration —
+		// all videos of a fleet, all concurrent server queries — reuses one
+		// memoized Naus search per bucket instead of recomputing it per run.
+		ps.cache = scanstat.Shared(w, cfg.HorizonClips, cfg.Alpha, cfg.CritGrid)
 		ps.crit = ps.cache.At(est.P())
 	}
 	return ps, nil
@@ -593,6 +599,7 @@ func (r *Run) Result() *Result {
 		Mode:      r.e.mode,
 		Geometry:  r.geom,
 		NumClips:  r.numClips,
+		Processed: r.nextClip,
 		Sequences: r.Sequences(),
 		Flagged:   r.Flagged(),
 	}

@@ -43,6 +43,7 @@ type Estimator struct {
 	priorWeight float64
 
 	decay float64 // exp(-1/u), cached
+	lam   float64 // 1/u, cached for expm1-based batch mass sums
 	units int64   // total occurrence units observed (diagnostics)
 }
 
@@ -53,8 +54,8 @@ type Estimator struct {
 // displaces a badly chosen prior (the paper's "eliminates the influence of
 // p0 naturally").
 func NewEstimator(u, p0 float64) (*Estimator, error) {
-	if u <= 0 {
-		return nil, fmt.Errorf("kernel: bandwidth u = %v must be positive", u)
+	if u <= 0 || math.IsInf(u, 1) || math.IsNaN(u) {
+		return nil, fmt.Errorf("kernel: bandwidth u = %v must be positive and finite", u)
 	}
 	if p0 < 0 || p0 > 1 {
 		return nil, fmt.Errorf("kernel: initial probability %v out of [0,1]", p0)
@@ -64,6 +65,7 @@ func NewEstimator(u, p0 float64) (*Estimator, error) {
 		prior:       p0,
 		priorWeight: u / 16,
 		decay:       math.Exp(-1 / u),
+		lam:         1 / u,
 	}, nil
 }
 
@@ -97,10 +99,20 @@ func (e *Estimator) TickN(n, k int) {
 	if n == 0 {
 		return
 	}
-	d := math.Pow(e.decay, float64(n))
+	d := math.Exp(-float64(n) * e.lam)
 	// Total kernel mass contributed by the n new units at the new now:
-	// sum_{j=0}^{n-1} decay^j = (1 - decay^n) / (1 - decay).
-	newMass := (1 - d) / (1 - e.decay)
+	// sum_{j=0}^{n-1} decay^j = (1 - decay^n) / (1 - decay). Both differences
+	// are computed as -expm1(-x): for large bandwidths exp(-1/u) rounds to
+	// exactly 1.0 and the naive 1-decay denominator underflows to 0, turning
+	// every mass into NaN; expm1 keeps full precision down to lam ~ 1e-308.
+	den := -math.Expm1(-e.lam)
+	var newMass float64
+	if den == 0 {
+		// decay == 1 exactly (u = +Inf): no forgetting, each unit has mass 1.
+		newMass = float64(n)
+	} else {
+		newMass = -math.Expm1(-float64(n)*e.lam) / den
+	}
 	e.eventMass = e.eventMass*d + newMass*float64(k)/float64(n)
 	e.unitMass = e.unitMass*d + newMass
 	e.priorWeight *= d

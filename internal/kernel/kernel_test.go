@@ -29,6 +29,12 @@ func TestNewEstimatorValidation(t *testing.T) {
 	if _, err := NewEstimator(100, 1.1); err == nil {
 		t.Error("p0 > 1 should be rejected")
 	}
+	if _, err := NewEstimator(math.Inf(1), 0.1); err == nil {
+		t.Error("infinite u should be rejected")
+	}
+	if _, err := NewEstimator(math.NaN(), 0.1); err == nil {
+		t.Error("NaN u should be rejected")
+	}
 	if _, err := NewEstimator(100, 0.5); err != nil {
 		t.Errorf("valid args rejected: %v", err)
 	}
@@ -174,6 +180,69 @@ func TestTickNValidation(t *testing.T) {
 	e.TickN(0, 0) // no-op must be fine
 	if e.Units() != 0 {
 		t.Errorf("TickN(0,0) advanced units: %d", e.Units())
+	}
+}
+
+// TestTickNHugeBandwidth is the regression test for the 1-decay underflow:
+// with u = 1e16 the cached decay exp(-1/u) rounds to exactly 1.0, and the
+// naive geometric-mass formula (1 - decay^n)/(1 - decay) evaluated 0/0 = NaN,
+// poisoning every subsequent P(). The expm1-based form must stay finite and
+// keep the estimate calibrated.
+func TestTickNHugeBandwidth(t *testing.T) {
+	// At u = 1e16 the cached decay is the double just below 1.0 (1-decay
+	// carries ~11% relative error under the naive formula); from roughly
+	// 2e16 upward exp(-1/u) is exactly 1.0 and the naive formula is 0/0.
+	// Both regimes must produce exact masses with the expm1 form.
+	for _, u := range []float64{1e16, 1e17, 1e300} {
+		e := mustNew(t, u, 0.5)
+		if u >= 1e17 {
+			if d := math.Exp(-1 / u); d != 1 {
+				t.Fatalf("u=%v: exp(-1/u) = %v, expected exact 1.0 (test premise)", u, d)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.TickN(20, 2) // steady 10% rate
+		}
+		got := e.P()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("u=%v: P() = %v after TickN batches", u, got)
+		}
+		if got < Floor || got > 1 {
+			t.Fatalf("u=%v: P() = %v out of [Floor, 1]", u, got)
+		}
+		// With no forgetting the estimate should sit near the blended rate of
+		// prior (0.5, weight u/16 — enormous) and data; what matters is that
+		// masses accumulated sanely: 50 batches of 20 units.
+		if e.Units() != 1000 {
+			t.Fatalf("u=%v: Units() = %d, want 1000", u, e.Units())
+		}
+		if math.IsNaN(e.eventMass) || math.IsNaN(e.unitMass) {
+			t.Fatalf("u=%v: masses NaN: event=%v unit=%v", u, e.eventMass, e.unitMass)
+		}
+		if math.Abs(e.unitMass-1000) > 1e-6 {
+			t.Fatalf("u=%v: unitMass = %v, want ~1000 (no decay)", u, e.unitMass)
+		}
+		if math.Abs(e.eventMass-100) > 1e-6 {
+			t.Fatalf("u=%v: eventMass = %v, want ~100", u, e.eventMass)
+		}
+	}
+}
+
+// TestTickNHugeBandwidthMatchesModerate checks continuity: at a large but
+// not-yet-degenerate bandwidth the expm1 path must agree with the estimator's
+// incremental Tick path, so the fix does not perturb the healthy regime.
+func TestTickNHugeBandwidthMatchesModerate(t *testing.T) {
+	u := 1e8
+	a := mustNew(t, u, 0.1)
+	b := mustNew(t, u, 0.1)
+	for i := 0; i < 20; i++ {
+		a.TickN(10, 1)
+		for j := 0; j < 10; j++ {
+			b.Tick(j == 0)
+		}
+	}
+	if pa, pb := a.P(), b.P(); math.Abs(pa-pb) > 1e-9 {
+		t.Fatalf("TickN path P() = %v, Tick path P() = %v", pa, pb)
 	}
 }
 

@@ -195,6 +195,14 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 	return context.WithValue(ctx, traceKey{}, t)
 }
 
+// WithoutTrace returns a context that carries no trace, shadowing any trace
+// an outer context holds. Fan-out layers use it to keep per-item span trees
+// (e.g. one engine run per fleet video) from flooding the parent trace while
+// still propagating the parent's cancellation.
+func WithoutTrace(ctx context.Context) context.Context {
+	return context.WithValue(ctx, traceKey{}, (*Trace)(nil))
+}
+
 // TraceFrom returns the context's trace, or nil.
 func TraceFrom(ctx context.Context) *Trace {
 	if ctx == nil {

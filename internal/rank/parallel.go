@@ -33,6 +33,13 @@ func IngestAllParallel(ctx context.Context, name string, videos []detect.TruthVi
 	errs := make([]error, len(videos))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
+	// failed is closed by the first worker that hits an error, so the
+	// dispatcher stops feeding the remaining videos instead of walking the
+	// whole repository before surfacing it; ctx cancellation stops dispatch
+	// the same way. In-flight ingests still drain (each stops at its own next
+	// clip boundary when cancelled).
+	failed := make(chan struct{})
+	var failOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -40,11 +47,21 @@ func IngestAllParallel(ctx context.Context, name string, videos []detect.TruthVi
 			for i := range jobs {
 				ix, err := Ingest(ctx, videos[i], models, scoring, cfg)
 				indexes[i], errs[i] = ix, err
+				if err != nil {
+					failOnce.Do(func() { close(failed) })
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range videos {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -52,6 +69,13 @@ func IngestAllParallel(ctx context.Context, name string, videos []detect.TruthVi
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("rank: ingesting %s: %w", videos[i].ID(), err)
+		}
+	}
+	for i, ix := range indexes {
+		if ix == nil {
+			// Dispatch stopped on cancellation before this video was handed
+			// to a worker (workers may have finished their own cleanly).
+			return nil, fmt.Errorf("rank: ingest of %s abandoned: %w", videos[i].ID(), ctx.Err())
 		}
 	}
 	return Merge(name, indexes)

@@ -1,0 +1,78 @@
+package rank
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"svqact/internal/detect"
+	"svqact/internal/video"
+)
+
+// countingVideo wraps a TruthVideo and counts how many times ingestion
+// touched it (via Geometry, which Ingest reads before any detector work).
+type countingVideo struct {
+	detect.TruthVideo
+	touched *atomic.Int64
+}
+
+func (c countingVideo) Geometry() video.Geometry {
+	c.touched.Add(1)
+	return c.TruthVideo.Geometry()
+}
+
+// TestIngestAllParallelStopsDispatchOnCancel is the regression test for the
+// runaway dispatcher: a cancelled parallel ingest over a large repository
+// must stop handing videos to workers instead of walking every remaining
+// video before surfacing the error.
+func TestIngestAllParallelStopsDispatchOnCancel(t *testing.T) {
+	const n = 100
+	var touched atomic.Int64
+	base := repoVideo(t, "vid-cancel", 7)
+	vids := make([]detect.TruthVideo, n)
+	for i := range vids {
+		vids[i] = countingVideo{TruthVideo: base, touched: &touched}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch starts
+
+	_, err := IngestAllParallel(ctx, "set", vids, repoModels(1), PaperScoring(), DefaultIngestConfig(), 4)
+	if err == nil {
+		t.Fatal("cancelled ingest returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// Workers that had already pulled a job may each touch one video; the
+	// dispatcher must not feed the remaining tail.
+	if got := touched.Load(); got > n/2 {
+		t.Fatalf("cancelled ingest touched %d of %d videos; dispatch did not stop", got, n)
+	}
+}
+
+// TestIngestAllParallelStopsDispatchOnError checks the error path the same
+// way: once a worker reports a failure, the dispatcher stops feeding videos.
+func TestIngestAllParallelStopsDispatchOnError(t *testing.T) {
+	const n = 100
+	var touched atomic.Int64
+	base := repoVideo(t, "vid-err", 8)
+	vids := make([]detect.TruthVideo, n)
+	for i := range vids {
+		vids[i] = countingVideo{TruthVideo: base, touched: &touched}
+	}
+	// Permanent faults on every invocation: each ingest degrades past the
+	// failure budget and errors out.
+	models := repoModels(1)
+	fc := detect.FaultConfig{PermanentRate: 1, Seed: 1}
+	models.Objects = detect.InjectObjectFaults(models.Objects, fc)
+	models.Actions = detect.InjectActionFaults(models.Actions, fc)
+
+	_, err := IngestAllParallel(context.Background(), "set", vids, models, PaperScoring(), DefaultIngestConfig(), 2)
+	if err == nil {
+		t.Fatal("failing ingest returned no error")
+	}
+	if got := touched.Load(); got > n/2 {
+		t.Fatalf("failing ingest touched %d of %d videos; dispatch did not stop on first error", got, n)
+	}
+}

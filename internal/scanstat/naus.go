@@ -255,16 +255,30 @@ func criticalValueSearch(w int, p, L, alpha float64) int {
 // recompute k_crit as an estimated background probability drifts (SVAQD). The
 // probability is quantized on a logarithmic grid before lookup, trading an at
 // most quantum-sized relative perturbation of p for a high hit rate.
+//
+// Quantization rounds log10(p) up, never down: the bucket probability is
+// always >= p, and the critical value is non-decreasing in p, so a cached
+// value is never less conservative than a direct CriticalValue call — the
+// property that makes one grid safe to share across concurrent runs whose
+// estimates straddle bucket boundaries.
+//
+// A CriticalValues is safe for concurrent use; Shared returns a process-wide
+// instance per (w, L, alpha, grid) so every run of a fleet, and every
+// concurrent server query at the same configuration, reuses one memoized
+// Naus search instead of owning a private cache.
 type CriticalValues struct {
 	w     int
 	l     float64
 	alpha float64
 	grid  float64 // log10 quantum, e.g. 0.01 for 100 buckets per decade
+
+	mu    sync.RWMutex
 	cache map[int]int
 }
 
-// NewCriticalValues builds a cache for window w, horizon ratio L and
-// significance level alpha, quantizing log10(p) to multiples of grid.
+// NewCriticalValues builds a private cache for window w, horizon ratio L and
+// significance level alpha, quantizing log10(p) to multiples of grid. Most
+// callers want Shared instead.
 func NewCriticalValues(w int, L, alpha, grid float64) *CriticalValues {
 	if grid <= 0 {
 		panic("scanstat: grid must be positive")
@@ -272,8 +286,29 @@ func NewCriticalValues(w int, L, alpha, grid float64) *CriticalValues {
 	return &CriticalValues{w: w, l: L, alpha: alpha, grid: grid, cache: make(map[int]int)}
 }
 
+// sharedGrids holds the process-wide CriticalValues instances, keyed by the
+// full parameterization so differently configured engines never alias.
+var sharedGrids sync.Map
+
+type sharedKey struct {
+	w              int
+	l, alpha, grid float64
+}
+
+// Shared returns the process-wide CriticalValues for (w, L, alpha, grid),
+// creating it on first use. All callers with equal parameters receive the
+// same instance and therefore share its memoized grid.
+func Shared(w int, L, alpha, grid float64) *CriticalValues {
+	key := sharedKey{w: w, l: L, alpha: alpha, grid: grid}
+	if c, ok := sharedGrids.Load(key); ok {
+		return c.(*CriticalValues)
+	}
+	c, _ := sharedGrids.LoadOrStore(key, NewCriticalValues(w, L, alpha, grid))
+	return c.(*CriticalValues)
+}
+
 // At returns the (possibly cached) critical value for background
-// probability p.
+// probability p. It is safe to call from concurrent runs sharing the cache.
 func (c *CriticalValues) At(p float64) int {
 	if p <= 0 {
 		return 1
@@ -281,13 +316,31 @@ func (c *CriticalValues) At(p float64) int {
 	if p >= 1 {
 		return c.w + 1
 	}
-	bucket := int(math.Round(math.Log10(p) / c.grid))
-	if k, ok := c.cache[bucket]; ok {
+	// log10(p) < 0 here, so the ceil bucket is <= 0 and its probability
+	// 10^(bucket*grid) is in [p, 1] (up to a 1e-9 log10 slop that keeps
+	// floating-point representations of on-grid probabilities, e.g.
+	// log10(1e-4)/grid = -399.99999999999994, in their own bucket).
+	bucket := int(math.Ceil(math.Log10(p)/c.grid - 1e-9))
+	c.mu.RLock()
+	k, ok := c.cache[bucket]
+	c.mu.RUnlock()
+	if ok {
 		return k
 	}
-	k := CriticalValue(c.w, math.Pow(10, float64(bucket)*c.grid), c.l, c.alpha)
+	// Compute outside the lock: CriticalValue is itself memoized process-wide,
+	// so a racing duplicate costs one map lookup, not a second Naus search.
+	k = CriticalValue(c.w, math.Pow(10, float64(bucket)*c.grid), c.l, c.alpha)
+	c.mu.Lock()
 	c.cache[bucket] = k
+	c.mu.Unlock()
 	return k
+}
+
+// Size reports how many buckets the cache currently holds (diagnostics).
+func (c *CriticalValues) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.cache)
 }
 
 func checkArgs(k, w int, p float64) error {

@@ -3,6 +3,7 @@ package scanstat
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -323,6 +324,95 @@ func TestCriticalValuesCache(t *testing.T) {
 	}
 	if c.At(2) != 51 {
 		t.Error("At(p>1) should be w+1")
+	}
+}
+
+// TestCriticalValuesAtOffGrid pins the conservativeness contract that makes
+// the grid safe to share: for probabilities below the grid floor, between
+// grid points, and near 1, the cached value must never be less conservative
+// (smaller) than a direct CriticalValue computation at the same p.
+func TestCriticalValuesAtOffGrid(t *testing.T) {
+	const (
+		w     = 50
+		L     = 100.0
+		alpha = 0.05
+		grid  = 0.02
+	)
+	c := NewCriticalValues(w, L, alpha, grid)
+	ps := []float64{
+		// Far below any plausible grid floor (the kernel estimator's own
+		// floor is 1e-9; these probe deeper).
+		1e-300, 1e-30, 1e-12, 1e-9,
+		// Between grid points: 0.02 log10 steps put buckets at 10^-4.00,
+		// 10^-3.98, ...; these land strictly inside buckets.
+		1.05e-4, 1.3e-4, 3.33e-3, 0.0123,
+		// On-grid representatives.
+		1e-4, 1e-2,
+		// Near 1, including values inside the top bucket.
+		0.5, 0.9, 0.97, 0.999, 1 - 1e-12,
+	}
+	for _, p := range ps {
+		got := c.At(p)
+		direct := CriticalValue(w, p, L, alpha)
+		if got < direct {
+			t.Errorf("At(%g) = %d is less conservative than direct CriticalValue %d", p, got, direct)
+		}
+		// The quantization inflates p by at most one grid step, so the
+		// cached value can exceed the direct one only by what a one-step
+		// p-perturbation justifies.
+		stepped := CriticalValue(w, math.Min(1, p*math.Pow(10, grid)), L, alpha)
+		if got > stepped {
+			t.Errorf("At(%g) = %d exceeds one-grid-step bound %d", p, got, stepped)
+		}
+	}
+	// Repeat lookups hit the cache and must agree with the first answer.
+	for _, p := range ps {
+		if again := c.At(p); again != c.At(p) || again < CriticalValue(w, p, L, alpha) {
+			t.Errorf("repeat At(%g) unstable or non-conservative: %d", p, again)
+		}
+	}
+}
+
+// TestSharedCriticalValues checks the process-wide registry: identical
+// parameters alias to one instance, different parameters never do, and the
+// shared grid serves concurrent readers racing on the same buckets (the
+// fleet-evaluation access pattern; run under -race).
+func TestSharedCriticalValues(t *testing.T) {
+	a := Shared(40, 20, 0.05, 0.02)
+	b := Shared(40, 20, 0.05, 0.02)
+	if a != b {
+		t.Fatal("identical parameters returned distinct shared grids")
+	}
+	if c := Shared(41, 20, 0.05, 0.02); c == a {
+		t.Fatal("different window aliased to the same shared grid")
+	}
+	if c := Shared(40, 20, 0.01, 0.02); c == a {
+		t.Fatal("different alpha aliased to the same shared grid")
+	}
+
+	ps := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}
+	want := make([]int, len(ps))
+	for i, p := range ps {
+		want[i] = a.At(p)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, p := range ps {
+					if got := a.At(p); got != want[i] {
+						t.Errorf("concurrent At(%g) = %d, want %d", p, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := a.Size(); n < len(ps) {
+		t.Errorf("shared grid holds %d buckets, want >= %d", n, len(ps))
 	}
 }
 

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// q5 is the largest query set at the test server's 0.05 scale (2 component
+// videos), so it exercises real fan-out.
+const batchSQL = `
+SELECT MERGE(clipID) AS s
+FROM (PROCESS q5 PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+WHERE act='volleyball' AND obj.include('person')`
+
+// TestBatchQuery runs one online statement as a fleet over the q5 query set:
+// every component video gets its own result entry, the aggregate partitions
+// the fleet, and the trace carries one span per video plus the fleet root.
+func TestBatchQuery(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv.URL+"/query/batch", BatchRequest{SQL: batchSQL, Workers: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Mode != "SVAQD" || br.Source != "q5" {
+		t.Errorf("mode/source = %s/%s", br.Mode, br.Source)
+	}
+	if br.NumVideos < 2 {
+		t.Fatalf("q5 fleet has %d videos, want several", br.NumVideos)
+	}
+	if len(br.Videos) != br.NumVideos {
+		t.Fatalf("%d video entries for %d videos", len(br.Videos), br.NumVideos)
+	}
+	if br.OK != br.NumVideos {
+		t.Errorf("aggregate %+v: want all %d videos ok", br, br.NumVideos)
+	}
+	if br.QueryID == "" || resp.Header.Get("X-Query-ID") != br.QueryID {
+		t.Errorf("query id %q vs header %q", br.QueryID, resp.Header.Get("X-Query-ID"))
+	}
+	for i, v := range br.Videos {
+		if v.ID == "" || v.Outcome != "ok" || v.NumClips == 0 {
+			t.Errorf("video %d malformed: %+v", i, v)
+		}
+		if v.ProcessedClips != v.NumClips {
+			t.Errorf("video %d: processed %d of %d clips on a clean run", i, v.ProcessedClips, v.NumClips)
+		}
+		for _, s := range v.Sequences {
+			if s.EndClip < s.StartClip || s.EndFrame < s.StartFrame {
+				t.Errorf("video %d: malformed sequence %+v", i, s)
+			}
+		}
+	}
+	if br.Trace == nil {
+		t.Fatal("batch response carries no trace")
+	}
+	var perVideo, root int
+	for _, sp := range br.Trace.Spans {
+		switch {
+		case strings.HasPrefix(sp.Name, "fleet.video:"):
+			perVideo++
+		case sp.Name == "fleet.run_all":
+			root++
+		}
+	}
+	if perVideo != br.NumVideos || root != 1 {
+		t.Errorf("trace has %d per-video spans (want %d) and %d roots (want 1)", perVideo, br.NumVideos, root)
+	}
+}
+
+// TestBatchQuerySVAQ selects the static engine.
+func TestBatchQuerySVAQ(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv.URL+"/query/batch", BatchRequest{SQL: `
+SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID)
+WHERE act='blowing_leaves'`, Algo: "svaq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Mode != "SVAQ" {
+		t.Errorf("mode = %s", br.Mode)
+	}
+}
+
+// TestBatchQuerySingleVideoSource: a movie source is a fleet of one.
+func TestBatchQuerySingleVideoSource(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv.URL+"/query/batch", BatchRequest{SQL: `
+SELECT MERGE(clipID) AS s FROM (PROCESS coffee_and_cigarettes PRODUCE clipID)
+WHERE act='drinking_coffee' AND obj.include('cup')`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.NumVideos != 1 || len(br.Videos) != 1 {
+		t.Errorf("single-video source produced %d entries", br.NumVideos)
+	}
+}
+
+// TestBatchQueryErrors covers the 4xx surface of /query/batch.
+func TestBatchQueryErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name   string
+		req    BatchRequest
+		status int
+	}{
+		{"bad sql", BatchRequest{SQL: "SELECT nonsense"}, http.StatusBadRequest},
+		{"offline statement", BatchRequest{SQL: `
+SELECT MERGE(clipID) AS s FROM (PROCESS coffee_and_cigarettes PRODUCE clipID)
+WHERE act='drinking_coffee' LIMIT 3`, Algo: ""}, http.StatusBadRequest},
+		{"extended statement", BatchRequest{SQL: `
+SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID)
+WHERE (act='blowing_leaves' OR act='washing_dishes')`}, http.StatusBadRequest},
+		{"unknown algo", BatchRequest{SQL: batchSQL, Algo: "rvaq"}, http.StatusBadRequest},
+		{"unknown source", BatchRequest{SQL: `
+SELECT MERGE(clipID) AS s FROM (PROCESS nope PRODUCE clipID)
+WHERE act='blowing_leaves'`}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp, body := post(t, srv.URL+"/query/batch", c.req)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+		}
+	}
+	resp, _ := http.Get(srv.URL + "/query/batch")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestBatchFleetMetrics checks /metrics carries the fleet instruments after
+// a batch has run.
+func TestBatchFleetMetrics(t *testing.T) {
+	srv := testServer(t)
+	if _, body := post(t, srv.URL+"/query/batch", BatchRequest{SQL: batchSQL}); len(body) == 0 {
+		t.Fatal("empty batch response")
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"svqact_fleet_batches_total",
+		"svqact_fleet_batch_duration_seconds",
+		`svqact_fleet_videos_total{outcome="ok"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// MaxBodyBytes bounds the /query request body; 0 means 1 MiB.
 	MaxBodyBytes int64
 
+	// Workers bounds the videos a /query/batch fleet evaluates concurrently;
+	// <= 0 means GOMAXPROCS. A request's "workers" field, when positive,
+	// overrides it per batch.
+	Workers int
+
 	// Fault, when set, wraps the detection models with the fault injector —
 	// the operational testbed for the retry and skip-and-flag machinery.
 	Fault *detect.FaultConfig
@@ -124,6 +129,12 @@ type Server struct {
 	rankSorted *obs.Counter
 	rankRandom *obs.Counter
 
+	// Fleet instruments: batches served, end-to-end batch latency, and
+	// per-outcome video counts across every /query/batch fleet.
+	fleetBatches *obs.Counter
+	fleetLatency *obs.Histogram
+	fleetVideos  map[string]*obs.Counter
+
 	// meter is the process-lifetime inference meter every engine charges
 	// (wired through core.Config.Meter, so ingestion engines deep inside
 	// rank charge it too).
@@ -176,6 +187,16 @@ func New(cfg Config) *Server {
 		"Sorted score-table accesses performed by offline queries.")
 	s.rankRandom = r.Counter("svqact_rank_random_accesses_total",
 		"Random score-table accesses performed by offline queries.")
+	s.fleetBatches = r.Counter("svqact_fleet_batches_total",
+		"Fleet evaluations served by /query/batch.")
+	s.fleetLatency = r.Histogram("svqact_fleet_batch_duration_seconds",
+		"End-to-end /query/batch fleet execution latency.", nil)
+	s.fleetVideos = map[string]*obs.Counter{}
+	for _, outcome := range []string{"ok", "degraded", "interrupted", "skipped", "error"} {
+		s.fleetVideos[outcome] = r.Counter("svqact_fleet_videos_total",
+			"Videos evaluated by /query/batch fleets, by outcome.",
+			obs.L("outcome", outcome))
+	}
 	r.GaugeFunc("svqact_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -327,6 +348,59 @@ type QueryResponse struct {
 	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
+// BatchRequest is the /query/batch request body: one online statement
+// evaluated over every video of the source as a fleet.
+type BatchRequest struct {
+	// SQL is a statement of the dialect; its PROCESS source names the video
+	// repository (a query set fans out per component video).
+	SQL string `json:"sql"`
+	// Algo selects the online algorithm: "svaqd" (default) or "svaq".
+	Algo string `json:"algo,omitempty"`
+	// Workers bounds the videos evaluated concurrently; 0 means the
+	// server's -workers setting (itself defaulting to GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchVideo is one video's outcome within a /query/batch response.
+type BatchVideo struct {
+	ID string `json:"id"`
+	// Outcome is ok, degraded, interrupted, skipped or error.
+	Outcome        string     `json:"outcome"`
+	NumClips       int        `json:"num_clips,omitempty"`
+	ProcessedClips int        `json:"processed_clips,omitempty"`
+	FlaggedClips   int        `json:"flagged_clips,omitempty"`
+	Sequences      []Sequence `json:"sequences,omitempty"`
+	Error          string     `json:"error,omitempty"`
+	ElapsedMS      int64      `json:"elapsed_ms"`
+}
+
+// BatchResponse is the /query/batch response body: per-video results in
+// repository order plus the fleet-level aggregate.
+type BatchResponse struct {
+	QueryID   string `json:"query_id,omitempty"`
+	Source    string `json:"source"`
+	Mode      string `json:"mode"`
+	Workers   int    `json:"workers"`
+	NumVideos int    `json:"num_videos"`
+
+	OK          int `json:"ok"`
+	Degraded    int `json:"degraded,omitempty"`
+	Interrupted int `json:"interrupted,omitempty"`
+	Skipped     int `json:"skipped,omitempty"`
+	Failed      int `json:"failed,omitempty"`
+
+	TotalSequences int `json:"total_sequences"`
+	FlaggedClips   int `json:"flagged_clips,omitempty"`
+
+	Videos    []BatchVideo `json:"videos"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	// Error is set when the fleet as a whole was cut short (the per-video
+	// entries still carry whatever completed).
+	Error string `json:"error,omitempty"`
+	// Trace is the fleet span tree: one span per video plus the fleet root.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
+}
+
 type errorResponse struct {
 	Error   string `json:"error"`
 	QueryID string `json:"query_id,omitempty"`
@@ -382,6 +456,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("/query/batch", s.admit(http.HandlerFunc(s.handleBatch)))
 	return s.recover(mux)
 }
 
@@ -483,6 +558,148 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logQuery(qid, req.SQL, err, http.StatusBadRequest, 0)
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), QueryID: qid})
+}
+
+// handleBatch executes one online statement over every video of the source
+// as a bounded-concurrency fleet (core.RunAll): per-video results stream into
+// the fleet aggregate, per-video outcomes feed the fleet metrics, and the
+// response carries the fleet trace with one span per video.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	trace := obs.TraceFrom(r.Context())
+	qid := trace.ID()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only", QueryID: qid})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error(), QueryID: qid})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error(), QueryID: qid})
+		return
+	}
+	badRequest := func(err error) {
+		s.logQuery(qid, req.SQL, err, http.StatusBadRequest, 0)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), QueryID: qid})
+	}
+	st, err := sqlq.Parse(req.SQL)
+	if err != nil {
+		badRequest(err)
+		return
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		badRequest(err)
+		return
+	}
+	if !plan.Online {
+		badRequest(fmt.Errorf("batch evaluation requires an online (streaming) statement; offline top-k queries use /query"))
+		return
+	}
+	if plan.Extended {
+		badRequest(fmt.Errorf("batch evaluation supports the basic one-action conjunction only"))
+		return
+	}
+
+	cfg := s.engineConfig()
+	var eng *core.Engine
+	switch req.Algo {
+	case "", "svaqd":
+		eng, err = core.NewSVAQD(s.models, cfg)
+	case "svaq":
+		eng, err = core.NewSVAQ(s.models, cfg)
+	default:
+		badRequest(fmt.Errorf("unknown algorithm %q", req.Algo))
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), QueryID: qid})
+		return
+	}
+
+	stream, err := s.resolve(plan.Source)
+	if err != nil {
+		s.logQuery(qid, req.SQL, err, http.StatusNotFound, 0)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), QueryID: qid})
+		return
+	}
+	var vids []detect.TruthVideo
+	if c, ok := stream.(*synth.Concat); ok {
+		for _, v := range c.Components() {
+			vids = append(vids, v)
+		}
+	} else {
+		vids = []detect.TruthVideo{stream}
+	}
+
+	workers := s.cfg.Workers
+	if req.Workers > 0 {
+		workers = req.Workers
+	}
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	fr, fleetErr := eng.RunAll(ctx, vids, plan.Query, core.FleetOptions{Workers: workers})
+	elapsed := time.Since(start)
+	s.fleetLatency.ObserveDuration(elapsed)
+	if fr == nil {
+		// Validation failure before any dispatch (bad query shape).
+		badRequest(fleetErr)
+		return
+	}
+	s.fleetBatches.Inc()
+
+	resp := &BatchResponse{
+		QueryID: qid, Source: plan.Source, Mode: eng.Mode().String(),
+		Workers: workers, NumVideos: len(fr.Videos),
+		OK: fr.OK, Degraded: fr.Degraded, Interrupted: fr.Interrupted,
+		Skipped: fr.Skipped, Failed: fr.Failed,
+		TotalSequences: fr.TotalSequences, FlaggedClips: fr.FlaggedClips,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	for _, vr := range fr.Videos {
+		outcome := vr.Outcome()
+		if c := s.fleetVideos[outcome]; c != nil {
+			c.Inc()
+		}
+		bv := BatchVideo{ID: vr.ID, Outcome: outcome, ElapsedMS: vr.Elapsed.Milliseconds()}
+		if vr.Err != nil {
+			bv.Error = vr.Err.Error()
+		}
+		if res := vr.Result; res != nil {
+			bv.NumClips = res.NumClips
+			bv.ProcessedClips = res.Processed
+			bv.FlaggedClips = res.Flagged.TotalLen()
+			for _, iv := range res.Sequences.Intervals() {
+				fr := res.Geometry.FrameRangeOfClips(iv)
+				bv.Sequences = append(bv.Sequences, Sequence{
+					StartClip: iv.Start, EndClip: iv.End,
+					StartFrame: fr.Start, EndFrame: fr.End,
+				})
+			}
+		}
+		resp.Videos = append(resp.Videos, bv)
+	}
+	resp.Trace = trace.Snapshot()
+
+	status := http.StatusOK
+	if fleetErr != nil {
+		// The fleet was cut short (deadline or disconnect): report 504 with
+		// the partial per-video results attached.
+		resp.Error = fleetErr.Error()
+		status = http.StatusGatewayTimeout
+	}
+	s.logQuery(qid, req.SQL, fleetErr, status, elapsed)
+	writeJSON(w, status, resp)
 }
 
 // runQuery executes a planned statement, observing the latency histogram,

@@ -14,6 +14,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> benchmark smoke (-benchtime=1x)"
+# One iteration of every benchmark: catches bit-rot in the experiment and
+# microbenchmark harnesses without paying for real measurements.
+go test -run '^$' -bench . -benchtime=1x .
+
+echo "==> scaling report (BENCH_scaling.json)"
+go run ./cmd/experiments -scale 0.1 -bench-json BENCH_scaling.json >/dev/null
+
 echo "==> go run ./scripts/smoke"
 go run ./scripts/smoke
 
