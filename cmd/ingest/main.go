@@ -42,6 +42,19 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 	)
 	cfg := rank.DefaultIngestConfig()
 
+	// The checkpoint lets a killed run resume: units whose generation has
+	// committed are skipped on restart. The fingerprint ties the checkpoint
+	// to every parameter that shapes the output, so changing any of them
+	// starts the run from scratch.
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	fingerprint := fmt.Sprintf("%s|%s|%g|%d", dataset, set, scale, seed)
+	cp := rank.OpenCheckpoint(filepath.Join(out, ".ingest-checkpoint.json"), fingerprint)
+	if cp.Resumed() {
+		fmt.Printf("resuming interrupted ingest (%d units already committed)\n", cp.Count())
+	}
+
 	switch dataset {
 	case "movies":
 		d := synth.Movies(synth.Options{Scale: scale, Seed: seed})
@@ -51,6 +64,23 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 		}
 		defer repo.Close()
 		for _, v := range d.Videos {
+			unit := "video:" + v.ID()
+			if repo.Has(v.ID()) {
+				if cp.Done(unit) || cp.Resumed() {
+					// Committed generations are authoritative; a member
+					// present but uncheckpointed means the run died
+					// between commit and checkpoint update.
+					if err := cp.MarkDone(unit); err != nil {
+						return err
+					}
+					fmt.Printf("skipped  %-24s (already committed)\n", v.ID())
+					continue
+				}
+				// Fresh run over an existing repository: re-ingest.
+				if err := repo.Remove(v.ID()); err != nil {
+					return err
+				}
+			}
 			start := time.Now()
 			ix, err := rank.Ingest(context.Background(), v, models, rank.PaperScoring(), cfg)
 			if err != nil {
@@ -59,12 +89,15 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 			if err := repo.Add(ix); err != nil {
 				return err
 			}
+			if err := cp.MarkDone(unit); err != nil {
+				return err
+			}
 			fmt.Printf("ingested %-24s %6d clips  %2d object types  %d action types  (%v) -> %s\n",
 				v.ID(), ix.NumClips, len(ix.Objects), len(ix.Actions),
 				time.Since(start).Round(time.Millisecond), filepath.Join(out, v.ID()))
 		}
 		fmt.Printf("repository %s now holds %d videos\n", out, len(repo.Videos()))
-		return nil
+		return cp.Finish()
 	case "youtube":
 		d := synth.YouTube(synth.Options{Scale: scale, Seed: seed})
 		sets := []string{set}
@@ -79,6 +112,15 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 			if spec == nil {
 				return fmt.Errorf("unknown query set %q", name)
 			}
+			unit := "set:" + name
+			dir := filepath.Join(out, "yt-"+name)
+			if committed(dir) && (cp.Done(unit) || cp.Resumed()) {
+				if err := cp.MarkDone(unit); err != nil {
+					return err
+				}
+				fmt.Printf("skipped  %-10s (already committed)\n", name)
+				continue
+			}
 			var vids []detect.TruthVideo
 			for _, v := range d.Videos {
 				if !v.ActionPresence(spec.Action).Empty() {
@@ -90,15 +132,23 @@ func run(dataset, set, out string, scale float64, seed int64) error {
 			if err != nil {
 				return err
 			}
-			dir := filepath.Join(out, "yt-"+name)
 			if err := rank.Save(dir, ix); err != nil {
+				return err
+			}
+			if err := cp.MarkDone(unit); err != nil {
 				return err
 			}
 			fmt.Printf("ingested %-10s %3d videos  %6d clips  (%v) -> %s\n",
 				name, len(vids), ix.NumClips, time.Since(start).Round(time.Millisecond), dir)
 		}
-		return nil
+		return cp.Finish()
 	default:
 		return fmt.Errorf("unknown dataset %q", dataset)
 	}
+}
+
+// committed reports whether dir holds a committed generation.
+func committed(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "CURRENT"))
+	return err == nil
 }

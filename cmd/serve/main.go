@@ -47,6 +47,7 @@ func main() {
 		wait    = flag.Duration("queue-wait", 2*time.Second, "max wait for an execution slot")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		workers = flag.Int("workers", 0, "videos evaluated concurrently per /query/batch fleet (<= 0 = GOMAXPROCS)")
+		repoDir = flag.String("repo", "", "serve offline (RVAQ) queries from this saved repository (built with cmd/ingest); SIGHUP or POST /repo/reload picks up new generations")
 
 		faultTransient = flag.Float64("fault-transient", 0, "injected transient detector failure rate [0,1)")
 		faultPermanent = flag.Float64("fault-permanent", 0, "injected permanent detector failure rate [0,1)")
@@ -72,6 +73,7 @@ func main() {
 		Retry:         detect.RetryConfig{Attempts: *retries},
 		FailureBudget: *budget,
 		Workers:       *workers,
+		RepoDir:       *repoDir,
 		Logger:        logger,
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {
@@ -92,6 +94,25 @@ func main() {
 			"spike", *faultSpike, "spike_delay", faultDelay.String())
 	}
 	srv := server.New(cfg)
+	if *repoDir != "" {
+		// The initial load must succeed — serving from a repository that
+		// never loaded would fail every offline query. Later reloads
+		// (SIGHUP, /repo/reload) are allowed to fail: the loaded
+		// generation keeps serving.
+		if err := srv.Reload(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := srv.Reload(); err != nil {
+					logger.Warn("SIGHUP reload failed; previous repository keeps serving", "error", err.Error())
+				}
+			}
+		}()
+	}
 
 	handler := srv.Handler()
 	if *withPprof {

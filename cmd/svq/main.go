@@ -16,6 +16,12 @@
 //	     FROM (PROCESS titanic PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer)
 //	     WHERE act='kissing' AND obj.include('surfboard','boat')
 //	     ORDER BY RANK(act, obj) LIMIT 5"
+//
+// The fsck subcommand verifies a saved repository offline — commit records,
+// manifest checksums and invariants, table magic/checksums/sort order — and
+// exits non-zero if any member is corrupt:
+//
+//	svq fsck ./repo
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"svqact/internal/core"
@@ -34,6 +41,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(runFsck(os.Args[2:]))
+	}
 	var (
 		query   = flag.String("query", "", "SQL-like query (reads stdin when empty)")
 		dataset = flag.String("dataset", "youtube", "dataset: youtube or movies")
@@ -194,6 +204,57 @@ func runExtended(stream source, q core.CNF, models detect.Models, algo string, p
 	}
 	fmt.Printf("engine time %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// runFsck verifies one or more repository (or single-index) directories and
+// reports every violated invariant. Exit code 0 means every committed
+// generation is intact.
+func runFsck(args []string) int {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "only report problems")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: svq fsck [-q] dir...")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		fs.Usage()
+		return 2
+	}
+	exit := 0
+	for _, dir := range dirs {
+		reports, err := fsckDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svq fsck: %v\n", err)
+			exit = 1
+		}
+		for _, rep := range reports {
+			if !*quiet {
+				fmt.Printf("ok %-32s gen %d  %6d clips  %2d object types  %d action types\n",
+					rep.Dir, rep.Generation, rep.NumClips, rep.Objects, rep.Actions)
+			}
+			for _, w := range rep.Warnings {
+				fmt.Printf("warn %s: %s\n", rep.Dir, w)
+			}
+		}
+	}
+	return exit
+}
+
+// fsckDir verifies dir as a single saved index when it holds a commit record
+// itself, and as a repository of members otherwise.
+func fsckDir(dir string) ([]*rank.FsckReport, error) {
+	for _, marker := range []string{"CURRENT", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, marker)); err == nil {
+			rep, err := rank.Fsck(dir)
+			if err != nil {
+				return nil, err
+			}
+			return []*rank.FsckReport{rep}, nil
+		}
+	}
+	return rank.FsckRepository(dir)
 }
 
 // runRepo answers a ranked query from an already-ingested repository.

@@ -1,0 +1,86 @@
+package rank
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"svqact/internal/store"
+)
+
+// Checkpoint records which ingestion units (videos, dataset sets) a run has
+// fully committed, so a killed `svq ingest` resumes instead of restarting.
+//
+// The checkpoint is an optimisation, never a source of truth: committed
+// generations on disk are authoritative, and a checkpoint that is missing,
+// unreadable, or was written by a run with different parameters (the
+// fingerprint) is silently discarded — the worst case is redoing work. Each
+// update rewrites the file atomically, so it is never torn.
+type checkpointState struct {
+	Fingerprint string   `json:"fingerprint"`
+	Done        []string `json:"done"`
+}
+
+// Checkpoint tracks completed ingestion units across process restarts.
+type Checkpoint struct {
+	path        string
+	fingerprint string
+	done        map[string]bool
+	resumed     bool
+}
+
+// OpenCheckpoint loads the checkpoint at path if it exists and matches
+// fingerprint (an encoding of every parameter that shapes the run's output);
+// otherwise it starts empty. Opening never fails on a bad file — stale or
+// corrupt checkpoints are discarded.
+func OpenCheckpoint(path, fingerprint string) *Checkpoint {
+	c := &Checkpoint{path: path, fingerprint: fingerprint, done: map[string]bool{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var st checkpointState
+	if json.Unmarshal(data, &st) != nil || st.Fingerprint != fingerprint {
+		return c
+	}
+	for _, u := range st.Done {
+		c.done[u] = true
+	}
+	c.resumed = len(c.done) > 0
+	return c
+}
+
+// Resumed reports whether this run picked up prior progress.
+func (c *Checkpoint) Resumed() bool { return c.resumed }
+
+// Done reports whether a unit was already completed by a prior run.
+func (c *Checkpoint) Done(unit string) bool { return c.done[unit] }
+
+// Count returns how many units are recorded as complete.
+func (c *Checkpoint) Count() int { return len(c.done) }
+
+// MarkDone records a unit as complete and persists the checkpoint
+// atomically. Call it only after the unit's generation has committed.
+func (c *Checkpoint) MarkDone(unit string) error {
+	c.done[unit] = true
+	units := make([]string, 0, len(c.done))
+	for u := range c.done {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	data, err := json.MarshalIndent(checkpointState{Fingerprint: c.fingerprint, Done: units}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+	return store.WriteFileAtomic(store.OS, c.path, data)
+}
+
+// Finish removes the checkpoint file — the run completed, so the next run
+// starts fresh.
+func (c *Checkpoint) Finish() error {
+	if err := os.Remove(c.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("rank: %w", err)
+	}
+	return nil
+}

@@ -27,6 +27,10 @@ type Index struct {
 	Objects map[string]*TypeIndex
 	Actions map[string]*TypeIndex
 
+	// Generation is the committed generation number this index was loaded
+	// from (0 for in-memory indexes that never touched disk).
+	Generation int
+
 	// spans maps global clip ranges back to the originating videos (only
 	// set on merged indexes; single-video indexes resolve to themselves).
 	spans []videoSpan

@@ -5,21 +5,57 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
 
-// Disk layout of a saved repository index:
+// Disk layout of a saved repository index (format 2, crash-safe):
 //
-//	dir/manifest.json  — name, clip space, video spans, type catalogue
-//	dir/obj_<i>.tbl    — clip score table of the i-th object type
-//	dir/act_<i>.tbl    — clip score table of the i-th action type
+//	dir/CURRENT              — commit pointer: "gen-NNNNNN crc32=XXXXXXXX\n"
+//	dir/gen-NNNNNN/
+//	    manifest.json        — name, clip space, video spans, type catalogue
+//	    obj_<i>.tbl          — clip score table of the i-th object type
+//	    act_<i>.tbl          — clip score table of the i-th action type
 //
-// Tables are written in the store package's binary format; individual
-// sequences are small and live in the manifest.
+// Every save materialises a fresh numbered generation directory: tables are
+// written (each one atomically, see store.WriteTableFS), the manifest is
+// written, the generation directory is fsynced, and only then does an atomic
+// rewrite of CURRENT commit the new generation. The CRC32-C of the manifest
+// bytes is recorded inside CURRENT, so the commit pointer vouches for the
+// manifest and the manifest (via table checksums) vouches for everything
+// else. A crash at any step leaves CURRENT pointing at the previous complete
+// generation; the half-built directory is an uncommitted orphan that the
+// next successful save garbage-collects. Old generations are removed only
+// after the new one commits — open readers on a removed generation keep
+// working (the files stay alive until their descriptors close).
+//
+// Individual sequences are small and live in the manifest.
+
+// CorruptError is re-exported from store: rank.Load and rank.Fsck report
+// every integrity violation with this type.
+type CorruptError = store.CorruptError
+
+// IsCorrupt reports whether err is (or wraps) a *CorruptError.
+func IsCorrupt(err error) bool { return store.IsCorrupt(err) }
+
+const (
+	currentFile  = "CURRENT"
+	manifestFile = "manifest.json"
+	// manifestFormat is the version stamped into every manifest; Load
+	// rejects anything else.
+	manifestFormat = 2
+)
+
+var genNameRe = regexp.MustCompile(`^gen-(\d{6})$`)
+
+func genName(n int) string { return fmt.Sprintf("gen-%06d", n) }
 
 type manifest struct {
+	Format   int            `json:"format"`
 	Name     string         `json:"name"`
 	NumClips int            `json:"num_clips"`
 	Spans    []manifestSpan `json:"spans,omitempty"`
@@ -39,14 +75,36 @@ type manifestType struct {
 	Seqs [][2]int `json:"seqs"`
 }
 
-// Save persists an index to dir, creating it if needed. Tables are written
-// in the binary clip-score-table format; everything else goes into
-// manifest.json.
+// Save persists an index to dir as a new generation and atomically commits
+// it, creating the directory if needed. The previous generation stays
+// readable until the commit point and is garbage-collected after it.
 func Save(dir string, ix *Index) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return SaveFS(store.OS, dir, ix)
+}
+
+// SaveFS is Save against an injectable filesystem (crash tests drive it
+// through a store.FlakyFS).
+func SaveFS(fsys store.FS, dir string, ix *Index) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("rank: %w", err)
 	}
-	m := manifest{Name: ix.Name, NumClips: ix.NumClips}
+	gen := maxGeneration(fsys, dir) + 1
+	genDir := filepath.Join(dir, genName(gen))
+	committed := false
+	defer func() {
+		// A failure before the commit point leaves a half-built
+		// generation; discard it (best-effort — after a real crash the
+		// next save's GC finishes the job). Once the CURRENT rewrite has
+		// started the directory may already be live, so leave it alone.
+		if !committed {
+			_ = fsys.RemoveAll(genDir)
+		}
+	}()
+	if err := fsys.MkdirAll(genDir, 0o755); err != nil {
+		return fmt.Errorf("rank: %w", err)
+	}
+
+	m := manifest{Format: manifestFormat, Name: ix.Name, NumClips: ix.NumClips}
 	for _, s := range ix.spans {
 		m.Spans = append(m.Spans, manifestSpan{VideoID: s.videoID, Start: s.start, Clips: s.clips})
 	}
@@ -63,7 +121,7 @@ func Save(dir string, ix *Index) error {
 				}
 				entries = append(entries, e)
 			}
-			if err := store.WriteTable(filepath.Join(dir, file), typ, entries); err != nil {
+			if err := store.WriteTableFS(fsys, filepath.Join(genDir, file), typ, entries); err != nil {
 				return nil, err
 			}
 			mt := manifestType{Type: typ, File: file}
@@ -85,37 +143,150 @@ func Save(dir string, ix *Index) error {
 	if err != nil {
 		return fmt.Errorf("rank: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+	if err := store.WriteFileAtomic(fsys, filepath.Join(genDir, manifestFile), data); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(genDir); err != nil {
 		return fmt.Errorf("rank: %w", err)
 	}
+
+	// Commit point: after this rename lands, Load sees the new generation.
+	committed = true
+	record := fmt.Sprintf("%s crc32=%08x\n", genName(gen), store.Checksum(data))
+	if err := store.WriteFileAtomic(fsys, filepath.Join(dir, currentFile), []byte(record)); err != nil {
+		return err
+	}
+	gcGenerations(fsys, dir, gen)
 	return nil
 }
 
-// Load opens a saved index. Tables are opened file-backed (reads hit disk on
-// demand); call Close on the returned index when done.
-func Load(dir string) (*Index, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+// maxGeneration returns the highest generation number present in dir
+// (committed or not), or 0.
+func maxGeneration(fsys store.FS, dir string) int {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
+		return 0
+	}
+	max := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if m := genNameRe.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// gcGenerations removes every generation directory except the live one, plus
+// stray temp files from interrupted writes. Best-effort: a failure here never
+// fails the save that just committed.
+func gcGenerations(fsys store.FS, dir string, live int) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if genNameRe.MatchString(e.Name()) && e.Name() != genName(live) {
+				_ = fsys.RemoveAll(filepath.Join(dir, e.Name()))
+			}
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = fsys.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// parseCurrent decodes a CURRENT record into its generation name and the
+// manifest checksum it vouches for.
+func parseCurrent(dir string, raw []byte) (gen string, crc uint32, err error) {
+	line := strings.TrimSuffix(string(raw), "\n")
+	fields := strings.Split(line, " ")
+	bad := func(detail string) (string, uint32, error) {
+		return "", 0, &CorruptError{Path: filepath.Join(dir, currentFile), Detail: detail}
+	}
+	if len(fields) != 2 || strings.Contains(line, "\n") {
+		return bad(fmt.Sprintf("malformed commit record %q", line))
+	}
+	if !genNameRe.MatchString(fields[0]) {
+		return bad(fmt.Sprintf("malformed generation name %q", fields[0]))
+	}
+	hexCRC, ok := strings.CutPrefix(fields[1], "crc32=")
+	if !ok || len(hexCRC) != 8 {
+		return bad(fmt.Sprintf("malformed checksum field %q", fields[1]))
+	}
+	v, perr := strconv.ParseUint(hexCRC, 16, 32)
+	if perr != nil {
+		return bad(fmt.Sprintf("malformed checksum field %q", fields[1]))
+	}
+	return fields[0], uint32(v), nil
+}
+
+// Load opens the committed generation of a saved index. The whole generation
+// is verified — commit-record checksum over the manifest, manifest
+// invariants, and every table's checksums and sort order — and any violation
+// surfaces as a *CorruptError. Tables are opened file-backed (row reads hit
+// disk on demand); call Close on the returned index when done.
+func Load(dir string) (*Index, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			if _, serr := os.Stat(filepath.Join(dir, manifestFile)); serr == nil {
+				return nil, &CorruptError{Path: dir, Detail: "legacy un-checksummed repository layout (manifest.json without CURRENT); re-ingest"}
+			}
+		}
 		return nil, fmt.Errorf("rank: %w", err)
+	}
+	gen, wantCRC, err := parseCurrent(dir, raw)
+	if err != nil {
+		return nil, err
+	}
+	genDir := filepath.Join(dir, gen)
+	data, err := os.ReadFile(filepath.Join(genDir, manifestFile))
+	if err != nil {
+		return nil, &CorruptError{Path: dir, Detail: fmt.Sprintf("CURRENT commits %s but its manifest is unreadable", gen), Err: err}
+	}
+	if got := store.Checksum(data); got != wantCRC {
+		return nil, &CorruptError{Path: filepath.Join(genDir, manifestFile), Detail: fmt.Sprintf("manifest checksum mismatch (committed %08x, computed %08x)", wantCRC, got)}
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("rank: corrupt manifest in %s: %w", dir, err)
+		return nil, &CorruptError{Path: filepath.Join(genDir, manifestFile), Detail: "undecodable manifest", Err: err}
 	}
+	if err := validateManifest(genDir, &m); err != nil {
+		return nil, err
+	}
+
+	genNum, _ := strconv.Atoi(strings.TrimPrefix(gen, "gen-"))
 	ix := &Index{
-		Name:     m.Name,
-		NumClips: m.NumClips,
-		Objects:  map[string]*TypeIndex{},
-		Actions:  map[string]*TypeIndex{},
+		Name:       m.Name,
+		NumClips:   m.NumClips,
+		Generation: genNum,
+		Objects:    map[string]*TypeIndex{},
+		Actions:    map[string]*TypeIndex{},
 	}
 	for _, s := range m.Spans {
 		ix.spans = append(ix.spans, videoSpan{videoID: s.VideoID, start: s.Start, clips: s.Clips})
 	}
 	load := func(types []manifestType, dst map[string]*TypeIndex) error {
 		for _, mt := range types {
-			tbl, err := store.OpenDiskTable(filepath.Join(dir, mt.File))
+			path := filepath.Join(genDir, mt.File)
+			tbl, err := store.OpenDiskTable(path)
 			if err != nil {
 				return err
+			}
+			if tbl.Name() != mt.Type {
+				tbl.Close()
+				return &CorruptError{Path: path, Detail: fmt.Sprintf("table is for type %q, manifest expects %q", tbl.Name(), mt.Type)}
+			}
+			if lo, hi, ok := tbl.ClipBounds(); ok && (lo < 0 || hi >= m.NumClips) {
+				tbl.Close()
+				return &CorruptError{Path: path, Detail: fmt.Sprintf("table scores clips [%d,%d] outside the clip space [0,%d)", lo, hi, m.NumClips)}
 			}
 			ivs := make([]video.Interval, len(mt.Seqs))
 			for i, p := range mt.Seqs {
@@ -134,6 +305,70 @@ func Load(dir string) (*Index, error) {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// validateManifest checks every invariant the query layer later relies on:
+// a supported format, a sane clip space, video spans inside it, table file
+// names that cannot escape the generation directory, no duplicate types or
+// files, and individual sequences that are well-formed intervals within the
+// clip space.
+func validateManifest(genDir string, m *manifest) error {
+	corrupt := func(format string, args ...any) error {
+		return &CorruptError{Path: filepath.Join(genDir, manifestFile), Detail: fmt.Sprintf(format, args...)}
+	}
+	if m.Format != manifestFormat {
+		return corrupt("unsupported manifest format %d (want %d)", m.Format, manifestFormat)
+	}
+	if m.NumClips < 0 {
+		return corrupt("negative clip space (%d clips)", m.NumClips)
+	}
+	prevEnd := 0
+	for i, s := range m.Spans {
+		if s.VideoID == "" {
+			return corrupt("span %d has no video id", i)
+		}
+		if s.Start < 0 || s.Clips < 0 || s.Start+s.Clips > m.NumClips {
+			return corrupt("span %d (%q) covers clips [%d,%d) outside the clip space [0,%d)", i, s.VideoID, s.Start, s.Start+s.Clips, m.NumClips)
+		}
+		if s.Start < prevEnd {
+			return corrupt("span %d (%q) overlaps the previous span", i, s.VideoID)
+		}
+		prevEnd = s.Start + s.Clips
+	}
+	seenType := map[string]bool{}
+	seenFile := map[string]bool{}
+	check := func(kind string, types []manifestType) error {
+		for _, mt := range types {
+			if mt.Type == "" {
+				return corrupt("%s entry with empty type", kind)
+			}
+			key := kind + ":" + mt.Type
+			if seenType[key] {
+				return corrupt("duplicate %s type %q", kind, mt.Type)
+			}
+			seenType[key] = true
+			// The file must be a plain name inside the generation
+			// directory — no separators, no "..", nothing that resolves
+			// elsewhere once joined.
+			if mt.File == "" || mt.File != filepath.Base(mt.File) || mt.File == "." || mt.File == ".." {
+				return corrupt("%s type %q references file %q outside the generation directory", kind, mt.Type, mt.File)
+			}
+			if seenFile[mt.File] {
+				return corrupt("file %q referenced twice", mt.File)
+			}
+			seenFile[mt.File] = true
+			for i, p := range mt.Seqs {
+				if p[0] < 0 || p[1] < p[0] || p[1] >= m.NumClips {
+					return corrupt("%s type %q sequence %d is [%d,%d], not a well-formed interval within the clip space [0,%d)", kind, mt.Type, i, p[0], p[1], m.NumClips)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("object", m.Objects); err != nil {
+		return err
+	}
+	return check("action", m.Actions)
 }
 
 // Close releases any file-backed tables of the index. It is a no-op for

@@ -43,7 +43,7 @@ func OpenRepository(dir string) (*Repository, error) {
 			continue
 		}
 		sub := filepath.Join(dir, e.Name())
-		if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err != nil {
+		if !isIndexDir(sub) {
 			continue // not an index directory
 		}
 		ix, err := Load(sub)
@@ -117,6 +117,29 @@ func (r *Repository) Remove(name string) error {
 	}
 	r.merged = nil
 	return os.RemoveAll(filepath.Join(r.dir, name))
+}
+
+// Has reports whether a member with that name is present.
+func (r *Repository) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.members[name]
+	return ok
+}
+
+// MaxGeneration returns the highest committed generation number across the
+// members — a monotone indicator of repository freshness, exported as the
+// svqact_repo_generation metric.
+func (r *Repository) MaxGeneration() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	max := 0
+	for _, ix := range r.members {
+		if ix.Generation > max {
+			max = ix.Generation
+		}
+	}
+	return max
 }
 
 // Member returns one member's index, or nil.

@@ -1,0 +1,163 @@
+// Repository-backed serving: when Config.RepoDir is set, offline (RVAQ)
+// statements are answered from the saved repository built by cmd/ingest
+// instead of lazily re-ingesting the synthetic datasets, and the repository
+// can be swapped for a newer generation without restarting — POST
+// /repo/reload (or send the process SIGHUP, see cmd/serve). Reloads are
+// all-or-nothing: the new generation is opened and fully verified first, the
+// handle is swapped atomically, and queries already running on the old
+// generation drain before its file handles close. A failed reload (missing
+// directory, CorruptError) keeps the old repository serving.
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+
+	"svqact/internal/rank"
+)
+
+// repoHandle reference-counts one open repository so a reload can retire it
+// while in-flight queries finish against it.
+type repoHandle struct {
+	repo *rank.Repository
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+}
+
+func (h *repoHandle) acquire() {
+	h.mu.Lock()
+	h.refs++
+	h.mu.Unlock()
+}
+
+func (h *repoHandle) release() {
+	h.mu.Lock()
+	h.refs--
+	closeNow := h.retired && h.refs == 0
+	h.mu.Unlock()
+	if closeNow {
+		_ = h.repo.Close()
+	}
+}
+
+// retire marks the handle superseded; the underlying files close as soon as
+// the last in-flight query releases its reference.
+func (h *repoHandle) retire() {
+	h.mu.Lock()
+	h.retired = true
+	closeNow := h.refs == 0
+	h.mu.Unlock()
+	if closeNow {
+		_ = h.repo.Close()
+	}
+}
+
+// Reload opens Config.RepoDir, verifies every member (checksums, manifest
+// invariants), and atomically swaps it in as the serving repository. On
+// failure the previous repository, if any, keeps serving.
+func (s *Server) Reload() error {
+	if s.cfg.RepoDir == "" {
+		return errors.New("server: no repository configured")
+	}
+	repo, err := rank.OpenRepository(s.cfg.RepoDir)
+	if err != nil {
+		s.repoReloads["error"].Inc()
+		if rank.IsCorrupt(err) {
+			s.repoCorruption.Inc()
+		}
+		s.repoMu.Lock()
+		s.repoFailed = true
+		s.repoMu.Unlock()
+		return err
+	}
+	h := &repoHandle{repo: repo}
+	s.repoMu.Lock()
+	old := s.repo
+	s.repo = h
+	recovered := s.repoFailed
+	s.repoFailed = false
+	s.repoMu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	s.repoReloads["ok"].Inc()
+	if recovered {
+		s.repoRecoveries.Inc()
+	}
+	s.repoGeneration.Set(int64(repo.MaxGeneration()))
+	s.repoMembers.Set(int64(len(repo.Videos())))
+	s.log.Info("repository loaded",
+		"dir", s.cfg.RepoDir, "videos", len(repo.Videos()),
+		"generation", repo.MaxGeneration(), "recovered", recovered)
+	return nil
+}
+
+// acquireRepo returns the live repository handle with a reference held (the
+// caller must release it), or nil when none is loaded.
+func (s *Server) acquireRepo() *repoHandle {
+	s.repoMu.Lock()
+	defer s.repoMu.Unlock()
+	if s.repo == nil {
+		return nil
+	}
+	s.repo.acquire()
+	return s.repo
+}
+
+// RepoHealth is the repository section of the /healthz body.
+type RepoHealth struct {
+	Dir        string `json:"dir"`
+	Generation int    `json:"generation"`
+	Videos     int    `json:"videos"`
+	// Failed is true when the most recent reload attempt was rejected
+	// (the previously loaded repository, if any, keeps serving).
+	Failed bool `json:"failed,omitempty"`
+}
+
+func (s *Server) repoHealth() *RepoHealth {
+	if s.cfg.RepoDir == "" {
+		return nil
+	}
+	s.repoMu.Lock()
+	h, failed := s.repo, s.repoFailed
+	s.repoMu.Unlock()
+	rh := &RepoHealth{Dir: s.cfg.RepoDir, Failed: failed}
+	if h != nil {
+		rh.Generation = h.repo.MaxGeneration()
+		rh.Videos = len(h.repo.Videos())
+	}
+	return rh
+}
+
+func (s *Server) handleRepoReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if s.cfg.RepoDir == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no repository configured (start with -repo)"})
+		return
+	}
+	if err := s.Reload(); err != nil {
+		s.log.Warn("repository reload failed", "dir", s.cfg.RepoDir, "error", err.Error())
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.repoHealth())
+}
+
+func (s *Server) handleRepoStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	rh := s.repoHealth()
+	if rh == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no repository configured (start with -repo)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rh)
+}

@@ -30,6 +30,7 @@ import (
 	"svqact/internal/rank"
 	"svqact/internal/sqlq"
 	"svqact/internal/synth"
+	"svqact/internal/video"
 )
 
 // Config parameterises a server instance.
@@ -58,6 +59,12 @@ type Config struct {
 	// <= 0 means GOMAXPROCS. A request's "workers" field, when positive,
 	// overrides it per batch.
 	Workers int
+
+	// RepoDir, when set, answers offline (RVAQ) statements from the saved
+	// repository at that directory instead of lazily ingesting the
+	// synthetic datasets. Call Reload (or POST /repo/reload) to load it and
+	// to pick up newly committed generations without restarting.
+	RepoDir string
 
 	// Fault, when set, wraps the detection models with the fault injector —
 	// the operational testbed for the retry and skip-and-flag machinery.
@@ -140,6 +147,17 @@ type Server struct {
 	// rank charge it too).
 	meter detect.Meter
 
+	// Repository serving state (see repo.go): the live refcounted handle,
+	// whether the last reload failed, and the durability instruments.
+	repoMu         sync.Mutex
+	repo           *repoHandle
+	repoFailed     bool
+	repoGeneration *obs.Gauge
+	repoMembers    *obs.Gauge
+	repoReloads    map[string]*obs.Counter
+	repoCorruption *obs.Counter
+	repoRecoveries *obs.Counter
+
 	once    sync.Once
 	youtube *synth.Dataset
 	movies  *synth.Dataset
@@ -197,6 +215,20 @@ func New(cfg Config) *Server {
 			"Videos evaluated by /query/batch fleets, by outcome.",
 			obs.L("outcome", outcome))
 	}
+	s.repoGeneration = r.Gauge("svqact_repo_generation",
+		"Highest committed generation across the loaded repository's members.")
+	s.repoMembers = r.Gauge("svqact_repo_members",
+		"Member indexes in the loaded repository.")
+	s.repoReloads = map[string]*obs.Counter{}
+	for _, outcome := range []string{"ok", "error"} {
+		s.repoReloads[outcome] = r.Counter("svqact_repo_reloads_total",
+			"Repository reload attempts, by outcome.",
+			obs.L("outcome", outcome))
+	}
+	s.repoCorruption = r.Counter("svqact_repo_corruption_total",
+		"Repository reloads rejected because of a failed integrity check.")
+	s.repoRecoveries = r.Counter("svqact_repo_recoveries_total",
+		"Successful repository reloads that followed a failed one.")
 	r.GaugeFunc("svqact_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -316,13 +348,16 @@ type QueryRequest struct {
 	Algo string `json:"algo,omitempty"`
 }
 
-// Sequence is one result sequence.
+// Sequence is one result sequence. Repository-backed answers resolve clips
+// to the member video and report member-local clip ids with no frame ranges
+// (the repository stores clip score tables, not video geometry).
 type Sequence struct {
 	StartClip  int     `json:"start_clip"`
 	EndClip    int     `json:"end_clip"`
 	StartFrame int     `json:"start_frame"`
 	EndFrame   int     `json:"end_frame"`
 	Score      float64 `json:"score,omitempty"`
+	Video      string  `json:"video,omitempty"`
 }
 
 // QueryResponse is the /query response body.
@@ -421,6 +456,8 @@ type Health struct {
 	Served        uint64  `json:"served"`
 	Rejected      uint64  `json:"rejected"`
 	Panics        uint64  `json:"panics"`
+	// Repo describes the loaded repository when serving one (-repo).
+	Repo *RepoHealth `json:"repo,omitempty"`
 }
 
 // Health reports the server's live admission counters. It reads the same
@@ -436,6 +473,7 @@ func (s *Server) Health() Health {
 		Served:        uint64(s.served.Value()),
 		Rejected:      uint64(s.rejected.Value()),
 		Panics:        uint64(s.panics.Value()),
+		Repo:          s.repoHealth(),
 	}
 }
 
@@ -455,6 +493,8 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string][]string{"sources": s.Sources()})
 	})
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/repo/reload", s.handleRepoReload)
+	mux.HandleFunc("/repo/status", s.handleRepoStatus)
 	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
 	mux.Handle("/query/batch", s.admit(http.HandlerFunc(s.handleBatch)))
 	return s.recover(mux)
@@ -784,12 +824,19 @@ type notFoundError struct{ error }
 
 func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*QueryResponse, error) {
 	start := time.Now()
-	stream, err := s.resolve(plan.Source)
-	if err != nil {
-		return nil, notFoundError{err}
-	}
-	g := stream.Geometry()
 	resp := &QueryResponse{Source: plan.Source}
+	var stream detect.TruthVideo
+	var g video.Geometry
+	var err error
+	if plan.Online || s.cfg.RepoDir == "" {
+		// Repository-backed offline statements never touch the synthetic
+		// datasets, so their PROCESS source is not resolved against them.
+		stream, err = s.resolve(plan.Source)
+		if err != nil {
+			return nil, notFoundError{err}
+		}
+		g = stream.Geometry()
+	}
 
 	if plan.Online {
 		cfg := s.engineConfig()
@@ -835,6 +882,44 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 					StartFrame: fr.Start, EndFrame: fr.End,
 				})
 			}
+		}
+	} else if s.cfg.RepoDir != "" {
+		// Repository-backed: rank over the whole saved repository (the
+		// merged clip space spans every member; the PROCESS source names
+		// the repository view, not one synthetic stream). A reference on
+		// the handle keeps the generation's files open across a reload.
+		h := s.acquireRepo()
+		if h == nil {
+			return nil, fmt.Errorf("repository %s is not loaded (last reload failed?)", s.cfg.RepoDir)
+		}
+		defer h.release()
+		m, err := h.repo.Merged()
+		if err != nil {
+			return nil, err
+		}
+		var res *rank.Result
+		if plan.Extended {
+			res, err = rank.RVAQCNF(ctx, m, plan.CNF, plan.K, rank.Options{})
+			resp.Extended = true
+		} else {
+			res, err = rank.RVAQ(ctx, m, plan.Query, plan.K, rank.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.rankSorted.Add(res.Stats.Sorted)
+		s.rankRandom.Add(res.Stats.Random)
+		resp.Mode = res.Algorithm
+		resp.K = plan.K
+		resp.Candidates = res.Candidates
+		resp.NumClips = m.NumClips
+		resp.RandomAccesses = res.Stats.Random
+		for _, sr := range res.Sequences {
+			vid, local := m.Resolve(sr.Seq.Start)
+			resp.Sequences = append(resp.Sequences, Sequence{
+				StartClip: local, EndClip: local + sr.Seq.Len() - 1,
+				Video: vid, Score: sr.Score(),
+			})
 		}
 	} else {
 		ix, err := s.index(ctx, plan.Source)

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// CorruptError reports that persisted state failed an integrity check: a bad
+// magic number, a checksum mismatch, a violated sort invariant, a truncated
+// region, or a manifest whose contents cannot be trusted. It is the typed
+// contract of the durable layer — corruption always surfaces as this error,
+// loudly, instead of flowing into query results as silently wrong data.
+type CorruptError struct {
+	// Path is the file or directory that failed verification.
+	Path string
+	// Detail describes the violated invariant.
+	Detail string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	s := fmt.Sprintf("corrupt %s: %s", e.Path, e.Detail)
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err is (or wraps) a CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// crcTable is the polynomial every on-disk checksum in this repository uses.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the CRC32-C over b — the checksum function shared by the table
+// format, the manifest commit record, and fsck.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }

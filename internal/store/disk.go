@@ -4,31 +4,56 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
-// Disk layout of a clip score table:
+// Disk layout of a clip score table (format 2, checksummed):
 //
-//	offset 0:  magic "SVQTBL1\n" (8 bytes)
+//	offset 0:  magic "SVQTBL2\n" (8 bytes)
 //	offset 8:  row count, uint64 little-endian
 //	offset 16: name length, uint16; name bytes
+//	then:      header CRC32-C, uint32 (over everything above)
 //	then:      count rows ordered by non-increasing score (rank region)
+//	then:      rank region CRC32-C, uint32
 //	then:      count rows ordered by ascending clip id   (clip region)
+//	then:      clip region CRC32-C, uint32
 //
 // Each row is 12 bytes: clip uint32, score float64. The rank region serves
 // sorted scans from either end; the clip region serves random access via
 // binary search. Rows are written twice to trade disk (24 bytes per clip and
 // type, negligible) for strictly sequential reads on both access paths.
+//
+// Durability: WriteTable writes to path+".tmp", fsyncs, and renames into
+// place, so the file at path is always complete. OpenDiskTable verifies the
+// whole file — magic, header checksum, exact size, both region checksums,
+// the sort invariant of each region, and that the regions hold the same
+// rows — and returns a *CorruptError on any violation; after that single
+// sequential pass, row access is O(1) ReadAt as before.
 
-var diskMagic = [8]byte{'S', 'V', 'Q', 'T', 'B', 'L', '1', '\n'}
+var (
+	diskMagicV1 = [8]byte{'S', 'V', 'Q', 'T', 'B', 'L', '1', '\n'}
+	diskMagic   = [8]byte{'S', 'V', 'Q', 'T', 'B', 'L', '2', '\n'}
+)
 
-const rowSize = 12
+const (
+	rowSize      = 12
+	fixedHdrSize = 8 + 8 + 2 // magic, count, name length
+	crcSize      = 4
+)
 
-// WriteTable writes a clip score table to path in the binary format above.
+// WriteTable writes a clip score table to path in the binary format above,
+// atomically (temp file + fsync + rename).
 func WriteTable(path, name string, entries []Entry) error {
+	return WriteTableFS(OS, path, name, entries)
+}
+
+// WriteTableFS is WriteTable against an injectable filesystem.
+func WriteTableFS(fsys FS, path, name string, entries []Entry) (err error) {
 	if len(name) > math.MaxUint16 {
 		return fmt.Errorf("store: table name too long (%d bytes)", len(name))
 	}
@@ -37,6 +62,9 @@ func WriteTable(path, name string, entries []Entry) error {
 	for _, e := range byRank {
 		if e.Clip < 0 || e.Clip > math.MaxUint32 {
 			return fmt.Errorf("store: clip id %d out of range", e.Clip)
+		}
+		if math.IsNaN(e.Score) {
+			return fmt.Errorf("store: NaN score for clip %d in table %q", e.Clip, name)
 		}
 		if seen[e.Clip] {
 			return fmt.Errorf("store: duplicate clip %d in table %q", e.Clip, name)
@@ -52,91 +80,210 @@ func WriteTable(path, name string, entries []Entry) error {
 	byClip := append([]Entry(nil), byRank...)
 	sort.Slice(byClip, func(i, j int) bool { return byClip[i].Clip < byClip[j].Clip })
 
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	defer func() {
+		if err != nil {
+			if f != nil {
+				_ = f.Close()
+			}
+			_ = fsys.Remove(tmp)
+			err = fmt.Errorf("store: writing %s: %w", path, err)
+		}
+	}()
+
 	w := bufio.NewWriter(f)
-	write := func(data any) {
-		if err == nil {
-			err = binary.Write(w, binary.LittleEndian, data)
-		}
+	hdr := make([]byte, 0, fixedHdrSize+len(name))
+	hdr = append(hdr, diskMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(byRank)))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	if _, err = w.Write(hdr); err != nil {
+		return err
 	}
-	write(diskMagic)
-	write(uint64(len(byRank)))
-	write(uint16(len(name)))
-	if err == nil {
-		_, err = w.WriteString(name)
+	if err = binary.Write(w, binary.LittleEndian, Checksum(hdr)); err != nil {
+		return err
 	}
-	writeRows := func(rows []Entry) {
+	writeRegion := func(rows []Entry) error {
+		crc := uint32(0)
+		var buf [rowSize]byte
 		for _, e := range rows {
-			write(uint32(e.Clip))
-			write(e.Score)
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(e.Clip))
+			binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(e.Score))
+			crc = crc32.Update(crc, crcTable, buf[:])
+			if _, werr := w.Write(buf[:]); werr != nil {
+				return werr
+			}
 		}
+		return binary.Write(w, binary.LittleEndian, crc)
 	}
-	writeRows(byRank)
-	writeRows(byClip)
-	if err == nil {
-		err = w.Flush()
+	if err = writeRegion(byRank); err != nil {
+		return err
 	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	if err = writeRegion(byClip); err != nil {
+		return err
 	}
-	if err != nil {
-		return fmt.Errorf("store: writing %s: %w", path, err)
+	if err = w.Flush(); err != nil {
+		return err
 	}
-	return nil
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		f = nil
+		return err
+	}
+	f = nil
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // DiskTable is a file-backed clip score table. It reads rows on demand with
-// ReadAt, so opening is O(1) in table size.
+// ReadAt; the whole file is verified once at open.
 type DiskTable struct {
 	f       *os.File
 	name    string
 	count   int
 	rankOff int64
 	clipOff int64
+	minClip int
+	maxClip int
 }
 
-// OpenDiskTable opens a table written by WriteTable.
+// OpenDiskTable opens and fully verifies a table written by WriteTable.
+// Integrity violations — bad magic, checksum mismatches, truncation, broken
+// sort order, disagreeing regions — return a *CorruptError.
 func OpenDiskTable(path string) (*DiskTable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	t := &DiskTable{f: f}
-	if err := t.readHeader(); err != nil {
+	t, err := openVerify(f, path)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+		return nil, err
 	}
 	return t, nil
 }
 
-func (t *DiskTable) readHeader() error {
+func openVerify(f *os.File, path string) (*DiskTable, error) {
+	corrupt := func(format string, args ...any) (*DiskTable, error) {
+		return nil, &CorruptError{Path: path, Detail: fmt.Sprintf(format, args...)}
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	fixed := make([]byte, fixedHdrSize)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return corrupt("truncated header (%v)", err)
+	}
 	var magic [8]byte
-	if _, err := io.ReadFull(t.f, magic[:]); err != nil {
-		return err
+	copy(magic[:], fixed)
+	if magic == diskMagicV1 {
+		return corrupt("legacy un-checksummed table (format 1); re-ingest the repository")
 	}
 	if magic != diskMagic {
-		return fmt.Errorf("bad magic %q", magic)
+		return corrupt("bad magic %q", fixed[:8])
 	}
-	var count uint64
-	if err := binary.Read(t.f, binary.LittleEndian, &count); err != nil {
-		return err
+	count64 := binary.LittleEndian.Uint64(fixed[8:16])
+	nameLen := int(binary.LittleEndian.Uint16(fixed[16:18]))
+	if count64 > math.MaxInt64/(2*rowSize) {
+		return corrupt("implausible row count %d", count64)
 	}
-	var nameLen uint16
-	if err := binary.Read(t.f, binary.LittleEndian, &nameLen); err != nil {
-		return err
-	}
+	count := int(count64)
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(t.f, name); err != nil {
-		return err
+	if _, err := io.ReadFull(br, name); err != nil {
+		return corrupt("truncated table name (%v)", err)
 	}
-	t.name = string(name)
-	t.count = int(count)
-	t.rankOff = int64(8 + 8 + 2 + int(nameLen))
-	t.clipOff = t.rankOff + int64(t.count)*rowSize
-	return nil
+	var crcBuf [crcSize]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return corrupt("truncated header checksum (%v)", err)
+	}
+	hdrCRC := crc32.Update(crc32.Update(0, crcTable, fixed), crcTable, name)
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != hdrCRC {
+		return corrupt("header checksum mismatch (stored %08x, computed %08x)", got, hdrCRC)
+	}
+	headerLen := int64(fixedHdrSize + nameLen + crcSize)
+	wantSize := headerLen + 2*(int64(count)*rowSize+crcSize)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() != wantSize {
+		return corrupt("file is %d bytes, want %d for %d rows", fi.Size(), wantSize, count)
+	}
+
+	t := &DiskTable{
+		f:       f,
+		name:    string(name),
+		count:   count,
+		rankOff: headerLen,
+		clipOff: headerLen + int64(count)*rowSize + crcSize,
+	}
+
+	// readRegion streams one region, checking its CRC and the per-region
+	// invariant, and folds the per-row checksums order-independently so the
+	// two regions can be proven to hold identical row sets.
+	readRegion := func(region string, check func(i, clip int, score float64) error) (uint32, error) {
+		crc, fold := uint32(0), uint32(0)
+		var buf [rowSize]byte
+		for i := 0; i < count; i++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("truncated %s region at row %d", region, i), Err: err}
+			}
+			crc = crc32.Update(crc, crcTable, buf[:])
+			fold ^= Checksum(buf[:])
+			clip := int(binary.LittleEndian.Uint32(buf[0:4]))
+			score := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12]))
+			if math.IsNaN(score) {
+				return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("NaN score at %s row %d", region, i)}
+			}
+			if err := check(i, clip, score); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("truncated %s region checksum", region), Err: err}
+		}
+		if got := binary.LittleEndian.Uint32(crcBuf[:]); got != crc {
+			return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("%s region checksum mismatch (stored %08x, computed %08x)", region, got, crc)}
+		}
+		return fold, nil
+	}
+
+	prevScore, prevClip := math.Inf(1), -1
+	rankFold, err := readRegion("rank", func(i, clip int, score float64) error {
+		if i > 0 && (score > prevScore || (score == prevScore && clip <= prevClip)) {
+			return &CorruptError{Path: path, Detail: fmt.Sprintf("rank region order violated at row %d", i)}
+		}
+		prevScore, prevClip = score, clip
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prevClip = -1
+	clipFold, err := readRegion("clip", func(i, clip int, score float64) error {
+		if clip <= prevClip {
+			return &CorruptError{Path: path, Detail: fmt.Sprintf("clip region order violated at row %d", i)}
+		}
+		prevClip = clip
+		if i == 0 {
+			t.minClip = clip
+		}
+		t.maxClip = clip
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rankFold != clipFold {
+		return corrupt("rank and clip regions hold different rows")
+	}
+	return t, nil
 }
 
 // Close releases the underlying file.
@@ -147,6 +294,15 @@ func (t *DiskTable) Name() string { return t.name }
 
 // Len implements Table.
 func (t *DiskTable) Len() int { return t.count }
+
+// ClipBounds returns the smallest and largest clip id stored; ok is false
+// for an empty table.
+func (t *DiskTable) ClipBounds() (lo, hi int, ok bool) {
+	if t.count == 0 {
+		return 0, 0, false
+	}
+	return t.minClip, t.maxClip, true
+}
 
 func (t *DiskTable) rowAt(off int64) (Entry, error) {
 	var buf [rowSize]byte

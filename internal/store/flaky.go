@@ -1,0 +1,185 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by a FlakyFS once its injected crash point has been
+// reached: the op at the crash point fails and every later mutating op fails
+// too, modelling a process that died mid-save. State already on disk stays
+// exactly as the crashed process left it.
+var ErrCrashed = errors.New("store: injected crash")
+
+// ErrNoSpace is returned by a FlakyFS whose byte budget is exhausted,
+// modelling ENOSPC. Unlike a crash, later non-write operations (removes,
+// renames of already-written files) still succeed, as they do on a full disk.
+var ErrNoSpace = errors.New("store: injected disk full")
+
+// FlakyOptions configure a FlakyFS.
+type FlakyOptions struct {
+	// FailAt injects a crash at the n-th mutating operation (1-based):
+	// that op fails with ErrCrashed and so does everything after it.
+	// 0 disables crash injection (the FS then only counts ops).
+	FailAt int
+	// ShortWrite makes the crashing operation, if it is a Write, persist
+	// the first half of its buffer before failing — a torn write.
+	ShortWrite bool
+	// ByteBudget, when positive, bounds the total bytes written; the write
+	// that would exceed it persists what fits and fails with ErrNoSpace,
+	// as do all subsequent writes.
+	ByteBudget int
+}
+
+// FlakyFS wraps an FS with deterministic fault injection for crash-safety
+// tests: run once with FailAt 0 to count the mutating ops a save performs,
+// then re-run with FailAt = 1..n to simulate dying at every step.
+type FlakyFS struct {
+	inner FS
+	opt   FlakyOptions
+
+	mu      sync.Mutex
+	ops     int
+	written int
+	crashed bool
+}
+
+// NewFlakyFS builds a fault-injecting wrapper around inner.
+func NewFlakyFS(inner FS, opt FlakyOptions) *FlakyFS {
+	return &FlakyFS{inner: inner, opt: opt}
+}
+
+// Ops returns the number of mutating operations attempted so far.
+func (f *FlakyFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the injected crash point was reached.
+func (f *FlakyFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step accounts one mutating op and reports whether it must fail. The second
+// result is true when this op is the crash point itself (for ShortWrite).
+func (f *FlakyFS) step() (fail, atCrashPoint bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true, false
+	}
+	f.ops++
+	if f.opt.FailAt > 0 && f.ops >= f.opt.FailAt {
+		f.crashed = true
+		return true, true
+	}
+	return false, false
+}
+
+func (f *FlakyFS) Create(path string) (File, error) {
+	if fail, _ := f.step(); fail {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, inner: inner}, nil
+}
+
+func (f *FlakyFS) Rename(oldpath, newpath string) error {
+	if fail, _ := f.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FlakyFS) Remove(path string) error {
+	if fail, _ := f.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FlakyFS) RemoveAll(path string) error {
+	if fail, _ := f.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FlakyFS) MkdirAll(path string, perm os.FileMode) error {
+	if fail, _ := f.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FlakyFS) SyncDir(path string) error {
+	if fail, _ := f.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.SyncDir(path)
+}
+
+// Reads pass through untouched: crash safety is about the write path, and
+// verification after a simulated crash reads whatever landed on disk.
+
+func (f *FlakyFS) ReadFile(path string) ([]byte, error)       { return f.inner.ReadFile(path) }
+func (f *FlakyFS) ReadDir(path string) ([]os.DirEntry, error) { return f.inner.ReadDir(path) }
+func (f *FlakyFS) Stat(path string) (os.FileInfo, error)      { return f.inner.Stat(path) }
+
+// flakyFile injects faults on writes and syncs of one open file.
+type flakyFile struct {
+	fs    *FlakyFS
+	inner File
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	fail, atCrash := f.fs.step()
+	if fail {
+		if atCrash && f.fs.opt.ShortWrite && len(p) > 1 {
+			n, _ := f.inner.Write(p[:len(p)/2])
+			return n, ErrCrashed
+		}
+		return 0, ErrCrashed
+	}
+	if b := f.fs.opt.ByteBudget; b > 0 {
+		f.fs.mu.Lock()
+		room := b - f.fs.written
+		f.fs.written += len(p)
+		f.fs.mu.Unlock()
+		if room < len(p) {
+			if room > 0 {
+				n, _ := f.inner.Write(p[:room])
+				return n, ErrNoSpace
+			}
+			return 0, ErrNoSpace
+		}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	if fail, _ := f.fs.step(); fail {
+		return ErrCrashed
+	}
+	return f.inner.Sync()
+}
+
+// Close always reaches the inner file so tests never leak descriptors; a
+// crashed filesystem reports the crash but still releases the handle.
+func (f *flakyFile) Close() error {
+	err := f.inner.Close()
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}

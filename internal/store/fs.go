@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the mutating filesystem operations the durable layer performs,
+// so crash and disk-full behaviour can be injected in tests (see FlakyFS).
+// Reads that only serve queries (DiskTable row access) stay on the real
+// filesystem: crash safety is a property of the write path.
+//
+// The contract every writer in this repository follows is write-to-temp →
+// Sync → Close → Rename → SyncDir: a file is either absent, the complete old
+// version, or the complete new version — never a partial write at its final
+// path.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// RemoveAll deletes a tree; absent paths are not an error.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// Stat describes a path.
+	Stat(path string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(path string) error
+}
+
+// File is the writable handle an FS hands out.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic writes data to path with full crash safety: the bytes go to
+// path+".tmp", are fsynced, and only then renamed over path, with the parent
+// directory fsynced to make the rename durable. A crash at any step leaves
+// either the old file or the new one at path, never a mixture.
+func WriteFileAtomic(fsys FS, path string, data []byte) (err error) {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			if f != nil {
+				_ = f.Close()
+			}
+			_ = fsys.Remove(tmp)
+			err = fmt.Errorf("store: writing %s: %w", path, err)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		f = nil
+		return err
+	}
+	f = nil
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

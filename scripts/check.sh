@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo-wide verification: vet, build, the full test suite under the race
-# detector, then the observability smoke test against a live cmd/serve.
-# CI runs exactly this; run it locally before pushing.
+# detector (including the store/rank crash-injection and corruption tests),
+# an ingest + `svq fsck` round trip, then the smoke test, which covers
+# durability (ingest -> SIGKILL -> resume -> fsck) and observability against
+# a live cmd/serve. CI runs exactly this; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,12 @@ go test -run '^$' -bench . -benchtime=1x .
 
 echo "==> scaling report (BENCH_scaling.json)"
 go run ./cmd/experiments -scale 0.1 -bench-json BENCH_scaling.json >/dev/null
+
+echo "==> ingest + svq fsck round trip"
+fscktmp=$(mktemp -d)
+trap 'rm -rf "$fscktmp"' EXIT
+go run ./cmd/ingest -dataset movies -scale 0.02 -out "$fscktmp/repo" >/dev/null
+go run ./cmd/svq fsck "$fscktmp/repo"
 
 echo "==> go run ./scripts/smoke"
 go run ./scripts/smoke

@@ -1,10 +1,17 @@
-// Smoke is the observability end-to-end check CI runs after the unit
-// suites (scripts/check.sh): it builds and starts cmd/serve with fault
-// injection, executes a query over plain HTTP (no curl), and then verifies
-// the whole observability surface — X-Query-ID header, trace spans in the
-// response, the structured JSON log line, and a /metrics scrape that must
-// contain every required metric family, obey Prometheus naming
-// conventions, and show the fault machinery's counters moving.
+// Smoke is the end-to-end check CI runs after the unit suites
+// (scripts/check.sh). It exercises two surfaces:
+//
+// Durability: cmd/ingest builds a repository, gets SIGKILLed mid-run, is
+// re-run to completion (resuming from its checkpoint), and the result must
+// pass `svq fsck`; a deliberately bit-flipped table must then fail it.
+//
+// Observability: cmd/serve starts with fault injection and the
+// freshly-ingested repository, a query runs over plain HTTP (no curl), and
+// the whole surface is verified — X-Query-ID header, trace spans in the
+// response, the structured JSON log line, a hot /repo/reload, and a
+// /metrics scrape that must contain every required metric family, obey
+// Prometheus naming conventions, and show the fault machinery's and the
+// repository's counters moving.
 //
 //	go run ./scripts/smoke
 package main
@@ -44,6 +51,11 @@ var requiredFamilies = []string{
 	"svqact_detect_retries_total",
 	"svqact_detect_faults_total",
 	"svqact_detect_flagged_clips_total",
+	"svqact_repo_generation",
+	"svqact_repo_members",
+	"svqact_repo_reloads_total",
+	"svqact_repo_corruption_total",
+	"svqact_repo_recoveries_total",
 }
 
 func main() {
@@ -60,13 +72,22 @@ func run() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	bin := filepath.Join(dir, "serve")
-	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/serve").CombinedOutput(); err != nil {
-		return fmt.Errorf("building cmd/serve: %v\n%s", err, out)
+	bins := map[string]string{}
+	for _, name := range []string{"serve", "ingest", "svq"} {
+		bins[name] = filepath.Join(dir, name)
+		if out, err := exec.Command("go", "build", "-o", bins[name], "./cmd/"+name).CombinedOutput(); err != nil {
+			return fmt.Errorf("building cmd/%s: %v\n%s", name, err, out)
+		}
 	}
 
-	cmd := exec.Command(bin,
+	repoDir := filepath.Join(dir, "repo")
+	if err := durabilityPhase(bins, repoDir); err != nil {
+		return fmt.Errorf("durability: %w", err)
+	}
+
+	cmd := exec.Command(bins["serve"],
 		"-addr", "127.0.0.1:0", "-scale", "0.05",
+		"-repo", repoDir,
 		"-fault-transient", "0.1", "-fault-permanent", "0.005",
 		"-detect-retries", "3", "-failure-budget", "0.9")
 	stderr, err := cmd.StderrPipe()
@@ -200,6 +221,30 @@ func run() error {
 		}
 	}
 
+	// The repository must be serving a committed generation, and a hot
+	// reload must succeed and show up on the counters.
+	if v, ok := seriesValue(text, "svqact_repo_generation"); !ok || v <= 0 {
+		return fmt.Errorf("svqact_repo_generation = %v, want > 0 with -repo", v)
+	}
+	rresp, err := http.Post(base+"/repo/reload", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	rbody, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/repo/reload status %d: %s", rresp.StatusCode, rbody)
+	}
+	mresp2, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody2, _ := io.ReadAll(mresp2.Body)
+	mresp2.Body.Close()
+	if v, ok := seriesValue(string(mbody2), `svqact_repo_reloads_total{outcome="ok"}`); !ok || v < 2 {
+		return fmt.Errorf(`svqact_repo_reloads_total{outcome="ok"} = %v, want >= 2 (startup + hot reload)`, v)
+	}
+
 	// /healthz and /metrics must agree on the shared counters.
 	hresp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -230,6 +275,103 @@ func run() error {
 		}
 	}
 	return fmt.Errorf("no structured log line for query %s", qid)
+}
+
+// durabilityPhase proves the crash-safety contract end to end with real
+// processes: an ingest run is SIGKILLed as soon as its first generation
+// commits, the re-run resumes and completes, the result passes `svq fsck`,
+// and a bit-flipped table makes fsck fail.
+func durabilityPhase(bins map[string]string, repoDir string) error {
+	ingest := func() (string, error) {
+		out, err := exec.Command(bins["ingest"],
+			"-dataset", "movies", "-scale", "0.05", "-out", repoDir).CombinedOutput()
+		return string(out), err
+	}
+
+	// First run: kill -9 as soon as the first unit is checkpointed. The
+	// checkpoint is written (atomically) right after the member's generation
+	// commits, so at that instant the repo holds exactly one finished video.
+	first := exec.Command(bins["ingest"], "-dataset", "movies", "-scale", "0.05", "-out", repoDir)
+	first.Stdout, first.Stderr = io.Discard, io.Discard
+	if err := first.Start(); err != nil {
+		return err
+	}
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- first.Wait() }()
+	killed := false
+	deadline := time.Now().Add(60 * time.Second)
+poll:
+	for time.Now().Before(deadline) {
+		select {
+		case <-firstDone:
+			// Finished before we could kill it — the resume path then
+			// degenerates to "skip everything", which is still valid.
+			break poll
+		default:
+		}
+		if _, err := os.Stat(filepath.Join(repoDir, ".ingest-checkpoint.json")); err == nil {
+			_ = first.Process.Kill() // SIGKILL: no cleanup, no graceful shutdown
+			<-firstDone
+			killed = true
+			break poll
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !killed {
+		select {
+		case <-firstDone:
+		default:
+			_ = first.Process.Kill()
+			<-firstDone
+			return fmt.Errorf("ingest neither committed a generation nor finished within 60s")
+		}
+	}
+
+	// Second run must complete the repository from whatever survived.
+	out, err := ingest()
+	if err != nil {
+		return fmt.Errorf("resumed ingest failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "now holds 4 videos") {
+		return fmt.Errorf("resumed ingest did not complete the repository:\n%s", out)
+	}
+	if killed && !strings.Contains(out, "skipped") && !strings.Contains(out, "resuming") {
+		return fmt.Errorf("resumed ingest after SIGKILL shows no resume/skip activity:\n%s", out)
+	}
+
+	// The recovered repository must pass fsck.
+	if out, err := exec.Command(bins["svq"], "fsck", repoDir).CombinedOutput(); err != nil {
+		return fmt.Errorf("fsck of recovered repository failed: %v\n%s", err, out)
+	}
+
+	// …and fsck must actually detect damage: flip one byte of one table.
+	var tbl string
+	filepath.WalkDir(repoDir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(p, ".tbl") && tbl == "" {
+			tbl = p
+		}
+		return nil
+	})
+	if tbl == "" {
+		return fmt.Errorf("no table files in %s", repoDir)
+	}
+	orig, err := os.ReadFile(tbl)
+	if err != nil {
+		return err
+	}
+	mut := append([]byte(nil), orig...)
+	mut[len(mut)/2] ^= 0xff
+	if err := os.WriteFile(tbl, mut, 0o644); err != nil {
+		return err
+	}
+	if out, err := exec.Command(bins["svq"], "fsck", repoDir).CombinedOutput(); err == nil {
+		return fmt.Errorf("fsck accepted a bit-flipped table:\n%s", out)
+	}
+	if err := os.WriteFile(tbl, orig, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: durability OK (killed mid-ingest: %v)\n", killed)
+	return nil
 }
 
 func waitHealthy(base string) error {
