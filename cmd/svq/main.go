@@ -17,6 +17,12 @@
 //	     WHERE act='kissing' AND obj.include('surfboard','boat')
 //	     ORDER BY RANK(act, obj) LIMIT 5"
 //
+// Prefixing a query with EXPLAIN additionally prints the predicate plan the
+// execution ran with — the adaptive cheapest-rejection-first order, the
+// declared order, and the per-predicate cost/selectivity statistics:
+//
+//	svq -query "EXPLAIN SELECT MERGE(clipID) AS Sequence FROM (PROCESS q2 ...) WHERE ..."
+//
 // The fsck subcommand verifies a saved repository offline — commit records,
 // manifest checksums and invariants, table magic/checksums/sort order — and
 // exits non-zero if any member is corrupt:
@@ -31,10 +37,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"svqact/internal/core"
 	"svqact/internal/detect"
+	"svqact/internal/plan"
 	"svqact/internal/rank"
 	"svqact/internal/sqlq"
 	"svqact/internal/synth"
@@ -82,7 +91,7 @@ func run(query, dataset string, scale float64, seed int64, algo string, p0 float
 		detect.NewActionRecognizer(detect.I3D, seed),
 	)
 	if !plan.Online && repoDir != "" {
-		return runRepo(repoDir, plan.Query, plan.K)
+		return runRepo(repoDir, plan.Query, plan.K, plan.Explain)
 	}
 	stream, err := resolveSource(dataset, plan.Source, scale, seed)
 	if err != nil {
@@ -90,12 +99,12 @@ func run(query, dataset string, scale float64, seed int64, algo string, p0 float
 	}
 
 	if !plan.Online {
-		return runOffline(stream, plan.Query, models, plan.K)
+		return runOffline(stream, plan.Query, models, plan.K, plan.Explain)
 	}
 	if plan.Extended {
-		return runExtended(stream, plan.CNF, models, algo, p0)
+		return runExtended(stream, plan.CNF, models, algo, p0, plan.Explain)
 	}
-	return runOnline(stream, plan.Query, models, algo, p0)
+	return runOnline(stream, plan.Query, models, algo, p0, plan.Explain)
 }
 
 // source is the minimal stream interface the command needs.
@@ -130,7 +139,35 @@ func resolveSource(dataset, name string, scale float64, seed int64) (source, err
 	}
 }
 
-func runOnline(stream source, q core.Query, models detect.Models, algo string, p0 float64) error {
+// printExplain renders a predicate-ordering plan report as the EXPLAIN
+// block. Ordering is a cost decision only; EXPLAIN output never implies a
+// different result.
+func printExplain(rep *plan.Report) {
+	if rep == nil {
+		fmt.Println("EXPLAIN: no predicate plan available for this execution path")
+		return
+	}
+	mode := "adaptive (cheapest expected cost to reject first)"
+	if !rep.Adaptive {
+		mode = "pinned (declared order)"
+	}
+	fmt.Printf("EXPLAIN predicate plan: %s\n", mode)
+	fmt.Printf("  order:    %s\n", strings.Join(rep.Order, " -> "))
+	fmt.Printf("  declared: %s\n", strings.Join(rep.Declared, " -> "))
+	fmt.Printf("  replans %d, observed clips %d, skipped evaluations %d, saved cost %.0f ms\n",
+		rep.Replans, rep.ObservedClips, rep.SkippedEvaluations, rep.SavedCostMS)
+	fmt.Printf("  %-4s %-24s %12s %12s %8s %14s %8s %8s\n",
+		"pos", "predicate", "est cost", "obs cost", "reject", "cost/reject", "evals", "skips")
+	nodes := append([]plan.NodeReport(nil), rep.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Position < nodes[j].Position })
+	for _, n := range nodes {
+		fmt.Printf("  %-4d %-24s %10.2fms %10.2fms %8.3f %12.2fms %8d %8d\n",
+			n.Position, n.Name, n.EstimatedCostMS, n.ObservedCostMS,
+			n.RejectRate, n.CostToRejectMS, n.ObservedEvaluations, n.SkippedEvaluations)
+	}
+}
+
+func runOnline(stream source, q core.Query, models detect.Models, algo string, p0 float64, explain bool) error {
 	cfg := core.DefaultConfig()
 	cfg.P0Object, cfg.P0Action = p0, p0
 	var eng *core.Engine
@@ -167,10 +204,13 @@ func runOnline(stream source, q core.Query, models detect.Models, algo string, p
 	fmt.Printf("engine time %v; inference: %d frames, %d shots (simulated %v)\n",
 		time.Since(start).Round(time.Millisecond),
 		meter.ObjectFrames(), meter.ActionShots(), meter.Cost(models).Round(time.Second))
+	if explain {
+		printExplain(res.Plan)
+	}
 	return nil
 }
 
-func runExtended(stream source, q core.CNF, models detect.Models, algo string, p0 float64) error {
+func runExtended(stream source, q core.CNF, models detect.Models, algo string, p0 float64, explain bool) error {
 	cfg := core.DefaultConfig()
 	cfg.P0Object, cfg.P0Action = p0, p0
 	var eng *core.Engine
@@ -203,6 +243,11 @@ func runExtended(stream source, q core.CNF, models detect.Models, algo string, p
 			ps.Name, ps.Background, ps.Critical, ps.Clips.TotalLen())
 	}
 	fmt.Printf("engine time %v\n", time.Since(start).Round(time.Millisecond))
+	if explain {
+		// The streaming CNF evaluator schedules clause-at-a-time and does
+		// not (yet) run through the plan layer.
+		printExplain(nil)
+	}
 	return nil
 }
 
@@ -258,7 +303,7 @@ func fsckDir(dir string) ([]*rank.FsckReport, error) {
 }
 
 // runRepo answers a ranked query from an already-ingested repository.
-func runRepo(dir string, q core.Query, k int) error {
+func runRepo(dir string, q core.Query, k int, explain bool) error {
 	repo, err := rank.OpenRepository(dir)
 	if err != nil {
 		return err
@@ -281,10 +326,13 @@ func runRepo(dir string, q core.Query, k int) error {
 	}
 	fmt.Printf("query time %v; %d random accesses\n",
 		time.Since(start).Round(time.Millisecond), res.Stats.Random)
+	if explain {
+		printExplain(res.Plan)
+	}
 	return nil
 }
 
-func runOffline(stream source, q core.Query, models detect.Models, k int) error {
+func runOffline(stream source, q core.Query, models detect.Models, k int, explain bool) error {
 	fmt.Printf("ingesting %s ...\n", stream.ID())
 	ix, err := rank.Ingest(context.Background(), stream, models, rank.PaperScoring(), rank.DefaultIngestConfig())
 	if err != nil {
@@ -305,5 +353,8 @@ func runOffline(stream source, q core.Query, models detect.Models, k int) error 
 	}
 	fmt.Printf("query time %v; %d random accesses, %d sorted accesses, %d clips scored\n",
 		time.Since(start).Round(time.Millisecond), res.Stats.Random, res.Stats.Sorted, res.ClipsScored)
+	if explain {
+		printExplain(res.Plan)
+	}
 	return nil
 }

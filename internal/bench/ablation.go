@@ -12,7 +12,9 @@ import (
 // evaluation order (the paper defers this to future work, footnote 5):
 // evaluating the action first versus the objects first changes how much
 // model inference the short-circuit saves, depending on relative predicate
-// selectivity.
+// selectivity. Both arms pin their order (DeclaredOrder/ActionFirst) so the
+// comparison isolates static orders; AblationPlanner covers the adaptive
+// planner against them.
 func AblationPredicateOrder(w *Workspace) ([]Table, error) {
 	stream, spec, err := w.QueryStream(video.DefaultGeometry, "q2")
 	if err != nil {
@@ -25,6 +27,7 @@ func AblationPredicateOrder(w *Workspace) ([]Table, error) {
 	for _, actionFirst := range []bool{false, true} {
 		cfg := core.DefaultConfig()
 		cfg.ActionFirst = actionFirst
+		cfg.DeclaredOrder = !actionFirst
 		eng, err := core.NewSVAQD(w.Models(), cfg)
 		if err != nil {
 			return nil, err
@@ -133,6 +136,7 @@ var Experiments = []Experiment{
 	{"table8", "RVAQ speedup over Pq-Traverse on three movies", Table8},
 	{"accuracy", "RVAQ ranked-result accuracy on movies (§5.3)", OfflineAccuracy},
 	{"ablation-order", "Predicate evaluation order", AblationPredicateOrder},
+	{"ablation-planner", "Cost-based planner vs declared vs worst-case order", AblationPlanner},
 	{"ablation-shortcircuit", "Short-circuit inference savings", AblationShortCircuit},
 	{"ablation-horizon", "Significance horizon sweep", AblationHorizon},
 	{"latency", "Online query latency percentiles", LatencyProfile},

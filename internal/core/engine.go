@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"svqact/internal/detect"
 	"svqact/internal/kernel"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 	"svqact/internal/scanstat"
 	"svqact/internal/video"
 )
@@ -121,6 +123,11 @@ type Result struct {
 	// Predicates holds per-predicate diagnostics, objects in query order
 	// followed by the action.
 	Predicates []PredicateStats
+	// Plan reports the predicate evaluation plan the run used: the chosen
+	// order, the per-node cost model, re-plan count and short-circuit
+	// savings. Runs sharing a fleet-wide planner report the shared
+	// (fleet-cumulative) statistics.
+	Plan *plan.Report
 }
 
 // FrameSequences converts the clip-level result sequences to frame
@@ -151,7 +158,13 @@ func (r *Result) Predicate(name string) *PredicateStats {
 // together with an *InterruptedError. A run whose flagged clips exceed the
 // failure budget likewise returns its partial result and a *DegradedError.
 func (e *Engine) Run(ctx context.Context, v detect.TruthVideo, q Query) (*Result, error) {
-	run, err := e.NewRun(ctx, v, q)
+	return e.runShared(ctx, v, q, nil)
+}
+
+// runShared is Run with an optional externally owned planner — the fleet
+// path hands every per-video run one shared, warm-started cost model.
+func (e *Engine) runShared(ctx context.Context, v detect.TruthVideo, q Query, pl *plan.Planner) (*Result, error) {
+	run, err := e.newRun(ctx, v, q, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +219,13 @@ type Run struct {
 	v     detect.TruthVideo
 	q     Query
 	geom  video.Geometry
-	preds []*predState // objects in evaluation order, action last or first
+	preds []*predState // declared order: objects in query order, action last or first
+
+	// planner owns the evaluation order over preds (cheapest expected cost
+	// to reject first, re-planned as statistics drift; pinned to the
+	// declared order under NoShortCircuit/ActionFirst/DeclaredOrder). Fleet
+	// runs share one planner per query.
+	planner *plan.Planner
 
 	numClips int
 	nextClip int
@@ -231,6 +250,12 @@ type Run struct {
 // each predicate also gets a kernel estimator. The context is checked before
 // every clip; a nil ctx means context.Background.
 func (e *Engine) NewRun(ctx context.Context, v detect.TruthVideo, q Query) (*Run, error) {
+	return e.newRun(ctx, v, q, nil)
+}
+
+// newRun is NewRun with an optional shared planner (fleet warm start). A
+// nil or mismatched planner gets replaced by a fresh one for this run.
+func (e *Engine) newRun(ctx context.Context, v detect.TruthVideo, q Query, pl *plan.Planner) (*Run, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -274,7 +299,34 @@ func (e *Engine) NewRun(ctx context.Context, v detect.TruthVideo, q Query) (*Run
 	} else {
 		r.preds = append(objs, act)
 	}
+	if pl == nil || pl.Len() != len(r.preds) {
+		pl = e.plannerForQuery(q, g)
+	}
+	r.planner = pl
 	return r, nil
+}
+
+// plannerForQuery builds the predicate planner for one query at one video
+// geometry: one node per predicate in the declared order NewRun uses, with
+// the per-clip prior cost priced as the predicate's occurrence-unit window
+// times the detector's unit cost. The order is pinned to the declared one
+// under NoShortCircuit (every predicate runs anyway), ActionFirst (the
+// explicit ordering ablation) and DeclaredOrder (the planner opt-out).
+func (e *Engine) plannerForQuery(q Query, g video.Geometry) *plan.Planner {
+	objCost := time.Duration(g.FramesPerClip()) * e.models.Objects.UnitCost()
+	actCost := time.Duration(g.ShotsPerClip) * e.models.Actions.UnitCost()
+	nodes := make([]plan.Node, 0, len(q.Objects)+1)
+	for _, o := range q.Objects {
+		nodes = append(nodes, plan.Node{Name: o, PriorCost: objCost})
+	}
+	act := plan.Node{Name: q.Action, PriorCost: actCost}
+	if e.cfg.ActionFirst {
+		nodes = append([]plan.Node{act}, nodes...)
+	} else {
+		nodes = append(nodes, act)
+	}
+	pinned := e.cfg.NoShortCircuit || e.cfg.ActionFirst || e.cfg.DeclaredOrder
+	return plan.New(nodes, plan.Options{Pinned: pinned, ReplanEvery: e.cfg.ReplanEvery})
 }
 
 // newPred builds the evaluation state for one predicate: its static critical
@@ -341,20 +393,29 @@ func (r *Run) Step() bool {
 	r.nextClip++
 
 	// Every EstimatorSampleEvery-th clip all predicates are evaluated
-	// unconditionally; only these unbiased evaluations (and those of the
-	// always-evaluated first predicate) may feed background estimators.
+	// unconditionally; only these unbiased evaluations may feed background
+	// estimators and the planner's cost model (evaluations admitted by
+	// short-circuiting see a stream pre-filtered by the predicates that ran
+	// earlier — a biased sample under correlation).
 	sampled := r.e.cfg.NoShortCircuit || c < r.e.cfg.BootstrapClips ||
 		c%r.e.cfg.EstimatorSampleEvery == 0
 
 	positive := true
 	var clipErr error // detection failure flagging this clip
 	objectFramesCharged := false
-	for i, ps := range r.preds {
+	for _, idx := range r.planner.Order() {
+		ps := r.preds[idx]
 		if clipErr != nil || r.err != nil ||
 			(!positive && !r.e.cfg.NoShortCircuit && !sampled) {
+			if clipErr == nil && r.err == nil {
+				// Spared by short-circuit (not by a failure): credit the
+				// planner's savings ledger.
+				r.planner.Skip(idx)
+			}
 			ps.clipInd = append(ps.clipInd, false)
 			continue
 		}
+		units0 := ps.units
 		count, err := r.evaluate(ps, c, &objectFramesCharged)
 		if err != nil {
 			// Keep per-predicate indicator alignment, then decide whether
@@ -371,13 +432,22 @@ func (r *Run) Step() bool {
 		}
 		ps.evaluated++
 		ind := count >= ps.crit
-		if ps.est != nil && (i == 0 || sampled) {
+		if sampled {
+			// The observed cost is the evaluation's priced inference time
+			// (units scored × the detector's unit cost) — the simulator's
+			// equivalent of measured detector latency.
+			r.planner.Observe(idx, !ind, time.Duration(ps.units-units0)*r.unitCost(ps.kind))
+		}
+		if ps.est != nil && sampled {
 			r.learn(ps, count)
 		}
 		ps.clipInd = append(ps.clipInd, ind)
 		if !ind {
 			positive = false
 		}
+	}
+	if sampled && clipErr == nil && r.err == nil {
+		r.planner.EndClip()
 	}
 	r.clipInd = append(r.clipInd, positive)
 	r.flagged = append(r.flagged, clipErr != nil)
@@ -462,6 +532,15 @@ func (r *Run) gateThreshold(ps *predState) (thr int, ready bool) {
 	pt := (float64(q) + 0.25) / (w + 0.5)
 	slack := int(math.Ceil(2 * math.Sqrt(w*pt*(1-pt))))
 	return q + slack, true
+}
+
+// unitCost is the priced cost of one detector invocation for a predicate
+// kind (per frame for objects, per shot for the action).
+func (r *Run) unitCost(kind PredicateKind) time.Duration {
+	if kind == ActionPredicate {
+		return r.e.models.Actions.UnitCost()
+	}
+	return r.e.models.Objects.UnitCost()
 }
 
 // evaluate runs the detector over the clip's occurrence units for one
@@ -630,6 +709,7 @@ func (r *Run) Result() *Result {
 		}
 		res.Predicates = append(res.Predicates, st)
 	}
+	res.Plan = r.planner.Report()
 	r.emitSpans("engine.run", ordered)
 	return res
 }
@@ -649,6 +729,14 @@ func (r *Run) emitSpans(root string, preds []*predState) {
 	eng.SetAttr("clips_processed", r.nextClip)
 	eng.SetAttr("num_clips", r.numClips)
 	eng.SetAttr("flagged_clips", r.flaggedCount)
+	if rep := r.planner.Report(); rep != nil {
+		sp := r.trace.AddSpan("plan.order", r.started, 0)
+		sp.SetAttr("adaptive", rep.Adaptive)
+		sp.SetAttr("order", strings.Join(rep.Order, ","))
+		sp.SetAttr("replans", rep.Replans)
+		sp.SetAttr("skipped_evaluations", rep.SkippedEvaluations)
+		sp.SetAttr("saved_cost_ms", rep.SavedCostMS)
+	}
 	for _, ps := range preds {
 		sp := r.trace.AddSpan("predicate:"+ps.name, r.started, ps.evalTime)
 		sp.SetAttr("kind", ps.kind.label())

@@ -188,7 +188,13 @@ func TestSVAQDRobustToBadPrior(t *testing.T) {
 func TestShortCircuitSkipsLaterPredicates(t *testing.T) {
 	v := testVideo(t, 4, 40_000)
 	q := Query{Objects: []string{"car", "human"}, Action: "jumping"}
-	e, _ := NewSVAQD(noisyModels(1), DefaultConfig())
+
+	// Pinned to the declared order, the exact skipping contract holds: the
+	// first declared predicate is never skipped and evaluation counts are
+	// non-increasing along the declared order.
+	pinned := DefaultConfig()
+	pinned.DeclaredOrder = true
+	e, _ := NewSVAQD(noisyModels(1), pinned)
 	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +209,31 @@ func TestShortCircuitSkipsLaterPredicates(t *testing.T) {
 	}
 	if act.EvaluatedClips == res.NumClips {
 		t.Error("action predicate was never skipped; short-circuit seems inactive")
+	}
+	if res.Plan == nil || res.Plan.Adaptive {
+		t.Error("DeclaredOrder run should report a pinned plan")
+	}
+
+	// Under the adaptive planner, whichever order it picks must still
+	// short-circuit: strictly fewer total evaluations than evaluating every
+	// predicate on every clip, with the savings on the plan's ledger.
+	ad, _ := NewSVAQD(noisyModels(1), DefaultConfig())
+	resAd, err := ad.Run(context.Background(), v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ps := range resAd.Predicates {
+		total += ps.EvaluatedClips
+	}
+	if total >= len(resAd.Predicates)*resAd.NumClips {
+		t.Errorf("adaptive run never short-circuited: %d evaluations over %d clips", total, resAd.NumClips)
+	}
+	if resAd.Plan == nil || !resAd.Plan.Adaptive {
+		t.Fatal("adaptive run must report an adaptive plan")
+	}
+	if resAd.Plan.SkippedEvaluations == 0 {
+		t.Error("plan reported no short-circuit savings")
 	}
 
 	cfg := DefaultConfig()
@@ -252,7 +283,8 @@ func TestMeterCharging(t *testing.T) {
 	var m detect.Meter
 	cfg := DefaultConfig()
 	cfg.NoShortCircuit = true
-	e, _ := NewSVAQD(noisyModels(3), cfg)
+	models := noisyModels(3)
+	e, _ := NewSVAQD(models, cfg)
 	e.SetMeter(&m)
 	if _, err := e.Run(context.Background(), v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
 		t.Fatal(err)
@@ -264,15 +296,17 @@ func TestMeterCharging(t *testing.T) {
 		t.Errorf("action shots charged %d, want %d", got, want)
 	}
 
-	// With short-circuiting, the action must be charged for fewer shots.
+	// With short-circuiting, total priced inference must drop, whichever
+	// evaluation order the planner picks.
 	var m2 detect.Meter
-	e2, _ := NewSVAQD(noisyModels(3), DefaultConfig())
+	models2 := noisyModels(3)
+	e2, _ := NewSVAQD(models2, DefaultConfig())
 	e2.SetMeter(&m2)
 	if _, err := e2.Run(context.Background(), v, Query{Objects: []string{"car", "human"}, Action: "jumping"}); err != nil {
 		t.Fatal(err)
 	}
-	if m2.ActionShots() >= m.ActionShots() {
-		t.Errorf("short-circuit did not reduce action inference: %d vs %d", m2.ActionShots(), m.ActionShots())
+	if m2.Cost(models2) >= m.Cost(models) {
+		t.Errorf("short-circuit did not reduce priced inference: %v vs %v", m2.Cost(models2), m.Cost(models))
 	}
 }
 
@@ -348,17 +382,26 @@ func TestDynamicBackgroundTracksReality(t *testing.T) {
 	v := testVideo(t, 10, 60_000)
 	q := Query{Objects: []string{"car"}, Action: "jumping"}
 	models := noisyModels(6)
-	e, _ := NewSVAQD(models, DefaultConfig())
+	// Pin the declared order so the object predicate runs on every clip and
+	// its raw indicators cover the whole video.
+	cfg := DefaultConfig()
+	cfg.DeclaredOrder = true
+	e, _ := NewSVAQD(models, cfg)
 	res, err := e.Run(context.Background(), v, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The final background estimate should be near the overall positive rate
-	// of the raw indicators, not the 1e-4 prior.
+	// The final background estimate should be near the detector's null
+	// (false-positive) rate — the raw positive rate outside the object's
+	// true presence — not the 1e-4 prior, and not the much higher mixture
+	// rate that includes the events themselves.
 	car := res.Predicate("car")
-	rate := float64(car.RawUnits.TotalLen()) / float64(v.NumFrames())
+	presence := v.ObjectPresence("car")
+	noiseFrames := car.RawUnits.Subtract(presence).TotalLen()
+	nullFrames := v.NumFrames() - presence.TotalLen()
+	rate := float64(noiseFrames) / float64(nullFrames)
 	if car.Background < rate/4 || car.Background > rate*4 {
-		t.Errorf("background estimate %v far from raw rate %v", car.Background, rate)
+		t.Errorf("background estimate %v far from null rate %v", car.Background, rate)
 	}
 	if car.Critical <= 0 || car.Critical > v.Geometry().FramesPerClip()+1 {
 		t.Errorf("critical value %d out of range", car.Critical)

@@ -9,6 +9,7 @@ import (
 
 	"svqact/internal/detect"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 )
 
 // FleetOptions tunes a fleet evaluation.
@@ -78,6 +79,10 @@ type FleetResult struct {
 
 	// Elapsed is the fleet's wall-clock duration.
 	Elapsed time.Duration
+
+	// Plan is the fleet-cumulative report of the shared predicate planner
+	// every run warm-started from (nil when the fleet had no videos).
+	Plan *plan.Report
 }
 
 // add folds one video outcome into the aggregate (callers hold the lock).
@@ -117,6 +122,11 @@ func (fr *FleetResult) add(vr VideoResult) {
 // All Dynamic-mode runs of the fleet share one process-wide critical-value
 // grid per predicate configuration (scanstat.Shared), so the Naus search for
 // a background bucket runs once for the whole fleet, not once per video.
+//
+// All runs of the fleet also share one predicate planner, so the cost model
+// a video warms up (observed rejection rates, measured evaluation cost)
+// carries into every later video of the same query instead of being
+// re-learnt per video. Cost priors are taken at the first video's geometry.
 func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query, opts FleetOptions) (*FleetResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -139,6 +149,9 @@ func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query
 		return fr, nil
 	}
 
+	shared := e.plannerForQuery(q, videos[0].Geometry())
+	fr.Plan = shared.Report()
+
 	// Workers pull indices from jobs; the engine's per-run span tree is
 	// suppressed (the fleet emits one span per video instead), while ctx
 	// cancellation still flows into every run.
@@ -153,7 +166,7 @@ func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query
 			for i := range jobs {
 				v := videos[i]
 				t0 := time.Now()
-				res, err := e.Run(runCtx, v, q)
+				res, err := e.runShared(runCtx, v, q, shared)
 				vr := VideoResult{Index: i, ID: v.ID(), Result: res, Err: err, Elapsed: time.Since(t0)}
 				sp := trace.AddSpan("fleet.video:"+vr.ID, t0, vr.Elapsed)
 				sp.SetAttr("outcome", vr.Outcome())
@@ -197,9 +210,12 @@ dispatch:
 		}
 	}
 	fr.Elapsed = time.Since(start)
+	fr.Plan = shared.Report()
 
 	sp := trace.AddSpan("fleet.run_all", start, fr.Elapsed)
 	sp.SetAttr("mode", e.mode.String())
+	sp.SetAttr("plan_replans", fr.Plan.Replans)
+	sp.SetAttr("plan_skipped_evaluations", fr.Plan.SkippedEvaluations)
 	sp.SetAttr("videos", len(videos))
 	sp.SetAttr("workers", workers)
 	sp.SetAttr("ok", fr.OK)

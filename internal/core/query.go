@@ -98,14 +98,13 @@ type Config struct {
 	// cache: background estimates within the same bucket reuse k_crit.
 	CritGrid float64
 
-	// EstimatorSampleEvery controls SVAQD's unbiased sampling: every n-th
-	// clip, all predicates are evaluated even if an earlier predicate
-	// already failed, and only these unconditional evaluations (plus those
-	// of the first predicate, which is never filtered) feed the background
-	// estimators. Without this, short-circuiting would feed the later
-	// predicates' estimators only clips pre-selected by the earlier
-	// predicates — a sample heavily enriched for the (correlated) events
-	// whose background rate is being estimated.
+	// EstimatorSampleEvery controls the unbiased sampling schedule: every
+	// n-th clip, all predicates are evaluated even if an earlier predicate
+	// already failed, and only these unconditional evaluations feed the
+	// background estimators (SVAQD) and the planner's cost model. Without
+	// this, short-circuiting would feed the later predicates' statistics
+	// only clips pre-selected by the earlier predicates — a sample heavily
+	// enriched for the (correlated) events whose rates are being estimated.
 	EstimatorSampleEvery int
 
 	// BootstrapClips is the length of the initial bootstrap phase during
@@ -132,8 +131,20 @@ type Config struct {
 	NoShortCircuit bool
 
 	// ActionFirst evaluates the action predicate before the object
-	// predicates — the predicate-order ablation.
+	// predicates — the predicate-order ablation. It pins the evaluation
+	// order, disabling the adaptive planner.
 	ActionFirst bool
+
+	// DeclaredOrder pins predicate evaluation to the declared order
+	// (objects in query order, then the action), disabling the cost-based
+	// adaptive planner — the compatibility/ablation opt-out. Ordering
+	// never changes results (clip truth is conjunctive), only cost.
+	DeclaredOrder bool
+
+	// ReplanEvery is the number of unbiased (fully evaluated) clips
+	// between the planner's re-ordering rounds; zero means
+	// plan.DefaultReplanEvery.
+	ReplanEvery int
 
 	// Retry tunes retrying of failed detector invocations (fallible models
 	// only; the simulated models never fail unless fault-injected). The zero
@@ -217,6 +228,9 @@ func (c Config) Validate() error {
 	}
 	if c.RobustWindowClips < 4 {
 		return fmt.Errorf("core: RobustWindowClips = %d must be >= 4", c.RobustWindowClips)
+	}
+	if c.ReplanEvery < 0 {
+		return fmt.Errorf("core: ReplanEvery = %d must be >= 0", c.ReplanEvery)
 	}
 	if c.FailureBudget < 0 || c.FailureBudget > 1 {
 		return fmt.Errorf("core: FailureBudget = %v out of [0,1]", c.FailureBudget)

@@ -1,0 +1,300 @@
+// Package plan implements the cost-based predicate planner used by the
+// online engine (core) and the offline ranker (rank).
+//
+// The paper evaluates a query's predicates sequentially with
+// short-circuiting (Algorithm 2), so the total detector cost of a
+// conjunction is dominated by whichever predicates run early: the first
+// predicate is evaluated on every clip, and each later one only on the
+// clips every earlier predicate accepted. Because clip truth is a pure
+// conjunction, any evaluation order produces the same result sequences —
+// ordering is a cost lever, never a correctness one.
+//
+// A Planner holds one node per predicate with a live cost model: the
+// expected cost of one evaluation (seeded from the detector's priced unit
+// cost, refined from observed evaluations) and a rejection-rate estimate
+// (seeded from a prior, refined from the unbiased clip indicators the
+// engine already tracks). It orders nodes cheapest-expected-cost-to-reject
+// first — ascending cost/P(reject), the classic selectivity×cost ordering —
+// and re-plans every ReplanEvery observed clips as the estimates drift,
+// mirroring how SVAQD re-estimates its background probabilities.
+//
+// Statistics must be fed only from unbiased evaluations (clips on which
+// every predicate ran): under short-circuiting, the clips a late predicate
+// sees are pre-filtered by the earlier ones, which would bias its observed
+// rejection rate downwards for correlated predicates. The engine already
+// maintains such a sampling schedule for SVAQD's estimators and reuses it
+// for the planner.
+//
+// A Planner is safe for concurrent use, so a fleet evaluation can share one
+// warm-started cost model per query across all its per-video runs.
+package plan
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultReplanEvery is the re-planning cadence (in observed unbiased
+// clips) when Options.ReplanEvery is zero.
+const DefaultReplanEvery = 32
+
+// defaultPriorReject seeds the rejection-rate estimate when a Node declares
+// none: with no information, assume a coin flip.
+const defaultPriorReject = 0.5
+
+// Node describes one predicate to the planner.
+type Node struct {
+	// Name identifies the predicate in reports and spans.
+	Name string
+	// PriorCost is the expected cost of evaluating the predicate once on
+	// one clip before anything has been observed — for the engine, the
+	// clip's occurrence-unit window times the detector's priced unit cost.
+	PriorCost time.Duration
+	// PriorReject seeds the rejection-rate estimate in (0,1]; zero means
+	// 0.5 (no prior selectivity information).
+	PriorReject float64
+}
+
+// Options tunes a Planner.
+type Options struct {
+	// Pinned keeps the declared order: the planner still gathers
+	// statistics and reports them, but Order never deviates — the
+	// compatibility/ablation mode (the engine pins the order under
+	// NoShortCircuit, ActionFirst and DeclaredOrder).
+	Pinned bool
+	// ReplanEvery is the number of observed unbiased clips between
+	// re-planning rounds; zero or negative means DefaultReplanEvery.
+	ReplanEvery int
+}
+
+// nodeState is the live cost model of one predicate.
+type nodeState struct {
+	name        string
+	priorCost   float64 // seconds per evaluation, before observation
+	priorReject float64
+
+	evals   int64   // unbiased evaluations observed
+	rejects int64   // of which rejected the clip
+	costSum float64 // seconds across observed evaluations
+	skips   int64   // evaluations skipped by short-circuit
+}
+
+// cost is the current per-evaluation cost estimate in seconds.
+func (n *nodeState) cost() float64 {
+	if n.evals == 0 {
+		return n.priorCost
+	}
+	return n.costSum / float64(n.evals)
+}
+
+// rejectRate is the Laplace-smoothed rejection-rate estimate: two
+// pseudo-observations at the prior rate keep early estimates near the prior
+// and the rate strictly inside (0,1) so cost/rate is always finite.
+func (n *nodeState) rejectRate() float64 {
+	const pseudo = 2.0
+	return (float64(n.rejects) + pseudo*n.priorReject) / (float64(n.evals) + pseudo)
+}
+
+// costToReject is the ordering key: expected cost paid per rejection
+// obtained. Evaluating ascending in this key minimises the expected cost of
+// deciding a conjunctive clip under short-circuiting.
+func (n *nodeState) costToReject() float64 {
+	return n.cost() / n.rejectRate()
+}
+
+// Planner orders predicate nodes cheapest-expected-cost-to-reject first and
+// re-plans as its statistics drift. Safe for concurrent use.
+type Planner struct {
+	mu    sync.Mutex
+	opts  Options
+	nodes []nodeState
+	order []int
+
+	replans          int
+	clipsSinceReplan int
+	observedClips    int64
+	savedCost        float64 // seconds of evaluation avoided by short-circuit
+	skipped          int64   // evaluations avoided by short-circuit
+}
+
+// New builds a planner over the declared node list. The initial order is
+// computed from the priors alone (and equals the declared order when the
+// priors do not discriminate, since ties preserve declared positions).
+func New(nodes []Node, opts Options) *Planner {
+	if opts.ReplanEvery <= 0 {
+		opts.ReplanEvery = DefaultReplanEvery
+	}
+	p := &Planner{opts: opts, nodes: make([]nodeState, len(nodes)), order: make([]int, len(nodes))}
+	for i, n := range nodes {
+		pr := n.PriorReject
+		if pr <= 0 || pr > 1 {
+			pr = defaultPriorReject
+		}
+		p.nodes[i] = nodeState{name: n.Name, priorCost: n.PriorCost.Seconds(), priorReject: pr}
+		p.order[i] = i
+	}
+	p.reorder()
+	return p
+}
+
+// Len returns the number of nodes.
+func (p *Planner) Len() int { return len(p.nodes) }
+
+// Order returns a copy of the current evaluation order: positions into the
+// declared node list, cheapest expected cost to reject first.
+func (p *Planner) Order() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.order...)
+}
+
+// Observe folds one unbiased evaluation of node i into the cost model:
+// whether it rejected its clip, and what the evaluation cost. Callers must
+// only report evaluations from clips on which every node was evaluated (see
+// the package comment on sampling bias).
+func (p *Planner) Observe(i int, rejected bool, cost time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := &p.nodes[i]
+	n.evals++
+	if rejected {
+		n.rejects++
+	}
+	n.costSum += cost.Seconds()
+}
+
+// Skip records that short-circuiting spared one evaluation of node i — the
+// savings ledger behind the svqact_plan_shortcircuit_savings metric.
+func (p *Planner) Skip(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := &p.nodes[i]
+	n.skips++
+	p.skipped++
+	p.savedCost += n.cost()
+}
+
+// EndClip marks the end of one fully observed (unbiased) clip and re-plans
+// when the cadence is due.
+func (p *Planner) EndClip() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observedClips++
+	p.clipsSinceReplan++
+	if p.clipsSinceReplan < p.opts.ReplanEvery {
+		return
+	}
+	p.clipsSinceReplan = 0
+	prev := append([]int(nil), p.order...)
+	p.reorder()
+	for i := range prev {
+		if prev[i] != p.order[i] {
+			p.replans++
+			break
+		}
+	}
+}
+
+// reorder recomputes the order from the current estimates (callers hold the
+// lock). Pinned planners keep the declared order. Ties keep declared
+// relative positions (sort.SliceStable over an identity-initialised order
+// would not survive repeated reorders, so the slice is reset first).
+func (p *Planner) reorder() {
+	for i := range p.order {
+		p.order[i] = i
+	}
+	if p.opts.Pinned {
+		return
+	}
+	keys := make([]float64, len(p.nodes))
+	for i := range p.nodes {
+		keys[i] = p.nodes[i].costToReject()
+	}
+	sort.SliceStable(p.order, func(a, b int) bool { return keys[p.order[a]] < keys[p.order[b]] })
+}
+
+// Replans returns how many re-planning rounds actually changed the order.
+func (p *Planner) Replans() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replans
+}
+
+// Report is the EXPLAIN-able snapshot of a planner: the chosen order, the
+// per-node cost model, and the savings ledger. It serialises directly into
+// the /query JSON response.
+type Report struct {
+	// Adaptive is false when the order was pinned to the declared one.
+	Adaptive bool `json:"adaptive"`
+	// Order lists node names in evaluation order; Declared in declared
+	// order.
+	Order    []string `json:"order"`
+	Declared []string `json:"declared"`
+	// Replans counts re-planning rounds that changed the order.
+	Replans int `json:"replans"`
+	// ObservedClips counts the unbiased clips folded into the cost model.
+	ObservedClips int64 `json:"observed_clips"`
+	// SkippedEvaluations counts predicate evaluations avoided by
+	// short-circuiting; SavedCostMS prices them with the current model.
+	SkippedEvaluations int64   `json:"skipped_evaluations"`
+	SavedCostMS        float64 `json:"saved_cost_ms"`
+	// Nodes holds the per-node cost model in declared order.
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// NodeReport is one node's cost model in a Report.
+type NodeReport struct {
+	Name string `json:"name"`
+	// Position is the node's slot in the chosen evaluation order.
+	Position int `json:"position"`
+	// EstimatedCostMS is the prior per-evaluation cost; ObservedCostMS the
+	// live estimate (equal to the prior until something was observed).
+	EstimatedCostMS float64 `json:"estimated_cost_ms"`
+	ObservedCostMS  float64 `json:"observed_cost_ms"`
+	// RejectRate is the smoothed rejection-rate estimate and
+	// CostToRejectMS the ordering key derived from it.
+	RejectRate     float64 `json:"reject_rate"`
+	CostToRejectMS float64 `json:"cost_to_reject_ms"`
+	// ObservedEvaluations counts unbiased evaluations folded in;
+	// SkippedEvaluations the evaluations short-circuiting spared this node.
+	ObservedEvaluations int64 `json:"observed_evaluations"`
+	SkippedEvaluations  int64 `json:"skipped_evaluations"`
+}
+
+// Report snapshots the planner. A nil planner reports nil, so execution
+// paths that never built a plan (the streaming CNF evaluator) stay valid.
+func (p *Planner) Report() *Report {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := &Report{
+		Adaptive:           !p.opts.Pinned,
+		Replans:            p.replans,
+		ObservedClips:      p.observedClips,
+		SkippedEvaluations: p.skipped,
+		SavedCostMS:        p.savedCost * 1e3,
+	}
+	pos := make([]int, len(p.nodes))
+	for slot, i := range p.order {
+		pos[i] = slot
+		rep.Order = append(rep.Order, p.nodes[i].name)
+	}
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		rep.Declared = append(rep.Declared, n.name)
+		rep.Nodes = append(rep.Nodes, NodeReport{
+			Name:                n.name,
+			Position:            pos[i],
+			EstimatedCostMS:     n.priorCost * 1e3,
+			ObservedCostMS:      n.cost() * 1e3,
+			RejectRate:          n.rejectRate(),
+			CostToRejectMS:      n.costToReject() * 1e3,
+			ObservedEvaluations: n.evals,
+			SkippedEvaluations:  n.skips,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,218 @@
+package plan
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInitialOrderFromPriors(t *testing.T) {
+	// Cheapest expected cost to reject first: node b costs a tenth of node
+	// a at the same prior rejection rate, so it goes first; node c is cheap
+	// but almost never rejects, so its cost-to-reject is the worst.
+	p := New([]Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: 100 * time.Millisecond},
+		{Name: "c", PriorCost: 100 * time.Millisecond, PriorReject: 0.001},
+	}, Options{})
+	if got, want := p.Order(), []int{1, 0, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestTiesKeepDeclaredOrder(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: time.Second},
+		{Name: "c", PriorCost: time.Second},
+	}
+	p := New(nodes, Options{})
+	if got, want := p.Order(), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestPinnedNeverReorders(t *testing.T) {
+	p := New([]Node{
+		{Name: "slow", PriorCost: time.Second},
+		{Name: "fast", PriorCost: time.Millisecond},
+	}, Options{Pinned: true, ReplanEvery: 1})
+	for c := 0; c < 10; c++ {
+		p.Observe(0, false, time.Second)
+		p.Observe(1, true, time.Millisecond)
+		p.EndClip()
+	}
+	if got, want := p.Order(), []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("pinned order = %v, want %v", got, want)
+	}
+	if p.Replans() != 0 {
+		t.Fatalf("pinned planner replanned %d times", p.Replans())
+	}
+	if rep := p.Report(); rep.Adaptive {
+		t.Fatal("pinned planner reported adaptive")
+	}
+}
+
+func TestObservationsDriveReplan(t *testing.T) {
+	// Equal priors, so the initial order is declared. Observations reveal
+	// that the second node rejects everything cheaply — after ReplanEvery
+	// observed clips it must move first, and the flip counts as one replan.
+	p := New([]Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: time.Second},
+	}, Options{ReplanEvery: 4})
+	for c := 0; c < 4; c++ {
+		p.Observe(0, false, time.Second)
+		p.Observe(1, true, 10*time.Millisecond)
+		p.EndClip()
+	}
+	if got, want := p.Order(), []int{1, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("order after observations = %v, want %v", got, want)
+	}
+	if p.Replans() != 1 {
+		t.Fatalf("replans = %d, want 1", p.Replans())
+	}
+	// Further identical rounds keep the order and must not count as
+	// replans.
+	for c := 0; c < 8; c++ {
+		p.Observe(0, false, time.Second)
+		p.Observe(1, true, 10*time.Millisecond)
+		p.EndClip()
+	}
+	if p.Replans() != 1 {
+		t.Fatalf("replans after stable rounds = %d, want 1", p.Replans())
+	}
+}
+
+func TestReplanCadence(t *testing.T) {
+	p := New([]Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: time.Second},
+	}, Options{ReplanEvery: 8})
+	// Observations that would flip the order must not take effect before
+	// the cadence boundary.
+	for c := 0; c < 7; c++ {
+		p.Observe(0, false, time.Second)
+		p.Observe(1, true, time.Millisecond)
+		p.EndClip()
+	}
+	if got, want := p.Order(), []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("order before cadence = %v, want %v", got, want)
+	}
+	p.Observe(0, false, time.Second)
+	p.Observe(1, true, time.Millisecond)
+	p.EndClip()
+	if got, want := p.Order(), []int{1, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("order at cadence = %v, want %v", got, want)
+	}
+}
+
+func TestSkipAccounting(t *testing.T) {
+	p := New([]Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: 2 * time.Second},
+	}, Options{})
+	p.Skip(1)
+	p.Skip(1)
+	p.Skip(0)
+	rep := p.Report()
+	if rep.SkippedEvaluations != 3 {
+		t.Fatalf("skipped = %d, want 3", rep.SkippedEvaluations)
+	}
+	if want := 5000.0; rep.SavedCostMS != want {
+		t.Fatalf("saved cost = %v ms, want %v", rep.SavedCostMS, want)
+	}
+	if rep.Nodes[1].SkippedEvaluations != 2 || rep.Nodes[0].SkippedEvaluations != 1 {
+		t.Fatalf("per-node skips = %d/%d, want 1/2",
+			rep.Nodes[0].SkippedEvaluations, rep.Nodes[1].SkippedEvaluations)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	p := New([]Node{
+		{Name: "car", PriorCost: 2250 * time.Millisecond},
+		{Name: "act", PriorCost: 450 * time.Millisecond},
+	}, Options{ReplanEvery: 2})
+	for c := 0; c < 2; c++ {
+		p.Observe(0, c == 0, 2250*time.Millisecond)
+		p.Observe(1, true, 450*time.Millisecond)
+		p.EndClip()
+	}
+	rep := p.Report()
+	if !rep.Adaptive {
+		t.Fatal("adaptive planner reported pinned")
+	}
+	if !reflect.DeepEqual(rep.Declared, []string{"car", "act"}) {
+		t.Fatalf("declared = %v", rep.Declared)
+	}
+	if !reflect.DeepEqual(rep.Order, []string{"act", "car"}) {
+		t.Fatalf("order = %v", rep.Order)
+	}
+	if rep.ObservedClips != 2 {
+		t.Fatalf("observed clips = %d, want 2", rep.ObservedClips)
+	}
+	// Nodes stay in declared order with Position pointing into Order.
+	if rep.Nodes[0].Name != "car" || rep.Nodes[0].Position != 1 {
+		t.Fatalf("node 0 = %+v", rep.Nodes[0])
+	}
+	if rep.Nodes[1].Name != "act" || rep.Nodes[1].Position != 0 {
+		t.Fatalf("node 1 = %+v", rep.Nodes[1])
+	}
+	if rep.Nodes[1].RejectRate <= rep.Nodes[0].RejectRate {
+		t.Fatalf("reject rates %v <= %v", rep.Nodes[1].RejectRate, rep.Nodes[0].RejectRate)
+	}
+	if rep.Nodes[0].ObservedCostMS != 2250 {
+		t.Fatalf("observed cost = %v", rep.Nodes[0].ObservedCostMS)
+	}
+}
+
+func TestUnobservedNodeFallsBackToPriors(t *testing.T) {
+	p := New([]Node{{Name: "a", PriorCost: time.Second, PriorReject: 0.25}}, Options{})
+	rep := p.Report()
+	n := rep.Nodes[0]
+	if n.ObservedCostMS != 1000 || n.EstimatedCostMS != 1000 {
+		t.Fatalf("costs = %v/%v, want 1000/1000", n.EstimatedCostMS, n.ObservedCostMS)
+	}
+	if n.RejectRate != 0.25 {
+		t.Fatalf("reject rate = %v, want prior 0.25", n.RejectRate)
+	}
+}
+
+// TestConcurrentUse exercises the fleet-sharing path under the race
+// detector: many goroutines observing, skipping and re-planning at once.
+func TestConcurrentUse(t *testing.T) {
+	p := New([]Node{
+		{Name: "a", PriorCost: time.Second},
+		{Name: "b", PriorCost: time.Millisecond},
+	}, Options{ReplanEvery: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < 100; c++ {
+				for _, i := range p.Order() {
+					p.Observe(i, (c+w+i)%3 == 0, time.Duration(i+1)*time.Millisecond)
+				}
+				p.Skip((c + w) % 2)
+				p.EndClip()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := p.Report()
+	if rep.ObservedClips != 800 {
+		t.Fatalf("observed clips = %d, want 800", rep.ObservedClips)
+	}
+	var evals int64
+	for _, n := range rep.Nodes {
+		evals += n.ObservedEvaluations
+	}
+	if evals != 1600 {
+		t.Fatalf("observed evaluations = %d, want 1600", evals)
+	}
+	if rep.SkippedEvaluations != 800 {
+		t.Fatalf("skips = %d, want 800", rep.SkippedEvaluations)
+	}
+}

@@ -33,10 +33,11 @@ func PqTraverse(ctx context.Context, ix *Index, q core.Query, k int, opts Option
 	}
 	res := &Result{Algorithm: "Pq-Traverse", Query: q, K: k, Candidates: pq.NumIntervals()}
 	defer finishTopkSpan(obs.StartSpan(ctx, "rank.topk"), res)
-	tables, err := ix.queryTables(q, &res.Stats)
+	tables, scorer, rep, err := ix.queryTables(q, &res.Stats, opts.Scoring.Clip)
 	if err != nil {
 		return nil, err
 	}
+	res.Plan = rep
 	f := opts.Scoring.Seq
 	for _, iv := range pq.Intervals() {
 		if cerr := ctx.Err(); cerr != nil {
@@ -44,7 +45,7 @@ func PqTraverse(ctx context.Context, ix *Index, q core.Query, k int, opts Option
 		}
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			s, err := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, c)
+			s, err := scoreClip(tables, scorer, c)
 			if err != nil {
 				return nil, err
 			}
@@ -87,10 +88,11 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 	if pq.Empty() {
 		return res, nil
 	}
-	tables, err := ix.queryTables(q, &res.Stats)
+	tables, scorer, rep, err := ix.queryTables(q, &res.Stats, opts.Scoring.Clip)
 	if err != nil {
 		return nil, err
 	}
+	res.Plan = rep
 
 	// Fagin's phase 1: parallel sorted access until every candidate clip
 	// has been seen in every list (the intersection criterion of [15]).
@@ -117,7 +119,7 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 			progressed = true
 			seenIn[e.Clip]++
 			if seenIn[e.Clip] == 1 {
-				score, err := scoreClip(tables, basicTableScorer{c: opts.Scoring.Clip}, e.Clip)
+				score, err := scoreClip(tables, scorer, e.Clip)
 				if err != nil {
 					return nil, err
 				}
@@ -170,7 +172,7 @@ func rvaqNoSkip(ctx context.Context, ix *Index, q core.Query, k int, opts Option
 // used by tests to validate every algorithm against the same ground truth.
 func TruthTopK(ix *Index, q core.Query, k int, scoring Scoring) ([]SeqResult, error) {
 	var st store.Stats
-	tables, err := ix.queryTables(q, &st)
+	tables, scorer, _, err := ix.queryTables(q, &st, scoring.Clip)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +185,7 @@ func TruthTopK(ix *Index, q core.Query, k int, scoring Scoring) ([]SeqResult, er
 	for _, iv := range pq.Intervals() {
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			s, err := scoreClip(tables, basicTableScorer{c: scoring.Clip}, c)
+			s, err := scoreClip(tables, scorer, c)
 			if err != nil {
 				return nil, err
 			}

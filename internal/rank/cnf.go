@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"svqact/internal/core"
+	"svqact/internal/plan"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -28,15 +29,6 @@ type tableScorer interface {
 	scoreTables(scores []float64) float64
 }
 
-// basicTableScorer adapts a ClipScorer to the basic layout (objects in
-// query order, action last).
-type basicTableScorer struct{ c ClipScorer }
-
-func (b basicTableScorer) scoreTables(scores []float64) float64 {
-	n := len(scores)
-	return b.c.OfPredicates(scores[:n-1], scores[n-1])
-}
-
 // cnfTableScorer scores a clip under a CNF query: the maximum atom score
 // within each clause, multiplied across clauses.
 type cnfTableScorer struct {
@@ -58,13 +50,16 @@ func (s cnfTableScorer) scoreTables(scores []float64) float64 {
 }
 
 // cnfTables resolves one table per distinct atom and the clause structure
-// over the table indexes.
-func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int, []video.IntervalSet, error) {
+// over the table indexes. Tables come back in planner order (cheapest
+// expected cost to reject first, from each atom table's length and
+// sequence coverage) with the clause references remapped accordingly — no
+// caller may assume any fixed atom layout.
+func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int, []video.IntervalSet, *plan.Report, error) {
 	if err := q.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	var tables []store.Table
-	var seqs []video.IntervalSet
+	var tis []*TypeIndex
+	var nodes []plan.Node
 	index := map[string]int{}
 	clauses := make([][]int, len(q.Clauses))
 	for ci, c := range q.Clauses {
@@ -79,20 +74,41 @@ func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int,
 				case core.ActionPredicate:
 					ti = ix.Actions[a.Name]
 				default:
-					return nil, nil, nil, fmt.Errorf("rank: relation atom %s is not supported offline", a)
+					return nil, nil, nil, nil, fmt.Errorf("rank: relation atom %s is not supported offline", a)
 				}
 				if ti == nil {
-					return nil, nil, nil, fmt.Errorf("rank: atom %s not ingested", a)
+					return nil, nil, nil, nil, fmt.Errorf("rank: atom %s not ingested", a)
 				}
-				i = len(tables)
-				tables = append(tables, store.WithStats(ti.Table, st))
-				seqs = append(seqs, ti.Seqs)
+				i = len(tis)
+				tis = append(tis, ti)
+				nodes = append(nodes, plan.Node{
+					Name:        key,
+					PriorCost:   tableAccessCost(ti.Table),
+					PriorReject: tableRejectPrior(ti.Seqs, ix.NumClips),
+				})
 				index[key] = i
 			}
 			clauses[ci] = append(clauses[ci], i)
 		}
 	}
-	return tables, clauses, seqs, nil
+	pl := plan.New(nodes, plan.Options{})
+	order := pl.Order()
+	// order[planPos] = declared atom index; invert it to remap the clause
+	// references onto plan positions.
+	toPlan := make([]int, len(order))
+	tables := make([]store.Table, len(order))
+	seqs := make([]video.IntervalSet, len(order))
+	for planPos, d := range order {
+		toPlan[d] = planPos
+		tables[planPos] = store.WithStats(tis[d].Table, st)
+		seqs[planPos] = tis[d].Seqs
+	}
+	for ci := range clauses {
+		for j, d := range clauses[ci] {
+			clauses[ci][j] = toPlan[d]
+		}
+	}
+	return tables, clauses, seqs, pl.Report(), nil
 }
 
 // PqCNF computes the candidate sequences of a CNF query: per clause, the
@@ -100,7 +116,7 @@ func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int,
 // intersection.
 func (ix *Index) PqCNF(q core.CNF) (video.IntervalSet, error) {
 	var st store.Stats
-	_, clauses, seqs, err := ix.cnfTables(q, &st)
+	_, clauses, seqs, _, err := ix.cnfTables(q, &st)
 	if err != nil {
 		return video.IntervalSet{}, err
 	}
@@ -130,10 +146,11 @@ func RVAQCNF(ctx context.Context, ix *Index, q core.CNF, k int, opts Options) (*
 		name = "RVAQ-CNF-noSkip"
 	}
 	res := &Result{Algorithm: name, K: k}
-	tables, clauses, seqs, err := ix.cnfTables(q, &res.Stats)
+	tables, clauses, seqs, rep, err := ix.cnfTables(q, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
+	res.Plan = rep
 	sets := make([]video.IntervalSet, len(clauses))
 	for ci, refs := range clauses {
 		var u video.IntervalSet
@@ -158,7 +175,7 @@ func RVAQCNF(ctx context.Context, ix *Index, q core.CNF, k int, opts Options) (*
 // reference for RVAQCNF.
 func TruthTopKCNF(ix *Index, q core.CNF, k int, scoring Scoring) ([]SeqResult, error) {
 	var st store.Stats
-	tables, clauses, _, err := ix.cnfTables(q, &st)
+	tables, clauses, _, _, err := ix.cnfTables(q, &st)
 	if err != nil {
 		return nil, err
 	}

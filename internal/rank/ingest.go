@@ -199,25 +199,6 @@ func (ix *Index) Pq(q core.Query) (video.IntervalSet, error) {
 	return video.IntersectAll(sets...), nil
 }
 
-// queryTables returns the per-predicate tables in scoring order (objects in
-// query order, then the action), each wrapped with the given stats counter.
-func (ix *Index) queryTables(q core.Query, st *store.Stats) ([]store.Table, error) {
-	tables := make([]store.Table, 0, len(q.Objects)+1)
-	for _, o := range q.Objects {
-		ti, ok := ix.Objects[o]
-		if !ok {
-			return nil, fmt.Errorf("rank: object %q not ingested", o)
-		}
-		tables = append(tables, store.WithStats(ti.Table, st))
-	}
-	ti, ok := ix.Actions[q.Action]
-	if !ok {
-		return nil, fmt.Errorf("rank: action %q not ingested", q.Action)
-	}
-	tables = append(tables, store.WithStats(ti.Table, st))
-	return tables, nil
-}
-
 // scoreClip computes a clip's overall score via random accesses on every
 // query table. Missing rows contribute zero; table read failures surface as
 // errors.

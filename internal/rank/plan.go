@@ -1,0 +1,107 @@
+package rank
+
+import (
+	"fmt"
+	"time"
+
+	"svqact/internal/core"
+	"svqact/internal/plan"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// The offline engine routes its per-predicate table layout through the same
+// cost-based planner as the online engine, instead of hardwiring "objects
+// in query order, then the action". The planner here is static — tables are
+// fully materialised at ingest, so cost and selectivity are known up front:
+// a table's access cost grows with its length, and its rejection power is
+// the fraction of the clip space its individual sequences exclude.
+//
+// For the offline algorithms the chosen order cannot change results or
+// access counts: the scorer re-maps plan positions back to the declared
+// predicate layout before scoring, and every traversal round of
+// TBClip/FA/Pq-Traverse touches every table. The plan is the query's
+// EXPLAIN surface (and keeps the declared layout out of the hot path's
+// assumptions); the regression tests pin output equality.
+
+// tableAccessCost prices accesses against one table: logical cost grows
+// with the rows the traversal may touch.
+func tableAccessCost(tbl store.Table) time.Duration {
+	return time.Duration(tbl.Len()) * time.Microsecond
+}
+
+// tableRejectPrior estimates how often a predicate's table rejects a clip:
+// the fraction of the clip space outside its individual sequences, clamped
+// inside (0,1) so the planner's smoothing stays well-defined.
+func tableRejectPrior(seqs video.IntervalSet, numClips int) float64 {
+	if numClips <= 0 {
+		return 0.5
+	}
+	rej := 1 - float64(seqs.TotalLen())/float64(numClips)
+	if rej < 0.01 {
+		return 0.01
+	}
+	if rej > 0.99 {
+		return 0.99
+	}
+	return rej
+}
+
+// planScorer evaluates a ClipScorer over the declared predicate layout
+// (objects in query order, then the action) while the tables themselves are
+// traversed in plan order: the plan-ordered score vector is mapped back to
+// declared positions before scoring, so no scorer assumes any particular
+// table order.
+type planScorer struct {
+	c          ClipScorer
+	toDeclared []int // toDeclared[planPos] = declared position
+}
+
+func (p planScorer) scoreTables(scores []float64) float64 {
+	decl := make([]float64, len(scores))
+	for planPos, d := range p.toDeclared {
+		decl[d] = scores[planPos]
+	}
+	n := len(decl)
+	return p.c.OfPredicates(decl[:n-1], decl[n-1])
+}
+
+// queryTables resolves the query's per-predicate tables in planner order —
+// cheapest expected cost to reject first — wrapped with the given stats
+// counter, together with the position-mapping scorer over clip and the plan
+// report for EXPLAIN.
+func (ix *Index) queryTables(q core.Query, st *store.Stats, clip ClipScorer) ([]store.Table, tableScorer, *plan.Report, error) {
+	type decl struct {
+		name string
+		ti   *TypeIndex
+	}
+	decls := make([]decl, 0, len(q.Objects)+1)
+	for _, o := range q.Objects {
+		ti, ok := ix.Objects[o]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("rank: object %q not ingested", o)
+		}
+		decls = append(decls, decl{o, ti})
+	}
+	ti, ok := ix.Actions[q.Action]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("rank: action %q not ingested", q.Action)
+	}
+	decls = append(decls, decl{q.Action, ti})
+
+	nodes := make([]plan.Node, len(decls))
+	for i, d := range decls {
+		nodes[i] = plan.Node{
+			Name:        d.name,
+			PriorCost:   tableAccessCost(d.ti.Table),
+			PriorReject: tableRejectPrior(d.ti.Seqs, ix.NumClips),
+		}
+	}
+	pl := plan.New(nodes, plan.Options{})
+	order := pl.Order()
+	tables := make([]store.Table, len(order))
+	for planPos, d := range order {
+		tables[planPos] = store.WithStats(decls[d].ti.Table, st)
+	}
+	return tables, planScorer{c: clip, toDeclared: order}, pl.Report(), nil
+}

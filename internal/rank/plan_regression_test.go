@@ -1,0 +1,182 @@
+package rank
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"svqact/internal/core"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// buildSkewedIndex hand-builds an index whose tables differ strongly in
+// length and sequence coverage, so the planner provably deviates from the
+// declared "objects in query order, action last" layout: the action table
+// is tiny with sparse coverage (cheap, rejects nearly everything) while the
+// first declared object is huge with near-total coverage (expensive,
+// rejects almost nothing).
+func buildSkewedIndex(t *testing.T, numClips int) *Index {
+	t.Helper()
+	ix := &Index{
+		Name:     "skewed",
+		NumClips: numClips,
+		Objects:  map[string]*TypeIndex{},
+		Actions:  map[string]*TypeIndex{},
+	}
+	mk := func(name string, every int, seqs video.IntervalSet) *TypeIndex {
+		var entries []store.Entry
+		for c := 0; c < numClips; c += every {
+			// Deterministic, type-dependent scores.
+			entries = append(entries, store.Entry{Clip: c, Score: 0.1 + float64((c*7+len(name)*13)%100)/10})
+		}
+		tbl, err := store.NewMemTable(name, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &TypeIndex{Table: tbl, Seqs: seqs}
+	}
+	wide := video.NewIntervalSet(iv(0, numClips-1))
+	narrow := video.NewIntervalSet(iv(10, 14), iv(40, 46), iv(90, 93))
+	ix.Objects["car"] = mk("car", 1, wide)           // long table, rejects nothing
+	ix.Objects["human"] = mk("human", 2, wide)       // medium table, rejects nothing
+	ix.Actions["jumping"] = mk("jumping", 5, narrow) // short table, rejects nearly all
+	return ix
+}
+
+// declaredTopK is the pre-planner reference implementation: tables strictly
+// in declared order (objects in query order, then the action), scored
+// positionally, every candidate clip accessed, exhaustively ranked.
+func declaredTopK(t *testing.T, ix *Index, q core.Query, k int, scoring Scoring) []SeqResult {
+	t.Helper()
+	var st store.Stats
+	var tables []store.Table
+	for _, o := range q.Objects {
+		tables = append(tables, store.WithStats(ix.Objects[o].Table, &st))
+	}
+	tables = append(tables, store.WithStats(ix.Actions[q.Action].Table, &st))
+	pq, err := ix.Pq(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := scoring.Seq
+	var out []SeqResult
+	for _, sv := range pq.Intervals() {
+		sum := f.Zero()
+		for c := sv.Start; c <= sv.End; c++ {
+			scores := make([]float64, len(tables))
+			for i, tbl := range tables {
+				s, _, err := tbl.ScoreOf(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores[i] = s
+			}
+			n := len(scores)
+			sum = f.Combine(sum, f.OfClip(scoring.Clip.OfPredicates(scores[:n-1], scores[n-1])))
+		}
+		out = append(out, SeqResult{Seq: sv, Lower: sum, Upper: sum, Exact: true})
+	}
+	sortSeqResults(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TestPlannedOrderPreservesTopK is the planner-rewiring regression: ranked
+// top-k output through the plan-ordered tables must be exactly what the
+// declared-layout implementation produced, even though the planner picks a
+// different table order.
+func TestPlannedOrderPreservesTopK(t *testing.T) {
+	ix := buildSkewedIndex(t, 120)
+	q := core.Query{Objects: []string{"car", "human"}, Action: "jumping"}
+	const k = 2
+	want := declaredTopK(t, ix, q, k, PaperScoring())
+
+	res, err := RVAQ(context.Background(), ix, q, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("RVAQ result carries no plan")
+	}
+	// The skew must actually exercise a non-declared order, or this test
+	// pins nothing: the sparse-coverage action table has to come first.
+	if reflect.DeepEqual(res.Plan.Order, res.Plan.Declared) {
+		t.Fatalf("planner kept declared order %v; index not skewed enough", res.Plan.Order)
+	}
+	if res.Plan.Order[0] != "jumping" {
+		t.Errorf("cheapest-rejection-first should lead with the action, got %v", res.Plan.Order)
+	}
+	if len(res.Sequences) != len(want) {
+		t.Fatalf("top-%d returned %d sequences, want %d", k, len(res.Sequences), len(want))
+	}
+	for i, sr := range res.Sequences {
+		if sr.Seq != want[i].Seq {
+			t.Errorf("rank %d: sequence %v, want %v", i, sr.Seq, want[i].Seq)
+		}
+		if math.Abs(sr.Score()-want[i].Score()) > 1e-9*math.Max(1, math.Abs(want[i].Score())) {
+			t.Errorf("rank %d: score %v, want %v", i, sr.Score(), want[i].Score())
+		}
+	}
+
+	// Exhaustive reference and baselines agree through the same plan layer.
+	truth, err := TruthTopK(ix, q, k, PaperScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if truth[i].Seq != want[i].Seq || truth[i].Lower != want[i].Lower {
+			t.Errorf("TruthTopK rank %d: %+v, want %+v", i, truth[i], want[i])
+		}
+	}
+	for _, algo := range []string{"FA", "Pq-Traverse", "RVAQ-noSkip"} {
+		r, err := Algorithms[algo](context.Background(), ix, q, k, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for i, sr := range r.Sequences {
+			if sr.Seq != want[i].Seq {
+				t.Errorf("%s rank %d: sequence %v, want %v", algo, i, sr.Seq, want[i].Seq)
+			}
+		}
+	}
+}
+
+// TestPlannedOrderPreservesCNFTopK pins the same contract on the CNF path,
+// whose clause references are remapped onto the plan-ordered tables.
+func TestPlannedOrderPreservesCNFTopK(t *testing.T) {
+	ix := buildSkewedIndex(t, 120)
+	q := core.CNF{Clauses: []core.Clause{
+		{Atoms: []core.Atom{{Kind: core.ObjectPredicate, Name: "car"}, {Kind: core.ObjectPredicate, Name: "human"}}},
+		{Atoms: []core.Atom{{Kind: core.ActionPredicate, Name: "jumping"}}},
+	}}
+	const k = 2
+	truth, err := TruthTopKCNF(ix, q, k, PaperScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RVAQCNF(context.Background(), ix, q, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil {
+		t.Fatal("RVAQCNF result carries no plan")
+	}
+	if reflect.DeepEqual(res.Plan.Order, res.Plan.Declared) {
+		t.Fatalf("CNF planner kept declared order %v; index not skewed enough", res.Plan.Order)
+	}
+	if len(res.Sequences) != len(truth) {
+		t.Fatalf("top-%d returned %d sequences, want %d", k, len(res.Sequences), len(truth))
+	}
+	for i, sr := range res.Sequences {
+		if sr.Seq != truth[i].Seq {
+			t.Errorf("rank %d: sequence %v, want %v", i, sr.Seq, truth[i].Seq)
+		}
+		if math.Abs(sr.Score()-truth[i].Score()) > 1e-9*math.Max(1, math.Abs(truth[i].Score())) {
+			t.Errorf("rank %d: score %v, want %v", i, sr.Score(), truth[i].Score())
+		}
+	}
+}

@@ -473,12 +473,12 @@ func TestIngestValidation(t *testing.T) {
 func TestTBClipOrdering(t *testing.T) {
 	ix := buildIndex(t, 150, 21, []int{4, 7, 3, 9})
 	var st store.Stats
-	tables, err := ix.queryTables(testQuery, &st)
+	tables, scorer, _, err := ix.queryTables(testQuery, &st, PaperScoring().Clip)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pq, _ := ix.Pq(testQuery)
-	iter, err := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	iter, err := newTBClip(tables, scorer, pq, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -528,9 +528,9 @@ func TestTBClipOrdering(t *testing.T) {
 func TestTBClipSkip(t *testing.T) {
 	ix := buildIndex(t, 150, 23, []int{4, 7, 3, 9})
 	var st store.Stats
-	tables, _ := ix.queryTables(testQuery, &st)
+	tables, scorer, _, _ := ix.queryTables(testQuery, &st, PaperScoring().Clip)
 	pq, _ := ix.Pq(testQuery)
-	iter, err := newTBClip(tables, basicTableScorer{c: PaperScoring().Clip}, pq, false)
+	iter, err := newTBClip(tables, scorer, pq, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"svqact/internal/core"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -47,6 +48,9 @@ type Result struct {
 	// performed (TBClip iterator rounds for RVAQ, Fagin phase-1 rounds for
 	// FA; zero for Pq-Traverse, which scans by random access only).
 	Rounds int
+	// Plan reports the table-ordering plan the query ran with — the
+	// offline EXPLAIN surface. Ordering never changes ranked output.
+	Plan *plan.Report
 }
 
 // Options tune the RVAQ query phase.
@@ -109,11 +113,12 @@ func RVAQ(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*R
 	if pq.Empty() {
 		return res, nil
 	}
-	tables, err := ix.queryTables(q, &res.Stats)
+	tables, scorer, rep, err := ix.queryTables(q, &res.Stats, opts.Scoring.Clip)
 	if err != nil {
 		return nil, err
 	}
-	if err := topkRun(ctx, res, tables, basicTableScorer{c: opts.Scoring.Clip}, opts, pq, k); err != nil {
+	res.Plan = rep
+	if err := topkRun(ctx, res, tables, scorer, opts, pq, k); err != nil {
 		return nil, err
 	}
 	return res, nil

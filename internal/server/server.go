@@ -27,6 +27,7 @@ import (
 	"svqact/internal/core"
 	"svqact/internal/detect"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 	"svqact/internal/rank"
 	"svqact/internal/sqlq"
 	"svqact/internal/synth"
@@ -136,6 +137,13 @@ type Server struct {
 	rankSorted *obs.Counter
 	rankRandom *obs.Counter
 
+	// Predicate-planner instruments, fed from every query's plan report
+	// (online, offline and batch alike).
+	planQueries *obs.Counter
+	planReplans *obs.Counter
+	planSkipped *obs.Counter
+	planSavedMS *obs.Counter
+
 	// Fleet instruments: batches served, end-to-end batch latency, and
 	// per-outcome video counts across every /query/batch fleet.
 	fleetBatches *obs.Counter
@@ -205,6 +213,14 @@ func New(cfg Config) *Server {
 		"Sorted score-table accesses performed by offline queries.")
 	s.rankRandom = r.Counter("svqact_rank_random_accesses_total",
 		"Random score-table accesses performed by offline queries.")
+	s.planQueries = r.Counter("svqact_plan_queries_total",
+		"Queries that executed with a predicate-ordering plan.")
+	s.planReplans = r.Counter("svqact_plan_replans_total",
+		"Times the adaptive predicate planner changed its evaluation order.")
+	s.planSkipped = r.Counter("svqact_plan_skipped_evaluations_total",
+		"Predicate evaluations avoided by short-circuiting under the plan.")
+	s.planSavedMS = r.Counter("svqact_plan_saved_cost_ms_total",
+		"Estimated simulated-inference milliseconds saved by plan short-circuiting.")
 	s.fleetBatches = r.Counter("svqact_fleet_batches_total",
 		"Fleet evaluations served by /query/batch.")
 	s.fleetLatency = r.Histogram("svqact_fleet_batch_duration_seconds",
@@ -238,6 +254,17 @@ func New(cfg Config) *Server {
 
 // Registry returns the server's metrics registry (the one /metrics serves).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// observePlan folds one query's plan report into the planner instruments.
+func (s *Server) observePlan(rep *plan.Report) {
+	if rep == nil {
+		return
+	}
+	s.planQueries.Inc()
+	s.planReplans.Add(int64(rep.Replans))
+	s.planSkipped.Add(rep.SkippedEvaluations)
+	s.planSavedMS.Add(int64(rep.SavedCostMS))
+}
 
 func (s *Server) engineConfig() core.Config {
 	cfg := core.DefaultConfig()
@@ -378,6 +405,10 @@ type QueryResponse struct {
 	ElapsedMS    int64 `json:"elapsed_ms"`
 	// RandomAccesses counts offline table accesses (RVAQ only).
 	RandomAccesses int64 `json:"random_accesses,omitempty"`
+	// Plan reports the predicate-ordering plan the query executed with:
+	// adaptive or pinned, the chosen vs declared order, and per-predicate
+	// cost and selectivity statistics. Ordering never changes results.
+	Plan *plan.Report `json:"plan,omitempty"`
 	// Trace is the query's span tree: per-predicate evaluation, ranking
 	// traversal and ingestion stages with durations and attributes.
 	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
@@ -426,6 +457,10 @@ type BatchResponse struct {
 
 	TotalSequences int `json:"total_sequences"`
 	FlaggedClips   int `json:"flagged_clips,omitempty"`
+
+	// Plan is the fleet-cumulative report of the shared predicate planner
+	// every video's run warm-started from.
+	Plan *plan.Report `json:"plan,omitempty"`
 
 	Videos    []BatchVideo `json:"videos"`
 	ElapsedMS int64        `json:"elapsed_ms"`
@@ -704,8 +739,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		OK: fr.OK, Degraded: fr.Degraded, Interrupted: fr.Interrupted,
 		Skipped: fr.Skipped, Failed: fr.Failed,
 		TotalSequences: fr.TotalSequences, FlaggedClips: fr.FlaggedClips,
+		Plan:      fr.Plan,
 		ElapsedMS: elapsed.Milliseconds(),
 	}
+	s.observePlan(fr.Plan)
 	for _, vr := range fr.Videos {
 		outcome := vr.Outcome()
 		if c := s.fleetVideos[outcome]; c != nil {
@@ -875,6 +912,8 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 			}
 			resp.NumClips = res.NumClips
 			resp.FlaggedClips = res.Flagged.TotalLen()
+			resp.Plan = res.Plan
+			s.observePlan(res.Plan)
 			for _, iv := range res.Sequences.Intervals() {
 				fr := g.FrameRangeOfClips(iv)
 				resp.Sequences = append(resp.Sequences, Sequence{
@@ -909,6 +948,8 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 		}
 		s.rankSorted.Add(res.Stats.Sorted)
 		s.rankRandom.Add(res.Stats.Random)
+		resp.Plan = res.Plan
+		s.observePlan(res.Plan)
 		resp.Mode = res.Algorithm
 		resp.K = plan.K
 		resp.Candidates = res.Candidates
@@ -938,6 +979,8 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 		}
 		s.rankSorted.Add(res.Stats.Sorted)
 		s.rankRandom.Add(res.Stats.Random)
+		resp.Plan = res.Plan
+		s.observePlan(res.Plan)
 		resp.Mode = res.Algorithm
 		resp.K = plan.K
 		resp.Candidates = res.Candidates

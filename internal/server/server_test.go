@@ -254,3 +254,67 @@ ORDER BY RANK(act, obj) LIMIT 4`})
 		t.Errorf("more than k sequences: %d", len(qr.Sequences))
 	}
 }
+
+func TestQueryResponseCarriesPlan(t *testing.T) {
+	srv := testServer(t)
+	// Online: the streaming engine's adaptive predicate plan.
+	resp, body := post(t, srv.URL+"/query", QueryRequest{SQL: `
+SELECT MERGE(clipID) AS s
+FROM (PROCESS q2 PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer)
+WHERE act='blowing_leaves' AND obj.include('car')`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan == nil {
+		t.Fatal("online response carries no plan block")
+	}
+	if !qr.Plan.Adaptive || len(qr.Plan.Order) != 2 || len(qr.Plan.Nodes) != 2 {
+		t.Errorf("plan = %+v", qr.Plan)
+	}
+	if len(qr.Plan.Order) != len(qr.Plan.Declared) {
+		t.Errorf("order %v vs declared %v", qr.Plan.Order, qr.Plan.Declared)
+	}
+
+	// Offline: the rank layer's static table-ordering plan.
+	resp2, body2 := post(t, srv.URL+"/query", QueryRequest{SQL: `
+SELECT MERGE(clipID) AS s, RANK(act, obj)
+FROM (PROCESS titanic PRODUCE clipID, obj USING ObjectTracker, act USING ActionRecognizer)
+WHERE act='kissing' AND obj.include('surfboard','boat')
+ORDER BY RANK(act, obj) LIMIT 3`})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp2.StatusCode, body2)
+	}
+	var qr2 QueryResponse
+	if err := json.Unmarshal(body2, &qr2); err != nil {
+		t.Fatal(err)
+	}
+	if qr2.Plan == nil || len(qr2.Plan.Order) != 3 {
+		t.Fatalf("offline plan = %+v", qr2.Plan)
+	}
+
+	// The planner instruments must be exposed on /metrics.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, family := range []string{
+		"svqact_plan_queries_total",
+		"svqact_plan_replans_total",
+		"svqact_plan_skipped_evaluations_total",
+		"svqact_plan_saved_cost_ms_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metric family %s missing from /metrics", family)
+		}
+	}
+}

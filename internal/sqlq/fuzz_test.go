@@ -1,0 +1,92 @@
+package sqlq
+
+import (
+	"strings"
+	"testing"
+
+	"svqact/internal/core"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary byte strings. The
+// property is robustness, not acceptance: Parse must either return an error
+// or a Statement whose Plan derivation also terminates without panicking.
+// Accepted statements must additionally satisfy the parser's own structural
+// contracts.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		onlineQuery,
+		offlineQuery,
+		"EXPLAIN " + onlineQuery,
+		"explain " + offlineQuery,
+		`EXPLAIN SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' LIMIT 3`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE (act='a' OR act='b') AND obj.include('x','y')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act='a' AND rel.leftOf('x','y')`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE det = Action('a','x')`,
+		`select merge(c) as s from (process v produce c, act using I3D) where act='a';`,
+		`SELECT MERGE(c FROM`,
+		`EXPLAIN`,
+		`'unterminated`,
+		`SELECT MERGE(c) FROM (PROCESS v PRODUCE c) WHERE act=42`,
+		"\x00\xff(=.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			if st != nil {
+				t.Errorf("Parse returned both a statement and an error: %v", err)
+			}
+			return
+		}
+		// Accepted statements must carry at least one action atom (the
+		// whereClause contract) and plan deterministically.
+		actions := 0
+		for _, c := range st.Clauses {
+			for _, a := range c.Atoms {
+				if a.Kind == core.ActionPredicate {
+					actions++
+				}
+			}
+		}
+		if actions == 0 {
+			t.Errorf("accepted statement has no action atom: %q", input)
+		}
+		plan, perr := st.Plan()
+		if perr != nil {
+			return // statements may parse yet fail semantic planning
+		}
+		if plan.Explain != st.Explain {
+			t.Errorf("plan dropped the EXPLAIN flag for %q", input)
+		}
+		if !plan.Online && plan.K <= 0 {
+			t.Errorf("offline plan without positive K for %q", input)
+		}
+	})
+}
+
+// FuzzLex targets the tokeniser alone: it must terminate and either error
+// or produce a token stream ending in EOF with in-bounds offsets.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{onlineQuery, "EXPLAIN " + offlineQuery, `a 'b' "c" 42 (),=.;`, `'open`, "\xf0\x28\x8c\x28"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Errorf("token stream does not end in EOF for %q", input)
+		}
+		for _, tok := range toks {
+			if tok.pos < 0 || tok.pos > len(input) {
+				t.Errorf("token offset %d out of bounds for %q", tok.pos, input)
+			}
+			if tok.kind != tokEOF && tok.kind != tokString && !strings.Contains(input, tok.text) {
+				t.Errorf("token text %q not present in input %q", tok.text, input)
+			}
+		}
+	})
+}

@@ -10,6 +10,11 @@
 //	SELECT MERGE(clipID) AS Sequence, RANK(act, obj) ...
 //	ORDER BY RANK(act, obj) LIMIT 5
 //
+// An EXPLAIN prefix on either form asks the executor to surface the
+// predicate-ordering plan the query ran with:
+//
+//	EXPLAIN SELECT MERGE(clipID) AS Sequence ...
+//
 // Parse produces a Statement; Statement.Plan maps it onto the engine's
 // query model and chooses the online or offline execution path.
 package sqlq

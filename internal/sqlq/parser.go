@@ -18,6 +18,11 @@ type Produce struct {
 
 // Statement is a parsed query.
 type Statement struct {
+	// Explain is true when the statement is prefixed with EXPLAIN: the
+	// engine plans and executes the query as usual but the caller is asked
+	// to surface the predicate-ordering plan instead of (or alongside) the
+	// result sequences.
+	Explain bool
 	// Source is the identifier in the PROCESS clause (a video or dataset).
 	Source string
 	// Produces lists the PRODUCE items in order.
@@ -95,9 +100,12 @@ type Plan struct {
 	// (OR groups, multiple actions, relations); they run through the
 	// engine's CNF path.
 	Extended bool
-	Query    core.Query
-	CNF      core.CNF
-	Source   string
+	// Explain asks the caller to surface the predicate-ordering plan the
+	// execution ran with (EXPLAIN prefix).
+	Explain bool
+	Query   core.Query
+	CNF     core.CNF
+	Source  string
 	// K is the top-k bound for offline plans (defaulted to 10 when the
 	// statement ranks but gives no LIMIT).
 	K int
@@ -108,7 +116,7 @@ func (s *Statement) Plan() (Plan, error) {
 	if s.Source == "" {
 		return Plan{}, fmt.Errorf("sqlq: statement has no PROCESS source")
 	}
-	p := Plan{Online: !s.Offline(), Source: s.Source, K: s.Limit, CNF: s.CNF()}
+	p := Plan{Online: !s.Offline(), Explain: s.Explain, Source: s.Source, K: s.Limit, CNF: s.CNF()}
 	if s.Basic() {
 		p.Query = s.Query()
 		if err := p.Query.Validate(); err != nil {
@@ -185,6 +193,10 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) statement() (*Statement, error) {
 	st := &Statement{}
+	if p.cur().isKeyword("EXPLAIN") {
+		p.next()
+		st.Explain = true
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

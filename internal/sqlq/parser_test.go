@@ -311,3 +311,47 @@ func TestErrorsMentionOffset(t *testing.T) {
 		t.Errorf("error should carry an offset: %v", err)
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	st, err := Parse(`EXPLAIN ` + onlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Explain {
+		t.Error("EXPLAIN prefix not recorded")
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Explain || !plan.Online {
+		t.Errorf("plan = %+v", plan)
+	}
+	// Case-insensitive, and composes with the offline form.
+	st2, err := Parse(`explain ` + offlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := st2.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.Explain || plan2.Online || plan2.K != 5 {
+		t.Errorf("plan = %+v", plan2)
+	}
+	// Without the prefix the flag stays off.
+	st3, err := Parse(onlineQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Explain {
+		t.Error("Explain set without EXPLAIN prefix")
+	}
+	// EXPLAIN alone is not a statement.
+	if _, err := Parse(`EXPLAIN`); err == nil {
+		t.Error("bare EXPLAIN should fail")
+	}
+	if _, err := Parse(`EXPLAIN EXPLAIN ` + onlineQuery); err == nil {
+		t.Error("doubled EXPLAIN should fail")
+	}
+}

@@ -13,8 +13,14 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
+
+echo "==> sqlq fuzz smoke (-fuzztime=5s)"
+# A short native-fuzzing burst over the lexer and parser (EXPLAIN included
+# via the seed corpus): catches panics and contract violations cheaply.
+go test -fuzz '^FuzzParse$' -fuzztime=5s ./internal/sqlq
+go test -fuzz '^FuzzLex$' -fuzztime=5s ./internal/sqlq
 
 echo "==> benchmark smoke (-benchtime=1x)"
 # One iteration of every benchmark: catches bit-rot in the experiment and

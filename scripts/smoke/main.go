@@ -45,6 +45,10 @@ var requiredFamilies = []string{
 	"svqact_query_duration_seconds",
 	"svqact_rank_sorted_accesses_total",
 	"svqact_rank_random_accesses_total",
+	"svqact_plan_queries_total",
+	"svqact_plan_replans_total",
+	"svqact_plan_skipped_evaluations_total",
+	"svqact_plan_saved_cost_ms_total",
 	"svqact_uptime_seconds",
 	"svqact_detect_inferences_total",
 	"svqact_detect_attempts_total",
@@ -162,7 +166,15 @@ func run() error {
 	}
 	var qr struct {
 		QueryID string `json:"query_id"`
-		Trace   *struct {
+		Plan    *struct {
+			Adaptive bool     `json:"adaptive"`
+			Order    []string `json:"order"`
+			Declared []string `json:"declared"`
+			Nodes    []struct {
+				Name string `json:"name"`
+			} `json:"nodes"`
+		} `json:"plan"`
+		Trace *struct {
 			QueryID string `json:"query_id"`
 			Spans   []struct {
 				Name string `json:"name"`
@@ -179,10 +191,19 @@ func run() error {
 	for _, sp := range qr.Trace.Spans {
 		spans[sp.Name] = true
 	}
-	for _, want := range []string{"engine.run", "predicate:car", "predicate:blowing_leaves"} {
+	for _, want := range []string{"engine.run", "plan.order", "predicate:car", "predicate:blowing_leaves"} {
 		if !spans[want] {
 			return fmt.Errorf("trace missing span %q (have %v)", want, qr.Trace.Spans)
 		}
+	}
+
+	// The response must carry the predicate plan block: adaptive, with both
+	// the chosen and declared orders over the query's two predicates.
+	if qr.Plan == nil {
+		return fmt.Errorf("query response carries no plan block: %s", body)
+	}
+	if !qr.Plan.Adaptive || len(qr.Plan.Order) != 2 || len(qr.Plan.Declared) != 2 || len(qr.Plan.Nodes) != 2 {
+		return fmt.Errorf("malformed plan block: %+v", qr.Plan)
 	}
 
 	// Scrape and validate /metrics.
