@@ -1,0 +1,145 @@
+// Command coordinator fronts a sharded SVQ-ACT cluster: it scatters ranked
+// queries over shard replica sets (cmd/serve -shard-name processes), merges
+// the per-shard top-k with RVAQ's bounds as a distributed threshold, and
+// degrades gracefully when replicas or whole shards are lost.
+//
+//	coordinator -addr :8090 \
+//	  -shard s0=http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	  -shard s1=http://127.0.0.1:8083
+//
+// POST /query takes {"sql": "..."} and POST /query/batch takes
+// {"queries": ["...", ...]}; every answer carries a shards
+// {ok, degraded, failed} partition. Replica failover, retries with
+// deterministic backoff jitter, optional hedged requests, and per-replica
+// circuit breakers are internal/cluster's; /healthz, /shards and /metrics
+// expose the cluster state.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"svqact/internal/cluster"
+)
+
+// shardFlags collects repeatable -shard name=url1,url2 declarations.
+type shardFlags []cluster.ShardSpec
+
+func (s *shardFlags) String() string { return fmt.Sprint(len(*s), " shards") }
+
+func (s *shardFlags) Set(v string) error {
+	name, urls, ok := strings.Cut(v, "=")
+	if !ok || name == "" || urls == "" {
+		return fmt.Errorf("want name=url1,url2,..., got %q", v)
+	}
+	spec := cluster.ShardSpec{Name: name}
+	for i, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			return fmt.Errorf("shard %s: empty replica URL", name)
+		}
+		spec.Replicas = append(spec.Replicas,
+			cluster.NewHTTPBackend(fmt.Sprintf("%s-r%d", name, i), u, nil))
+	}
+	*s = append(*s, spec)
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		qTimeout = flag.Duration("query-timeout", 30*time.Second, "whole scatter-gather deadline (all refinement rounds)")
+		sTimeout = flag.Duration("shard-timeout", 0, "per-shard attempt-set deadline (0 = query-timeout)")
+		attempts = flag.Int("attempts-per-replica", 2, "retry budget per replica per round")
+		backoff  = flag.Duration("base-backoff", 20*time.Millisecond, "first retry backoff (doubles per attempt, deterministic jitter)")
+		maxBack  = flag.Duration("max-backoff", time.Second, "retry backoff ceiling")
+		hedge    = flag.Duration("hedge-after", 0, "race a second replica when an attempt is slower than this (0 disables hedging)")
+		hedgeQ   = flag.Float64("hedge-quantile", 0.95, "observed shard latency quantile that can raise the hedge delay")
+		seed     = flag.Uint64("seed", 42, "seed of the deterministic backoff jitter")
+		brkN     = flag.Int("breaker-threshold", 5, "consecutive replica failures that open its circuit breaker")
+		brkCool  = flag.Duration("breaker-cooloff", 5*time.Second, "open-breaker cooloff before a half-open probe")
+		health   = flag.Duration("health-interval", 2*time.Second, "background replica health-probe interval (0 disables)")
+	)
+	flag.Var(&shards, "shard", "shard declaration name=url1,url2,... (repeatable; first replica is the primary)")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "coordinator: at least one -shard name=url1,url2 is required")
+		os.Exit(2)
+	}
+	c, err := cluster.New(shards, cluster.Config{
+		QueryTimeout:       *qTimeout,
+		ShardTimeout:       *sTimeout,
+		AttemptsPerReplica: *attempts,
+		BaseBackoff:        *backoff,
+		MaxBackoff:         *maxBack,
+		HedgeAfter:         *hedge,
+		HedgeQuantile:      *hedgeQ,
+		Seed:               *seed,
+		Breaker:            cluster.BreakerConfig{Threshold: *brkN, Cooloff: *brkCool},
+		Logger:             logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if *health > 0 {
+		stopHealth := c.StartHealthChecks(ctx, *health)
+		defer stopHealth()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+	logger.Info("svq-act cluster coordinator listening",
+		"addr", ln.Addr().String(), "shards", len(shards))
+
+	hs := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Writes must outlast the slowest scatter-gather: batches run
+		// entries sequentially, so budget several query timeouts.
+		WriteTimeout: 8**qTimeout + 10*time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down: draining in-flight scatters")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Error("drain incomplete", "error", err.Error())
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		logger.Info("shutdown complete")
+	}
+}

@@ -48,6 +48,7 @@ func main() {
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		workers = flag.Int("workers", 0, "videos evaluated concurrently per /query/batch fleet (<= 0 = GOMAXPROCS)")
 		repoDir = flag.String("repo", "", "serve offline (RVAQ) queries from this saved repository (built with cmd/ingest); SIGHUP or POST /repo/reload picks up new generations")
+		shard   = flag.String("shard-name", "", "serve as one shard of a cluster: answers carry X-SVQ-Shard and per-shard truncation bounds for the coordinator (see cmd/coordinator)")
 
 		faultTransient = flag.Float64("fault-transient", 0, "injected transient detector failure rate [0,1)")
 		faultPermanent = flag.Float64("fault-permanent", 0, "injected permanent detector failure rate [0,1)")
@@ -74,6 +75,7 @@ func main() {
 		FailureBudget: *budget,
 		Workers:       *workers,
 		RepoDir:       *repoDir,
+		ShardName:     *shard,
 		Logger:        logger,
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {

@@ -28,6 +28,13 @@
 // exits non-zero if any member is corrupt:
 //
 //	svq fsck ./repo
+//
+// The split subcommand partitions a repository by video into N shard
+// repositories for sharded serving (cmd/serve -shard-name per shard,
+// cmd/coordinator in front). Placement is deterministic by video name, so
+// re-running split after re-ingest keeps every video on the same shard:
+//
+//	svq split -n 2 -out ./shards ./repo
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"svqact/internal/cluster"
 	"svqact/internal/core"
 	"svqact/internal/detect"
 	"svqact/internal/plan"
@@ -52,6 +60,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fsck" {
 		os.Exit(runFsck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "split" {
+		os.Exit(runSplit(os.Args[2:]))
 	}
 	var (
 		query   = flag.String("query", "", "SQL-like query (reads stdin when empty)")
@@ -285,6 +296,41 @@ func runFsck(args []string) int {
 		}
 	}
 	return exit
+}
+
+// runSplit partitions a repository into N shard repositories under -out,
+// named shard0..shardN-1, using the cluster's stable video-name hash.
+func runSplit(args []string) int {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	n := fs.Int("n", 2, "number of shards")
+	out := fs.String("out", "", "output directory (shard repositories are created as <out>/shardK)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: svq split -n N -out dir repoDir")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *n < 1 || *out == "" || fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	src := fs.Arg(0)
+	dirs := make([]string, *n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(*out, fmt.Sprintf("shard%d", i))
+	}
+	if err := cluster.SplitRepository(src, dirs); err != nil {
+		fmt.Fprintln(os.Stderr, "svq split:", err)
+		return 1
+	}
+	for i, dir := range dirs {
+		reports, err := rank.FsckRepository(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svq split: verifying shard %d: %v\n", i, err)
+			return 1
+		}
+		fmt.Printf("shard%d %s: %d members\n", i, dir, len(reports))
+	}
+	return 0
 }
 
 // fsckDir verifies dir as a single saved index when it holds a commit record

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the replica failed too often; requests are refused
+	// until the cool-off elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cool-off elapsed; exactly one probe request is
+	// let through to decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes one replica's circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (<= 0 means 5).
+	Threshold int
+	// Cooloff is how long the breaker stays open before letting a probe
+	// through (<= 0 means 5s).
+	Cooloff time.Duration
+
+	// now overrides the clock in tests; nil means time.Now.
+	now func() time.Time
+	// onTransition, when set, observes every state change.
+	onTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooloff <= 0 {
+		c.Cooloff = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker: consecutive failures trip it
+// open, a cool-off later it half-opens for a single probe, and the probe's
+// outcome decides between closing and re-opening. It keeps a persistently
+// failing replica from eating an attempt (and a backoff sleep) on every
+// query while still re-checking it periodically.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent to the replica now. In the
+// half-open state only the first caller gets true (the probe); the breaker
+// stays half-open until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) >= b.cfg.Cooloff {
+			b.transition(BreakerHalfOpen)
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a successful request, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.transition(BreakerClosed)
+	}
+}
+
+// Failure records a failed request; enough consecutive failures (or a
+// failed half-open probe) trip the breaker open.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures++
+	switch b.state {
+	case BreakerClosed:
+		if b.failures >= b.cfg.Threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		// Late failure from a request launched before the trip.
+	}
+}
+
+// State returns the breaker's current position (advancing open→half-open
+// when the cool-off has elapsed, so status endpoints see the truth).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.now().Sub(b.openedAt) >= b.cfg.Cooloff {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// callers hold b.mu for open and transition.
+func (b *Breaker) open() {
+	b.openedAt = b.cfg.now()
+	b.transition(BreakerOpen)
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.cfg.onTransition != nil && from != to {
+		b.cfg.onTransition(from, to)
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Threshold: 2, Cooloff: 10 * time.Second, now: clk.Now,
+		onTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker must be closed and allowing")
+	}
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("one failure below threshold must not trip")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before cool-off")
+	}
+
+	// Success resets the consecutive-failure count.
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cool-off elapsed: half-open must admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open must admit only one probe at a time")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe must re-open, got %v", b.State())
+	}
+
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cool-off: probe must be admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("passing probe must close the breaker")
+	}
+
+	// A single failure after recovery stays closed (count was reset).
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count must reset on close")
+	}
+
+	want := "closed>open,open>half_open,half_open>open,open>half_open,half_open>closed"
+	got := ""
+	for i, tr := range transitions {
+		if i > 0 {
+			got += ","
+		}
+		got += tr
+	}
+	if got != want {
+		t.Fatalf("transitions = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"svqact/internal/detect"
+)
+
+// ErrReplicaDown is the terminal error a FaultBackend returns while its
+// schedule has the replica dead — the in-process stand-in for a killed
+// serving process.
+var ErrReplicaDown = errors.New("cluster: replica down")
+
+// FaultPlan is a deterministic fault schedule for one replica. Rate-based
+// faults are decided by a keyed hash of (Seed, replica, call number) — the
+// same plan over the same call sequence always injects the same faults, so
+// failover, hedging and breaker behaviour are property-testable under
+// -race without real flakiness.
+type FaultPlan struct {
+	// Seed keys the per-call fault decisions.
+	Seed uint64
+	// ErrorRate is the probability a query call fails with a transient
+	// error; HangRate the probability it blocks until the caller's context
+	// expires (exercising hedging and deadlines); DelayRate the
+	// probability it sleeps Delay before answering (exercising latency
+	// percentiles without breaking correctness).
+	ErrorRate, HangRate, DelayRate float64
+	Delay                          time.Duration
+	// DownFrom kills the replica from the Nth query call onward (1-based;
+	// 0 disables): call numbers >= DownFrom fail with ErrReplicaDown. This
+	// is the deterministic "kill one replica mid-batch" lever. UpFrom,
+	// when > DownFrom, restarts it: calls >= UpFrom serve again.
+	DownFrom, UpFrom int
+}
+
+// FaultBackend wraps a Backend with a deterministic FaultPlan. Call
+// numbering counts Query calls only; Healthy shares the down window but
+// has its own counter so probes never shift the query fault schedule.
+type FaultBackend struct {
+	inner Backend
+	plan  FaultPlan
+
+	calls  atomic.Int64 // query calls, 1-based after Add
+	served atomic.Int64 // queries that reached the inner backend
+}
+
+// NewFaultBackend wraps inner with plan.
+func NewFaultBackend(inner Backend, plan FaultPlan) *FaultBackend {
+	return &FaultBackend{inner: inner, plan: plan}
+}
+
+func (b *FaultBackend) Name() string { return b.inner.Name() }
+
+// Calls returns the number of Query calls observed so far.
+func (b *FaultBackend) Calls() int64 { return b.calls.Load() }
+
+// Served returns the number of queries the inner backend actually answered.
+func (b *FaultBackend) Served() int64 { return b.served.Load() }
+
+// down reports whether call number n falls inside the dead window.
+func (b *FaultBackend) down(n int64) bool {
+	if b.plan.DownFrom <= 0 || n < int64(b.plan.DownFrom) {
+		return false
+	}
+	return b.plan.UpFrom <= b.plan.DownFrom || n < int64(b.plan.UpFrom)
+}
+
+func (b *FaultBackend) Query(ctx context.Context, req Request) (*Response, error) {
+	n := b.calls.Add(1)
+	if b.down(n) {
+		return nil, &replicaError{Replica: b.Name(), Err: ErrReplicaDown}
+	}
+	h := detect.Key64(b.plan.Seed, detect.KeyString(b.Name()), uint64(n))
+	u := detect.Unit01(h)
+	switch {
+	case u < b.plan.ErrorRate:
+		return nil, &replicaError{Replica: b.Name(), Status: 500,
+			Err: fmt.Errorf("injected fault (call %d)", n)}
+	case u < b.plan.ErrorRate+b.plan.HangRate:
+		<-ctx.Done()
+		return nil, &replicaError{Replica: b.Name(), Err: ctx.Err()}
+	case u < b.plan.ErrorRate+b.plan.HangRate+b.plan.DelayRate:
+		select {
+		case <-time.After(b.plan.Delay):
+		case <-ctx.Done():
+			return nil, &replicaError{Replica: b.Name(), Err: ctx.Err()}
+		}
+	}
+	b.served.Add(1)
+	return b.inner.Query(ctx, req)
+}
+
+func (b *FaultBackend) Healthy(ctx context.Context) error {
+	if b.down(b.calls.Load() + 1) {
+		return &replicaError{Replica: b.Name(), Err: ErrReplicaDown}
+	}
+	return b.inner.Healthy(ctx)
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// okStub answers every query immediately.
+func okStub(name string) Backend {
+	return &stubBackend{name: name, fn: func(context.Context, Request) (*Response, error) {
+		return &Response{Shard: name, Replica: name}, nil
+	}}
+}
+
+// Identical fault plans over identical call sequences inject identical
+// faults — the property that makes every failover test replayable.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	plan := FaultPlan{Seed: 42, ErrorRate: 0.4}
+	pattern := func() []bool {
+		b := NewFaultBackend(okStub("rep"), plan)
+		var p []bool
+		for i := 0; i < 64; i++ {
+			_, err := b.Query(context.Background(), Request{})
+			p = append(p, err == nil)
+		}
+		return p
+	}
+	a, b := pattern(), pattern()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: schedules diverge", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("ErrorRate 0.4 injected %d/%d failures — schedule degenerate", fails, len(a))
+	}
+}
+
+func TestFaultDownWindow(t *testing.T) {
+	b := NewFaultBackend(okStub("rep"), FaultPlan{DownFrom: 3, UpFrom: 5})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		_, err := b.Query(context.Background(), Request{})
+		if err != nil && !errors.Is(err, ErrReplicaDown) {
+			t.Fatalf("call %d: err = %v, want ErrReplicaDown", i+1, err)
+		}
+		got = append(got, err == nil)
+	}
+	want := []bool{true, true, false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d up = %v, want %v (window [3,5))", i+1, got[i], want[i])
+		}
+	}
+	if b.Served() != 4 {
+		t.Fatalf("served = %d, want 4", b.Served())
+	}
+	// Health shares the window (next call is 7 — up) but never consumes
+	// query call numbers.
+	if err := b.Healthy(context.Background()); err != nil {
+		t.Fatalf("healthy after recovery: %v", err)
+	}
+	if b.Calls() != 6 {
+		t.Fatalf("health probe consumed a query call: calls = %d", b.Calls())
+	}
+}
+
+func TestFaultDownForever(t *testing.T) {
+	b := NewFaultBackend(okStub("rep"), FaultPlan{DownFrom: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := b.Query(context.Background(), Request{}); !errors.Is(err, ErrReplicaDown) {
+			t.Fatalf("call %d: err = %v, want ErrReplicaDown", i+1, err)
+		}
+	}
+	if err := b.Healthy(context.Background()); !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("health of dead replica = %v, want ErrReplicaDown", err)
+	}
+}
+
+func TestFaultHangRespectsContext(t *testing.T) {
+	b := NewFaultBackend(okStub("rep"), FaultPlan{Seed: 1, HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.Query(ctx, Request{})
+	if err == nil {
+		t.Fatal("hang fault returned success")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang ignored context")
+	}
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"regexp"
+	"time"
+
+	"svqact/internal/obs"
+)
+
+// HTTP front of the coordinator. The surface mirrors the single-process
+// server where the contract overlaps (POST /query, GET /healthz, GET
+// /metrics, X-Query-ID correlation) and adds the cluster-only pieces:
+// POST /query/batch takes a list of ranked statements, and every answer
+// carries the shards {ok, degraded, failed} partition so clients can tell
+// a complete answer from a gracefully degraded one without parsing errors.
+
+var clusterQueryIDRe = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// QueryAnswer is the coordinator's /query response body (and one entry of
+// a /query/batch response).
+type QueryAnswer struct {
+	QueryID string `json:"query_id,omitempty"`
+	SQL     string `json:"sql,omitempty"`
+	*TopKResult
+	// Degraded flags a partial answer; Error then explains the first
+	// shard loss. The HTTP status stays 200: a degraded answer is still
+	// an answer.
+	Degraded  bool               `json:"degraded,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Trace     *obs.TraceSnapshot `json:"trace,omitempty"`
+}
+
+// BatchAnswer is the coordinator's /query/batch response body.
+type BatchAnswer struct {
+	QueryID string        `json:"query_id,omitempty"`
+	Entries []QueryAnswer `json:"entries"`
+	// Shards folds every entry's partition, keeping each shard's worst
+	// outcome across the batch.
+	Shards    Partition          `json:"shards"`
+	Degraded  bool               `json:"degraded,omitempty"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Trace     *obs.TraceSnapshot `json:"trace,omitempty"`
+}
+
+type clusterError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the coordinator's HTTP mux: POST /query, POST
+// /query/batch, GET /healthz, GET /shards, GET /metrics.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/query/batch", c.handleBatch)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/shards", c.handleShards)
+	mux.Handle("/metrics", c.cfg.Registry.Handler())
+	return mux
+}
+
+// admit mints (or adopts) the query ID and builds the request trace.
+func (c *Coordinator) admit(r *http.Request) (string, *obs.Trace) {
+	qid := r.Header.Get("X-Query-ID")
+	if !clusterQueryIDRe.MatchString(qid) {
+		qid = obs.NewQueryID()
+	}
+	return qid, obs.NewTrace(qid)
+}
+
+func clusterWriteJSON(w http.ResponseWriter, status int, qid string, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if qid != "" {
+		w.Header().Set("X-Query-ID", qid)
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// runOne scatter-gathers one statement inside the given trace context and
+// folds the outcome into a QueryAnswer. Fatal (bad-request) errors come
+// back as the second return.
+func (c *Coordinator) runOne(r *http.Request, trace *obs.Trace, qid, sql string) (QueryAnswer, error) {
+	start := time.Now()
+	ctx := obs.WithTrace(r.Context(), trace)
+	res, err := c.TopK(ctx, sql)
+	ans := QueryAnswer{QueryID: qid, TopKResult: res, ElapsedMS: time.Since(start).Milliseconds()}
+	if res != nil && res.Degraded() {
+		ans.Degraded = true
+	}
+	var deg *DegradedError
+	switch {
+	case err == nil:
+	case errors.As(err, &deg):
+		ans.Degraded = true
+		ans.Error = deg.Error()
+	default:
+		return ans, err
+	}
+	return ans, nil
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		clusterWriteJSON(w, http.StatusMethodNotAllowed, "", clusterError{Error: "POST only"})
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+		clusterWriteJSON(w, http.StatusBadRequest, "", clusterError{Error: "body must be {\"sql\": \"...\"}"})
+		return
+	}
+	qid, trace := c.admit(r)
+	ans, err := c.runOne(r, trace, qid, req.SQL)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bad *BadRequestError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		clusterWriteJSON(w, status, qid, clusterError{Error: err.Error()})
+		return
+	}
+	ans.Trace = trace.Snapshot()
+	status := http.StatusOK
+	if ans.TopKResult != nil && len(ans.Partition.Failed) == len(c.shards) {
+		// Nothing answered at all: that is an outage, not degradation.
+		status = http.StatusServiceUnavailable
+	}
+	clusterWriteJSON(w, status, qid, ans)
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		clusterWriteJSON(w, http.StatusMethodNotAllowed, "", clusterError{Error: "POST only"})
+		return
+	}
+	var req struct {
+		Queries []string `json:"queries"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) == 0 {
+		clusterWriteJSON(w, http.StatusBadRequest, "", clusterError{Error: "body must be {\"queries\": [\"...\", ...]}"})
+		return
+	}
+	if len(req.Queries) > 256 {
+		clusterWriteJSON(w, http.StatusBadRequest, "", clusterError{Error: "at most 256 queries per batch"})
+		return
+	}
+	qid, trace := c.admit(r)
+	start := time.Now()
+	out := BatchAnswer{QueryID: qid}
+	// Entries run sequentially: batch statements share the replica
+	// breakers and fault schedules, and a deterministic call order is
+	// what makes kill/failover tests (and incident reconstructions from
+	// the trace) replayable.
+	for _, sql := range req.Queries {
+		ans, err := c.runOne(r, trace, qid, sql)
+		ans.SQL = sql
+		if err != nil {
+			ans.Error = err.Error()
+			ans.Degraded = true
+		}
+		if ans.TopKResult != nil {
+			out.Shards.Merge(ans.Partition)
+		}
+		out.Entries = append(out.Entries, ans)
+	}
+	for _, e := range out.Entries {
+		if e.Degraded {
+			out.Degraded = true
+		}
+	}
+	out.ElapsedMS = time.Since(start).Milliseconds()
+	out.Trace = trace.Snapshot()
+	clusterWriteJSON(w, http.StatusOK, qid, out)
+}
+
+// clusterHealth is the /healthz body.
+type clusterHealth struct {
+	Status   string        `json:"status"`
+	Shards   []ShardStatus `json:"shards"`
+	Replicas int           `json:"replicas"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		clusterWriteJSON(w, http.StatusMethodNotAllowed, "", clusterError{Error: "GET only"})
+		return
+	}
+	st := c.Status()
+	n := 0
+	healthy := true
+	for _, sh := range st {
+		shardUp := false
+		for _, rep := range sh.Replicas {
+			n++
+			if rep.Breaker != BreakerOpen.String() && rep.LastError == "" {
+				shardUp = true
+			}
+		}
+		if !shardUp {
+			healthy = false
+		}
+	}
+	body := clusterHealth{Status: "ok", Shards: st, Replicas: n}
+	status := http.StatusOK
+	if !healthy {
+		body.Status = "degraded"
+	}
+	clusterWriteJSON(w, status, "", body)
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		clusterWriteJSON(w, http.StatusMethodNotAllowed, "", clusterError{Error: "GET only"})
+		return
+	}
+	clusterWriteJSON(w, http.StatusOK, "", struct {
+		Shards []ShardStatus `json:"shards"`
+	}{Shards: c.Status()})
+}

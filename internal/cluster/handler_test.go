@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHandlerQueryOK(t *testing.T) {
+	shardIxs, mono := buildWorld(t, 2)
+	c, err := New(localShards(shardIxs), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": rankedSQL},
+		map[string]string{"X-Query-ID": "00c0ffee00c0ffee"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Query-ID"); got != "00c0ffee00c0ffee" {
+		t.Fatalf("X-Query-ID = %q, want the inbound id adopted", got)
+	}
+	var ans QueryAnswer
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if ans.QueryID != "00c0ffee00c0ffee" || ans.Degraded {
+		t.Fatalf("answer = %+v", ans)
+	}
+	assertSameSeqs(t, ans.Sequences, monolithTopK(t, mono, rankedSQL))
+	if len(ans.Partition.OK) != 2 {
+		t.Fatalf("shards partition = %+v, want both ok", ans.Partition)
+	}
+	if ans.Trace == nil {
+		t.Fatal("answer missing trace")
+	}
+	names := strings.Join(spanNames(ans), ",")
+	for _, want := range []string{"cluster.topk", "cluster.shard:s0", "cluster.shard:s1"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("trace missing span %s (have %s)", want, names)
+		}
+	}
+}
+
+func spanNames(ans QueryAnswer) []string {
+	var out []string
+	for _, sp := range ans.Trace.Spans {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+func TestHandlerBadRequests(t *testing.T) {
+	shardIxs, _ := buildWorld(t, 1)
+	c, err := New(localShards(shardIxs), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		url  string
+		body any
+	}{
+		"parse error":      {ts.URL + "/query", map[string]string{"sql": "SELECT nonsense"}},
+		"online statement": {ts.URL + "/query", map[string]string{"sql": "SELECT clipID FROM (PROCESS repo PRODUCE clipID, act USING ActionRecognizer) WHERE act='jumping'"}},
+		"empty batch":      {ts.URL + "/query/batch", map[string][]string{"queries": {}}},
+	} {
+		resp, body := postJSON(t, tc.url, tc.body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d (%s), want 400", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// The acceptance scenario: one of two replicas of a shard is killed
+// mid-batch. The batch must still answer 200, the degraded partition must
+// name the shard, and every entry's top-k must equal the single-process
+// answer.
+func TestHandlerBatchReplicaKilledMidBatch(t *testing.T) {
+	shardIxs, mono := buildWorld(t, 2)
+	// s1's primary serves the first batch entry, then dies.
+	s1primary := NewFaultBackend(NewLocalBackend("s1-r0", 1, shardIxs[1]), FaultPlan{DownFrom: 2})
+	specs := []ShardSpec{
+		{Name: "s0", Replicas: []Backend{
+			NewLocalBackend("s0-r0", 1, shardIxs[0]),
+			NewLocalBackend("s0-r1", 1, shardIxs[0])}},
+		{Name: "s1", Replicas: []Backend{
+			s1primary,
+			NewLocalBackend("s1-r1", 1, shardIxs[1])}},
+	}
+	c, err := New(specs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	queries := []string{rankedSQL, rankedSQLK(2), rankedSQLK(5)}
+	resp, body := postJSON(t, ts.URL+"/query/batch", map[string][]string{"queries": queries}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (graceful degradation): %s", resp.StatusCode, body)
+	}
+	var ans BatchAnswer
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if len(ans.Entries) != len(queries) {
+		t.Fatalf("entries = %d, want %d", len(ans.Entries), len(queries))
+	}
+	// Every entry's top-k must equal the single-process answer — failover
+	// degrades latency, never results.
+	for i, e := range ans.Entries {
+		if e.TopKResult == nil {
+			t.Fatalf("entry %d missing result: %+v", i, e)
+		}
+		assertSameSeqs(t, e.Sequences, monolithTopK(t, mono, queries[i]))
+	}
+	// The batch partition names s1 as degraded (served by its secondary
+	// after the kill) and s0 as ok.
+	if !ans.Degraded {
+		t.Fatal("batch with a killed replica must be flagged degraded")
+	}
+	if fmt.Sprint(ans.Shards.Degraded) != "[s1]" || fmt.Sprint(ans.Shards.OK) != "[s0]" {
+		t.Fatalf("batch shards partition = %+v, want s0 ok / s1 degraded", ans.Shards)
+	}
+	if s1primary.Calls() < 2 {
+		t.Fatalf("kill never exercised: primary saw %d calls", s1primary.Calls())
+	}
+}
+
+// Whole-shard loss mid-batch: still 200, the failed partition names the
+// shard, and entries carry the surviving shards' exact top-k.
+func TestHandlerBatchShardLost(t *testing.T) {
+	shardIxs, _ := buildWorld(t, 2)
+	specs := []ShardSpec{
+		{Name: "s0", Replicas: []Backend{NewLocalBackend("s0-r0", 1, shardIxs[0])}},
+		{Name: "s1", Replicas: []Backend{
+			NewFaultBackend(NewLocalBackend("s1-r0", 1, shardIxs[1]), FaultPlan{DownFrom: 1}),
+			NewFaultBackend(NewLocalBackend("s1-r1", 1, shardIxs[1]), FaultPlan{DownFrom: 1})}},
+	}
+	c, err := New(specs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query/batch", map[string][]string{"queries": {rankedSQL, rankedSQL}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with degraded partition: %s", resp.StatusCode, body)
+	}
+	var ans BatchAnswer
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if fmt.Sprint(ans.Shards.Failed) != "[s1]" {
+		t.Fatalf("failed partition = %v, want [s1]", ans.Shards.Failed)
+	}
+	want := monolithTopK(t, shardIxs[0], rankedSQL)
+	for i, e := range ans.Entries {
+		if !e.Degraded || e.Error == "" || !strings.Contains(e.Error, "s1") {
+			t.Fatalf("entry %d should carry a degraded error naming s1: %+v", i, e)
+		}
+		assertSameSeqs(t, e.Sequences, want)
+	}
+}
+
+// Losing every shard is an outage, not degradation: /query answers 503.
+func TestHandlerAllShardsLost(t *testing.T) {
+	shardIxs, _ := buildWorld(t, 1)
+	c, err := New([]ShardSpec{{Name: "s0", Replicas: []Backend{
+		NewFaultBackend(NewLocalBackend("s0-r0", 1, shardIxs[0]), FaultPlan{DownFrom: 1}),
+	}}}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": rankedSQL}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHandlerHealthAndShards(t *testing.T) {
+	shardIxs, _ := buildWorld(t, 2)
+	c, err := New(localShards(shardIxs), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/shards", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d: %s", path, resp.StatusCode, data)
+		}
+		if path == "/metrics" && !strings.Contains(string(data), "svqact_cluster_shards") {
+			t.Errorf("/metrics missing svqact_cluster_shards gauge")
+		}
+	}
+}

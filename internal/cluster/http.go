@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPBackend answers shard queries from a cmd/serve -repo process over
+// its /query endpoint. It maps the server's JSON contract onto Response
+// and classifies failures: 4xx statuses become BadRequestError (fatal, no
+// failover), everything else — transport errors, 5xx, malformed bodies —
+// is transient and retried.
+type HTTPBackend struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps the serve process at baseURL (e.g.
+// "http://127.0.0.1:8080"). name defaults to the baseURL host.
+func NewHTTPBackend(name, baseURL string, client *http.Client) *HTTPBackend {
+	base := strings.TrimRight(baseURL, "/")
+	if name == "" {
+		name = strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPBackend{name: name, base: base, client: client}
+}
+
+func (b *HTTPBackend) Name() string { return b.name }
+
+// httpQueryResponse is the subset of the server's /query body the
+// coordinator consumes.
+type httpQueryResponse struct {
+	Shard      string `json:"-"`
+	Generation int    `json:"generation"`
+	Candidates int    `json:"candidates"`
+	Sequences  []struct {
+		Video string  `json:"video"`
+		Start int     `json:"start_clip"`
+		End   int     `json:"end_clip"`
+		Score float64 `json:"score"`
+		Lower float64 `json:"lower"`
+		Upper float64 `json:"upper"`
+		Exact bool    `json:"exact"`
+	} `json:"sequences"`
+	Truncated     bool    `json:"truncated"`
+	ResidualUpper float64 `json:"residual_upper"`
+	Error         string  `json:"error"`
+}
+
+func (b *HTTPBackend) Query(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(map[string]any{"sql": req.SQL, "k": req.K})
+	if err != nil {
+		return nil, &replicaError{Replica: b.name, Err: err}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, &replicaError{Replica: b.name, Err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if req.QueryID != "" {
+		hreq.Header.Set("X-Query-ID", req.QueryID)
+	}
+	hresp, err := b.client.Do(hreq)
+	if err != nil {
+		return nil, &replicaError{Replica: b.name, Err: err}
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, &replicaError{Replica: b.name, Status: hresp.StatusCode, Err: err}
+	}
+	var qr httpQueryResponse
+	decodeErr := json.Unmarshal(raw, &qr)
+	if hresp.StatusCode >= 400 && hresp.StatusCode < 500 && hresp.StatusCode != http.StatusTooManyRequests {
+		msg := qr.Error
+		if msg == "" {
+			msg = fmt.Sprintf("status %d", hresp.StatusCode)
+		}
+		return nil, &BadRequestError{Msg: fmt.Sprintf("replica %s: %s", b.name, msg)}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, &replicaError{Replica: b.name, Status: hresp.StatusCode,
+			Err: fmt.Errorf("shard returned %q", strings.TrimSpace(firstLine(qr.Error, raw)))}
+	}
+	if decodeErr != nil {
+		return nil, &replicaError{Replica: b.name, Err: fmt.Errorf("malformed shard body: %w", decodeErr)}
+	}
+	resp := &Response{
+		Shard:         headerOr(hresp.Header.Get("X-SVQ-Shard"), b.name),
+		Replica:       b.name,
+		Generation:    qr.Generation,
+		Candidates:    qr.Candidates,
+		Truncated:     qr.Truncated,
+		ResidualUpper: qr.ResidualUpper,
+	}
+	for _, s := range qr.Sequences {
+		resp.Sequences = append(resp.Sequences, RankedSeq{
+			Video:     s.Video,
+			StartClip: s.Start,
+			EndClip:   s.End,
+			Score:     s.Score,
+			Lower:     s.Lower,
+			Upper:     s.Upper,
+			Exact:     s.Exact,
+		})
+	}
+	return resp, nil
+}
+
+// Healthy probes the serve process's /healthz.
+func (b *HTTPBackend) Healthy(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return &replicaError{Replica: b.name, Err: err}
+	}
+	hresp, err := b.client.Do(hreq)
+	if err != nil {
+		return &replicaError{Replica: b.name, Err: err}
+	}
+	defer hresp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<20))
+	if hresp.StatusCode != http.StatusOK {
+		return &replicaError{Replica: b.name, Status: hresp.StatusCode,
+			Err: fmt.Errorf("healthz returned %d", hresp.StatusCode)}
+	}
+	return nil
+}
+
+func headerOr(v, def string) string {
+	if v != "" {
+		return v
+	}
+	return def
+}
+
+func firstLine(msg string, raw []byte) string {
+	if msg != "" {
+		return msg
+	}
+	s := string(raw)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"svqact/internal/rank"
+	"svqact/internal/server"
+)
+
+// buildShardRepos splits the test world into n on-disk shard repositories
+// and returns their directories plus the monolith ground truth.
+func buildShardRepos(t *testing.T, n int) (dirs []string, mono *rank.Index) {
+	t.Helper()
+	srcDir := t.TempDir()
+	src, err := rank.OpenRepository(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range testMembers {
+		if err := src.Add(memberIndex(t, m, int64(100+i*17))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mono, err = src.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	base := t.TempDir()
+	for i := 0; i < n; i++ {
+		dirs = append(dirs, filepath.Join(base, fmt.Sprintf("shard%d", i)))
+	}
+	if err := SplitRepository(srcDir, dirs); err != nil {
+		t.Fatal(err)
+	}
+	return dirs, mono
+}
+
+// shardServer boots a repo-backed single-process server for one shard.
+func shardServer(t *testing.T, repoDir, shardName string) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{Scale: 0.05, Seed: 1, RepoDir: repoDir, ShardName: shardName})
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The full serving stack: coordinator → HTTPBackend → cmd/serve-style
+// repo-backed processes, with replica kill and failover across real HTTP.
+func TestHTTPBackendEndToEnd(t *testing.T) {
+	dirs, mono := buildShardRepos(t, 2)
+	// Shard s1 runs two replica processes over the same shard repository.
+	s0r0 := shardServer(t, dirs[0], "s0")
+	s1r0 := shardServer(t, dirs[1], "s1")
+	s1r1 := shardServer(t, dirs[1], "s1")
+
+	specs := []ShardSpec{
+		{Name: "s0", Replicas: []Backend{NewHTTPBackend("s0-r0", s0r0.URL, nil)}},
+		{Name: "s1", Replicas: []Backend{
+			NewHTTPBackend("s1-r0", s1r0.URL, nil),
+			NewHTTPBackend("s1-r1", s1r1.URL, nil)}},
+	}
+	c, err := New(specs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := monolithTopK(t, mono, rankedSQL)
+
+	// Healthy cluster: exact monolith answer, all shards ok.
+	res, err := c.TopK(context.Background(), rankedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSeqs(t, res.Sequences, want)
+	if len(res.Partition.OK) != 2 {
+		t.Fatalf("partition = %+v", res.Partition)
+	}
+	for sh, gen := range res.Generations {
+		if gen < 1 {
+			t.Errorf("shard %s generation = %d, want >= 1", sh, gen)
+		}
+	}
+
+	// Health probes pass over real HTTP.
+	c.ProbeAll(context.Background())
+	for _, sh := range c.Status() {
+		for _, rep := range sh.Replicas {
+			if rep.LastError != "" {
+				t.Fatalf("replica %s probe failed: %s", rep.Name, rep.LastError)
+			}
+		}
+	}
+
+	// Kill s1's primary process: the query fails over to the second
+	// replica and degrades without losing correctness.
+	s1r0.Close()
+	res, err = c.TopK(context.Background(), rankedSQL)
+	if err != nil {
+		t.Fatalf("failover across HTTP should succeed: %v", err)
+	}
+	assertSameSeqs(t, res.Sequences, want)
+	if fmt.Sprint(res.Partition.Degraded) != "[s1]" {
+		t.Fatalf("partition after kill = %+v, want s1 degraded", res.Partition)
+	}
+
+	// Kill the last s1 replica: whole-shard loss, graceful degradation
+	// with the surviving shard's exact answer.
+	s1r1.Close()
+	res, err = c.TopK(context.Background(), rankedSQL)
+	var deg *DegradedError
+	if !errors.As(err, &deg) || fmt.Sprint(deg.Failed) != "[s1]" {
+		t.Fatalf("err = %v, want DegradedError naming s1", err)
+	}
+	s0ix, err := rank.OpenRepository(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0ix.Close()
+	s0merged, err := s0ix.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSeqs(t, res.Sequences, monolithTopK(t, s0merged, rankedSQL))
+}
+
+// HTTPBackend classifies shard rejections: invalid statements are fatal
+// BadRequestError (no failover), transport errors are transient.
+func TestHTTPBackendErrorClassification(t *testing.T) {
+	dirs, _ := buildShardRepos(t, 1)
+	ts := shardServer(t, dirs[0], "s0")
+	b := NewHTTPBackend("s0-r0", ts.URL, nil)
+
+	var bad *BadRequestError
+	if _, err := b.Query(context.Background(), Request{SQL: "SELECT nonsense"}); !errors.As(err, &bad) {
+		t.Fatalf("parse rejection = %v, want BadRequestError", err)
+	}
+	var rerr *replicaError
+	ts.Close()
+	if _, err := b.Query(context.Background(), Request{SQL: rankedSQL}); !errors.As(err, &rerr) {
+		t.Fatalf("dead process = %v, want transient replicaError", err)
+	}
+	if err := b.Healthy(context.Background()); err == nil {
+		t.Fatal("health probe of dead process should fail")
+	}
+}
+
+// The coordinator's K override reaches the shard over HTTP: a deeper pull
+// returns more sequences than the statement's LIMIT.
+func TestHTTPBackendKOverride(t *testing.T) {
+	dirs, _ := buildShardRepos(t, 1)
+	ts := shardServer(t, dirs[0], "s0")
+	b := NewHTTPBackend("s0-r0", ts.URL, nil)
+
+	shallow, err := b.Query(context.Background(), Request{SQL: rankedSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := b.Query(context.Background(), Request{SQL: rankedSQL, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shallow.Sequences) != 3 || len(deep.Sequences) <= len(shallow.Sequences) {
+		t.Fatalf("K override ignored: LIMIT 3 gave %d, K=8 gave %d",
+			len(shallow.Sequences), len(deep.Sequences))
+	}
+	if shallow.Shard != "s0" {
+		t.Fatalf("shard attribution = %q, want s0 (X-SVQ-Shard)", shallow.Shard)
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"svqact/internal/rank"
+	"svqact/internal/sqlq"
+)
+
+// LocalBackend serves one shard from an in-process rank.Index — the test
+// harness's replica, and the embedded single-process cluster mode. It
+// implements the same ranked contract as a cmd/serve -repo process:
+// offline statements only, honouring the coordinator's K override, and
+// reporting Truncated/ResidualUpper for the distributed threshold.
+type LocalBackend struct {
+	name string
+	gen  int
+	ix   *rank.Index
+
+	closed atomic.Bool
+}
+
+// NewLocalBackend wraps a merged shard index. gen is reported as the
+// serving generation.
+func NewLocalBackend(name string, gen int, ix *rank.Index) *LocalBackend {
+	return &LocalBackend{name: name, gen: gen, ix: ix}
+}
+
+// Close makes the backend refuse further queries — the in-process
+// equivalent of killing the serving process.
+func (b *LocalBackend) Close() { b.closed.Store(true) }
+
+// Reopen reverses Close — the replica restarting.
+func (b *LocalBackend) Reopen() { b.closed.Store(false) }
+
+func (b *LocalBackend) Name() string { return b.name }
+
+// Healthy reports whether the backend can serve.
+func (b *LocalBackend) Healthy(context.Context) error {
+	if b.closed.Load() {
+		return &replicaError{Replica: b.name, Err: errors.New("backend closed")}
+	}
+	return nil
+}
+
+// Query parses and answers one ranked statement against the shard index.
+func (b *LocalBackend) Query(ctx context.Context, req Request) (*Response, error) {
+	if b.closed.Load() {
+		return nil, &replicaError{Replica: b.name, Err: errors.New("backend closed")}
+	}
+	st, err := sqlq.Parse(req.SQL)
+	if err != nil {
+		return nil, &BadRequestError{Msg: err.Error()}
+	}
+	plan, err := st.Plan()
+	if err != nil {
+		return nil, &BadRequestError{Msg: err.Error()}
+	}
+	if plan.Online {
+		return nil, &BadRequestError{Msg: "cluster: only ranked (ORDER BY rank() LIMIT k) statements shard"}
+	}
+	k := plan.K
+	if req.K > 0 {
+		k = req.K
+	}
+	var res *rank.Result
+	if plan.Extended {
+		res, err = rank.RVAQCNF(ctx, b.ix, plan.CNF, k, rank.Options{})
+	} else {
+		res, err = rank.RVAQ(ctx, b.ix, plan.Query, k, rank.Options{})
+	}
+	if err != nil {
+		var miss *rank.NotIngestedError
+		if errors.As(err, &miss) {
+			// A shard holding a partial vocabulary answers "no candidates
+			// here" for types it never ingested — other shards may hold
+			// them, so this is neither a client nor a replica error.
+			return &Response{Shard: b.name, Replica: b.name, Generation: b.gen}, nil
+		}
+		return nil, &replicaError{Replica: b.name, Err: fmt.Errorf("shard query: %w", err)}
+	}
+	resp := &Response{
+		Shard:         b.name,
+		Replica:       b.name,
+		Generation:    b.gen,
+		Candidates:    res.Candidates,
+		Truncated:     res.Truncated,
+		ResidualUpper: res.ResidualUpper,
+	}
+	for _, sr := range res.Sequences {
+		vid, local := b.ix.Resolve(sr.Seq.Start)
+		resp.Sequences = append(resp.Sequences, RankedSeq{
+			Video:     vid,
+			StartClip: local,
+			EndClip:   local + sr.Seq.Len() - 1,
+			Score:     sr.Score(),
+			Lower:     sr.Lower,
+			Upper:     sr.Upper,
+			Exact:     sr.Exact,
+		})
+	}
+	return resp, nil
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+
+	"svqact/internal/detect"
+	"svqact/internal/rank"
+)
+
+// ShardOf assigns a repository member (video) to one of n shards by keyed
+// hash — stable across processes and runs, so every tier (splitter,
+// coordinator, operators reading logs) agrees on the placement without a
+// shard map service.
+func ShardOf(member string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(detect.KeyString(member) % uint64(n))
+}
+
+// PartitionMembers splits member names into n shard groups by ShardOf.
+// Order within a group follows the input order.
+func PartitionMembers(members []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	groups := make([][]string, n)
+	for _, m := range members {
+		i := ShardOf(m, n)
+		groups[i] = append(groups[i], m)
+	}
+	return groups
+}
+
+// SplitRepository partitions the repository at srcDir into len(outDirs)
+// shard repositories by video, copying each member index into its shard's
+// directory (Save format, so every shard is itself a valid repository a
+// cmd/serve -repo process can serve). Existing members in the output
+// repositories cause an error — split into fresh directories.
+func SplitRepository(srcDir string, outDirs []string) error {
+	if len(outDirs) == 0 {
+		return fmt.Errorf("cluster: no shard output directories")
+	}
+	src, err := rank.OpenRepository(srcDir)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	outs := make([]*rank.Repository, len(outDirs))
+	for i, dir := range outDirs {
+		out, err := rank.OpenRepository(dir)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		outs[i] = out
+	}
+	for _, name := range src.Videos() {
+		ix := src.Member(name)
+		if ix == nil {
+			return fmt.Errorf("cluster: member %q vanished during split", name)
+		}
+		if err := outs[ShardOf(name, len(outDirs))].Add(ix); err != nil {
+			return fmt.Errorf("cluster: splitting member %q: %w", name, err)
+		}
+	}
+	return nil
+}

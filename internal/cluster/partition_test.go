@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"svqact/internal/rank"
+)
+
+func TestShardOfStableAndTotal(t *testing.T) {
+	for _, m := range testMembers {
+		i := ShardOf(m, 3)
+		if i < 0 || i >= 3 {
+			t.Fatalf("ShardOf(%q, 3) = %d out of range", m, i)
+		}
+		if j := ShardOf(m, 3); j != i {
+			t.Fatalf("ShardOf(%q) unstable: %d then %d", m, i, j)
+		}
+	}
+	if ShardOf("anything", 1) != 0 || ShardOf("anything", 0) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+func TestPartitionMembersDisjointCover(t *testing.T) {
+	groups := PartitionMembers(testMembers, 3)
+	seen := map[string]int{}
+	for i, g := range groups {
+		for _, m := range g {
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("member %q in shards %d and %d", m, prev, i)
+			}
+			seen[m] = i
+		}
+	}
+	if len(seen) != len(testMembers) {
+		t.Fatalf("partition covers %d of %d members", len(seen), len(testMembers))
+	}
+}
+
+// SplitRepository splits an on-disk repository into shard repositories
+// that (a) are valid repositories, (b) disjointly cover the members, and
+// (c) answer via the coordinator exactly what the source answers directly.
+func TestSplitRepositoryRoundTrip(t *testing.T) {
+	srcDir := t.TempDir()
+	src, err := rank.OpenRepository(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range testMembers {
+		if err := src.Add(memberIndex(t, m, int64(100+i*17))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mono, err := src.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := monolithTopK(t, mono, rankedSQL)
+	src.Close()
+
+	outBase := t.TempDir()
+	outDirs := []string{filepath.Join(outBase, "shard0"), filepath.Join(outBase, "shard1")}
+	if err := SplitRepository(srcDir, outDirs); err != nil {
+		t.Fatal(err)
+	}
+
+	var union []string
+	var specs []ShardSpec
+	for i, dir := range outDirs {
+		repo, err := rank.OpenRepository(dir)
+		if err != nil {
+			t.Fatalf("shard %d is not a valid repository: %v", i, err)
+		}
+		defer repo.Close()
+		members := repo.Videos()
+		if len(members) == 0 {
+			t.Fatalf("shard %d is empty", i)
+		}
+		for _, m := range members {
+			if ShardOf(m, len(outDirs)) != i {
+				t.Fatalf("member %q landed on shard %d, ShardOf says %d", m, i, ShardOf(m, len(outDirs)))
+			}
+		}
+		union = append(union, members...)
+		merged, err := repo.Merged()
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("s%d", i)
+		specs = append(specs, ShardSpec{Name: name,
+			Replicas: []Backend{NewLocalBackend(name+"-r0", repo.MaxGeneration(), merged)}})
+	}
+	sort.Strings(union)
+	wantMembers := append([]string(nil), testMembers...)
+	sort.Strings(wantMembers)
+	if fmt.Sprint(union) != fmt.Sprint(wantMembers) {
+		t.Fatalf("shard union = %v, want %v", union, wantMembers)
+	}
+
+	c, err := New(specs, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.TopK(context.Background(), rankedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSeqs(t, res.Sequences, want)
+}
+
+func TestPartitionMergeKeepsWorst(t *testing.T) {
+	var p Partition
+	p.Merge(Partition{OK: []string{"a", "b", "c"}})
+	p.Merge(Partition{OK: []string{"a"}, Degraded: []string{"b"}, Failed: []string{"c"}})
+	p.Merge(Partition{OK: []string{"b", "c"}}) // never downgrades
+	sort.Strings(p.OK)
+	if fmt.Sprint(p.OK) != "[a]" || fmt.Sprint(p.Degraded) != "[b]" || fmt.Sprint(p.Failed) != "[c]" {
+		t.Fatalf("merged partition = %+v", p)
+	}
+}

@@ -21,6 +21,11 @@ type FleetOptions struct {
 	// completes, from the completing worker's goroutine — the streaming
 	// consumption path. It must be safe for concurrent invocation.
 	OnResult func(VideoResult)
+	// PerVideoTrace gives every video's run its own span tree (its trace
+	// ID is the fleet's query ID suffixed with the video ID) attached to
+	// the VideoResult, instead of suppressing per-run spans entirely. The
+	// fleet trace still carries its one summary span per video.
+	PerVideoTrace bool
 }
 
 // VideoResult is the outcome of one video of a fleet evaluation.
@@ -37,6 +42,9 @@ type VideoResult struct {
 	Err error
 	// Elapsed is the wall-clock duration of this video's run.
 	Elapsed time.Duration
+	// Trace is the run's own span tree when FleetOptions.PerVideoTrace
+	// was set; nil otherwise.
+	Trace *obs.Trace
 }
 
 // Outcome classifies the video's run for aggregation and metrics:
@@ -165,9 +173,19 @@ func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query
 			defer wg.Done()
 			for i := range jobs {
 				v := videos[i]
+				vctx := runCtx
+				var vtrace *obs.Trace
+				if opts.PerVideoTrace {
+					id := trace.ID()
+					if id != "" {
+						id += ":"
+					}
+					vtrace = obs.NewTrace(id + v.ID())
+					vctx = obs.WithTrace(runCtx, vtrace)
+				}
 				t0 := time.Now()
-				res, err := e.runShared(runCtx, v, q, shared)
-				vr := VideoResult{Index: i, ID: v.ID(), Result: res, Err: err, Elapsed: time.Since(t0)}
+				res, err := e.runShared(vctx, v, q, shared)
+				vr := VideoResult{Index: i, ID: v.ID(), Result: res, Err: err, Elapsed: time.Since(t0), Trace: vtrace}
 				sp := trace.AddSpan("fleet.video:"+vr.ID, t0, vr.Elapsed)
 				sp.SetAttr("outcome", vr.Outcome())
 				if res != nil {

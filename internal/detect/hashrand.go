@@ -48,6 +48,19 @@ func gauss(h uint64) float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// Key64 folds parts into a single 64-bit hash. Exported for callers outside
+// detect that need the same reproducible per-unit randomness — e.g. the
+// cluster coordinator's retry backoff derives its jitter from
+// (query, shard, attempt) keys so failover schedules replay identically in
+// tests.
+func Key64(parts ...uint64) uint64 { return keyed(parts...) }
+
+// KeyString hashes a string into a 64-bit key suitable for Key64.
+func KeyString(s string) uint64 { return hashString(s) }
+
+// Unit01 maps a 64-bit key to a uniform float in [0, 1).
+func Unit01(h uint64) float64 { return unitFloat(h) }
+
 // clampScore limits a sampled confidence to (0, 1].
 func clampScore(s float64) float64 {
 	if s <= 0 {

@@ -1,0 +1,73 @@
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"svqact/internal/video"
+)
+
+// Bounds brackets one candidate sequence's score: Lo <= score <= Up, with
+// Lo == Up when Exact. This is the unit of RVAQ's Equation 15 bookkeeping,
+// exported so the per-process traversal, the cluster coordinator's
+// distributed merge and the tests all share one definition instead of each
+// keeping a closure-local copy.
+type Bounds struct {
+	Seq video.Interval `json:"seq"`
+	Lo  float64        `json:"lo"`
+	Up  float64        `json:"up"`
+	// Exact marks a fully scored sequence (every clip processed).
+	Exact bool `json:"exact,omitempty"`
+}
+
+// Mid returns the exact score when known, otherwise the midpoint of the
+// bounds — the same convention SeqResult.Score uses.
+func (b Bounds) Mid() float64 {
+	if b.Exact {
+		return b.Lo
+	}
+	return (b.Lo + b.Up) / 2
+}
+
+// Bounds converts a ranked result sequence back into its score bounds.
+func (s SeqResult) Bounds() Bounds {
+	return Bounds{Seq: s.Seq, Lo: s.Lower, Up: s.Upper, Exact: s.Exact}
+}
+
+// TopKLowerBound returns Blo_K — the k-th largest lower bound across bs,
+// the pruning threshold of Equation 15: any sequence (or shard) whose best
+// possible upper bound falls below it can never reach the top-k. With fewer
+// than k bounds every candidate may still win, so the threshold is -Inf.
+func TopKLowerBound(bs []Bounds, k int) float64 {
+	if k <= 0 || len(bs) < k {
+		return math.Inf(-1)
+	}
+	los := make([]float64, len(bs))
+	for i, b := range bs {
+		los[i] = b.Lo
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
+	return los[k-1]
+}
+
+// Separated reports whether the k best lower bounds dominate every other
+// upper bound (the top-k set is determined), returning the winner indices
+// ordered by descending lower bound. This is Equation 15 stated over plain
+// bounds; RVAQ's traversal and the coordinator's merge both consult it.
+func Separated(bs []Bounds, k int) (winners []int, ok bool) {
+	order := make([]int, len(bs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return bs[order[i]].Lo > bs[order[j]].Lo })
+	if len(bs) <= k {
+		return order, true
+	}
+	bloK := bs[order[k-1]].Lo
+	for _, i := range order[k:] {
+		if bs[i].Up > bloK {
+			return nil, false
+		}
+	}
+	return order[:k], true
+}

@@ -77,7 +77,7 @@ func (ix *Index) cnfTables(q core.CNF, st *store.Stats) ([]store.Table, [][]int,
 					return nil, nil, nil, nil, fmt.Errorf("rank: relation atom %s is not supported offline", a)
 				}
 				if ti == nil {
-					return nil, nil, nil, nil, fmt.Errorf("rank: atom %s not ingested", a)
+					return nil, nil, nil, nil, &NotIngestedError{Kind: "atom", Name: fmt.Sprint(a)}
 				}
 				i = len(tis)
 				tis = append(tis, ti)

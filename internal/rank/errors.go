@@ -1,0 +1,20 @@
+package rank
+
+import "fmt"
+
+// NotIngestedError reports a query predicate type absent from the index's
+// vocabulary. A monolithic index treats it as a client error (the predicate
+// is a typo — nothing was ever ingested under that name); a shard holding a
+// partial vocabulary treats it as "no candidates here" and answers empty,
+// since other shards of the same repository may hold the type.
+type NotIngestedError struct {
+	Kind string // "action", "object" or "atom"
+	Name string
+}
+
+func (e *NotIngestedError) Error() string {
+	if e.Kind == "atom" {
+		return fmt.Sprintf("rank: atom %s not ingested", e.Name)
+	}
+	return fmt.Sprintf("rank: %s %q not ingested", e.Kind, e.Name)
+}

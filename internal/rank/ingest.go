@@ -186,13 +186,13 @@ func (ix *Index) Pq(q core.Query) (video.IntervalSet, error) {
 	}
 	act, ok := ix.Actions[q.Action]
 	if !ok {
-		return video.IntervalSet{}, fmt.Errorf("rank: action %q not ingested", q.Action)
+		return video.IntervalSet{}, &NotIngestedError{Kind: "action", Name: q.Action}
 	}
 	sets := []video.IntervalSet{act.Seqs}
 	for _, o := range q.Objects {
 		ti, ok := ix.Objects[o]
 		if !ok {
-			return video.IntervalSet{}, fmt.Errorf("rank: object %q not ingested", o)
+			return video.IntervalSet{}, &NotIngestedError{Kind: "object", Name: o}
 		}
 		sets = append(sets, ti.Seqs)
 	}

@@ -1,7 +1,6 @@
 package rank
 
 import (
-	"fmt"
 	"time"
 
 	"svqact/internal/core"
@@ -79,13 +78,13 @@ func (ix *Index) queryTables(q core.Query, st *store.Stats, clip ClipScorer) ([]
 	for _, o := range q.Objects {
 		ti, ok := ix.Objects[o]
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("rank: object %q not ingested", o)
+			return nil, nil, nil, &NotIngestedError{Kind: "object", Name: o}
 		}
 		decls = append(decls, decl{o, ti})
 	}
 	ti, ok := ix.Actions[q.Action]
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("rank: action %q not ingested", q.Action)
+		return nil, nil, nil, &NotIngestedError{Kind: "action", Name: q.Action}
 	}
 	decls = append(decls, decl{q.Action, ti})
 

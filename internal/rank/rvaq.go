@@ -51,6 +51,14 @@ type Result struct {
 	// Plan reports the table-ordering plan the query ran with — the
 	// offline EXPLAIN surface. Ordering never changes ranked output.
 	Plan *plan.Report
+	// Truncated reports that candidate sequences beyond the returned
+	// top-k exist; ResidualUpper is then an upper bound on every omitted
+	// sequence's score. A scatter-gather coordinator uses the pair as the
+	// distributed-threshold signal: once a shard's ResidualUpper falls
+	// below the global k-th lower bound (Blo_K) the shard holds nothing
+	// further worth pulling.
+	Truncated     bool
+	ResidualUpper float64
 }
 
 // Options tune the RVAQ query phase.
@@ -170,31 +178,27 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 		return f.Combine(s.sum, f.Repeat(sBtm, s.remaining()))
 	}
 
+	boundsOf := func(s *seqState) Bounds {
+		return Bounds{Seq: s.iv, Lo: lower(s), Up: upper(s), Exact: s.remaining() == 0}
+	}
+
 	// separated reports whether the k-th best lower bound dominates every
 	// other sequence's upper bound (paper Equation 15), returning the
-	// current winner set when it does.
+	// current winner set when it does. The bound comparison itself lives
+	// in rank.Separated so the cluster coordinator's merge applies the
+	// identical rule.
 	separated := func() ([]*seqState, bool) {
-		if len(seqs) <= k {
-			return seqs, true
-		}
-		type bounds struct {
-			s      *seqState
-			lo, up float64
-		}
-		bs := make([]bounds, len(seqs))
+		bs := make([]Bounds, len(seqs))
 		for i, s := range seqs {
-			bs[i] = bounds{s: s, lo: lower(s), up: upper(s)}
+			bs[i] = boundsOf(s)
 		}
-		sort.Slice(bs, func(i, j int) bool { return bs[i].lo > bs[j].lo })
-		bloK := bs[k-1].lo
-		winners := make([]*seqState, k)
-		for i := 0; i < k; i++ {
-			winners[i] = bs[i].s
+		idx, sep := Separated(bs, k)
+		if !sep {
+			return nil, false
 		}
-		for _, b := range bs[k:] {
-			if b.up > bloK {
-				return nil, false
-			}
+		winners := make([]*seqState, len(idx))
+		for i, j := range idx {
+			winners[i] = seqs[j]
 		}
 		return winners, true
 	}
@@ -296,11 +300,24 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 		winners = ws
 	}
 
+	inWinners := make(map[*seqState]bool, len(winners))
 	for _, w := range winners {
+		inWinners[w] = true
 		sr := SeqResult{Seq: w.iv, Lower: lower(w), Upper: upper(w), Exact: w.remaining() == 0}
 		res.Sequences = append(res.Sequences, sr)
 	}
 	sort.Slice(res.Sequences, func(i, j int) bool { return res.Sequences[i].Score() > res.Sequences[j].Score() })
+	// The residual upper bound covers every candidate the top-k omits —
+	// what a coordinator needs to decide whether this shard could still
+	// contribute to a global top-k.
+	for _, s := range seqs {
+		if !inWinners[s] {
+			res.Truncated = true
+			if up := upper(s); up > res.ResidualUpper {
+				res.ResidualUpper = up
+			}
+		}
+	}
 	return nil
 }
 
@@ -334,12 +351,11 @@ func dropHopeless(seqs []*seqState, k int, upper, lower func(*seqState) float64,
 	if len(seqs) <= k {
 		return
 	}
-	los := make([]float64, 0, len(seqs))
-	for _, s := range seqs {
-		los = append(los, lower(s))
+	bs := make([]Bounds, len(seqs))
+	for i, s := range seqs {
+		bs[i] = Bounds{Seq: s.iv, Lo: lower(s), Up: upper(s)}
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
-	bloK := los[k-1]
+	bloK := TopKLowerBound(bs, k)
 	for _, s := range seqs {
 		if !s.excluded && upper(s) < bloK {
 			s.excluded = true

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// Per-entry observability parity with /query: every video of a batch
+// carries its own span tree, trace-ID-correlated to the batch query ID.
+func TestBatchPerEntryTraces(t *testing.T) {
+	srv := testServer(t)
+	resp, body := post(t, srv.URL+"/query/batch", BatchRequest{SQL: batchSQL, Workers: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.QueryID == "" {
+		t.Fatal("batch has no query id")
+	}
+	for _, v := range br.Videos {
+		if v.Trace == nil {
+			t.Fatalf("video %s has no per-entry trace", v.ID)
+		}
+		if want := br.QueryID + ":" + v.ID; v.Trace.QueryID != want {
+			t.Errorf("video %s trace id = %q, want %q (batch id + video suffix)", v.ID, v.Trace.QueryID, want)
+		}
+		if len(v.Trace.Spans) == 0 {
+			t.Errorf("video %s trace has no spans", v.ID)
+		}
+	}
+	// The batch-level trace still carries its one summary span per video,
+	// so the two views correlate rather than replace each other.
+	if br.Trace == nil {
+		t.Fatal("batch-level trace missing")
+	}
+	perVideo := 0
+	for _, sp := range br.Trace.Spans {
+		if len(sp.Name) > len("fleet.video:") && sp.Name[:len("fleet.video:")] == "fleet.video:" {
+			perVideo++
+		}
+	}
+	if perVideo != br.NumVideos {
+		t.Errorf("batch trace has %d fleet.video spans for %d videos", perVideo, br.NumVideos)
+	}
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"svqact/internal/rank"
+	"svqact/internal/store"
+	"svqact/internal/video"
+)
+
+// altMemberIndex builds a replacement "alpha" member whose scores differ
+// from buildRepoDir's, so a committed update visibly changes answers.
+func altMemberIndex(t *testing.T) *rank.Index {
+	t.Helper()
+	ix := &rank.Index{
+		Name: "alpha", NumClips: 30,
+		Objects: map[string]*rank.TypeIndex{},
+		Actions: map[string]*rank.TypeIndex{},
+	}
+	mk := func(typ string) *rank.TypeIndex {
+		var entries []store.Entry
+		for c := 0; c < 30; c++ {
+			entries = append(entries, store.Entry{Clip: c, Score: float64(2 + (c*11+len(typ))%17)})
+		}
+		tbl, err := store.NewMemTable(typ, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := video.NewIntervalSet(video.Interval{Start: 3, End: 7}, video.Interval{Start: 20, End: 24})
+		return &rank.TypeIndex{Table: tbl, Seqs: seqs}
+	}
+	ix.Objects["car"] = mk("car")
+	ix.Actions["jumping"] = mk("jumping")
+	return ix
+}
+
+// Hot-reload robustness under injected filesystem faults: a member save
+// that crashes at any step must leave the repository reloadable with the
+// OLD generation still serving, and a torn commit pointer must make the
+// reload fail closed — 409, old generation keeps answering queries, and
+// /repo/status names the error.
+func TestRepoReloadFlakyFS(t *testing.T) {
+	dir := buildRepoDir(t)
+	srv := New(Config{Scale: 0.05, Seed: 1, RepoDir: dir})
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	query := func(t *testing.T) (int, QueryResponse) {
+		t.Helper()
+		resp, body := post(t, ts.URL+"/query", QueryRequest{SQL: repoSQL})
+		var qr QueryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatalf("bad response %s: %v", body, err)
+			}
+		}
+		return resp.StatusCode, qr
+	}
+	seqKeys := func(qr QueryResponse) string {
+		raw, _ := json.Marshal(qr.Sequences)
+		return string(raw)
+	}
+	reload := func(t *testing.T) int {
+		t.Helper()
+		resp, _ := post(t, ts.URL+"/repo/reload", struct{}{})
+		return resp.StatusCode
+	}
+
+	status, base := query(t)
+	if status != http.StatusOK || len(base.Sequences) == 0 {
+		t.Fatalf("baseline query: status %d, %d sequences", status, len(base.Sequences))
+	}
+	baseKeys := seqKeys(base)
+	baseGen := base.Generation
+	if baseGen == 0 {
+		t.Fatal("baseline response carries no repository generation")
+	}
+
+	// Precompute the answers a COMMITTED alpha update produces, from an
+	// identical second repository (buildRepoDir is deterministic).
+	altDir := buildRepoDir(t)
+	if err := rank.Save(filepath.Join(altDir, "alpha"), altMemberIndex(t)); err != nil {
+		t.Fatal(err)
+	}
+	srvAlt := New(Config{Scale: 0.05, Seed: 1, RepoDir: altDir})
+	if err := srvAlt.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	tsAlt := httptest.NewServer(srvAlt.Handler())
+	respAlt, bodyAlt := post(t, tsAlt.URL+"/query", QueryRequest{SQL: repoSQL})
+	tsAlt.Close()
+	if respAlt.StatusCode != http.StatusOK {
+		t.Fatalf("alt baseline query: %d", respAlt.StatusCode)
+	}
+	var qrAlt QueryResponse
+	if err := json.Unmarshal(bodyAlt, &qrAlt); err != nil {
+		t.Fatal(err)
+	}
+	altKeys := seqKeys(qrAlt)
+	if altKeys == baseKeys {
+		t.Fatal("alt member update does not change answers — sweep would be vacuous")
+	}
+
+	// Count the mutating ops of a full member save, then crash the save at
+	// every step. After each crash the repository must reload cleanly and
+	// answer with EITHER the old or the (fully committed) new content —
+	// never a torn mix, never an error. Crashes before the CURRENT rename
+	// leave the old generation; crashes after it (e.g. during generation
+	// GC) legitimately serve the new one.
+	alphaDir := filepath.Join(dir, "alpha")
+	probe := store.NewFlakyFS(store.OS, store.FlakyOptions{})
+	scratch := t.TempDir()
+	if err := rank.SaveFS(probe, filepath.Join(scratch, "alpha"), altMemberIndex(t)); err != nil {
+		t.Fatal(err)
+	}
+	ops := probe.Ops()
+	if ops < 5 {
+		t.Fatalf("save performed only %d mutating ops — FlakyFS sweep is vacuous", ops)
+	}
+	sawOld := false
+	for step := 1; step <= ops; step++ {
+		ffs := store.NewFlakyFS(store.OS, store.FlakyOptions{FailAt: step, ShortWrite: step%2 == 0})
+		saveErr := rank.SaveFS(ffs, alphaDir, altMemberIndex(t))
+		if saveErr == nil && !ffs.Crashed() {
+			t.Fatalf("step %d: FlakyFS never crashed — op count shrank?", step)
+		}
+		if st := reload(t); st != http.StatusOK {
+			t.Fatalf("step %d: reload after crashed save = %d, want 200 (a committed generation serves)", step, st)
+		}
+		st, qr := query(t)
+		if st != http.StatusOK {
+			t.Fatalf("step %d: query after crashed save = %d", step, st)
+		}
+		if got := seqKeys(qr); got != baseKeys && got != altKeys {
+			t.Fatalf("step %d: answers are neither old nor new content: %s", step, got)
+		} else if got == baseKeys {
+			sawOld = true
+		}
+		if h := srv.Health(); h.Repo == nil || h.Repo.Failed || h.Repo.Error != "" {
+			t.Fatalf("step %d: repo health = %+v, want clean", step, h.Repo)
+		}
+	}
+	if !sawOld {
+		t.Fatal("no crash point left the old generation serving — sweep is not covering the pre-commit steps")
+	}
+
+	// Re-baseline: a late-crash sweep step may have legitimately committed
+	// the alt content, so "old generation" from here on means whatever the
+	// last successful reload is serving.
+	st, cur := query(t)
+	if st != http.StatusOK {
+		t.Fatalf("post-sweep query = %d", st)
+	}
+	curKeys, curGen := seqKeys(cur), cur.Generation
+
+	// A torn CURRENT (the non-atomic-rename disaster the format defends
+	// against) must fail the reload closed: 409, error surfaced on
+	// /repo/status, old generation still serving.
+	currentPath := filepath.Join(alphaDir, "CURRENT")
+	orig, err := os.ReadFile(currentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(currentPath, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st := reload(t); st != http.StatusConflict {
+		t.Fatalf("reload with torn CURRENT = %d, want 409", st)
+	}
+	stResp, err := http.Get(ts.URL + "/repo/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rh RepoHealth
+	if err := json.NewDecoder(stResp.Body).Decode(&rh); err != nil {
+		t.Fatalf("bad repo status: %v", err)
+	}
+	stResp.Body.Close()
+	if !rh.Failed || rh.Error == "" {
+		t.Fatalf("repo status after failed reload = %+v, want Failed with Error message", rh)
+	}
+	if st, qr := query(t); st != http.StatusOK || seqKeys(qr) != curKeys || qr.Generation != curGen {
+		t.Fatalf("old generation stopped serving after failed reload: status %d gen %d, want gen %d", st, qr.Generation, curGen)
+	}
+
+	// Restoring the commit pointer recovers: reload succeeds and the
+	// error clears.
+	if err := os.WriteFile(currentPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st := reload(t); st != http.StatusOK {
+		t.Fatalf("reload after repair = %d, want 200", st)
+	}
+	if h := srv.Health(); h.Repo == nil || h.Repo.Failed || h.Repo.Error != "" {
+		t.Fatalf("repo health after repair = %+v, want clean", h.Repo)
+	}
+
+	// A clean (non-crashed) save of the new member commits: the reload
+	// must now swap to the new content — proving the sweep above asserted
+	// "unchanged" for the right reason.
+	if err := rank.Save(alphaDir, altMemberIndex(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := reload(t); st != http.StatusOK {
+		t.Fatalf("reload after committed save = %d", st)
+	}
+	if _, qr := query(t); seqKeys(qr) == baseKeys {
+		t.Fatal("committed member update did not change answers — reload swap is a no-op")
+	}
+}

@@ -70,6 +70,7 @@ func (s *Server) Reload() error {
 		}
 		s.repoMu.Lock()
 		s.repoFailed = true
+		s.repoErr = err.Error()
 		s.repoMu.Unlock()
 		return err
 	}
@@ -79,6 +80,7 @@ func (s *Server) Reload() error {
 	s.repo = h
 	recovered := s.repoFailed
 	s.repoFailed = false
+	s.repoErr = ""
 	s.repoMu.Unlock()
 	if old != nil {
 		old.retire()
@@ -113,8 +115,11 @@ type RepoHealth struct {
 	Generation int    `json:"generation"`
 	Videos     int    `json:"videos"`
 	// Failed is true when the most recent reload attempt was rejected
-	// (the previously loaded repository, if any, keeps serving).
-	Failed bool `json:"failed,omitempty"`
+	// (the previously loaded repository, if any, keeps serving); Error
+	// then carries the rejection's message so /repo/status explains what
+	// went wrong, not just that something did.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 func (s *Server) repoHealth() *RepoHealth {
@@ -122,9 +127,9 @@ func (s *Server) repoHealth() *RepoHealth {
 		return nil
 	}
 	s.repoMu.Lock()
-	h, failed := s.repo, s.repoFailed
+	h, failed, lastErr := s.repo, s.repoFailed, s.repoErr
 	s.repoMu.Unlock()
-	rh := &RepoHealth{Dir: s.cfg.RepoDir, Failed: failed}
+	rh := &RepoHealth{Dir: s.cfg.RepoDir, Failed: failed, Error: lastErr}
 	if h != nil {
 		rh.Generation = h.repo.MaxGeneration()
 		rh.Videos = len(h.repo.Videos())

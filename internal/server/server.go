@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"regexp"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -66,6 +67,12 @@ type Config struct {
 	// synthetic datasets. Call Reload (or POST /repo/reload) to load it and
 	// to pick up newly committed generations without restarting.
 	RepoDir string
+
+	// ShardName, when set, marks this process as one shard of a cluster:
+	// every response carries it in the X-SVQ-Shard header and /healthz
+	// reports it, so a coordinator (and an operator reading traces) can
+	// attribute answers to shards.
+	ShardName string
 
 	// Fault, when set, wraps the detection models with the fault injector —
 	// the operational testbed for the retry and skip-and-flag machinery.
@@ -160,6 +167,7 @@ type Server struct {
 	repoMu         sync.Mutex
 	repo           *repoHandle
 	repoFailed     bool
+	repoErr        string
 	repoGeneration *obs.Gauge
 	repoMembers    *obs.Gauge
 	repoReloads    map[string]*obs.Counter
@@ -373,11 +381,19 @@ type QueryRequest struct {
 	SQL string `json:"sql"`
 	// Algo selects the online algorithm: "svaqd" (default) or "svaq".
 	Algo string `json:"algo,omitempty"`
+	// K, when positive, overrides the statement's LIMIT for offline
+	// (ranked) plans. A cluster coordinator uses it to pull a deeper
+	// top-k from a shard during distributed-threshold refinement without
+	// rewriting the SQL text.
+	K int `json:"k,omitempty"`
 }
 
 // Sequence is one result sequence. Repository-backed answers resolve clips
 // to the member video and report member-local clip ids with no frame ranges
-// (the repository stores clip score tables, not video geometry).
+// (the repository stores clip score tables, not video geometry). Ranked
+// answers additionally carry the score bounds (rank.Bounds): Lower == Upper
+// when Exact, and a scatter-gather coordinator merges shards on the bounds
+// rather than the point score.
 type Sequence struct {
 	StartClip  int     `json:"start_clip"`
 	EndClip    int     `json:"end_clip"`
@@ -385,6 +401,9 @@ type Sequence struct {
 	EndFrame   int     `json:"end_frame"`
 	Score      float64 `json:"score,omitempty"`
 	Video      string  `json:"video,omitempty"`
+	Lower      float64 `json:"lower,omitempty"`
+	Upper      float64 `json:"upper,omitempty"`
+	Exact      bool    `json:"exact,omitempty"`
 }
 
 // QueryResponse is the /query response body.
@@ -405,6 +424,14 @@ type QueryResponse struct {
 	ElapsedMS    int64 `json:"elapsed_ms"`
 	// RandomAccesses counts offline table accesses (RVAQ only).
 	RandomAccesses int64 `json:"random_accesses,omitempty"`
+	// Truncated reports that ranked candidates beyond the returned top-k
+	// exist; ResidualUpper then bounds every omitted candidate's score —
+	// the coordinator's distributed Blo_K pruning signal.
+	Truncated     bool    `json:"truncated,omitempty"`
+	ResidualUpper float64 `json:"residual_upper,omitempty"`
+	// Generation is the repository generation that answered (repository-
+	// backed offline statements only).
+	Generation int `json:"generation,omitempty"`
 	// Plan reports the predicate-ordering plan the query executed with:
 	// adaptive or pinned, the chosen vs declared order, and per-predicate
 	// cost and selectivity statistics. Ordering never changes results.
@@ -438,6 +465,10 @@ type BatchVideo struct {
 	Sequences      []Sequence `json:"sequences,omitempty"`
 	Error          string     `json:"error,omitempty"`
 	ElapsedMS      int64      `json:"elapsed_ms"`
+	// Trace is this video's own span tree (trace ID = the batch query ID
+	// suffixed with the video ID) — per-entry observability parity with
+	// /query, whose responses always carry their trace.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // BatchResponse is the /query/batch response body: per-video results in
@@ -483,6 +514,7 @@ type errorResponse struct {
 // Health is the /healthz response body.
 type Health struct {
 	Status        string  `json:"status"`
+	Shard         string  `json:"shard,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Inflight      int64   `json:"inflight"`
 	Waiting       int64   `json:"waiting"`
@@ -500,6 +532,7 @@ type Health struct {
 func (s *Server) Health() Health {
 	return Health{
 		Status:        "ok",
+		Shard:         s.cfg.ShardName,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Inflight:      s.inflight.Value(),
 		Waiting:       s.waiting.Value(),
@@ -532,7 +565,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/repo/status", s.handleRepoStatus)
 	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
 	mux.Handle("/query/batch", s.admit(http.HandlerFunc(s.handleBatch)))
-	return s.recover(mux)
+	var h http.Handler = mux
+	if s.cfg.ShardName != "" {
+		h = s.shardHeader(h)
+	}
+	return s.recover(h)
+}
+
+// shardHeader stamps every response with this process's shard identity.
+func (s *Server) shardHeader(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-SVQ-Shard", s.cfg.ShardName)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // recover converts handler panics into JSON 500s with a logged stack,
@@ -586,14 +631,24 @@ func (s *Server) admit(next http.Handler) http.Handler {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		// The query is admitted: mint its ID and trace here so queueing
-		// time is excluded but everything the handler does is covered.
-		qid := obs.NewQueryID()
+		// time is excluded but everything the handler does is covered. A
+		// well-formed inbound X-Query-ID (a coordinator fanning out to
+		// this shard) is adopted so the whole scatter shares one ID
+		// across coordinator and shard logs, traces and responses.
+		qid := r.Header.Get("X-Query-ID")
+		if !queryIDRe.MatchString(qid) {
+			qid = obs.NewQueryID()
+		}
 		w.Header().Set("X-Query-ID", qid)
 		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(qid)))
 		next.ServeHTTP(w, r)
 		s.served.Inc()
 	})
 }
+
+// queryIDRe is the shape of IDs minted by obs.NewQueryID; only inbound
+// X-Query-ID headers matching it are adopted for cross-tier correlation.
+var queryIDRe = regexp.MustCompile(`^[0-9a-f]{16}$`)
 
 func (s *Server) reject(w http.ResponseWriter, why string) {
 	s.rejected.Inc()
@@ -723,7 +778,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
-	fr, fleetErr := eng.RunAll(ctx, vids, plan.Query, core.FleetOptions{Workers: workers})
+	fr, fleetErr := eng.RunAll(ctx, vids, plan.Query, core.FleetOptions{Workers: workers, PerVideoTrace: true})
 	elapsed := time.Since(start)
 	s.fleetLatency.ObserveDuration(elapsed)
 	if fr == nil {
@@ -748,7 +803,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if c := s.fleetVideos[outcome]; c != nil {
 			c.Inc()
 		}
-		bv := BatchVideo{ID: vr.ID, Outcome: outcome, ElapsedMS: vr.Elapsed.Milliseconds()}
+		bv := BatchVideo{ID: vr.ID, Outcome: outcome, ElapsedMS: vr.Elapsed.Milliseconds(), Trace: vr.Trace.Snapshot()}
 		if vr.Err != nil {
 			bv.Error = vr.Err.Error()
 		}
@@ -789,7 +844,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, plan sqlq.Plan
 		defer cancel()
 	}
 	start := time.Now()
-	resp, err := s.execute(ctx, plan, req.Algo)
+	resp, err := s.execute(ctx, plan, req.Algo, req.K)
 	elapsed := time.Since(start)
 	s.latency.ObserveDuration(elapsed)
 	if err != nil {
@@ -859,8 +914,11 @@ func errorStatus(err error) (int, errorResponse) {
 
 type notFoundError struct{ error }
 
-func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*QueryResponse, error) {
+func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string, kOverride int) (*QueryResponse, error) {
 	start := time.Now()
+	if kOverride > 0 && !plan.Online {
+		plan.K = kOverride
+	}
 	resp := &QueryResponse{Source: plan.Source}
 	var stream detect.TruthVideo
 	var g video.Geometry
@@ -944,6 +1002,22 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 			res, err = rank.RVAQ(ctx, m, plan.Query, plan.K, rank.Options{})
 		}
 		if err != nil {
+			var miss *rank.NotIngestedError
+			if s.cfg.ShardName != "" && errors.As(err, &miss) {
+				// A shard holds only its own videos' vocabulary: a
+				// predicate type this shard never ingested means "no
+				// candidates here", not a client error — other shards
+				// of the repository may hold it.
+				resp.Mode = "RVAQ"
+				resp.K = plan.K
+				resp.NumClips = m.NumClips
+				resp.Generation = m.Generation
+				if resp.Generation == 0 {
+					resp.Generation = h.repo.MaxGeneration()
+				}
+				resp.ElapsedMS = time.Since(start).Milliseconds()
+				return resp, nil
+			}
 			return nil, err
 		}
 		s.rankSorted.Add(res.Stats.Sorted)
@@ -955,11 +1029,18 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 		resp.Candidates = res.Candidates
 		resp.NumClips = m.NumClips
 		resp.RandomAccesses = res.Stats.Random
+		resp.Truncated = res.Truncated
+		resp.ResidualUpper = res.ResidualUpper
+		resp.Generation = m.Generation
+		if resp.Generation == 0 {
+			resp.Generation = h.repo.MaxGeneration()
+		}
 		for _, sr := range res.Sequences {
 			vid, local := m.Resolve(sr.Seq.Start)
 			resp.Sequences = append(resp.Sequences, Sequence{
 				StartClip: local, EndClip: local + sr.Seq.Len() - 1,
 				Video: vid, Score: sr.Score(),
+				Lower: sr.Lower, Upper: sr.Upper, Exact: sr.Exact,
 			})
 		}
 	} else {
@@ -986,12 +1067,15 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string) (*Que
 		resp.Candidates = res.Candidates
 		resp.NumClips = ix.NumClips
 		resp.RandomAccesses = res.Stats.Random
+		resp.Truncated = res.Truncated
+		resp.ResidualUpper = res.ResidualUpper
 		for _, sr := range res.Sequences {
 			fr := g.FrameRangeOfClips(sr.Seq)
 			resp.Sequences = append(resp.Sequences, Sequence{
 				StartClip: sr.Seq.Start, EndClip: sr.Seq.End,
 				StartFrame: fr.Start, EndFrame: fr.End,
 				Score: sr.Score(),
+				Lower: sr.Lower, Upper: sr.Upper, Exact: sr.Exact,
 			})
 		}
 	}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Repo-wide verification: vet, build, the full test suite under the race
-# detector (including the store/rank crash-injection and corruption tests),
-# an ingest + `svq fsck` round trip, then the smoke test, which covers
-# durability (ingest -> SIGKILL -> resume -> fsck) and observability against
-# a live cmd/serve. CI runs exactly this; run it locally before pushing.
+# detector (including the store/rank crash-injection and corruption tests
+# and the cluster coordinator's deterministic fault-schedule tests), an
+# ingest + `svq fsck` round trip, then the smoke test, which covers
+# durability (ingest -> SIGKILL -> resume -> fsck), observability against a
+# live cmd/serve, and the sharded cluster (svq split -> two shards + a
+# coordinator -> replica kill/failover -> shard loss -> restart recovery).
+# CI runs exactly this; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

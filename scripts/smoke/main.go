@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
@@ -77,7 +78,7 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 	bins := map[string]string{}
-	for _, name := range []string{"serve", "ingest", "svq"} {
+	for _, name := range []string{"serve", "ingest", "svq", "coordinator"} {
 		bins[name] = filepath.Join(dir, name)
 		if out, err := exec.Command("go", "build", "-o", bins[name], "./cmd/"+name).CombinedOutput(); err != nil {
 			return fmt.Errorf("building cmd/%s: %v\n%s", name, err, out)
@@ -284,18 +285,28 @@ func run() error {
 
 	// The query must have produced a structured log line.
 	mu.Lock()
-	defer mu.Unlock()
+	found := false
 	for _, rec := range logLines {
 		if rec["msg"] == "query" && rec["query_id"] == qid {
 			for _, key := range []string{"statement", "outcome", "degraded", "interrupted"} {
 				if _, ok := rec[key]; !ok {
+					mu.Unlock()
 					return fmt.Errorf("query log line missing %q: %v", key, rec)
 				}
 			}
-			return nil
+			found = true
+			break
 		}
 	}
-	return fmt.Errorf("no structured log line for query %s", qid)
+	mu.Unlock()
+	if !found {
+		return fmt.Errorf("no structured log line for query %s", qid)
+	}
+
+	if err := clusterPhase(bins, dir, repoDir, base); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
 }
 
 // durabilityPhase proves the crash-safety contract end to end with real
@@ -393,6 +404,364 @@ poll:
 	}
 	fmt.Printf("smoke: durability OK (killed mid-ingest: %v)\n", killed)
 	return nil
+}
+
+// rankedBatch is the /query/batch body the cluster phase replays: the
+// titanic query of the movies workload (Table 2), at three depths.
+const rankedBatch = `{"queries": [
+  "SELECT MERGE(clipID) AS s, RANK(act, obj) FROM (PROCESS repo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) WHERE act='kissing' AND obj.include('surfboard','boat') ORDER BY RANK(act, obj) LIMIT 3",
+  "SELECT MERGE(clipID) AS s, RANK(act, obj) FROM (PROCESS repo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) WHERE act='kissing' AND obj.include('surfboard','boat') ORDER BY RANK(act, obj) LIMIT 1",
+  "SELECT MERGE(clipID) AS s, RANK(act, obj) FROM (PROCESS repo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) WHERE act='kissing' AND obj.include('surfboard','boat') ORDER BY RANK(act, obj) LIMIT 5"
+]}`
+
+// clusterSeq is the sequence shape shared by the coordinator's entries and
+// the single-process server's ranked answers.
+type clusterSeq struct {
+	Video     string  `json:"video"`
+	StartClip int     `json:"start_clip"`
+	EndClip   int     `json:"end_clip"`
+	Score     float64 `json:"score"`
+}
+
+type clusterBatchAnswer struct {
+	QueryID string `json:"query_id"`
+	Entries []struct {
+		Sequences []clusterSeq `json:"sequences"`
+		Degraded  bool         `json:"degraded"`
+		Error     string       `json:"error"`
+	} `json:"entries"`
+	Shards struct {
+		OK       []string `json:"ok"`
+		Degraded []string `json:"degraded"`
+		Failed   []string `json:"failed"`
+	} `json:"shards"`
+	Degraded bool `json:"degraded"`
+}
+
+// startShard launches a cmd/serve shard replica and returns its process and
+// resolved base URL (the listening line of its JSON log).
+func startShard(bin, repoDir, shardName, addr string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-scale", "0.05",
+		"-repo", repoDir, "-shard-name", shardName)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec map[string]any
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue
+			}
+			if rec["msg"] == "svq-act query server listening" {
+				if a, ok := rec["addr"].(string); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addrCh:
+		return cmd, "http://" + a, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("shard %s never logged its listening address", shardName)
+	}
+}
+
+func postBatch(base string) (*clusterBatchAnswer, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/query/batch", strings.NewReader(rankedBatch))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Query-ID", "feedc0defeedc0de")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("batch status %d (want 200 even when degraded): %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Query-ID"); got != "feedc0defeedc0de" {
+		return nil, fmt.Errorf("coordinator X-Query-ID = %q, want the inbound id adopted", got)
+	}
+	var ans clusterBatchAnswer
+	if err := json.Unmarshal(body, &ans); err != nil {
+		return nil, fmt.Errorf("batch response not JSON: %v\n%s", err, body)
+	}
+	return &ans, nil
+}
+
+// clusterPhase proves the sharded serving stack with real processes: the
+// repository is split into two shard repositories (`svq split`), served by
+// three cmd/serve replicas (shard s1 has two), fronted by cmd/coordinator.
+// A ranked batch must match the single-process server byte-for-score; then
+// s1's primary is killed (degraded partition, same answers via failover),
+// then its last replica (failed partition, partial answers), then both are
+// restarted (health probes close the breakers and the cluster recovers).
+func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
+	shardsDir := filepath.Join(dir, "shards")
+	if out, err := exec.Command(bins["svq"], "split", "-n", "2", "-out", shardsDir, repoDir).CombinedOutput(); err != nil {
+		return fmt.Errorf("svq split: %v\n%s", err, out)
+	}
+	s0dir := filepath.Join(shardsDir, "shard0")
+	s1dir := filepath.Join(shardsDir, "shard1")
+
+	// Single-process ground truth: the same three statements against the
+	// unsharded repository.
+	var want [][]clusterSeq
+	var batch struct {
+		Queries []string `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(rankedBatch), &batch); err != nil {
+		return err
+	}
+	for _, sql := range batch.Queries {
+		raw, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(monoBase+"/query", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("monolith query status %d: %s", resp.StatusCode, body)
+		}
+		var qr struct {
+			Sequences []clusterSeq `json:"sequences"`
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			return err
+		}
+		if len(qr.Sequences) == 0 {
+			return fmt.Errorf("monolith ranked query returned no sequences: %s", body)
+		}
+		want = append(want, qr.Sequences)
+	}
+
+	procs := map[string]*exec.Cmd{}
+	kill := func(name string) {
+		if cmd := procs[name]; cmd != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			procs[name] = nil
+		}
+	}
+	defer func() {
+		for name := range procs {
+			kill(name)
+		}
+	}()
+	urls := map[string]string{}
+	for _, rep := range []struct{ name, dir, shard string }{
+		{"s0-r0", s0dir, "s0"}, {"s1-r0", s1dir, "s1"}, {"s1-r1", s1dir, "s1"},
+	} {
+		cmd, base, err := startShard(bins["serve"], rep.dir, rep.shard, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		procs[rep.name] = cmd
+		urls[rep.name] = base
+	}
+
+	coord, coordBase, err := startCoordinator(bins["coordinator"],
+		"-shard", "s0="+urls["s0-r0"],
+		"-shard", "s1="+urls["s1-r0"]+","+urls["s1-r1"])
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = coord.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = coord.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = coord.Process.Kill()
+		}
+	}()
+	if err := waitHealthy(coordBase); err != nil {
+		return err
+	}
+
+	// Healthy cluster: every entry matches the single-process answers and
+	// both shards are ok.
+	ans, err := postBatch(coordBase)
+	if err != nil {
+		return err
+	}
+	if ans.Degraded || len(ans.Shards.OK) != 2 {
+		return fmt.Errorf("healthy batch reports partition %+v", ans.Shards)
+	}
+	if err := matchEntries(ans, want); err != nil {
+		return err
+	}
+
+	// Kill s1's primary: answers must not change, but the partition must
+	// name s1 degraded (served by its failover replica).
+	kill("s1-r0")
+	ans, err = postBatch(coordBase)
+	if err != nil {
+		return err
+	}
+	if !ans.Degraded || fmt.Sprint(ans.Shards.Degraded) != "[s1]" {
+		return fmt.Errorf("after killing s1 primary: degraded=%v partition %+v, want s1 degraded", ans.Degraded, ans.Shards)
+	}
+	if err := matchEntries(ans, want); err != nil {
+		return fmt.Errorf("failover changed answers: %w", err)
+	}
+
+	// Kill s1's last replica: the batch still answers 200 with partial
+	// results and the failed partition names the lost shard.
+	kill("s1-r1")
+	ans, err = postBatch(coordBase)
+	if err != nil {
+		return err
+	}
+	if !ans.Degraded || fmt.Sprint(ans.Shards.Failed) != "[s1]" {
+		return fmt.Errorf("after losing s1: degraded=%v partition %+v, want s1 failed", ans.Degraded, ans.Shards)
+	}
+	for i, e := range ans.Entries {
+		if !e.Degraded || !strings.Contains(e.Error, "s1") {
+			return fmt.Errorf("entry %d of a degraded batch should carry an error naming s1: %+v", i, e)
+		}
+	}
+
+	// Restart both replicas on their old addresses: the health checker
+	// closes the breakers and the cluster recovers to a clean partition.
+	for _, name := range []string{"s1-r0", "s1-r1"} {
+		cmd, _, err := startShard(bins["serve"], s1dir, "s1", strings.TrimPrefix(urls[name], "http://"))
+		if err != nil {
+			return fmt.Errorf("restarting %s: %w", name, err)
+		}
+		procs[name] = cmd
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ans, err = postBatch(coordBase)
+		if err != nil {
+			return err
+		}
+		if !ans.Degraded && len(ans.Shards.OK) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster never recovered after replica restart: partition %+v", ans.Shards)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if err := matchEntries(ans, want); err != nil {
+		return fmt.Errorf("recovered cluster disagrees with the monolith: %w", err)
+	}
+
+	// The coordinator's metrics surface must expose the cluster families,
+	// with the failover counter moving.
+	mresp, err := http.Get(coordBase + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err := validateExposition(mbody); err != nil {
+		return fmt.Errorf("coordinator metrics: %w", err)
+	}
+	text := string(mbody)
+	for _, fam := range []string{
+		"svqact_cluster_queries_total",
+		"svqact_cluster_shard_requests_total",
+		"svqact_cluster_failovers_total",
+		"svqact_cluster_health_probes_total",
+		"svqact_cluster_shards",
+		"svqact_cluster_replicas",
+		"svqact_cluster_scatter_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			return fmt.Errorf("coordinator metrics missing family %s", fam)
+		}
+	}
+	if v, ok := seriesValue(text, `svqact_cluster_failovers_total{shard="s1"}`); !ok || v <= 0 {
+		return fmt.Errorf(`svqact_cluster_failovers_total{shard="s1"} = %v, want > 0 after the kill`, v)
+	}
+	fmt.Println("smoke: cluster OK (failover, shard loss, recovery)")
+	return nil
+}
+
+// matchEntries compares every batch entry's top-k against the
+// single-process ground truth.
+func matchEntries(ans *clusterBatchAnswer, want [][]clusterSeq) error {
+	if len(ans.Entries) != len(want) {
+		return fmt.Errorf("batch has %d entries, want %d", len(ans.Entries), len(want))
+	}
+	for i, e := range ans.Entries {
+		if len(e.Sequences) != len(want[i]) {
+			return fmt.Errorf("entry %d: %d sequences, want %d", i, len(e.Sequences), len(want[i]))
+		}
+		for j, got := range e.Sequences {
+			w := want[i][j]
+			if got.Video != w.Video || got.StartClip != w.StartClip || got.EndClip != w.EndClip ||
+				math.Abs(got.Score-w.Score) > 1e-9 {
+				return fmt.Errorf("entry %d seq %d: got %+v, want %+v", i, j, got, w)
+			}
+		}
+	}
+	return nil
+}
+
+// startCoordinator launches cmd/coordinator with fast-recovery tuning and
+// returns its process and resolved base URL.
+func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-base-backoff", "5ms", "-max-backoff", "50ms",
+		"-breaker-threshold", "3", "-breaker-cooloff", "500ms",
+		"-health-interval", "150ms",
+	}, shardArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var rec map[string]any
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue
+			}
+			if rec["msg"] == "svq-act cluster coordinator listening" {
+				if a, ok := rec["addr"].(string); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addrCh:
+		return cmd, "http://" + a, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("coordinator never logged its listening address")
+	}
 }
 
 func waitHealthy(base string) error {
