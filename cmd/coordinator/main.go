@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"svqact/internal/cluster"
+	"svqact/internal/obs"
 )
 
 // shardFlags collects repeatable -shard name=url1,url2 declarations.
@@ -69,6 +70,9 @@ func main() {
 		brkN     = flag.Int("breaker-threshold", 5, "consecutive replica failures that open its circuit breaker")
 		brkCool  = flag.Duration("breaker-cooloff", 5*time.Second, "open-breaker cooloff before a half-open probe")
 		health   = flag.Duration("health-interval", 2*time.Second, "background replica health-probe interval (0 disables)")
+
+		traceCap    = flag.Int("trace-capacity", 256, "retained traces kept in memory for /debug/traces")
+		traceSample = flag.Int("trace-sample", 16, "keep 1 in N healthy fast query traces (errors, degraded and tail-latency traces are always kept; < 0 disables sampling)")
 	)
 	flag.Var(&shards, "shard", "shard declaration name=url1,url2,... (repeatable; first replica is the primary)")
 	flag.Parse()
@@ -91,6 +95,7 @@ func main() {
 		Seed:               *seed,
 		Breaker:            cluster.BreakerConfig{Threshold: *brkN, Cooloff: *brkCool},
 		Logger:             logger,
+		Traces:             obs.NewTraceStore(obs.TraceStoreConfig{Capacity: *traceCap, SampleEvery: *traceSample}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)

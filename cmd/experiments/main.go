@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -25,7 +26,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.25, "dataset scale relative to the paper's video volumes")
 		seed      = flag.Int64("seed", 42, "dataset and model seed")
 		workers   = flag.Int("workers", 0, "videos ingested/evaluated concurrently (<= 0 = GOMAXPROCS)")
-		benchJSON = flag.String("bench-json", "", "write the machine-readable fleet-scaling report to this file")
+		benchJSON = flag.String("bench-json", "", "append the machine-readable fleet-scaling report to this series file")
+		benchGate = flag.Float64("bench-gate", 0, "fail when peak throughput drops more than this percent vs the previous -bench-json entry (0 disables)")
 		verbose   = flag.Bool("v", false, "log progress to stderr")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -84,10 +86,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: scaling report: %v\n", err)
 			os.Exit(1)
 		}
-		if err := bench.WriteScalingJSON(*benchJSON, rep); err != nil {
+		series, err := bench.AppendScalingJSON(*benchJSON, rep, gitRev())
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote scaling report to %s\n", *benchJSON)
+		fmt.Printf("appended scaling report to %s (%d entries)\n", *benchJSON, len(series))
+		if *benchGate > 0 {
+			if err := bench.CheckScalingRegression(series, *benchGate); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if len(series) < 2 {
+				fmt.Println("bench gate: first recorded run, no baseline to compare")
+			} else {
+				fmt.Printf("bench gate: within %.0f%% of the previous run\n", *benchGate)
+			}
+		}
 	}
+}
+
+// gitRev stamps series entries with the current revision; experiments must
+// keep working outside a git checkout, so failures degrade to "unknown".
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"svqact/internal/detect"
+	"svqact/internal/obs"
 	"svqact/internal/server"
 )
 
@@ -57,6 +58,9 @@ func main() {
 		retries        = flag.Int("detect-retries", 3, "attempts per detector invocation")
 		budget         = flag.Float64("failure-budget", 0.25, "max fraction of clips flagged before a query degrades")
 
+		traceCap    = flag.Int("trace-capacity", 256, "retained traces kept in memory for /debug/traces")
+		traceSample = flag.Int("trace-sample", 16, "keep 1 in N healthy fast query traces (errors, degraded and tail-latency traces are always kept; < 0 disables sampling)")
+
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -77,6 +81,7 @@ func main() {
 		RepoDir:       *repoDir,
 		ShardName:     *shard,
 		Logger:        logger,
+		Traces:        obs.NewTraceStore(obs.TraceStoreConfig{Capacity: *traceCap, SampleEvery: *traceSample}),
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {
 		fc := &detect.FaultConfig{

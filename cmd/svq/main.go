@@ -35,6 +35,14 @@
 // re-running split after re-ingest keeps every video on the same shard:
 //
 //	svq split -n 2 -out ./shards ./repo
+//
+// The trace subcommand explains retained queries from a running serve or
+// coordinator process: with no argument it lists the retained trace index
+// (GET /debug/traces), with a trace id it renders the full span tree as an
+// ASCII waterfall (GET /debug/traces/{id}):
+//
+//	svq trace -server http://127.0.0.1:8090
+//	svq trace -server http://127.0.0.1:8090 9a4ee1c2bb03d70f
 package main
 
 import (
@@ -63,6 +71,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "split" {
 		os.Exit(runSplit(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
 	}
 	var (
 		query   = flag.String("query", "", "SQL-like query (reads stdin when empty)")

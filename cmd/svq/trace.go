@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"svqact/internal/obs"
+)
+
+// runTrace implements `svq trace`: the operator's window into the retained
+// trace stores of a serve or coordinator process. Without an id it prints
+// the /debug/traces index; with one it fetches the stored trace and renders
+// the span tree as an ASCII waterfall.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("svq trace", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "base URL of a serve or coordinator process")
+	width := fs.Int("width", 32, "waterfall bar width in columns")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: svq trace [-server URL] [-width N] [trace-id]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*server, "/")
+	if fs.NArg() == 0 {
+		if err := traceIndex(client, base); err != nil {
+			fmt.Fprintln(os.Stderr, "svq trace:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := traceShow(client, base, fs.Arg(0), *width); err != nil {
+		fmt.Fprintln(os.Stderr, "svq trace:", err)
+		return 1
+	}
+	return 0
+}
+
+func traceGet(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", url, e.Error)
+		}
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// traceIndex prints the retained-trace index, newest first.
+func traceIndex(client *http.Client, base string) error {
+	var idx struct {
+		Count  int                   `json:"count"`
+		Traces []obs.TraceIndexEntry `json:"traces"`
+	}
+	if err := traceGet(client, base+"/debug/traces", &idx); err != nil {
+		return err
+	}
+	if idx.Count == 0 {
+		fmt.Println("no retained traces")
+		return nil
+	}
+	fmt.Printf("%-18s %-10s %-12s %12s %6s  %s\n",
+		"TRACE", "OUTCOME", "REASON", "DURATION", "SPANS", "SQL DIGEST")
+	for _, e := range idx.Traces {
+		fmt.Printf("%-18s %-10s %-12s %10.1fms %6d  %s\n",
+			e.ID, e.Outcome, e.Reason, e.DurationMS, e.Spans, e.SQLDigest)
+	}
+	fmt.Printf("%d retained; `svq trace -server %s <id>` renders one\n", idx.Count, base)
+	return nil
+}
+
+// traceShow fetches one stored trace and renders the waterfall.
+func traceShow(client *http.Client, base, id string, width int) error {
+	var st obs.StoredTrace
+	if err := traceGet(client, base+"/debug/traces/"+id, &st); err != nil {
+		return err
+	}
+	fmt.Printf("outcome %s  reason %s  stored %s\n",
+		st.Outcome, st.Reason, st.StoredAt.Format(time.RFC3339))
+	if st.SQL != "" {
+		fmt.Printf("sql: %s\n", st.SQL)
+	}
+	obs.WriteWaterfall(os.Stdout, st.Trace, width)
+	return nil
+}

@@ -172,3 +172,93 @@ func WriteScalingJSON(path string, rep *ScalingReport) error {
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
+
+// ScalingEntry is one run of the scaling experiment in the append-only
+// BENCH series: the report plus when and against which revision it ran.
+type ScalingEntry struct {
+	Timestamp string         `json:"timestamp"`
+	GitRev    string         `json:"git_rev,omitempty"`
+	Report    *ScalingReport `json:"report"`
+}
+
+// ReadScalingSeries decodes a BENCH series file. A legacy file holding a
+// single bare ScalingReport object (the pre-series format) is adopted as a
+// one-entry series with no timestamp, so old BENCH_scaling.json files keep
+// working as the baseline. A missing file is an empty series.
+func ReadScalingSeries(path string) ([]ScalingEntry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var series []ScalingEntry
+	if err := json.Unmarshal(raw, &series); err == nil {
+		return series, nil
+	}
+	var legacy ScalingReport
+	if err := json.Unmarshal(raw, &legacy); err != nil {
+		return nil, fmt.Errorf("bench: %s is neither a scaling series nor a legacy report: %w", path, err)
+	}
+	return []ScalingEntry{{Report: &legacy}}, nil
+}
+
+// AppendScalingJSON appends the report to the series at path and rewrites
+// the file, returning the full series including the new entry. The series
+// is append-only: prior entries are preserved byte-for-byte in meaning, so
+// the file doubles as a throughput history across revisions.
+func AppendScalingJSON(path string, rep *ScalingReport, gitRev string) ([]ScalingEntry, error) {
+	series, err := ReadScalingSeries(path)
+	if err != nil {
+		return nil, err
+	}
+	series = append(series, ScalingEntry{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GitRev:    gitRev,
+		Report:    rep,
+	})
+	b, err := json.MarshalIndent(series, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// bestThroughput is an entry's peak videos/s across its worker sweep — the
+// quantity the regression gate protects.
+func bestThroughput(e ScalingEntry) float64 {
+	var best float64
+	if e.Report == nil {
+		return 0
+	}
+	for _, p := range e.Report.Points {
+		if p.VideosPerSecond > best {
+			best = p.VideosPerSecond
+		}
+	}
+	return best
+}
+
+// CheckScalingRegression compares the newest series entry against the one
+// before it and fails when peak throughput dropped by more than maxDropPct
+// percent. With fewer than two entries (first run, fresh checkout) there is
+// no baseline and the check passes.
+func CheckScalingRegression(series []ScalingEntry, maxDropPct float64) error {
+	if len(series) < 2 {
+		return nil
+	}
+	prev, cur := bestThroughput(series[len(series)-2]), bestThroughput(series[len(series)-1])
+	if prev <= 0 {
+		return nil
+	}
+	drop := (prev - cur) / prev * 100
+	if drop > maxDropPct {
+		return fmt.Errorf("bench: scaling regression: peak throughput %.1f videos/s is %.1f%% below previous run's %.1f videos/s (limit %.0f%%)",
+			cur, drop, prev, maxDropPct)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rep(vps float64) *ScalingReport {
+	return &ScalingReport{Points: []ScalingPoint{
+		{Workers: 1, VideosPerSecond: vps / 2},
+		{Workers: 4, VideosPerSecond: vps},
+	}}
+}
+
+func TestScalingSeriesAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+
+	series, err := AppendScalingJSON(path, rep(10), "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].GitRev != "abc1234" || series[0].Timestamp == "" {
+		t.Fatalf("first append: %+v", series)
+	}
+	series, err = AppendScalingJSON(path, rep(11), "def5678")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].GitRev != "abc1234" || series[1].GitRev != "def5678" {
+		t.Fatalf("second append did not preserve history: %+v", series)
+	}
+	got, err := ReadScalingSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Report.Points[1].VideosPerSecond != 11 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestScalingSeriesAdoptsLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	// A pre-series file holds a single bare report object.
+	if err := WriteScalingJSON(path, rep(20)); err != nil {
+		t.Fatal(err)
+	}
+	series, err := AppendScalingJSON(path, rep(21), "rev2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("legacy file not adopted as baseline: %+v", series)
+	}
+	if series[0].Report.Points[1].VideosPerSecond != 20 || series[0].Timestamp != "" {
+		t.Errorf("legacy entry = %+v", series[0])
+	}
+}
+
+func TestScalingSeriesRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScalingSeries(path); err == nil {
+		t.Fatal("garbage series file accepted")
+	}
+}
+
+func TestCheckScalingRegression(t *testing.T) {
+	mk := func(vps ...float64) []ScalingEntry {
+		var s []ScalingEntry
+		for _, v := range vps {
+			s = append(s, ScalingEntry{Report: rep(v)})
+		}
+		return s
+	}
+	if err := CheckScalingRegression(mk(10), 25); err != nil {
+		t.Errorf("single entry should pass (no baseline): %v", err)
+	}
+	if err := CheckScalingRegression(nil, 25); err != nil {
+		t.Errorf("empty series should pass: %v", err)
+	}
+	if err := CheckScalingRegression(mk(10, 8), 25); err != nil {
+		t.Errorf("20%% drop within a 25%% gate should pass: %v", err)
+	}
+	err := CheckScalingRegression(mk(10, 7), 25)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("30%% drop should fail the gate, got %v", err)
+	}
+	// Only the last two entries matter: an old fast run does not penalize
+	// a stable recent pair.
+	if err := CheckScalingRegression(mk(100, 10, 9.5), 25); err != nil {
+		t.Errorf("stable recent pair should pass: %v", err)
+	}
+	if err := CheckScalingRegression([]ScalingEntry{{}, {Report: rep(5)}}, 25); err != nil {
+		t.Errorf("zero-throughput baseline should skip: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strings"
 
+	"svqact/internal/obs"
 	"svqact/internal/rank"
 	"svqact/internal/video"
 )
@@ -37,10 +38,14 @@ import (
 // Request is what the coordinator sends one shard replica: the statement
 // text plus the coordinator's top-k override for distributed-threshold
 // refinement rounds and the query ID for cross-tier correlation.
+// ParentSpan carries the coordinator-side span id of the attempt issuing
+// the request (the X-SVQ-Parent-Span header), so the shard's own trace can
+// be grafted back under the right attempt in the assembled tree.
 type Request struct {
-	SQL     string
-	K       int
-	QueryID string
+	SQL        string
+	K          int
+	QueryID    string
+	ParentSpan string
 }
 
 // RankedSeq is one merged result sequence, identified by its member video
@@ -84,6 +89,10 @@ type Response struct {
 	Candidates    int
 	Truncated     bool
 	ResidualUpper float64
+	// Trace is the shard's own span tree for this request, when the shard
+	// reported one; the coordinator grafts it under the winning attempt's
+	// span.
+	Trace *obs.TraceSnapshot
 }
 
 // Backend answers ranked queries for one shard replica. Implementations:

@@ -62,6 +62,10 @@ type Config struct {
 	// Logger defaults to a discard logger; Registry to a private one.
 	Logger   *slog.Logger
 	Registry *obs.Registry
+
+	// Traces is the retained trace store behind /debug/traces; nil gets a
+	// default-sized one.
+	Traces *obs.TraceStore
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Traces == nil {
+		c.Traces = obs.NewTraceStore(obs.TraceStoreConfig{})
 	}
 	return c
 }
@@ -129,6 +136,7 @@ type Coordinator struct {
 	shards []*shard
 	byName map[string]*shard
 	log    *slog.Logger
+	traces *obs.TraceStore
 
 	mQueries     map[string]*obs.Counter // outcome -> counter
 	mPruned      *obs.Counter
@@ -151,10 +159,12 @@ func New(shards []ShardSpec, cfg Config) (*Coordinator, error) {
 		cfg:      cfg,
 		byName:   map[string]*shard{},
 		log:      cfg.Logger,
+		traces:   cfg.Traces,
 		mQueries: map[string]*obs.Counter{},
 		mProbes:  map[string]*obs.Counter{},
 	}
 	reg := cfg.Registry
+	c.traces.Register(reg)
 	for _, o := range []string{"ok", "degraded", "failed"} {
 		c.mQueries[o] = reg.Counter("svqact_cluster_queries_total",
 			"Scatter-gather queries by aggregate outcome.", obs.L("outcome", o))
@@ -286,6 +296,9 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 	start := time.Now()
 	span := obs.StartSpan(ctx, "cluster.topk")
 	defer span.End()
+	// Every per-shard span (and, transitively, every attempt span and
+	// grafted shard subtree) parents under the scatter span.
+	ctx = obs.WithSpan(ctx, span)
 	qid := obs.TraceFrom(ctx).ID()
 
 	res := &TopKResult{K: k, Generations: map[string]int{}}
@@ -500,13 +513,16 @@ func mergeTopK(k int, responses map[string]*Response) ([]RankedSeq, float64) {
 	return all, bloK
 }
 
-// attemptAnswer is one replica attempt's result.
+// attemptAnswer is one replica attempt's result. span is the attempt's
+// trace span; the winning attempt gets the shard's reported trace grafted
+// under it.
 type attemptAnswer struct {
 	resp    *Response
 	err     error
 	rep     *replica
 	hedged  bool
 	elapsed time.Duration
+	span    *obs.Span
 }
 
 // queryShard runs one shard's attempt set for one round: replica rotation
@@ -573,11 +589,25 @@ func (c *Coordinator) queryShard(ctx context.Context, sh *shard, req Request) (*
 			}
 		}
 		lastRep = rep
-		go func(rep *replica, hedged bool) {
+		// One child span per attempt: a hedge winner and a failed first
+		// attempt stay distinguishable in the retained trace.
+		aspan := span.StartChild("cluster.attempt").
+			SetAttr("replica", rep.backend.Name()).
+			SetAttr("attempt", attempts).
+			SetAttr("hedged", hedged)
+		areq := req
+		areq.ParentSpan = aspan.ID()
+		go func(rep *replica, hedged bool, aspan *obs.Span, areq Request) {
 			t0 := time.Now()
-			resp, err := rep.backend.Query(sctx, req)
-			resCh <- attemptAnswer{resp: resp, err: err, rep: rep, hedged: hedged, elapsed: time.Since(t0)}
-		}(rep, hedged)
+			resp, err := rep.backend.Query(sctx, areq)
+			if err != nil {
+				aspan.SetAttr("outcome", "error").SetAttr("error", err.Error())
+			} else {
+				aspan.SetAttr("outcome", "ok")
+			}
+			aspan.End()
+			resCh <- attemptAnswer{resp: resp, err: err, rep: rep, hedged: hedged, elapsed: time.Since(t0), span: aspan}
+		}(rep, hedged, aspan, areq)
 		return true
 	}
 
@@ -615,6 +645,9 @@ func (c *Coordinator) queryShard(ctx context.Context, sh *shard, req Request) (*
 				if attempts > 1 || hedges > 0 || a.rep != sh.replicas[0] {
 					out.Outcome = "degraded"
 				}
+				// Splice the shard's own span tree (re-anchored to the
+				// winning attempt) into the coordinator trace.
+				a.span.Graft(a.resp.Trace)
 				out.Replica = a.rep.backend.Name()
 				out.Attempts = attempts
 				out.Hedges = hedges

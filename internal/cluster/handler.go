@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"regexp"
+	"strings"
 	"time"
 
 	"svqact/internal/obs"
@@ -59,16 +60,38 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/shards", c.handleShards)
 	mux.Handle("/metrics", c.cfg.Registry.Handler())
+	mux.Handle("/debug/traces", c.traces.Handler())
+	mux.Handle("/debug/traces/", c.traces.Handler())
 	return mux
 }
 
-// admit mints (or adopts) the query ID and builds the request trace.
+// admit mints (or adopts) the query ID and builds the request trace,
+// recording the caller's span (X-SVQ-Parent-Span) when one was sent — a
+// coordinator can itself sit behind another scatter tier.
 func (c *Coordinator) admit(r *http.Request) (string, *obs.Trace) {
 	qid := r.Header.Get("X-Query-ID")
 	if !clusterQueryIDRe.MatchString(qid) {
 		qid = obs.NewQueryID()
 	}
-	return qid, obs.NewTrace(qid)
+	trace := obs.NewTrace(qid)
+	if ps := r.Header.Get("X-SVQ-Parent-Span"); obs.ValidSpanRef(ps) {
+		trace.SetRemoteParent(ps)
+	}
+	return qid, trace
+}
+
+// offerTrace hands a finished query's trace to the retained store and emits
+// the one-line slow/degraded-query log record when it is kept for cause
+// (anything but routine sampling).
+func (c *Coordinator) offerTrace(snap *obs.TraceSnapshot, sql, outcome string) {
+	if snap == nil {
+		return
+	}
+	reason, retained := c.traces.Offer(snap, obs.TraceMeta{SQL: sql, Outcome: outcome})
+	if retained && reason != "sampled" {
+		c.log.Warn("trace retained", "trace_id", snap.QueryID, "reason", reason,
+			"outcome", outcome, "duration_ms", snap.DurationMS, "sql_digest", obs.SQLDigest(sql))
+	}
 }
 
 func clusterWriteJSON(w http.ResponseWriter, status int, qid string, body any) {
@@ -123,15 +146,22 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &bad) {
 			status = http.StatusBadRequest
 		}
+		c.offerTrace(trace.Snapshot(), req.SQL, "error")
 		clusterWriteJSON(w, status, qid, clusterError{Error: err.Error()})
 		return
 	}
 	ans.Trace = trace.Snapshot()
 	status := http.StatusOK
+	outcome := "ok"
+	if ans.Degraded {
+		outcome = "degraded"
+	}
 	if ans.TopKResult != nil && len(ans.Partition.Failed) == len(c.shards) {
 		// Nothing answered at all: that is an outage, not degradation.
 		status = http.StatusServiceUnavailable
+		outcome = "failed"
 	}
+	c.offerTrace(ans.Trace, req.SQL, outcome)
 	clusterWriteJSON(w, status, qid, ans)
 }
 
@@ -177,6 +207,11 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out.ElapsedMS = time.Since(start).Milliseconds()
 	out.Trace = trace.Snapshot()
+	outcome := "ok"
+	if out.Degraded {
+		outcome = "degraded"
+	}
+	c.offerTrace(out.Trace, strings.Join(req.Queries, "; "), outcome)
 	clusterWriteJSON(w, http.StatusOK, qid, out)
 }
 

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"svqact/internal/obs"
 )
 
 // HTTPBackend answers shard queries from a cmd/serve -repo process over
@@ -51,9 +53,10 @@ type httpQueryResponse struct {
 		Upper float64 `json:"upper"`
 		Exact bool    `json:"exact"`
 	} `json:"sequences"`
-	Truncated     bool    `json:"truncated"`
-	ResidualUpper float64 `json:"residual_upper"`
-	Error         string  `json:"error"`
+	Truncated     bool               `json:"truncated"`
+	ResidualUpper float64            `json:"residual_upper"`
+	Trace         *obs.TraceSnapshot `json:"trace"`
+	Error         string             `json:"error"`
 }
 
 func (b *HTTPBackend) Query(ctx context.Context, req Request) (*Response, error) {
@@ -68,6 +71,9 @@ func (b *HTTPBackend) Query(ctx context.Context, req Request) (*Response, error)
 	hreq.Header.Set("Content-Type", "application/json")
 	if req.QueryID != "" {
 		hreq.Header.Set("X-Query-ID", req.QueryID)
+	}
+	if req.ParentSpan != "" {
+		hreq.Header.Set("X-SVQ-Parent-Span", req.ParentSpan)
 	}
 	hresp, err := b.client.Do(hreq)
 	if err != nil {
@@ -101,6 +107,7 @@ func (b *HTTPBackend) Query(ctx context.Context, req Request) (*Response, error)
 		Candidates:    qr.Candidates,
 		Truncated:     qr.Truncated,
 		ResidualUpper: qr.ResidualUpper,
+		Trace:         qr.Trace,
 	}
 	for _, s := range qr.Sequences {
 		resp.Sequences = append(resp.Sequences, RankedSeq{

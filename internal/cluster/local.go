@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"svqact/internal/obs"
 	"svqact/internal/rank"
 	"svqact/internal/sqlq"
 )
@@ -47,10 +48,16 @@ func (b *LocalBackend) Healthy(context.Context) error {
 }
 
 // Query parses and answers one ranked statement against the shard index.
+// Like a real serve process, the backend runs under its own trace — span
+// offsets are relative to its own start — and reports the snapshot in the
+// response, so the coordinator's graft path is exercised in-process too.
 func (b *LocalBackend) Query(ctx context.Context, req Request) (*Response, error) {
 	if b.closed.Load() {
 		return nil, &replicaError{Replica: b.name, Err: errors.New("backend closed")}
 	}
+	ltrace := obs.NewTrace(req.QueryID)
+	ltrace.SetRemoteParent(req.ParentSpan)
+	ctx = obs.WithTrace(ctx, ltrace)
 	st, err := sqlq.Parse(req.SQL)
 	if err != nil {
 		return nil, &BadRequestError{Msg: err.Error()}
@@ -78,7 +85,7 @@ func (b *LocalBackend) Query(ctx context.Context, req Request) (*Response, error
 			// A shard holding a partial vocabulary answers "no candidates
 			// here" for types it never ingested — other shards may hold
 			// them, so this is neither a client nor a replica error.
-			return &Response{Shard: b.name, Replica: b.name, Generation: b.gen}, nil
+			return &Response{Shard: b.name, Replica: b.name, Generation: b.gen, Trace: ltrace.Snapshot()}, nil
 		}
 		return nil, &replicaError{Replica: b.name, Err: fmt.Errorf("shard query: %w", err)}
 	}
@@ -89,6 +96,7 @@ func (b *LocalBackend) Query(ctx context.Context, req Request) (*Response, error
 		Candidates:    res.Candidates,
 		Truncated:     res.Truncated,
 		ResidualUpper: res.ResidualUpper,
+		Trace:         ltrace.Snapshot(),
 	}
 	for _, sr := range res.Sequences {
 		vid, local := b.ix.Resolve(sr.Seq.Start)

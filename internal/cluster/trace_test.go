@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"svqact/internal/obs"
+)
+
+// topKTraced runs one scatter-gather under a fresh trace and returns the
+// assembled snapshot.
+func topKTraced(t *testing.T, c *Coordinator, sql string) (*TopKResult, *obs.TraceSnapshot, error) {
+	t.Helper()
+	tr := obs.NewTrace("feedc0defeedc0de")
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := c.TopK(ctx, sql)
+	return res, tr.Snapshot(), err
+}
+
+// findAll returns every node in the forest whose name matches.
+func findAll(ns []*obs.SpanNode, name string) []*obs.SpanNode {
+	var out []*obs.SpanNode
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			if n.Name == name {
+				out = append(out, n)
+			}
+			walk(n.Children)
+		}
+	}
+	walk(ns)
+	return out
+}
+
+// subtreeNames collects the names of every descendant (not the node itself).
+func subtreeNames(n *obs.SpanNode) []string {
+	var out []string
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, c := range ns {
+			out = append(out, c.Name)
+			walk(c.Children)
+		}
+	}
+	walk(n.Children)
+	return out
+}
+
+// TestTraceAssemblyAcrossShards runs a real scatter over LocalBackends and
+// asserts the coordinator trace contains the whole hierarchy: cluster.topk →
+// cluster.shard:* → cluster.attempt → the shard's own grafted spans.
+func TestTraceAssemblyAcrossShards(t *testing.T) {
+	shardIxs, _ := buildWorld(t, 2)
+	c, err := New(localShards(shardIxs), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap, err := topKTraced(t, c, rankedSQL)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+
+	roots := snap.Tree()
+	if len(roots) != 1 || roots[0].Name != "cluster.topk" {
+		t.Fatalf("want single cluster.topk root, got %d roots (%v)", len(roots), names(snap))
+	}
+	for _, shardName := range []string{"cluster.shard:s0", "cluster.shard:s1"} {
+		shards := findAll(roots, shardName)
+		if len(shards) != 1 {
+			t.Fatalf("%s spans = %d, want 1 (%v)", shardName, len(shards), names(snap))
+		}
+		sh := shards[0]
+		if sh.Attrs["outcome"] != "ok" {
+			t.Errorf("%s outcome = %v", shardName, sh.Attrs["outcome"])
+		}
+		attempts := findAll(sh.Children, "cluster.attempt")
+		if len(attempts) != 1 {
+			t.Fatalf("%s attempts = %d, want 1", shardName, len(attempts))
+		}
+		a := attempts[0]
+		if a.Attrs["attempt"] != 1 || a.Attrs["hedged"] != false || a.Attrs["outcome"] != "ok" {
+			t.Errorf("%s attempt attrs = %v", shardName, a.Attrs)
+		}
+		if rep, _ := a.Attrs["replica"].(string); !strings.HasPrefix(rep, strings.TrimPrefix(shardName, "cluster.shard:")) {
+			t.Errorf("%s attempt replica = %v", shardName, a.Attrs["replica"])
+		}
+		// The shard's own execution spans are grafted under the winning
+		// attempt: rank.topk must be a descendant of the shard span.
+		desc := subtreeNames(a)
+		found := false
+		for _, n := range desc {
+			if n == "rank.topk" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s attempt subtree lacks grafted rank.topk: %v", shardName, desc)
+		}
+	}
+}
+
+// TestGraftedSubtreeMatchesShardReport scripts a replica with a canned trace
+// and asserts the assembled tree splices exactly the spans the shard
+// reported, re-anchored but otherwise verbatim.
+func TestGraftedSubtreeMatchesShardReport(t *testing.T) {
+	shardTrace := &obs.TraceSnapshot{
+		QueryID:    "feedc0defeedc0de",
+		DurationMS: 12,
+		Spans: []obs.SpanSnapshot{
+			{Name: "rank.topk", ID: "s1", StartMS: 1, DurationMS: 10,
+				Attrs: map[string]any{"k": 3}},
+			{Name: "predicate:act", ID: "s2", Parent: "s1", StartMS: 2, DurationMS: 4},
+		},
+	}
+	var gotParent string
+	b := &stubBackend{name: "s0-r0", fn: func(ctx context.Context, req Request) (*Response, error) {
+		gotParent = req.ParentSpan
+		return &Response{Shard: "s0", Replica: "s0-r0", Trace: shardTrace}, nil
+	}}
+	c, err := New([]ShardSpec{{Name: "s0", Replicas: []Backend{b}}}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, snap, err := topKTraced(t, c, rankedSQL)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if !obs.ValidSpanRef(gotParent) {
+		t.Errorf("replica saw parent span %q, want a valid span ref", gotParent)
+	}
+
+	attempt := snap.Find("cluster.attempt")
+	if attempt == nil {
+		t.Fatalf("no cluster.attempt span in %v", names(snap))
+	}
+	// Exactly the shard's reported spans, in the shard's own hierarchy.
+	if len(attempt.Children) != 1 {
+		t.Fatalf("attempt children = %d, want the shard's single root", len(attempt.Children))
+	}
+	rank := attempt.Children[0]
+	if rank.Name != "rank.topk" || rank.DurationMS != 10 || rank.Attrs["k"] != 3 {
+		t.Errorf("grafted root = %+v", rank.SpanSnapshot)
+	}
+	if rank.StartMS != attempt.StartMS+1 {
+		t.Errorf("grafted root StartMS = %v, want re-anchored %v", rank.StartMS, attempt.StartMS+1)
+	}
+	if len(rank.Children) != 1 || rank.Children[0].Name != "predicate:act" {
+		t.Fatalf("grafted hierarchy lost: %+v", subtreeNames(attempt))
+	}
+	pred := rank.Children[0]
+	if pred.DurationMS != 4 || pred.StartMS != attempt.StartMS+2 {
+		t.Errorf("grafted child = %+v", pred.SpanSnapshot)
+	}
+	// Composite ids keep remote ids unique within the coordinator trace.
+	if !strings.HasSuffix(rank.ID, "/s1") || !strings.HasSuffix(pred.ID, "/s2") {
+		t.Errorf("composite ids = %q / %q", rank.ID, pred.ID)
+	}
+}
+
+// TestRetryAttemptAttribution fails the primary once and asserts the trace
+// carries one cluster.attempt span per attempt, each attributed with
+// replica, attempt number, hedged flag and outcome.
+func TestRetryAttemptAttribution(t *testing.T) {
+	var calls int
+	prim := &stubBackend{name: "s0-r0", fn: func(ctx context.Context, req Request) (*Response, error) {
+		calls++
+		if calls == 1 {
+			return nil, &replicaError{Replica: "s0-r0", Err: errors.New("boom")}
+		}
+		return &Response{Shard: "s0", Replica: "s0-r0"}, nil
+	}}
+	sec := &stubBackend{name: "s0-r1", fn: func(ctx context.Context, req Request) (*Response, error) {
+		return &Response{Shard: "s0", Replica: "s0-r1"}, nil
+	}}
+	c, err := New([]ShardSpec{{Name: "s0", Replicas: []Backend{prim, sec}}}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, snap, err := topKTraced(t, c, rankedSQL)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if res.Shards[0].Outcome != "degraded" {
+		t.Errorf("shard outcome = %s, want degraded (failover)", res.Shards[0].Outcome)
+	}
+	attempts := findAll(snap.Tree(), "cluster.attempt")
+	if len(attempts) != 2 {
+		t.Fatalf("attempt spans = %d, want 2 (one per attempt): %v", len(attempts), names(snap))
+	}
+	first, second := attempts[0], attempts[1]
+	if first.StartMS > second.StartMS {
+		first, second = second, first
+	}
+	if first.Attrs["attempt"] != 1 || first.Attrs["outcome"] != "error" || first.Attrs["replica"] != "s0-r0" {
+		t.Errorf("first attempt attrs = %v", first.Attrs)
+	}
+	if errAttr, _ := first.Attrs["error"].(string); !strings.Contains(errAttr, "boom") {
+		t.Errorf("first attempt error attr = %v", first.Attrs["error"])
+	}
+	if second.Attrs["attempt"] != 2 || second.Attrs["outcome"] != "ok" || second.Attrs["replica"] != "s0-r1" {
+		t.Errorf("second attempt attrs = %v", second.Attrs)
+	}
+	shardSpan := snap.Find("cluster.shard:s0")
+	if shardSpan == nil || shardSpan.Attrs["outcome"] != "degraded" {
+		t.Errorf("shard span attrs = %+v", shardSpan)
+	}
+}
+
+// TestHedgedAttemptAttribution races a stalled primary against a hedge and
+// asserts the hedged attempt is tagged as such.
+func TestHedgedAttemptAttribution(t *testing.T) {
+	slow := &stubBackend{name: "s0-r0", fn: func(ctx context.Context, req Request) (*Response, error) {
+		select {
+		case <-time.After(2 * time.Second):
+			return &Response{Shard: "s0", Replica: "s0-r0"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+	fast := &stubBackend{name: "s0-r1", fn: func(ctx context.Context, req Request) (*Response, error) {
+		return &Response{Shard: "s0", Replica: "s0-r1"}, nil
+	}}
+	cfg := fastConfig()
+	cfg.HedgeAfter = 5 * time.Millisecond
+	c, err := New([]ShardSpec{{Name: "s0", Replicas: []Backend{slow, fast}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, snap, err := topKTraced(t, c, rankedSQL)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if res.Shards[0].Hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", res.Shards[0].Hedges)
+	}
+	var hedged *obs.SpanNode
+	for _, a := range findAll(snap.Tree(), "cluster.attempt") {
+		if a.Attrs["hedged"] == true {
+			hedged = a
+		}
+	}
+	if hedged == nil {
+		t.Fatalf("no hedged=true attempt span: %v", names(snap))
+	}
+	if hedged.Attrs["replica"] != "s0-r1" || hedged.Attrs["outcome"] != "ok" {
+		t.Errorf("hedged attempt attrs = %v", hedged.Attrs)
+	}
+}
+
+func names(snap *obs.TraceSnapshot) []string {
+	out := make([]string, len(snap.Spans))
+	for i, s := range snap.Spans {
+		out[i] = fmt.Sprintf("%s(%s<-%s)", s.Name, s.ID, s.Parent)
+	}
+	return out
+}

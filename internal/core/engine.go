@@ -238,9 +238,11 @@ type Run struct {
 	err          error
 
 	// Observability: the trace carried by the run's context (nil when the
-	// caller attached none), the run's start time, and whether the run's
-	// spans were already emitted (Result may be called repeatedly).
+	// caller attached none), the context's current span (the engine span's
+	// parent in the assembled tree), the run's start time, and whether the
+	// run's spans were already emitted (Result may be called repeatedly).
 	trace        *obs.Trace
+	parent       *obs.Span
 	started      time.Time
 	spansEmitted bool
 }
@@ -275,6 +277,7 @@ func (e *Engine) newRun(ctx context.Context, v detect.TruthVideo, q Query, pl *p
 		geom:     g,
 		numClips: g.NumClips(v.NumFrames()),
 		trace:    obs.TraceFrom(ctx),
+		parent:   obs.SpanFrom(ctx),
 		started:  time.Now(),
 	}
 	r.clipInd = make([]bool, 0, r.numClips)
@@ -724,13 +727,13 @@ func (r *Run) emitSpans(root string, preds []*predState) {
 		return
 	}
 	r.spansEmitted = true
-	eng := r.trace.AddSpan(root, r.started, time.Since(r.started))
+	eng := r.trace.AddSpanUnder(r.parent, root, r.started, time.Since(r.started))
 	eng.SetAttr("mode", r.e.mode.String())
 	eng.SetAttr("clips_processed", r.nextClip)
 	eng.SetAttr("num_clips", r.numClips)
 	eng.SetAttr("flagged_clips", r.flaggedCount)
 	if rep := r.planner.Report(); rep != nil {
-		sp := r.trace.AddSpan("plan.order", r.started, 0)
+		sp := r.trace.AddSpanUnder(eng, "plan.order", r.started, 0)
 		sp.SetAttr("adaptive", rep.Adaptive)
 		sp.SetAttr("order", strings.Join(rep.Order, ","))
 		sp.SetAttr("replans", rep.Replans)
@@ -738,7 +741,7 @@ func (r *Run) emitSpans(root string, preds []*predState) {
 		sp.SetAttr("saved_cost_ms", rep.SavedCostMS)
 	}
 	for _, ps := range preds {
-		sp := r.trace.AddSpan("predicate:"+ps.name, r.started, ps.evalTime)
+		sp := r.trace.AddSpanUnder(eng, "predicate:"+ps.name, r.started, ps.evalTime)
 		sp.SetAttr("kind", ps.kind.label())
 		sp.SetAttr("evaluated_clips", ps.evaluated)
 		sp.SetAttr("units_scored", ps.units)

@@ -224,7 +224,7 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 	numShots := g.NumShots(v.NumFrames())
 	run := &Run{
 		e: e, ctx: ctx, v: v, geom: g, numClips: numClips,
-		trace: obs.TraceFrom(ctx), started: time.Now(),
+		trace: obs.TraceFrom(ctx), parent: obs.SpanFrom(ctx), started: time.Now(),
 	}
 
 	// One predState per distinct atom; clauses reference them by index.

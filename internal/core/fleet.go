@@ -160,6 +160,10 @@ func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query
 	shared := e.plannerForQuery(q, videos[0].Geometry())
 	fr.Plan = shared.Report()
 
+	// The fleet's root span opens live so every per-video span parents
+	// under it in the assembled tree.
+	fleetSpan := obs.StartSpan(ctx, "fleet.run_all")
+
 	// Workers pull indices from jobs; the engine's per-run span tree is
 	// suppressed (the fleet emits one span per video instead), while ctx
 	// cancellation still flows into every run.
@@ -186,7 +190,7 @@ func (e *Engine) RunAll(ctx context.Context, videos []detect.TruthVideo, q Query
 				t0 := time.Now()
 				res, err := e.runShared(vctx, v, q, shared)
 				vr := VideoResult{Index: i, ID: v.ID(), Result: res, Err: err, Elapsed: time.Since(t0), Trace: vtrace}
-				sp := trace.AddSpan("fleet.video:"+vr.ID, t0, vr.Elapsed)
+				sp := trace.AddSpanUnder(fleetSpan, "fleet.video:"+vr.ID, t0, vr.Elapsed)
 				sp.SetAttr("outcome", vr.Outcome())
 				if res != nil {
 					sp.SetAttr("num_clips", res.NumClips)
@@ -230,7 +234,7 @@ dispatch:
 	fr.Elapsed = time.Since(start)
 	fr.Plan = shared.Report()
 
-	sp := trace.AddSpan("fleet.run_all", start, fr.Elapsed)
+	sp := fleetSpan
 	sp.SetAttr("mode", e.mode.String())
 	sp.SetAttr("plan_replans", fr.Plan.Replans)
 	sp.SetAttr("plan_skipped_evaluations", fr.Plan.SkippedEvaluations)
@@ -241,6 +245,7 @@ dispatch:
 	sp.SetAttr("interrupted", fr.Interrupted)
 	sp.SetAttr("skipped", fr.Skipped)
 	sp.SetAttr("failed", fr.Failed)
+	sp.End()
 
 	if cerr := ctx.Err(); cerr != nil {
 		return fr, &InterruptedError{Processed: fr.OK + fr.Degraded + fr.Failed, Total: len(videos), Err: cerr}

@@ -111,6 +111,15 @@ test_latency_seconds_bucket{le="1"} 2
 test_latency_seconds_bucket{le="+Inf"} 3
 test_latency_seconds_sum 5.55
 test_latency_seconds_count 3
+# HELP test_latency_seconds_p50 p50 of test_latency_seconds, interpolated from bucket counts.
+# TYPE test_latency_seconds_p50 gauge
+test_latency_seconds_p50 0.55
+# HELP test_latency_seconds_p95 p95 of test_latency_seconds, interpolated from bucket counts.
+# TYPE test_latency_seconds_p95 gauge
+test_latency_seconds_p95 4.399999999999999
+# HELP test_latency_seconds_p99 p99 of test_latency_seconds, interpolated from bucket counts.
+# TYPE test_latency_seconds_p99 gauge
+test_latency_seconds_p99 4.879999999999999
 # HELP test_queue_depth Queue depth.
 # TYPE test_queue_depth gauge
 test_queue_depth 7

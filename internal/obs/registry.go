@@ -224,6 +224,54 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
+		if f.typ == "histogram" {
+			if err := writeQuantileGauges(w, f, ss); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// quantileExports are the derived summary gauges emitted for every histogram
+// family: <name>_p50/_p95/_p99, computed from the bucket counts at scrape
+// time so dashboards need no Prometheus-side quantile math.
+var quantileExports = []struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p95", 0.95},
+	{"_p99", 0.99},
+}
+
+// writeQuantileGauges renders one derived gauge family per exported quantile
+// of a histogram family, each with its own TYPE line so the exposition stays
+// well-formed.
+func writeQuantileGauges(w io.Writer, f *family, ss []*series) error {
+	for _, qe := range quantileExports {
+		name := f.name + qe.suffix
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name,
+				escapeHelp(fmt.Sprintf("p%g of %s, interpolated from bucket counts.", qe.q*100, f.name))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if s.h == nil {
+				continue
+			}
+			sig := labelSignature(s.labels)
+			if sig != "" {
+				sig = "{" + sig + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(s.h.Quantile(qe.q))); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

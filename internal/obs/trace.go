@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -20,13 +21,38 @@ func NewQueryID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// ValidSpanRef reports whether s is acceptable as an X-SVQ-Parent-Span
+// value: non-empty, at most 128 chars, limited to the span-id charset
+// (alphanumerics plus ./:_-). Inbound headers failing this are ignored
+// rather than recorded.
+func ValidSpanRef(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, r := range s {
+		ok := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') ||
+			r == '.' || r == '/' || r == ':' || r == '_' || r == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Trace collects the spans of one query. It is safe for concurrent use:
 // parallel ingestion workers append spans from their own goroutines.
+//
+// Spans form a tree: StartSpan derives the parent from the context (see
+// WithSpan), AddSpanUnder parents explicitly, and Snapshot renders the
+// tree depth-first. A trace that arrived from another process records the
+// caller's span id (SetRemoteParent) so the coordinator side can correlate.
 type Trace struct {
-	mu    sync.Mutex
-	id    string
-	start time.Time
-	spans []*Span
+	mu           sync.Mutex
+	id           string
+	start        time.Time
+	spans        []*Span
+	nextID       int
+	remoteParent string
 }
 
 // NewTrace starts a trace identified by id (typically a NewQueryID).
@@ -42,45 +68,93 @@ func (t *Trace) ID() string {
 	return t.id
 }
 
-// Span is one timed stage of a query. Spans are created by StartSpan (live
-// wall-clock spans, ended with End) or AddSpan (pre-measured stages, e.g. a
-// predicate's accumulated evaluation time reported at the end of a run).
-type Span struct {
-	mu    sync.Mutex
-	trace *Trace
-	name  string
-	start time.Time
-	dur   time.Duration
-	ended bool
-	attrs map[string]any
+// SetRemoteParent records the span id of the remote caller that initiated
+// this trace (the X-SVQ-Parent-Span header). Informational: it is surfaced
+// in the snapshot so an operator can correlate a shard-local trace with the
+// coordinator span that requested it.
+func (t *Trace) SetRemoteParent(spanID string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remoteParent = spanID
+	t.mu.Unlock()
 }
 
-// StartSpan opens a live span on the context's trace. It returns nil when
-// the context carries no trace; every Span method is nil-safe, so
-// instrumented code needs no conditionals.
+// Span is one timed stage of a query. Spans are created by StartSpan (live
+// wall-clock spans, ended with End) or AddSpan/AddSpanUnder (pre-measured
+// stages, e.g. a predicate's accumulated evaluation time reported at the
+// end of a run). Each span may carry grafted subtrees: snapshots reported
+// by a remote process (a shard's own trace) that Snapshot splices in as
+// children, re-anchored to this span's start so clock skew between hosts
+// cannot reorder the tree.
+type Span struct {
+	mu     sync.Mutex
+	trace  *Trace
+	id     int
+	parent *Span
+	name   string
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+	attrs  map[string]any
+	grafts []*TraceSnapshot
+}
+
+func (t *Trace) newSpan(parent *Span, name string, start time.Time, dur time.Duration, ended bool) *Span {
+	if parent != nil && parent.trace != t {
+		// A context can carry a span from an outer, different trace (e.g.
+		// a fleet span above a per-video trace); never stitch across
+		// traces.
+		parent = nil
+	}
+	s := &Span{trace: t, parent: parent, name: name, start: start, dur: dur, ended: ended}
+	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a live span on the context's trace, parented under the
+// context's current span (WithSpan), or at the root when there is none. It
+// returns nil when the context carries no trace; every Span method is
+// nil-safe, so instrumented code needs no conditionals.
 func StartSpan(ctx context.Context, name string) *Span {
 	t := TraceFrom(ctx)
 	if t == nil {
 		return nil
 	}
-	s := &Span{trace: t, name: name, start: time.Now()}
-	t.mu.Lock()
-	t.spans = append(t.spans, s)
-	t.mu.Unlock()
-	return s
+	return t.newSpan(SpanFrom(ctx), name, time.Now(), 0, false)
 }
 
-// AddSpan records a pre-measured span: a stage that began at start and ran
-// for dur of accumulated work. Nil-safe on the trace.
+// AddSpan records a pre-measured root span: a stage that began at start and
+// ran for dur of accumulated work. Nil-safe on the trace.
 func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{trace: t, name: name, start: start, dur: dur, ended: true}
-	t.mu.Lock()
-	t.spans = append(t.spans, s)
-	t.mu.Unlock()
-	return s
+	return t.newSpan(nil, name, start, dur, true)
+}
+
+// AddSpanUnder records a pre-measured span as a child of parent; a nil
+// parent (or a parent from another trace) yields a root span. Nil-safe on
+// the trace.
+func (t *Trace) AddSpanUnder(parent *Span, name string, start time.Time, dur time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(parent, name, start, dur, true)
+}
+
+// StartChild opens a live child span under s. Nil-safe: a nil receiver
+// returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.trace.newSpan(s, name, time.Now(), 0, false)
 }
 
 // End closes a live span, fixing its duration. Ending twice keeps the first
@@ -111,37 +185,82 @@ func (s *Span) SetAttr(key string, value any) *Span {
 	return s
 }
 
+// Graft attaches a remote trace snapshot (a shard's own span tree) as a
+// subtree of s. Snapshot re-anchors the grafted spans' offsets to s's start,
+// so the assembled tree is immune to clock skew between processes. Nil-safe
+// on both receiver and snapshot.
+func (s *Span) Graft(ts *TraceSnapshot) *Span {
+	if s == nil || ts == nil {
+		return s
+	}
+	s.mu.Lock()
+	s.grafts = append(s.grafts, ts)
+	s.mu.Unlock()
+	return s
+}
+
+// ID returns the span's trace-local identifier ("s1", "s2", ... in creation
+// order), or "" for a nil span. The same id appears in the snapshot, and is
+// what X-SVQ-Parent-Span carries across processes.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return "s" + strconv.Itoa(s.id)
+}
+
 // SpanSnapshot is the JSON form of one span; StartMS is relative to the
-// trace start.
+// trace start. ID is the span's trace-local identifier and Parent the ID of
+// its parent span ("" for roots); spans grafted from a remote process get
+// composite ids ("s4/s2": remote span s2 under local span s4). Snapshot
+// orders spans depth-first — every span appears immediately after its
+// ancestors — so a reader can render the tree from the flat list alone.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	ID         string         `json:"id,omitempty"`
+	Parent     string         `json:"parent,omitempty"`
 	StartMS    float64        `json:"start_ms"`
 	DurationMS float64        `json:"duration_ms"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 }
 
 // TraceSnapshot is the JSON form of a trace, surfaced in the /query response
-// under "trace".
+// under "trace" and retained by the TraceStore.
 type TraceSnapshot struct {
 	QueryID    string         `json:"query_id"`
+	ParentSpan string         `json:"parent_span,omitempty"`
 	DurationMS float64        `json:"duration_ms"`
 	Spans      []SpanSnapshot `json:"spans"`
 }
 
+// spanRec is one flattened span during snapshot assembly.
+type spanRec struct {
+	SpanSnapshot
+	seq int // creation order tiebreak, preserves pre-tree snapshot ordering
+}
+
 // Snapshot renders the trace for the response body. Live spans still open
-// report their duration so far. Spans are ordered by start time, then name.
+// report their duration so far. The span list is depth-first: siblings are
+// ordered by start offset, then name, then creation order; grafted remote
+// subtrees are spliced under their graft point with offsets re-anchored to
+// the parent span's start.
 func (t *Trace) Snapshot() *TraceSnapshot {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	remoteParent := t.remoteParent
 	t.mu.Unlock()
 
 	snap := &TraceSnapshot{
 		QueryID:    t.id,
+		ParentSpan: remoteParent,
 		DurationMS: float64(time.Since(t.start)) / float64(time.Millisecond),
 	}
+
+	recs := make([]spanRec, 0, len(spans))
+	seq := 0
 	for _, s := range spans {
 		s.mu.Lock()
 		d := s.dur
@@ -155,21 +274,101 @@ func (t *Trace) Snapshot() *TraceSnapshot {
 				attrs[k] = v
 			}
 		}
-		ss := SpanSnapshot{
-			Name:       s.name,
-			StartMS:    float64(s.start.Sub(t.start)) / float64(time.Millisecond),
-			DurationMS: float64(d) / float64(time.Millisecond),
-			Attrs:      attrs,
+		grafts := append([]*TraceSnapshot(nil), s.grafts...)
+		parent := ""
+		if s.parent != nil {
+			parent = s.parent.ID()
+		}
+		rec := spanRec{
+			SpanSnapshot: SpanSnapshot{
+				Name:       s.name,
+				ID:         s.ID(),
+				Parent:     parent,
+				StartMS:    float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+				DurationMS: float64(d) / float64(time.Millisecond),
+				Attrs:      attrs,
+			},
+			seq: seq,
 		}
 		s.mu.Unlock()
-		snap.Spans = append(snap.Spans, ss)
-	}
-	sort.SliceStable(snap.Spans, func(i, j int) bool {
-		if snap.Spans[i].StartMS != snap.Spans[j].StartMS {
-			return snap.Spans[i].StartMS < snap.Spans[j].StartMS
+		seq++
+		recs = append(recs, rec)
+		for _, g := range grafts {
+			gen := 0
+			for _, gs := range g.Spans {
+				gid := gs.ID
+				if gid == "" {
+					// Remote process predates span ids; synthesize stable
+					// ones so the subtree still splices.
+					gen++
+					gid = "g" + strconv.Itoa(gen)
+				}
+				child := spanRec{
+					SpanSnapshot: SpanSnapshot{
+						Name: gs.Name,
+						ID:   rec.ID + "/" + gid,
+						// Re-anchor: the remote offset is relative to the
+						// remote trace start; treat it as relative to the
+						// graft-point span instead. No wall clocks cross
+						// the process boundary, so skew cannot reorder.
+						StartMS:    rec.StartMS + gs.StartMS,
+						DurationMS: gs.DurationMS,
+						Attrs:      gs.Attrs,
+					},
+					seq: seq,
+				}
+				if gs.Parent != "" {
+					child.Parent = rec.ID + "/" + gs.Parent
+				} else {
+					child.Parent = rec.ID
+				}
+				seq++
+				recs = append(recs, child)
+			}
 		}
-		return snap.Spans[i].Name < snap.Spans[j].Name
-	})
+	}
+
+	// Assemble the tree and emit depth-first.
+	byID := make(map[string]int, len(recs))
+	for i, r := range recs {
+		byID[r.ID] = i
+	}
+	children := make(map[string][]int, len(recs))
+	var roots []int
+	for i, r := range recs {
+		if r.Parent != "" {
+			if pi, ok := byID[r.Parent]; ok && pi != i {
+				children[r.Parent] = append(children[r.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	less := func(a, b int) bool {
+		ra, rb := &recs[a], &recs[b]
+		if ra.StartMS != rb.StartMS {
+			return ra.StartMS < rb.StartMS
+		}
+		if ra.Name != rb.Name {
+			return ra.Name < rb.Name
+		}
+		return ra.seq < rb.seq
+	}
+	sort.Slice(roots, func(i, j int) bool { return less(roots[i], roots[j]) })
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return less(c[i], c[j]) })
+	}
+	snap.Spans = make([]SpanSnapshot, 0, len(recs))
+	var emit func(i int)
+	emit = func(i int) {
+		snap.Spans = append(snap.Spans, recs[i].SpanSnapshot)
+		for _, c := range children[recs[i].ID] {
+			emit(c)
+		}
+	}
+	for _, r := range roots {
+		emit(r)
+	}
 	return snap
 }
 
@@ -189,10 +388,13 @@ func (t *Trace) SpanNames() []string {
 }
 
 type traceKey struct{}
+type spanKey struct{}
 
-// WithTrace attaches a trace to the context.
+// WithTrace attaches a trace to the context. Any current span from an outer
+// trace is cleared: spans never parent across traces.
 func WithTrace(ctx context.Context, t *Trace) context.Context {
-	return context.WithValue(ctx, traceKey{}, t)
+	ctx = context.WithValue(ctx, traceKey{}, t)
+	return context.WithValue(ctx, spanKey{}, (*Span)(nil))
 }
 
 // WithoutTrace returns a context that carries no trace, shadowing any trace
@@ -200,7 +402,8 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 // (e.g. one engine run per fleet video) from flooding the parent trace while
 // still propagating the parent's cancellation.
 func WithoutTrace(ctx context.Context) context.Context {
-	return context.WithValue(ctx, traceKey{}, (*Trace)(nil))
+	ctx = context.WithValue(ctx, traceKey{}, (*Trace)(nil))
+	return context.WithValue(ctx, spanKey{}, (*Span)(nil))
 }
 
 // TraceFrom returns the context's trace, or nil.
@@ -210,4 +413,20 @@ func TraceFrom(ctx context.Context) *Trace {
 	}
 	t, _ := ctx.Value(traceKey{}).(*Trace)
 	return t
+}
+
+// WithSpan marks s as the context's current span: StartSpan calls on the
+// returned context create children of s. A nil s is fine (clears the
+// current span).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
 }

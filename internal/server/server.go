@@ -89,6 +89,11 @@ type Config struct {
 	// Registry receives the server's metrics and serves /metrics; nil means
 	// a fresh registry per server, keeping test instances independent.
 	Registry *obs.Registry
+
+	// Traces is the retained trace store behind /debug/traces (errors,
+	// degraded answers, tail latency, and a sampled remainder); nil means a
+	// default-sized one.
+	Traces *obs.TraceStore
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Traces == nil {
+		c.Traces = obs.NewTraceStore(obs.TraceStoreConfig{})
+	}
 	return c
 }
 
@@ -127,6 +135,7 @@ type Server struct {
 	start  time.Time
 	log    *slog.Logger
 	reg    *obs.Registry
+	traces *obs.TraceStore
 
 	// sem holds one token per admitted query. The admission and outcome
 	// counters live on the registry, so /healthz and /metrics read the same
@@ -200,6 +209,7 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		log:     cfg.Logger,
 		reg:     cfg.Registry,
+		traces:  cfg.Traces,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		streams: map[string]detect.TruthVideo{},
 		indexes: map[string]*rank.Index{},
@@ -257,6 +267,7 @@ func New(cfg Config) *Server {
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	s.meter.Register(r)
+	s.traces.Register(r)
 	return s
 }
 
@@ -561,6 +572,8 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string][]string{"sources": s.Sources()})
 	})
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.traces.Handler())
+	mux.Handle("/debug/traces/", s.traces.Handler())
 	mux.HandleFunc("/repo/reload", s.handleRepoReload)
 	mux.HandleFunc("/repo/status", s.handleRepoStatus)
 	mux.Handle("/query", s.admit(http.HandlerFunc(s.handleQuery)))
@@ -640,7 +653,14 @@ func (s *Server) admit(next http.Handler) http.Handler {
 			qid = obs.NewQueryID()
 		}
 		w.Header().Set("X-Query-ID", qid)
-		r = r.WithContext(obs.WithTrace(r.Context(), obs.NewTrace(qid)))
+		trace := obs.NewTrace(qid)
+		// A coordinator attempt names its own span in X-SVQ-Parent-Span;
+		// recording it lets an operator correlate this shard-local trace
+		// with the coordinator span that requested it.
+		if ps := r.Header.Get("X-SVQ-Parent-Span"); obs.ValidSpanRef(ps) {
+			trace.SetRemoteParent(ps)
+		}
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
 		next.ServeHTTP(w, r)
 		s.served.Inc()
 	})
@@ -831,6 +851,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusGatewayTimeout
 	}
 	s.logQuery(qid, req.SQL, fleetErr, status, elapsed)
+	s.offerTrace(resp.Trace, req.SQL, queryOutcome(fleetErr, status))
 	writeJSON(w, status, resp)
 }
 
@@ -851,13 +872,29 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, plan sqlq.Plan
 		status, body := errorStatus(err)
 		body.QueryID = qid
 		s.logQuery(qid, req.SQL, err, status, elapsed)
+		s.offerTrace(trace.Snapshot(), req.SQL, queryOutcome(err, status))
 		writeJSON(w, status, body)
 		return
 	}
 	resp.QueryID = qid
 	resp.Trace = trace.Snapshot()
 	s.logQuery(qid, req.SQL, nil, http.StatusOK, elapsed)
+	s.offerTrace(resp.Trace, req.SQL, "ok")
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// offerTrace hands a finished query's trace to the retained store and emits
+// the one-line slow/degraded-query log record when it is kept for cause
+// (anything but routine sampling).
+func (s *Server) offerTrace(snap *obs.TraceSnapshot, sql, outcome string) {
+	if snap == nil {
+		return
+	}
+	reason, retained := s.traces.Offer(snap, obs.TraceMeta{SQL: sql, Outcome: outcome})
+	if retained && reason != "sampled" {
+		s.log.Warn("trace retained", "trace_id", snap.QueryID, "reason", reason,
+			"outcome", outcome, "duration_ms", snap.DurationMS, "sql_digest", obs.SQLDigest(sql))
+	}
 }
 
 // logQuery emits the structured per-query log line: query ID, statement,
@@ -867,18 +904,7 @@ func (s *Server) logQuery(qid, stmt string, err error, status int, elapsed time.
 	var de *core.DegradedError
 	interrupted := errors.As(err, &ie)
 	degraded := errors.As(err, &de)
-	outcome := "ok"
-	switch {
-	case err == nil:
-	case interrupted:
-		outcome = "interrupted"
-	case degraded:
-		outcome = "degraded"
-	case status == http.StatusBadRequest:
-		outcome = "bad_request"
-	default:
-		outcome = "error"
-	}
+	outcome := queryOutcome(err, status)
 	attrs := []any{
 		"query_id", qid, "statement", stmt, "outcome", outcome,
 		"degraded", degraded, "interrupted", interrupted,
@@ -890,6 +916,25 @@ func (s *Server) logQuery(qid, stmt string, err error, status int, elapsed time.
 		return
 	}
 	s.log.Info("query", attrs...)
+}
+
+// queryOutcome classifies a finished query for the log line and the
+// retained trace store: "ok", "interrupted", "degraded", "bad_request" or
+// "error".
+func queryOutcome(err error, status int) string {
+	var ie *core.InterruptedError
+	var de *core.DegradedError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &ie):
+		return "interrupted"
+	case errors.As(err, &de):
+		return "degraded"
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	}
+	return "error"
 }
 
 // errorStatus maps execution errors to HTTP statuses: unknown sources are
@@ -1007,7 +1052,13 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string, kOver
 				// A shard holds only its own videos' vocabulary: a
 				// predicate type this shard never ingested means "no
 				// candidates here", not a client error — other shards
-				// of the repository may hold it.
+				// of the repository may hold it. Record the empty top-k
+				// stage on the trace so the assembled cluster tree shows
+				// why this shard contributed nothing.
+				sp := obs.StartSpan(ctx, "rank.topk")
+				sp.SetAttr("candidates", 0)
+				sp.SetAttr("not_ingested", miss.Error())
+				sp.End()
 				resp.Mode = "RVAQ"
 				resp.K = plan.K
 				resp.NumClips = m.NumClips

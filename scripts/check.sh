@@ -30,8 +30,10 @@ echo "==> benchmark smoke (-benchtime=1x)"
 # microbenchmark harnesses without paying for real measurements.
 go test -run '^$' -bench . -benchtime=1x .
 
-echo "==> scaling report (BENCH_scaling.json)"
-go run ./cmd/experiments -scale 0.1 -bench-json BENCH_scaling.json >/dev/null
+echo "==> scaling report + regression gate (BENCH_scaling.json)"
+# Appends a git-rev-stamped entry to the BENCH series and fails on a >25%
+# peak-throughput drop vs the previous entry (first run has no baseline).
+go run ./cmd/experiments -scale 0.1 -bench-json BENCH_scaling.json -bench-gate 25 >/dev/null
 
 echo "==> ingest + svq fsck round trip"
 fscktmp=$(mktemp -d)

@@ -61,6 +61,12 @@ var requiredFamilies = []string{
 	"svqact_repo_reloads_total",
 	"svqact_repo_corruption_total",
 	"svqact_repo_recoveries_total",
+	"svqact_traces_seen_total",
+	"svqact_traces_retained_total",
+	"svqact_trace_store_size",
+	"svqact_query_duration_seconds_p50",
+	"svqact_query_duration_seconds_p95",
+	"svqact_query_duration_seconds_p99",
 }
 
 func main() {
@@ -576,7 +582,7 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 		urls[rep.name] = base
 	}
 
-	coord, coordBase, err := startCoordinator(bins["coordinator"],
+	coord, coordBase, coordLogs, err := startCoordinator(bins["coordinator"],
 		"-shard", "s0="+urls["s0-r0"],
 		"-shard", "s1="+urls["s1-r0"]+","+urls["s1-r1"])
 	if err != nil {
@@ -621,6 +627,11 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 	}
 	if err := matchEntries(ans, want); err != nil {
 		return fmt.Errorf("failover changed answers: %w", err)
+	}
+
+	// With s1 degraded, prove the distributed-tracing surface end to end.
+	if err := tracingPhase(bins, coordBase, batch.Queries[0], coordLogs); err != nil {
+		return fmt.Errorf("tracing: %w", err)
 	}
 
 	// Kill s1's last replica: the batch still answers 200 with partial
@@ -686,6 +697,12 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 		"svqact_cluster_shards",
 		"svqact_cluster_replicas",
 		"svqact_cluster_scatter_seconds",
+		"svqact_traces_seen_total",
+		"svqact_traces_retained_total",
+		"svqact_trace_store_size",
+		"svqact_cluster_scatter_seconds_p50",
+		"svqact_cluster_scatter_seconds_p95",
+		"svqact_cluster_scatter_seconds_p99",
 	} {
 		if !strings.Contains(text, "# TYPE "+fam+" ") {
 			return fmt.Errorf("coordinator metrics missing family %s", fam)
@@ -695,6 +712,218 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 		return fmt.Errorf(`svqact_cluster_failovers_total{shard="s1"} = %v, want > 0 after the kill`, v)
 	}
 	fmt.Println("smoke: cluster OK (failover, shard loss, recovery)")
+	return nil
+}
+
+// smokeSpan is the span shape the tracing assertions need.
+type smokeSpan struct {
+	Name   string         `json:"name"`
+	ID     string         `json:"id"`
+	Parent string         `json:"parent"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+// tracingPhase proves the distributed-tracing contract against the degraded
+// cluster (s1's primary is down): a ranked query with a known id must leave a
+// retained trace on the coordinator — listed by GET /debug/traces, fetchable
+// as an assembled tree whose cluster.shard:* subtrees contain the shards' own
+// grafted rank spans — must render through `svq trace`, and must emit the
+// one-line structured "trace retained" log record.
+func tracingPhase(bins map[string]string, coordBase, sql string, coordLogs func() []map[string]any) error {
+	const traceQID = "0ddba11cab1e0fae"
+	raw, _ := json.Marshal(map[string]string{"sql": sql})
+	req, err := http.NewRequest(http.MethodPost, coordBase+"/query", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Query-ID", traceQID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query status %d: %s", resp.StatusCode, body)
+	}
+	var qa struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &qa); err != nil {
+		return err
+	}
+	if !qa.Degraded {
+		return fmt.Errorf("query with a dead primary should be degraded: %s", body)
+	}
+
+	// The trace must appear on the coordinator's index with the degradation
+	// as its retention reason.
+	iresp, err := http.Get(coordBase + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	ibody, _ := io.ReadAll(iresp.Body)
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/traces status %d", iresp.StatusCode)
+	}
+	var idx struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			ID     string `json:"id"`
+			Reason string `json:"reason"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(ibody, &idx); err != nil {
+		return fmt.Errorf("trace index not JSON: %v\n%s", err, ibody)
+	}
+	found := false
+	for _, e := range idx.Traces {
+		if e.ID == traceQID {
+			found = true
+			if e.Reason != "degraded" {
+				return fmt.Errorf("trace %s retained for %q, want degraded", e.ID, e.Reason)
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("trace %s not in /debug/traces (count %d): %s", traceQID, idx.Count, ibody)
+	}
+
+	// The full stored trace must be an assembled tree: the coordinator's
+	// scatter spans with each shard's own execution spans grafted beneath
+	// the winning attempt.
+	tresp, err := http.Get(coordBase + "/debug/traces/" + traceQID)
+	if err != nil {
+		return err
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/traces/%s status %d: %s", traceQID, tresp.StatusCode, tbody)
+	}
+	var st struct {
+		Outcome string `json:"outcome"`
+		Trace   struct {
+			QueryID string      `json:"query_id"`
+			Spans   []smokeSpan `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(tbody, &st); err != nil {
+		return fmt.Errorf("stored trace not JSON: %v\n%s", err, tbody)
+	}
+	if st.Outcome != "degraded" || st.Trace.QueryID != traceQID {
+		return fmt.Errorf("stored trace outcome=%q query_id=%q", st.Outcome, st.Trace.QueryID)
+	}
+	byID := map[string]smokeSpan{}
+	for _, sp := range st.Trace.Spans {
+		byID[sp.ID] = sp
+	}
+	// ancestorNamed walks the parent chain looking for a span name.
+	ancestorNamed := func(sp smokeSpan, name string) bool {
+		for p := sp.Parent; p != ""; {
+			ps, ok := byID[p]
+			if !ok {
+				return false
+			}
+			if ps.Name == name {
+				return true
+			}
+			p = ps.Parent
+		}
+		return false
+	}
+	var root *smokeSpan
+	for i, sp := range st.Trace.Spans {
+		if sp.Name == "cluster.topk" && sp.Parent == "" {
+			root = &st.Trace.Spans[i]
+		}
+	}
+	if root == nil {
+		return fmt.Errorf("no cluster.topk root span in %s", tbody)
+	}
+	for _, shardName := range []string{"cluster.shard:s0", "cluster.shard:s1"} {
+		var shardSpan *smokeSpan
+		for i, sp := range st.Trace.Spans {
+			if sp.Name == shardName {
+				shardSpan = &st.Trace.Spans[i]
+			}
+		}
+		if shardSpan == nil || shardSpan.Parent != root.ID {
+			return fmt.Errorf("%s missing or not under cluster.topk: %s", shardName, tbody)
+		}
+		attempts, grafted := 0, false
+		for _, sp := range st.Trace.Spans {
+			if sp.Name == "cluster.attempt" && sp.Parent == shardSpan.ID {
+				attempts++
+				if _, ok := sp.Attrs["replica"]; !ok {
+					return fmt.Errorf("attempt under %s lacks replica attr: %+v", shardName, sp)
+				}
+			}
+			// The shard's own spans arrive by graft: composite ids,
+			// descendants of the shard span.
+			if sp.Name == "rank.topk" && ancestorNamed(sp, shardName) {
+				grafted = true
+				if !strings.Contains(sp.ID, "/") {
+					return fmt.Errorf("grafted rank.topk has non-composite id %q", sp.ID)
+				}
+			}
+		}
+		if attempts == 0 {
+			return fmt.Errorf("no cluster.attempt span under %s: %s", shardName, tbody)
+		}
+		if !grafted {
+			return fmt.Errorf("%s subtree lacks the shard's grafted rank.topk span: %s", shardName, tbody)
+		}
+	}
+	if s1 := func() smokeSpan {
+		for _, sp := range st.Trace.Spans {
+			if sp.Name == "cluster.shard:s1" {
+				return sp
+			}
+		}
+		return smokeSpan{}
+	}(); s1.Attrs["outcome"] != "degraded" {
+		return fmt.Errorf("cluster.shard:s1 outcome attr = %v, want degraded (failover)", s1.Attrs["outcome"])
+	}
+
+	// `svq trace` renders the index and the waterfall from the same
+	// endpoints.
+	iout, err := exec.Command(bins["svq"], "trace", "-server", coordBase).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("svq trace (index): %v\n%s", err, iout)
+	}
+	if !strings.Contains(string(iout), traceQID) {
+		return fmt.Errorf("svq trace index does not list %s:\n%s", traceQID, iout)
+	}
+	wout, err := exec.Command(bins["svq"], "trace", "-server", coordBase, traceQID).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("svq trace %s: %v\n%s", traceQID, err, wout)
+	}
+	wtext := string(wout)
+	for _, wantLine := range []string{"trace " + traceQID, "cluster.topk", "cluster.shard:s1", "cluster.attempt", "rank.topk", "#"} {
+		if !strings.Contains(wtext, wantLine) {
+			return fmt.Errorf("svq trace waterfall missing %q:\n%s", wantLine, wtext)
+		}
+	}
+
+	// The retention must have left the one-line structured log record.
+	logged := false
+	for _, rec := range coordLogs() {
+		if rec["msg"] == "trace retained" && rec["trace_id"] == traceQID {
+			for _, key := range []string{"reason", "outcome", "duration_ms", "sql_digest"} {
+				if _, ok := rec[key]; !ok {
+					return fmt.Errorf("trace-retained log line missing %q: %v", key, rec)
+				}
+			}
+			logged = true
+		}
+	}
+	if !logged {
+		return fmt.Errorf("coordinator never logged 'trace retained' for %s", traceQID)
+	}
+	fmt.Println("smoke: tracing OK (retained trace, assembled tree, svq trace, log line)")
 	return nil
 }
 
@@ -720,8 +949,10 @@ func matchEntries(ans *clusterBatchAnswer, want [][]clusterSeq) error {
 }
 
 // startCoordinator launches cmd/coordinator with fast-recovery tuning and
-// returns its process and resolved base URL.
-func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, error) {
+// returns its process, resolved base URL, and a snapshot function over its
+// structured log records (the tracing phase greps them for the retained-trace
+// line).
+func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, func() []map[string]any, error) {
 	args := append([]string{
 		"-addr", "127.0.0.1:0",
 		"-base-backoff", "5ms", "-max-backoff", "50ms",
@@ -731,10 +962,17 @@ func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, error
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, "", err
+		return nil, "", nil, err
+	}
+	var mu sync.Mutex
+	var logLines []map[string]any
+	logs := func() []map[string]any {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]map[string]any(nil), logLines...)
 	}
 	addrCh := make(chan string, 1)
 	go func() {
@@ -745,6 +983,9 @@ func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, error
 			if json.Unmarshal(sc.Bytes(), &rec) != nil {
 				continue
 			}
+			mu.Lock()
+			logLines = append(logLines, rec)
+			mu.Unlock()
 			if rec["msg"] == "svq-act cluster coordinator listening" {
 				if a, ok := rec["addr"].(string); ok {
 					select {
@@ -757,10 +998,10 @@ func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, error
 	}()
 	select {
 	case a := <-addrCh:
-		return cmd, "http://" + a, nil
+		return cmd, "http://" + a, logs, nil
 	case <-time.After(30 * time.Second):
 		_ = cmd.Process.Kill()
-		return nil, "", fmt.Errorf("coordinator never logged its listening address")
+		return nil, "", nil, fmt.Errorf("coordinator never logged its listening address")
 	}
 }
 
