@@ -93,15 +93,12 @@ func main() {
 		}
 		fmt.Printf("appended scaling report to %s (%d entries)\n", *benchJSON, len(series))
 		if *benchGate > 0 {
-			if err := bench.CheckScalingRegression(series, *benchGate); err != nil {
+			msg, err := bench.CheckScalingRegression(series, *benchGate)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
-			if len(series) < 2 {
-				fmt.Println("bench gate: first recorded run, no baseline to compare")
-			} else {
-				fmt.Printf("bench gate: within %.0f%% of the previous run\n", *benchGate)
-			}
+			fmt.Printf("bench gate: %s\n", msg)
 		}
 	}
 }

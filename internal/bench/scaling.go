@@ -20,7 +20,10 @@ import (
 // worker count.
 const scalingFleetSize = 64
 
-// scalingWorkers are the measured pool sizes.
+// scalingWorkers are the candidate pool sizes; Scaling caps the sweep at
+// runtime.NumCPU() — running more workers than cores measures scheduler
+// oversubscription, not scaling, and earlier revisions of this experiment
+// recorded exactly that as if it were speedup.
 var scalingWorkers = []int{1, 2, 4, 8}
 
 // ScalingPoint is one worker-count measurement of the fleet-scaling
@@ -34,17 +37,25 @@ type ScalingPoint struct {
 	VideoLatencyP50 float64 `json:"video_latency_p50_seconds"`
 	VideoLatencyP90 float64 `json:"video_latency_p90_seconds"`
 	VideoLatencyP99 float64 `json:"video_latency_p99_seconds"`
+	// Heap allocation per evaluated video (runtime.MemStats deltas over the
+	// whole point, divided by fleet size) — the -benchmem analogue for the
+	// fleet sweep.
+	AllocsPerVideo float64 `json:"allocs_per_video,omitempty"`
+	BytesPerVideo  float64 `json:"bytes_per_video,omitempty"`
 }
 
 // ScalingReport is the machine-readable output of the scaling experiment
 // (written to BENCH_scaling.json by cmd/experiments -bench-json).
 type ScalingReport struct {
-	FleetSize      int            `json:"fleet_size"`
-	FramesPerVideo int            `json:"frames_per_video"`
-	GOMAXPROCS     int            `json:"gomaxprocs"`
-	Scale          float64        `json:"scale"`
-	Seed           int64          `json:"seed"`
-	Points         []ScalingPoint `json:"points"`
+	FleetSize      int     `json:"fleet_size"`
+	FramesPerVideo int     `json:"frames_per_video"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	// NumCPU records the cores the host actually exposes; together with
+	// GOMAXPROCS it makes a recorded sweep interpretable after the fact.
+	NumCPU int            `json:"num_cpu,omitempty"`
+	Scale  float64        `json:"scale"`
+	Seed   int64          `json:"seed"`
+	Points []ScalingPoint `json:"points"`
 }
 
 // scalingFleet generates the fleet: distinct scripts (one per seed) so the
@@ -85,10 +96,18 @@ func (w *Workspace) Scaling() (*ScalingReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pin the scheduler to the hardware for the duration of the sweep: an
+	// inherited GOMAXPROCS below NumCPU silently serialises every worker
+	// count, and one above it measures contention. Restored on return.
+	numCPU := runtime.NumCPU()
+	prevProcs := runtime.GOMAXPROCS(numCPU)
+	defer runtime.GOMAXPROCS(prevProcs)
+
 	rep := &ScalingReport{
 		FleetSize:      len(vids),
 		FramesPerVideo: vids[0].NumFrames(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         numCPU,
 		Scale:          w.opts.Scale,
 		Seed:           w.opts.Seed,
 	}
@@ -103,11 +122,19 @@ func (w *Workspace) Scaling() (*ScalingReport, error) {
 	}
 	var serial float64
 	for _, workers := range scalingWorkers {
+		if workers > numCPU && workers != 1 {
+			// More workers than cores would only measure oversubscription;
+			// the sweep stops at the hardware.
+			w.logf("scaling: skipping workers=%d (only %d CPUs)", workers, numCPU)
+			continue
+		}
 		eng, err := core.NewSVAQD(w.Models(), core.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
 		h := obs.NewHistogram(nil)
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		fr, err := eng.RunAll(context.Background(), vids, q, core.FleetOptions{
 			Workers:  workers,
@@ -120,6 +147,8 @@ func (w *Workspace) Scaling() (*ScalingReport, error) {
 			return nil, fmt.Errorf("bench: scaling fleet (workers=%d): %d of %d videos not ok", workers, len(vids)-fr.OK, len(vids))
 		}
 		elapsed := time.Since(start).Seconds()
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		p := ScalingPoint{
 			Workers:         workers,
 			ElapsedSeconds:  elapsed,
@@ -127,6 +156,8 @@ func (w *Workspace) Scaling() (*ScalingReport, error) {
 			VideoLatencyP50: h.Quantile(0.50),
 			VideoLatencyP90: h.Quantile(0.90),
 			VideoLatencyP99: h.Quantile(0.99),
+			AllocsPerVideo:  float64(msAfter.Mallocs-msBefore.Mallocs) / float64(len(vids)),
+			BytesPerVideo:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(len(vids)),
 		}
 		if workers == 1 {
 			serial = elapsed
@@ -134,7 +165,7 @@ func (w *Workspace) Scaling() (*ScalingReport, error) {
 		if serial > 0 {
 			p.SpeedupVsSerial = serial / elapsed
 		}
-		w.logf("scaling: workers=%d elapsed=%.2fs throughput=%.1f videos/s", workers, elapsed, p.VideosPerSecond)
+		w.logf("scaling: workers=%d elapsed=%.2fs throughput=%.1f videos/s allocs/video=%.0f", workers, elapsed, p.VideosPerSecond, p.AllocsPerVideo)
 		rep.Points = append(rep.Points, p)
 	}
 	return rep, nil
@@ -148,9 +179,9 @@ func ScalingExperiment(w *Workspace) ([]Table, error) {
 		return nil, err
 	}
 	t := Table{
-		Title: fmt.Sprintf("Fleet scaling: throughput vs workers (%d videos × %d frames, SVAQD, GOMAXPROCS=%d)",
-			rep.FleetSize, rep.FramesPerVideo, rep.GOMAXPROCS),
-		Header: []string{"workers", "elapsed (s)", "videos/s", "speedup", "video p50/p90/p99 (ms)"},
+		Title: fmt.Sprintf("Fleet scaling: throughput vs workers (%d videos × %d frames, SVAQD, GOMAXPROCS=%d, %d CPUs)",
+			rep.FleetSize, rep.FramesPerVideo, rep.GOMAXPROCS, rep.NumCPU),
+		Header: []string{"workers", "elapsed (s)", "videos/s", "speedup", "video p50/p90/p99 (ms)", "allocs/video", "KB/video"},
 	}
 	for _, p := range rep.Points {
 		t.AddRow(
@@ -159,6 +190,8 @@ func ScalingExperiment(w *Workspace) ([]Table, error) {
 			f1(p.VideosPerSecond),
 			f2(p.SpeedupVsSerial)+"x",
 			fmt.Sprintf("%.0f/%.0f/%.0f", p.VideoLatencyP50*1e3, p.VideoLatencyP90*1e3, p.VideoLatencyP99*1e3),
+			fmt.Sprintf("%.0f", p.AllocsPerVideo),
+			f1(p.BytesPerVideo/1024),
 		)
 	}
 	return []Table{t}, nil
@@ -243,22 +276,49 @@ func bestThroughput(e ScalingEntry) float64 {
 	return best
 }
 
-// CheckScalingRegression compares the newest series entry against the one
-// before it and fails when peak throughput dropped by more than maxDropPct
-// percent. With fewer than two entries (first run, fresh checkout) there is
-// no baseline and the check passes.
-func CheckScalingRegression(series []ScalingEntry, maxDropPct float64) error {
+// comparableConfig reports whether two reports measured the same workload on
+// the same effective hardware — only then is a throughput comparison between
+// them meaningful. An entry recorded at a different GOMAXPROCS, fleet size,
+// video length, scale or seed is a different experiment, not a baseline.
+func comparableConfig(a, b *ScalingReport) bool {
+	return a != nil && b != nil &&
+		a.GOMAXPROCS == b.GOMAXPROCS &&
+		a.FleetSize == b.FleetSize &&
+		a.FramesPerVideo == b.FramesPerVideo &&
+		a.Scale == b.Scale &&
+		a.Seed == b.Seed
+}
+
+// CheckScalingRegression compares the newest series entry against the most
+// recent earlier entry with a comparable configuration and fails when peak
+// throughput dropped by more than maxDropPct percent. The returned message
+// says what was (or was not) compared; earlier revisions of this gate
+// compared the last two entries unconditionally, which turned every config
+// change — a different machine, scale or GOMAXPROCS — into a phantom
+// regression or a phantom speedup.
+func CheckScalingRegression(series []ScalingEntry, maxDropPct float64) (string, error) {
 	if len(series) < 2 {
-		return nil
+		return "first recorded run, no baseline to compare", nil
 	}
-	prev, cur := bestThroughput(series[len(series)-2]), bestThroughput(series[len(series)-1])
+	cur := series[len(series)-1]
+	var base *ScalingEntry
+	for i := len(series) - 2; i >= 0; i-- {
+		if comparableConfig(series[i].Report, cur.Report) {
+			base = &series[i]
+			break
+		}
+	}
+	if base == nil {
+		return "baseline skipped: config changed", nil
+	}
+	prev, curT := bestThroughput(*base), bestThroughput(cur)
 	if prev <= 0 {
-		return nil
+		return "baseline skipped: previous comparable run recorded no throughput", nil
 	}
-	drop := (prev - cur) / prev * 100
+	drop := (prev - curT) / prev * 100
 	if drop > maxDropPct {
-		return fmt.Errorf("bench: scaling regression: peak throughput %.1f videos/s is %.1f%% below previous run's %.1f videos/s (limit %.0f%%)",
-			cur, drop, prev, maxDropPct)
+		return "", fmt.Errorf("bench: scaling regression: peak throughput %.1f videos/s is %.1f%% below the comparable baseline's %.1f videos/s (limit %.0f%%)",
+			curT, drop, prev, maxDropPct)
 	}
-	return nil
+	return fmt.Sprintf("peak %.1f videos/s within %.0f%% of the comparable baseline's %.1f videos/s", curT, maxDropPct, prev), nil
 }

@@ -76,25 +76,70 @@ func TestCheckScalingRegression(t *testing.T) {
 		}
 		return s
 	}
-	if err := CheckScalingRegression(mk(10), 25); err != nil {
+	if _, err := CheckScalingRegression(mk(10), 25); err != nil {
 		t.Errorf("single entry should pass (no baseline): %v", err)
 	}
-	if err := CheckScalingRegression(nil, 25); err != nil {
+	if _, err := CheckScalingRegression(nil, 25); err != nil {
 		t.Errorf("empty series should pass: %v", err)
 	}
-	if err := CheckScalingRegression(mk(10, 8), 25); err != nil {
+	if _, err := CheckScalingRegression(mk(10, 8), 25); err != nil {
 		t.Errorf("20%% drop within a 25%% gate should pass: %v", err)
 	}
-	err := CheckScalingRegression(mk(10, 7), 25)
+	_, err := CheckScalingRegression(mk(10, 7), 25)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Errorf("30%% drop should fail the gate, got %v", err)
 	}
-	// Only the last two entries matter: an old fast run does not penalize
-	// a stable recent pair.
-	if err := CheckScalingRegression(mk(100, 10, 9.5), 25); err != nil {
+	// The nearest comparable entry is the baseline: an old fast run does not
+	// penalize a stable recent pair.
+	if _, err := CheckScalingRegression(mk(100, 10, 9.5), 25); err != nil {
 		t.Errorf("stable recent pair should pass: %v", err)
 	}
-	if err := CheckScalingRegression([]ScalingEntry{{}, {Report: rep(5)}}, 25); err != nil {
-		t.Errorf("zero-throughput baseline should skip: %v", err)
+	msg, err := CheckScalingRegression([]ScalingEntry{{}, {Report: rep(5)}}, 25)
+	if err != nil {
+		t.Errorf("series with a nil-report baseline should skip: %v", err)
+	}
+	if !strings.Contains(msg, "baseline skipped") {
+		t.Errorf("nil-report baseline message = %q, want a baseline-skipped notice", msg)
+	}
+}
+
+func TestCheckScalingRegressionConfigMatching(t *testing.T) {
+	cfg := func(vps float64, procs, frames int, scale float64) ScalingEntry {
+		r := rep(vps)
+		r.GOMAXPROCS = procs
+		r.FramesPerVideo = frames
+		r.Scale = scale
+		return ScalingEntry{Report: r}
+	}
+
+	// A config change between the last two entries must not gate: the slow
+	// "regression" is just a different machine or workload.
+	series := []ScalingEntry{cfg(100, 8, 8000, 1), cfg(10, 1, 8000, 1)}
+	msg, err := CheckScalingRegression(series, 25)
+	if err != nil {
+		t.Errorf("config change should skip the gate: %v", err)
+	}
+	if !strings.Contains(msg, "baseline skipped: config changed") {
+		t.Errorf("config change message = %q", msg)
+	}
+
+	// The gate reaches past non-matching entries to the latest comparable one.
+	series = []ScalingEntry{cfg(10, 1, 8000, 1), cfg(100, 8, 8000, 1), cfg(9, 1, 8000, 1)}
+	if msg, err = CheckScalingRegression(series, 25); err != nil {
+		t.Errorf("comparable baseline two entries back should pass: %v (%s)", err, msg)
+	}
+	series = []ScalingEntry{cfg(20, 1, 8000, 1), cfg(100, 8, 8000, 1), cfg(9, 1, 8000, 1)}
+	if _, err = CheckScalingRegression(series, 25); err == nil {
+		t.Error("55% drop vs the comparable baseline should fail the gate")
+	}
+
+	// Different frames-per-video or scale is likewise not comparable.
+	series = []ScalingEntry{cfg(100, 1, 500, 1), cfg(10, 1, 8000, 1)}
+	if msg, _ = CheckScalingRegression(series, 25); !strings.Contains(msg, "config changed") {
+		t.Errorf("frames change message = %q", msg)
+	}
+	series = []ScalingEntry{cfg(100, 1, 8000, 0.1), cfg(10, 1, 8000, 1)}
+	if msg, _ = CheckScalingRegression(series, 25); !strings.Contains(msg, "config changed") {
+		t.Errorf("scale change message = %q", msg)
 	}
 }

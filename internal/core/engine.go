@@ -162,7 +162,10 @@ func (e *Engine) Run(ctx context.Context, v detect.TruthVideo, q Query) (*Result
 }
 
 // runShared is Run with an optional externally owned planner — the fleet
-// path hands every per-video run one shared, warm-started cost model.
+// path hands every per-video run one shared, warm-started cost model. As a
+// batch entry point it owns the run's pooled scratch: the scratch goes back
+// to the pool only after Result() has materialised everything the caller
+// sees, so nothing the caller holds aliases pooled memory.
 func (e *Engine) runShared(ctx context.Context, v detect.TruthVideo, q Query, pl *plan.Planner) (*Result, error) {
 	run, err := e.newRun(ctx, v, q, pl)
 	if err != nil {
@@ -170,7 +173,9 @@ func (e *Engine) runShared(ctx context.Context, v detect.TruthVideo, q Query, pl
 	}
 	for run.Step() {
 	}
-	return run.Result(), run.Err()
+	res, rerr := run.Result(), run.Err()
+	run.release()
+	return res, rerr
 }
 
 // predState is the per-predicate evaluation state of a run.
@@ -184,6 +189,13 @@ type predState struct {
 
 	est   *kernel.Estimator        // Dynamic mode only
 	cache *scanstat.CriticalValues // Dynamic mode only
+
+	// lastBucket memoizes the grid bucket of the last background estimate:
+	// the critical value is a pure function of the bucket, so the shared
+	// grid is consulted only when the estimate crosses into a new bucket,
+	// not on every admitted clip.
+	lastBucket int
+	hasBucket  bool
 
 	// recent is a ring of the latest unbiased clip counts; the quantile
 	// gate (Config.NullQuantile) derives an admission threshold from it,
@@ -245,6 +257,10 @@ type Run struct {
 	parent       *obs.Span
 	started      time.Time
 	spansEmitted bool
+
+	// scratch is the pooled per-run state this Run's slices point into; nil
+	// only for zero-value Runs. See pool.go for the lifecycle.
+	scratch *runScratch
 }
 
 // NewRun prepares a streaming evaluation of q over v. Critical values are
@@ -269,39 +285,43 @@ func (e *Engine) newRun(ctx context.Context, v detect.TruthVideo, q Query, pl *p
 		ctx = context.Background()
 	}
 	cfg := e.cfg
-	r := &Run{
-		e:        e,
-		ctx:      ctx,
-		v:        v,
-		q:        q,
-		geom:     g,
-		numClips: g.NumClips(v.NumFrames()),
-		trace:    obs.TraceFrom(ctx),
-		parent:   obs.SpanFrom(ctx),
-		started:  time.Now(),
-	}
-	r.clipInd = make([]bool, 0, r.numClips)
+	r := acquireRun()
+	r.e = e
+	r.ctx = ctx
+	r.v = v
+	r.q = q
+	r.geom = g
+	r.numClips = g.NumClips(v.NumFrames())
+	r.trace = obs.TraceFrom(ctx)
+	r.parent = obs.SpanFrom(ctx)
+	r.started = time.Now()
 
 	fpc, spc := g.FramesPerClip(), g.ShotsPerClip
 	numShots := g.NumShots(v.NumFrames())
 
-	var objs []*predState
-	for _, o := range q.Objects {
-		ps, err := r.newPred(o, ObjectPredicate, fpc, cfg.P0Object, cfg.BandwidthFrames, v.NumFrames())
-		if err != nil {
+	slots := r.scratch.ensurePreds(len(q.Objects) + 1)
+	for i, o := range q.Objects {
+		if err := r.initPred(&slots[i], o, ObjectPredicate, fpc, cfg.P0Object, cfg.BandwidthFrames, v.NumFrames()); err != nil {
+			r.release()
 			return nil, err
 		}
-		objs = append(objs, ps)
 	}
-	act, err := r.newPred(q.Action, ActionPredicate, spc, cfg.P0Action, cfg.BandwidthShots, numShots)
-	if err != nil {
+	act := &slots[len(slots)-1]
+	if err := r.initPred(act, q.Action, ActionPredicate, spc, cfg.P0Action, cfg.BandwidthShots, numShots); err != nil {
+		r.release()
 		return nil, err
 	}
+	r.preds = r.scratch.predPtrs[:0]
 	if cfg.ActionFirst {
-		r.preds = append([]*predState{act}, objs...)
-	} else {
-		r.preds = append(objs, act)
+		r.preds = append(r.preds, act)
 	}
+	for i := range q.Objects {
+		r.preds = append(r.preds, &slots[i])
+	}
+	if !cfg.ActionFirst {
+		r.preds = append(r.preds, act)
+	}
+	r.seedCrits()
 	if pl == nil || pl.Len() != len(r.preds) {
 		pl = e.plannerForQuery(q, g)
 	}
@@ -332,30 +352,80 @@ func (e *Engine) plannerForQuery(q Query, g video.Geometry) *plan.Planner {
 	return plan.New(nodes, plan.Options{Pinned: pinned, ReplanEvery: e.cfg.ReplanEvery})
 }
 
-// newPred builds the evaluation state for one predicate: its static critical
-// value and, in Dynamic mode, its kernel estimator and critical-value cache.
-func (r *Run) newPred(name string, kind PredicateKind, w int, p0, bw float64, units int) (*predState, error) {
+// initPred (re)builds the evaluation state for one predicate in a pooled
+// slot: its static critical value and, in Dynamic mode, its kernel
+// estimator and critical-value cache. Slice capacities and a
+// bandwidth-matching estimator already in the slot are reused. Dynamic
+// critical values are seeded afterwards, in one batch per grid, by
+// seedCrits.
+func (r *Run) initPred(ps *predState, name string, kind PredicateKind, w int, p0, bw float64, units int) error {
 	cfg := r.e.cfg
-	ps := &predState{
-		name:   name,
-		kind:   kind,
-		window: w,
-		rawInd: make([]bool, units),
-		crit:   scanstat.CriticalValue(w, p0, cfg.HorizonClips, cfg.Alpha),
+	ps.name, ps.kind, ps.window = name, kind, w
+	ps.rawInd = resizeBools(ps.rawInd, units)
+	ps.clipInd = ps.clipInd[:0]
+	ps.recentPos, ps.recentSeen = 0, 0
+	ps.prev2, ps.prev1, ps.lagSeen = 0, 0, 0
+	ps.evaluated = 0
+	ps.evalTime, ps.units, ps.recomputes = 0, 0, 0
+	ps.hasBucket = false
+	ps.cache = nil
+	ps.crit = scanstat.CriticalValue(w, p0, cfg.HorizonClips, cfg.Alpha)
+	if r.e.mode != Dynamic {
+		ps.est = nil
+		return nil
 	}
-	if r.e.mode == Dynamic {
+	if ps.est != nil && ps.est.Bandwidth() == bw {
+		if err := ps.est.Reset(p0); err != nil {
+			return err
+		}
+	} else {
 		est, err := kernel.NewEstimator(bw, p0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ps.est = est
-		// The grid is shared process-wide: every run at this configuration —
-		// all videos of a fleet, all concurrent server queries — reuses one
-		// memoized Naus search per bucket instead of recomputing it per run.
-		ps.cache = scanstat.Shared(w, cfg.HorizonClips, cfg.Alpha, cfg.CritGrid)
-		ps.crit = ps.cache.At(est.P())
 	}
-	return ps, nil
+	// The grid is shared process-wide: every run at this configuration —
+	// all videos of a fleet, all concurrent server queries — reuses one
+	// memoized Naus search per bucket instead of recomputing it per run.
+	ps.cache = scanstat.Shared(w, cfg.HorizonClips, cfg.Alpha, cfg.CritGrid)
+	return nil
+}
+
+// seedCrits initialises the Dynamic-mode critical values of every
+// predicate, batching the grid lookups so each shared cache is locked once
+// per run rather than once per predicate. Object predicates all share one
+// grid (same window) and the action another, so this is at most two locked
+// passes.
+func (r *Run) seedCrits() {
+	if r.e.mode != Dynamic {
+		return
+	}
+	n := len(r.preds)
+	probs, ks := r.scoreBuf(n), r.critBuf(n)
+	for i, ps := range r.preds {
+		if ps.hasBucket {
+			continue
+		}
+		// Gather every predicate sharing this one's cache into one batch.
+		batch := 0
+		for j := i; j < n; j++ {
+			if qs := r.preds[j]; !qs.hasBucket && qs.cache == ps.cache {
+				probs[batch] = qs.est.P()
+				batch++
+			}
+		}
+		ps.cache.AtBatch(probs[:batch], ks[:batch])
+		batch = 0
+		for j := i; j < n; j++ {
+			if qs := r.preds[j]; !qs.hasBucket && qs.cache == ps.cache {
+				qs.crit = ks[batch]
+				qs.lastBucket = qs.cache.BucketOf(probs[batch])
+				qs.hasBucket = true
+				batch++
+			}
+		}
+	}
 }
 
 // NumClips returns the number of clips the run will process.
@@ -406,7 +476,7 @@ func (r *Run) Step() bool {
 	positive := true
 	var clipErr error // detection failure flagging this clip
 	objectFramesCharged := false
-	for _, idx := range r.planner.Order() {
+	for _, idx := range r.planner.AppendOrder(r.orderBuf()) {
 		ps := r.preds[idx]
 		if clipErr != nil || r.err != nil ||
 			(!positive && !r.e.cfg.NoShortCircuit && !sampled) {
@@ -485,8 +555,10 @@ func (r *Run) Step() bool {
 func (r *Run) learn(ps *predState, count int) {
 	thr, ready := r.gateThreshold(ps)
 
-	// Ring update (the threshold above was computed before this count).
-	if ps.recent == nil {
+	// Ring update (the threshold above was computed before this count). The
+	// ring's stale contents from a previous pooled run are never read:
+	// gateThreshold waits for recentSeen to cover the whole ring.
+	if len(ps.recent) != r.e.cfg.RobustWindowClips {
 		ps.recent = make([]int, r.e.cfg.RobustWindowClips)
 	}
 	ps.recent[ps.recentPos] = count
@@ -502,9 +574,15 @@ func (r *Run) learn(ps *predState, count int) {
 	}
 	if ps.prev1 <= thr && ps.prev2 <= thr && count <= thr {
 		ps.est.TickN(ps.window, ps.prev1)
-		if crit := ps.cache.At(ps.est.P()); crit != ps.crit {
-			ps.crit = crit
-			ps.recomputes++
+		// The critical value depends only on the estimate's grid bucket, so
+		// the shared grid is consulted only on a bucket crossing — same
+		// values as an unconditional At, minus the per-clip lock traffic.
+		if b := ps.cache.BucketOf(ps.est.P()); !ps.hasBucket || b != ps.lastBucket {
+			ps.lastBucket, ps.hasBucket = b, true
+			if crit := ps.cache.AtBucket(b); crit != ps.crit {
+				ps.crit = crit
+				ps.recomputes++
+			}
 		}
 	}
 }
@@ -514,11 +592,11 @@ func (r *Run) learn(ps *predState, count int) {
 // single event occurrence could dominate the quantile, poisoning the null
 // estimate with event counts that a short stream never forgets.
 func (r *Run) gateThreshold(ps *predState) (thr int, ready bool) {
-	if ps.recent == nil || ps.recentSeen < len(ps.recent) {
+	if len(ps.recent) == 0 || ps.recentSeen < len(ps.recent) {
 		return 0, false
 	}
 	n := len(ps.recent)
-	sorted := make([]int, n)
+	sorted := r.sortBuf(n)
 	copy(sorted, ps.recent[:n])
 	sort.Ints(sorted)
 	idx := int(r.e.cfg.NullQuantile * float64(n))
@@ -554,6 +632,7 @@ func (r *Run) unitCost(kind PredicateKind) time.Duration {
 func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int, error) {
 	defer func(t0 time.Time) { ps.evalTime += time.Since(t0) }(time.Now())
 	count := 0
+	m := r.e.models
 	switch ps.kind {
 	case ObjectPredicate:
 		fr := r.geom.FrameRangeOfClip(clip)
@@ -564,13 +643,30 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 			r.e.meter.AddObjectFrames(fr.Len())
 			*objectFramesCharged = true
 		}
+		if _, fallible := m.Objects.(detect.FallibleObjectDetector); !fallible {
+			// Infallible detectors cannot fail an attempt, so the whole
+			// clip scores as one batch into the pooled column — same scores
+			// and meter charges as the per-frame path, without its per-unit
+			// interface dispatch.
+			scores := r.scoreBuf(fr.Len())
+			detect.FrameScoreBatch(m.Objects, r.v, ps.name, fr.Start, scores)
+			r.recordAttempts(detect.KindObject, len(scores))
+			ps.units += len(scores)
+			for i, score := range scores {
+				if score >= m.ObjThreshold {
+					ps.rawInd[fr.Start+i] = true
+					count++
+				}
+			}
+			return count, nil
+		}
 		for f := fr.Start; f <= fr.End; f++ {
 			score, err := r.objectScore(ps.name, f)
 			if err != nil {
 				return 0, err
 			}
 			ps.units++
-			if score >= r.e.models.ObjThreshold {
+			if score >= m.ObjThreshold {
 				ps.rawInd[f] = true
 				count++
 			}
@@ -580,13 +676,26 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 		if r.e.meter != nil {
 			r.e.meter.AddActionShots(sr.Len())
 		}
+		if _, fallible := m.Actions.(detect.FallibleActionRecognizer); !fallible {
+			scores := r.scoreBuf(sr.Len())
+			detect.ShotScoreBatch(m.Actions, r.v, ps.name, sr.Start, scores)
+			r.recordAttempts(detect.KindAction, len(scores))
+			ps.units += len(scores)
+			for i, score := range scores {
+				if score >= m.ActThreshold {
+					ps.rawInd[sr.Start+i] = true
+					count++
+				}
+			}
+			return count, nil
+		}
 		for s := sr.Start; s <= sr.End; s++ {
 			score, err := r.actionScore(ps.name, s)
 			if err != nil {
 				return 0, err
 			}
 			ps.units++
-			if score >= r.e.models.ActThreshold {
+			if score >= m.ActThreshold {
 				ps.rawInd[s] = true
 				count++
 			}
@@ -639,6 +748,14 @@ func (r *Run) actionScore(act string, shot int) (float64, error) {
 func (r *Run) recordAttempt(kind string, attempt int) {
 	if m := r.e.meter; m != nil {
 		m.RecordAttempt(kind, attempt)
+	}
+}
+
+// recordAttempts charges n first-attempt invocations in one shot (the
+// batch-scoring path).
+func (r *Run) recordAttempts(kind string, n int) {
+	if m := r.e.meter; m != nil {
+		m.RecordAttempts(kind, n)
 	}
 }
 

@@ -222,12 +222,23 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 	}
 	numClips := g.NumClips(v.NumFrames())
 	numShots := g.NumShots(v.NumFrames())
-	run := &Run{
-		e: e, ctx: ctx, v: v, geom: g, numClips: numClips,
-		trace: obs.TraceFrom(ctx), parent: obs.SpanFrom(ctx), started: time.Now(),
-	}
+	run := acquireRun()
+	run.e, run.ctx, run.v, run.geom, run.numClips = e, ctx, v, g, numClips
+	run.trace, run.parent, run.started = obs.TraceFrom(ctx), obs.SpanFrom(ctx), time.Now()
+	// The extended result is materialised fresh by video.FromIndicator, so
+	// the scratch can go back to the pool on every exit path.
+	defer run.release()
 
-	// One predState per distinct atom; clauses reference them by index.
+	// One predState per distinct atom; clauses reference them by index. The
+	// pooled slots must be sized before any pointer into them is taken.
+	distinct := map[string]bool{}
+	for _, c := range q.Clauses {
+		for _, a := range c.Atoms {
+			distinct[a.key()] = true
+		}
+	}
+	slots := run.scratch.ensurePreds(len(distinct))
+	run.preds = run.scratch.predPtrs[:0]
 	type boundAtom struct {
 		atom Atom
 		ps   *predState
@@ -246,10 +257,11 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 					w, units = g.ShotsPerClip, numShots
 					p0, bw = e.cfg.P0Action, e.cfg.BandwidthShots
 				}
-				ps, err := run.newPred(a.String(), a.Kind, w, p0, bw, units)
-				if err != nil {
+				ps := &slots[len(atoms)]
+				if err := run.initPred(ps, a.String(), a.Kind, w, p0, bw, units); err != nil {
 					return nil, err
 				}
+				run.preds = append(run.preds, ps)
 				i = len(atoms)
 				atoms = append(atoms, boundAtom{atom: a, ps: ps})
 				index[k] = i
@@ -257,6 +269,7 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 			clauseAtoms[ci] = append(clauseAtoms[ci], i)
 		}
 	}
+	run.seedCrits()
 
 	clipInd := make([]bool, 0, numClips)
 	var runErr error

@@ -36,30 +36,35 @@ func (e *Engine) EvaluateTypes(ctx context.Context, v detect.TruthVideo, objects
 	numClips := g.NumClips(v.NumFrames())
 	numShots := g.NumShots(v.NumFrames())
 
-	run := &Run{e: e, ctx: ctx, v: v, geom: g, numClips: numClips}
+	run := acquireRun()
+	run.e, run.ctx, run.v, run.geom, run.numClips = e, ctx, v, g, numClips
+	// The returned maps are materialised fresh by video.FromIndicator, so
+	// the scratch can go back to the pool on every exit path.
+	defer run.release()
+	slots := run.scratch.ensurePreds(len(objects) + len(actions))
+	run.preds = run.scratch.predPtrs[:0]
 	seen := map[string]bool{}
-	for _, o := range objects {
+	for i, o := range objects {
 		if o == "" || seen["o/"+o] {
 			return nil, nil, fmt.Errorf("core: empty or duplicate object type %q", o)
 		}
 		seen["o/"+o] = true
-		ps, err := run.newPred(o, ObjectPredicate, g.FramesPerClip(), cfg.P0Object, cfg.BandwidthFrames, v.NumFrames())
-		if err != nil {
+		if err := run.initPred(&slots[i], o, ObjectPredicate, g.FramesPerClip(), cfg.P0Object, cfg.BandwidthFrames, v.NumFrames()); err != nil {
 			return nil, nil, err
 		}
-		run.preds = append(run.preds, ps)
+		run.preds = append(run.preds, &slots[i])
 	}
-	for _, a := range actions {
+	for i, a := range actions {
 		if a == "" || seen["a/"+a] {
 			return nil, nil, fmt.Errorf("core: empty or duplicate action type %q", a)
 		}
 		seen["a/"+a] = true
-		ps, err := run.newPred(a, ActionPredicate, g.ShotsPerClip, cfg.P0Action, cfg.BandwidthShots, numShots)
-		if err != nil {
+		if err := run.initPred(&slots[len(objects)+i], a, ActionPredicate, g.ShotsPerClip, cfg.P0Action, cfg.BandwidthShots, numShots); err != nil {
 			return nil, nil, err
 		}
-		run.preds = append(run.preds, ps)
+		run.preds = append(run.preds, &slots[len(objects)+i])
 	}
+	run.seedCrits()
 
 	for c := 0; c < numClips; c++ {
 		if cerr := ctx.Err(); cerr != nil {

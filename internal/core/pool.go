@@ -1,0 +1,146 @@
+package core
+
+import "sync"
+
+// Per-run scratch pooling. A fleet run allocates the same per-video state —
+// the Run itself, one predState per predicate, the clip/flag indicator
+// slices, raw-unit indicators, the quantile-gate sort buffer, the batch
+// score column — once per video, thousands of times per sweep. runScratch
+// owns all of it; runs acquire a scratch from the pool, point their slices
+// into it, and return it after Result() has materialised everything the
+// caller sees (Result is alias-free by construction: interval sets are
+// built fresh by video.FromIndicator, plan reports by the planner).
+//
+// Lifecycle: newRun acquires; Run.release returns the scratch, reclaiming
+// any capacity the run's appends grew. Only the batch entry points
+// (runShared, EvaluateTypes) release — a Run handed out by the public
+// NewRun streaming API is owned by the caller and is simply garbage
+// collected, scratch and all, which is safe because the pool holds no
+// reference until Put.
+type runScratch struct {
+	// run is the Run storage itself, so the batch path allocates nothing
+	// per video once the pool is warm.
+	run Run
+
+	// preds is the predState backing array; Run.preds holds pointers into
+	// it, so it is sized up front and never grown mid-run. Each slot keeps
+	// its slice capacities (clipInd, rawInd, recent) and its kernel
+	// estimator across reuse.
+	preds    []predState
+	predPtrs []*predState
+
+	clipInd []bool
+	flagged []bool
+
+	// scores is the batch score column evaluate fills per clip; ks is the
+	// critical-value column for batched grid lookups. Both are also reused
+	// by seedCrits before stepping begins.
+	scores []float64
+	ks     []int
+
+	// gateSort is the quantile gate's sort buffer (one per run: Step is
+	// single-goroutine).
+	gateSort []int
+
+	// planOrder receives the planner's per-clip evaluation order (a copy —
+	// the planner itself may be shared fleet-wide and reorder concurrently).
+	planOrder []int
+}
+
+var runPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// acquireRun returns a pooled Run with its scratch attached and all
+// per-run state zeroed; predState slots and slice capacities are retained.
+func acquireRun() *Run {
+	s := runPool.Get().(*runScratch)
+	r := &s.run
+	*r = Run{scratch: s}
+	r.clipInd = s.clipInd[:0]
+	r.flagged = s.flagged[:0]
+	return r
+}
+
+// ensurePreds returns n reset predState slots. The backing array is sized
+// before any pointer into it is taken.
+func (s *runScratch) ensurePreds(n int) []predState {
+	if cap(s.preds) < n {
+		s.preds = make([]predState, n)
+	}
+	s.preds = s.preds[:n]
+	return s.preds
+}
+
+// release returns the run's scratch to the pool, reclaiming grown slice
+// capacity and dropping every caller-owned reference (context, video,
+// planner, query) so the pool pins nothing between runs. The Run must not
+// be used afterwards.
+func (r *Run) release() {
+	s := r.scratch
+	if s == nil {
+		return
+	}
+	s.clipInd = r.clipInd[:0]
+	s.flagged = r.flagged[:0]
+	s.predPtrs = r.preds[:0]
+	s.run = Run{}
+	runPool.Put(s)
+}
+
+// scoreBuf returns the scratch score column resized to n.
+func (r *Run) scoreBuf(n int) []float64 {
+	if r.scratch == nil {
+		return make([]float64, n)
+	}
+	if cap(r.scratch.scores) < n {
+		r.scratch.scores = make([]float64, n)
+	}
+	r.scratch.scores = r.scratch.scores[:n]
+	return r.scratch.scores
+}
+
+// critBuf returns the scratch critical-value column resized to n.
+func (r *Run) critBuf(n int) []int {
+	if r.scratch == nil {
+		return make([]int, n)
+	}
+	if cap(r.scratch.ks) < n {
+		r.scratch.ks = make([]int, n)
+	}
+	r.scratch.ks = r.scratch.ks[:n]
+	return r.scratch.ks
+}
+
+// sortBuf returns the scratch gate-sort buffer resized to n.
+func (r *Run) sortBuf(n int) []int {
+	if r.scratch == nil {
+		return make([]int, n)
+	}
+	if cap(r.scratch.gateSort) < n {
+		r.scratch.gateSort = make([]int, n)
+	}
+	r.scratch.gateSort = r.scratch.gateSort[:n]
+	return r.scratch.gateSort
+}
+
+// orderBuf returns the empty scratch buffer the planner's per-clip order is
+// appended into.
+func (r *Run) orderBuf() []int {
+	if r.scratch == nil {
+		return nil
+	}
+	if cap(r.scratch.planOrder) < len(r.preds) {
+		r.scratch.planOrder = make([]int, 0, len(r.preds))
+	}
+	return r.scratch.planOrder[:0]
+}
+
+// resizeBools returns b with length n and every element false, reusing the
+// backing array when it is large enough.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}

@@ -1,0 +1,116 @@
+package detect
+
+// Events is a struct-of-arrays batch of object detection events: three
+// parallel columns (unit, track, score) instead of per-event structs. The
+// hot paths — online evaluation over a clip, offline ingest over a whole
+// video — append thousands of events per video; the columnar layout keeps
+// them in three contiguous allocations that a caller can Reset and reuse,
+// where the AoS []Detection-per-frame shape paid one heap slice per frame.
+type Events struct {
+	// Units holds the frame (object events) or shot (action events) index of
+	// each event. int32 comfortably covers any video length the engine sees.
+	Units []int32
+	// Tracks holds each event's instance identity. Tracker remapping widens
+	// IDs by a factor of one million, so the column is int64.
+	Tracks []int64
+	// Scores holds each event's detection score.
+	Scores []float64
+}
+
+// Len returns the number of buffered events.
+func (e *Events) Len() int { return len(e.Units) }
+
+// Reset empties the batch, retaining the columns' capacity for reuse.
+func (e *Events) Reset() {
+	e.Units = e.Units[:0]
+	e.Tracks = e.Tracks[:0]
+	e.Scores = e.Scores[:0]
+}
+
+// Append adds one event to the batch.
+func (e *Events) Append(unit int, track int64, score float64) {
+	e.Units = append(e.Units, int32(unit))
+	e.Tracks = append(e.Tracks, track)
+	e.Scores = append(e.Scores, score)
+}
+
+// BatchObjectScorer is an optional ObjectDetector capability: score a
+// contiguous run of frames in one call, filling dst[i] with the score of
+// frame start+i. Implementations hoist per-video work (burst overlays,
+// frame counts) out of the per-frame loop; callers hoist the interface
+// dispatch and, for simulated models, the per-call lock on the overlay
+// cache. Fault-injecting decorators deliberately do not implement it — the
+// batch path is only taken for infallible models, so the per-attempt retry
+// contract is untouched.
+type BatchObjectScorer interface {
+	FrameScoreBatch(v TruthVideo, typ string, start int, dst []float64)
+}
+
+// BatchActionScorer is the shot-level analogue of BatchObjectScorer.
+type BatchActionScorer interface {
+	ShotScoreBatch(v TruthVideo, act string, start int, dst []float64)
+}
+
+// ObjectEventAppender is an optional ObjectDetector capability: append the
+// frame's detections to a columnar Events batch instead of materialising a
+// fresh []Detection.
+type ObjectEventAppender interface {
+	AppendFrameEvents(v TruthVideo, typ string, frame int, ev *Events)
+}
+
+// InstanceAppender is an optional TruthVideo capability: append the track
+// IDs visible on a frame to a caller-owned buffer instead of allocating a
+// fresh slice per frame. The per-frame instance query sits on the innermost
+// loop of both simulated scoring and ingest, so the allocation matters.
+type InstanceAppender interface {
+	AppendObjectInstancesAt(typ string, frame int, ids []int) []int
+}
+
+// AppendObjectInstancesAt appends the frame's visible track IDs of typ to
+// ids, using v's appender implementation when it has one and adapting
+// ObjectInstancesAt otherwise.
+func AppendObjectInstancesAt(v TruthVideo, typ string, frame int, ids []int) []int {
+	if a, ok := v.(InstanceAppender); ok {
+		return a.AppendObjectInstancesAt(typ, frame, ids)
+	}
+	return append(ids, v.ObjectInstancesAt(typ, frame)...)
+}
+
+// FrameScoreBatch fills dst[i] with d's score for frame start+i, using the
+// detector's batch implementation when it has one and falling back to
+// per-frame FrameScore calls otherwise. The results are identical either
+// way; only the constant factors differ.
+func FrameScoreBatch(d ObjectDetector, v TruthVideo, typ string, start int, dst []float64) {
+	if b, ok := d.(BatchObjectScorer); ok {
+		b.FrameScoreBatch(v, typ, start, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = d.FrameScore(v, typ, start+i)
+	}
+}
+
+// ShotScoreBatch fills dst[i] with r's score for shot start+i, batching
+// when the recogniser supports it.
+func ShotScoreBatch(r ActionRecognizer, v TruthVideo, act string, start int, dst []float64) {
+	if b, ok := r.(BatchActionScorer); ok {
+		b.ShotScoreBatch(v, act, start, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = r.ShotScore(v, act, start+i)
+	}
+}
+
+// AppendFrameEvents appends the frame's detections of typ to ev, using d's
+// columnar implementation when it has one and adapting FrameDetections
+// otherwise.
+func AppendFrameEvents(d ObjectDetector, v TruthVideo, typ string, frame int, ev *Events) {
+	if a, ok := d.(ObjectEventAppender); ok {
+		a.AppendFrameEvents(v, typ, frame, ev)
+		return
+	}
+	for _, det := range d.FrameDetections(v, typ, frame) {
+		ev.Append(frame, int64(det.TrackID), det.Score)
+	}
+}

@@ -67,6 +67,16 @@ func (m *Meter) RecordAttempt(kind string, attempt int) {
 	}
 }
 
+// RecordAttempts records n first-attempt invocations in one shot — the
+// batch-scoring path's equivalent of n RecordAttempt(kind, 0) calls.
+func (m *Meter) RecordAttempts(kind string, n int) {
+	a := &m.objAttempts
+	if kind == KindAction {
+		a = &m.actAttempts
+	}
+	a.Add(int64(n))
+}
+
 // RecordFault records one failed invocation attempt by outcome class.
 func (m *Meter) RecordFault(kind string, transient bool) {
 	switch {

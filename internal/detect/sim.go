@@ -15,17 +15,24 @@ type simCore struct {
 	prof Profile
 	seed uint64
 
-	mu       sync.Mutex
-	overlays map[string]video.IntervalSet
+	mu sync.Mutex
+	// overlays is keyed video ID → type, two levels instead of a
+	// concatenated string so the per-batch lookup allocates nothing.
+	overlays map[string]map[string]video.IntervalSet
 }
 
 func newSimCore(prof Profile, seed int64) *simCore {
 	return &simCore{
 		prof:     prof,
 		seed:     keyed(uint64(seed), hashString(prof.Name)),
-		overlays: make(map[string]video.IntervalSet),
+		overlays: make(map[string]map[string]video.IntervalSet),
 	}
 }
+
+// idScratch pools the per-batch track-ID buffers of the simulated scoring
+// loops; detectors are shared across fleet workers, so the scratch cannot
+// live on the detector itself.
+var idScratch = sync.Pool{New: func() any { s := make([]int, 0, 16); return &s }}
 
 // burstOverlay returns the false-positive burst intervals for a type in a
 // video, generating them on first use. Bursts are an alternating renewal
@@ -35,11 +42,15 @@ func (c *simCore) burstOverlay(videoID, typ string, units int) video.IntervalSet
 	if c.prof.FPBurstGap <= 0 || c.prof.FPBurstLen <= 0 {
 		return video.IntervalSet{}
 	}
-	key := videoID + "\x00" + typ
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if s, ok := c.overlays[key]; ok {
+	byType := c.overlays[videoID]
+	if s, ok := byType[typ]; ok {
 		return s
+	}
+	if byType == nil {
+		byType = make(map[string]video.IntervalSet)
+		c.overlays[videoID] = byType
 	}
 	state := keyed(c.seed, hashString(videoID), hashString(typ), 0xb02575)
 	next := func() float64 {
@@ -65,15 +76,21 @@ func (c *simCore) burstOverlay(videoID, typ string, units int) video.IntervalSet
 		pos = end + 1
 	}
 	s := video.NewIntervalSet(ivs...)
-	c.overlays[key] = s
+	byType[typ] = s
 	return s
 }
 
 // falsePositive decides whether the model hallucinates the absent type on
 // the unit and, if so, returns the score.
 func (c *simCore) falsePositive(v TruthVideo, typ string, unit, units int) (float64, bool) {
+	return c.falsePositiveIn(c.burstOverlay(v.ID(), typ, units), v, typ, unit)
+}
+
+// falsePositiveIn is falsePositive with the burst overlay already in hand,
+// so batch callers fetch it (one lock) once per run instead of per unit.
+func (c *simCore) falsePositiveIn(overlay video.IntervalSet, v TruthVideo, typ string, unit int) (float64, bool) {
 	p := c.prof.FPIID
-	if c.burstOverlay(v.ID(), typ, units).Contains(unit) {
+	if overlay.Contains(unit) {
 		p = c.prof.FPWithinBurst
 	}
 	if p <= 0 {
@@ -156,6 +173,53 @@ func (d *SimObjectDetector) FrameDetections(v TruthVideo, typ string, frame int)
 	return out
 }
 
+// FrameScoreBatch implements BatchObjectScorer: identical draws to
+// FrameScore, with the frame count and burst overlay hoisted out of the
+// per-frame loop.
+func (d *SimObjectDetector) FrameScoreBatch(v TruthVideo, typ string, start int, dst []float64) {
+	overlay := d.core.burstOverlay(v.ID(), typ, v.NumFrames())
+	idsp := idScratch.Get().(*[]int)
+	defer idScratch.Put(idsp)
+	for i := range dst {
+		frame := start + i
+		best := 0.0
+		*idsp = AppendObjectInstancesAt(v, typ, frame, (*idsp)[:0])
+		for _, id := range *idsp {
+			if s, ok := d.core.truePositive(v, typ, frame, uint64(id)); ok && s > best {
+				best = s
+			}
+		}
+		if best == 0 && !v.ObjectPresentAt(typ, frame) {
+			if s, ok := d.core.falsePositiveIn(overlay, v, typ, frame); ok {
+				best = s
+			}
+		}
+		dst[i] = best
+	}
+}
+
+// AppendFrameEvents implements ObjectEventAppender: the same draws as
+// FrameDetections, appended to the caller's columnar batch instead of a
+// fresh slice.
+func (d *SimObjectDetector) AppendFrameEvents(v TruthVideo, typ string, frame int, ev *Events) {
+	n := ev.Len()
+	idsp := idScratch.Get().(*[]int)
+	defer idScratch.Put(idsp)
+	*idsp = AppendObjectInstancesAt(v, typ, frame, (*idsp)[:0])
+	for _, id := range *idsp {
+		if s, ok := d.core.truePositive(v, typ, frame, uint64(id)); ok {
+			ev.Append(frame, int64(id), s)
+		}
+	}
+	if ev.Len() == n && !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			// Same stable phantom identity as FrameDetections.
+			id := -1 - int(keyed(hashString(v.ID()), hashString(typ), uint64(frame/30))%1_000_000)
+			ev.Append(frame, int64(id), s)
+		}
+	}
+}
+
 // SimActionRecognizer is an ActionRecognizer sampling per-shot
 // classifications from a noise profile.
 type SimActionRecognizer struct {
@@ -186,4 +250,28 @@ func (r *SimActionRecognizer) ShotScore(v TruthVideo, act string, shot int) floa
 		return s
 	}
 	return 0
+}
+
+// ShotScoreBatch implements BatchActionScorer: identical draws to
+// ShotScore, with the shot count and burst overlay hoisted out of the
+// per-shot loop.
+func (r *SimActionRecognizer) ShotScoreBatch(v TruthVideo, act string, start int, dst []float64) {
+	numShots := v.Geometry().NumShots(v.NumFrames())
+	overlay := r.core.burstOverlay(v.ID(), act, numShots)
+	for i := range dst {
+		shot := start + i
+		if v.ActionAt(act, shot) {
+			s, ok := r.core.truePositive(v, act, shot, 0)
+			if !ok {
+				s = 0
+			}
+			dst[i] = s
+			continue
+		}
+		s, ok := r.core.falsePositiveIn(overlay, v, act, shot)
+		if !ok {
+			s = 0
+		}
+		dst[i] = s
+	}
 }

@@ -36,6 +36,29 @@ func (t *Tracker) FrameScore(v TruthVideo, typ string, frame int) float64 {
 	return t.det.FrameScore(v, typ, frame)
 }
 
+// FrameScoreBatch implements BatchObjectScorer; tracking does not change
+// scores, so the wrapped detector's batch path (if any) is used directly.
+func (t *Tracker) FrameScoreBatch(v TruthVideo, typ string, start int, dst []float64) {
+	FrameScoreBatch(t.det, v, typ, start, dst)
+}
+
+// AppendFrameEvents implements ObjectEventAppender: the wrapped detector's
+// events are appended, then their identities remapped in place exactly as
+// FrameDetections would.
+func (t *Tracker) AppendFrameEvents(v TruthVideo, typ string, frame int, ev *Events) {
+	n := ev.Len()
+	AppendFrameEvents(t.det, v, typ, frame, ev)
+	if t.fragmentEvery <= 0 {
+		return
+	}
+	seg := int64(frame / t.fragmentEvery)
+	for i := n; i < ev.Len(); i++ {
+		if id := ev.Tracks[i]; id >= 0 {
+			ev.Tracks[i] = id*1_000_000 + seg + 1
+		}
+	}
+}
+
 // FrameDetections implements ObjectDetector, remapping track identities.
 func (t *Tracker) FrameDetections(v TruthVideo, typ string, frame int) []Detection {
 	dets := t.det.FrameDetections(v, typ, frame)

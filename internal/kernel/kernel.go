@@ -69,6 +69,20 @@ func NewEstimator(u, p0 float64) (*Estimator, error) {
 	}, nil
 }
 
+// Reset returns the estimator to the state NewEstimator(e.Bandwidth(), p0)
+// would produce, discarding all observed evidence. Pooled engine runs reuse
+// one estimator per predicate slot across videos instead of allocating a
+// fresh one per run.
+func (e *Estimator) Reset(p0 float64) error {
+	if p0 < 0 || p0 > 1 {
+		return fmt.Errorf("kernel: initial probability %v out of [0,1]", p0)
+	}
+	e.eventMass, e.unitMass = 0, 0
+	e.prior, e.priorWeight = p0, e.u/16
+	e.units = 0
+	return nil
+}
+
 // Bandwidth returns the kernel bandwidth u.
 func (e *Estimator) Bandwidth() float64 { return e.u }
 

@@ -144,9 +144,16 @@ func (p *Planner) Len() int { return len(p.nodes) }
 // Order returns a copy of the current evaluation order: positions into the
 // declared node list, cheapest expected cost to reject first.
 func (p *Planner) Order() []int {
+	return p.AppendOrder(nil)
+}
+
+// AppendOrder appends the current evaluation order to dst — Order without
+// the per-call allocation, for callers that consult the planner every clip
+// and hold their own buffer.
+func (p *Planner) AppendOrder(dst []int) []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]int(nil), p.order...)
+	return append(dst, p.order...)
 }
 
 // Observe folds one unbiased evaluation of node i into the cost model:

@@ -39,13 +39,14 @@ func PqTraverse(ctx context.Context, ix *Index, q core.Query, k int, opts Option
 	}
 	res.Plan = rep
 	f := opts.Scoring.Seq
+	scoreCol := make([]float64, len(tables))
 	for _, iv := range pq.Intervals() {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, &core.InterruptedError{Processed: res.ClipsScored, Total: pq.TotalLen(), Err: cerr}
 		}
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			s, err := scoreClip(tables, scorer, c)
+			s, err := scoreClip(tables, scorer, c, scoreCol)
 			if err != nil {
 				return nil, err
 			}
@@ -102,6 +103,7 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 	scores := map[int]float64{}
 	seenIn := map[int]int{}
 	cursors := make([]int, len(tables))
+	scoreCol := make([]float64, len(tables))
 	for remaining > 0 {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, &core.InterruptedError{Processed: res.ClipsScored, Total: pq.TotalLen(), Err: cerr}
@@ -119,7 +121,7 @@ func FA(ctx context.Context, ix *Index, q core.Query, k int, opts Options) (*Res
 			progressed = true
 			seenIn[e.Clip]++
 			if seenIn[e.Clip] == 1 {
-				score, err := scoreClip(tables, scorer, e.Clip)
+				score, err := scoreClip(tables, scorer, e.Clip, scoreCol)
 				if err != nil {
 					return nil, err
 				}
@@ -181,11 +183,12 @@ func TruthTopK(ix *Index, q core.Query, k int, scoring Scoring) ([]SeqResult, er
 		return nil, err
 	}
 	f := scoring.Seq
+	scoreCol := make([]float64, len(tables))
 	var out []SeqResult
 	for _, iv := range pq.Intervals() {
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			s, err := scoreClip(tables, scorer, c)
+			s, err := scoreClip(tables, scorer, c, scoreCol)
 			if err != nil {
 				return nil, err
 			}

@@ -1,8 +1,9 @@
 package rank
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"svqact/internal/video"
 )
@@ -39,15 +40,21 @@ func (s SeqResult) Bounds() Bounds {
 // possible upper bound falls below it can never reach the top-k. With fewer
 // than k bounds every candidate may still win, so the threshold is -Inf.
 func TopKLowerBound(bs []Bounds, k int) float64 {
+	return topKLowerBoundInto(bs, k, nil)
+}
+
+// topKLowerBoundInto is TopKLowerBound with a caller-owned sort column, so
+// the per-round pruning check of a long traversal reuses one buffer.
+func topKLowerBoundInto(bs []Bounds, k int, los []float64) float64 {
 	if k <= 0 || len(bs) < k {
 		return math.Inf(-1)
 	}
-	los := make([]float64, len(bs))
-	for i, b := range bs {
-		los[i] = b.Lo
+	los = los[:0]
+	for _, b := range bs {
+		los = append(los, b.Lo)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
-	return los[k-1]
+	slices.Sort(los)
+	return los[len(los)-k]
 }
 
 // Separated reports whether the k best lower bounds dominate every other
@@ -55,11 +62,18 @@ func TopKLowerBound(bs []Bounds, k int) float64 {
 // ordered by descending lower bound. This is Equation 15 stated over plain
 // bounds; RVAQ's traversal and the coordinator's merge both consult it.
 func Separated(bs []Bounds, k int) (winners []int, ok bool) {
-	order := make([]int, len(bs))
-	for i := range order {
-		order[i] = i
+	return separatedInto(bs, k, nil)
+}
+
+// separatedInto is Separated with a caller-owned permutation buffer. The
+// returned winner indices alias that buffer, so callers reusing it must copy
+// them out before the next round.
+func separatedInto(bs []Bounds, k int, order []int) (winners []int, ok bool) {
+	order = order[:0]
+	for i := range bs {
+		order = append(order, i)
 	}
-	sort.SliceStable(order, func(i, j int) bool { return bs[order[i]].Lo > bs[order[j]].Lo })
+	slices.SortStableFunc(order, func(i, j int) int { return cmp.Compare(bs[j].Lo, bs[i].Lo) })
 	if len(bs) <= k {
 		return order, true
 	}

@@ -185,11 +185,12 @@ func TruthTopKCNF(ix *Index, q core.CNF, k int, scoring Scoring) ([]SeqResult, e
 	}
 	scorer := cnfTableScorer{clauses: clauses}
 	f := scoring.Seq
+	scoreCol := make([]float64, len(tables))
 	var out []SeqResult
 	for _, iv := range pq.Intervals() {
 		sum := f.Zero()
 		for c := iv.Start; c <= iv.End; c++ {
-			s, err := scoreClip(tables, scorer, c)
+			s, err := scoreClip(tables, scorer, c, scoreCol)
 			if err != nil {
 				return nil, err
 			}

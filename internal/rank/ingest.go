@@ -90,7 +90,16 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 
 	// Clip score tables: h aggregates every detection score of the type
 	// within the clip (per tracked instance and frame for objects, per shot
-	// for actions) — the paper's §5 instantiation of h.
+	// for actions) — the paper's §5 instantiation of h. Infallible models
+	// take the columnar batch path — one reused Events buffer per clip, no
+	// per-frame retry closure or []Detection heap slice; the scores land in
+	// the same order, so the float accumulation is bit-identical. The
+	// per-attempt retry contract applies only to fallible models, which keep
+	// the scalar loop.
+	_, objFallible := det.(detect.FallibleObjectDetector)
+	_, actFallible := models.Actions.(detect.FallibleActionRecognizer)
+	var ev detect.Events
+	var shotScores []float64
 	for _, typ := range objTypes {
 		var entries []store.Entry
 		for c := 0; c < ix.NumClips; c++ {
@@ -99,21 +108,31 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 			}
 			fr := g.FrameRangeOfClip(c)
 			sum := 0.0
-			for f := fr.Start; f <= fr.End; f++ {
-				var dets []detect.Detection
-				err := detect.Retry(ctx, retry, func(attempt int) error {
-					var err error
-					dets, err = detect.FrameDetectionsAttempt(det, v, typ, f, attempt)
-					return err
-				})
-				if err != nil {
-					if ctx.Err() != nil {
-						return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
-					}
-					continue // flagged by EvaluateTypes; score the rest
+			if !objFallible {
+				ev.Reset()
+				for f := fr.Start; f <= fr.End; f++ {
+					detect.AppendFrameEvents(det, v, typ, f, &ev)
 				}
-				for _, d := range dets {
-					sum += d.Score
+				for _, s := range ev.Scores {
+					sum += s
+				}
+			} else {
+				for f := fr.Start; f <= fr.End; f++ {
+					var dets []detect.Detection
+					err := detect.Retry(ctx, retry, func(attempt int) error {
+						var err error
+						dets, err = detect.FrameDetectionsAttempt(det, v, typ, f, attempt)
+						return err
+					})
+					if err != nil {
+						if ctx.Err() != nil {
+							return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
+						}
+						continue // flagged by EvaluateTypes; score the rest
+					}
+					for _, d := range dets {
+						sum += d.Score
+					}
 				}
 			}
 			if sum > 0 {
@@ -134,20 +153,32 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 			}
 			sr := g.ShotRangeOfClip(c)
 			sum := 0.0
-			for s := sr.Start; s <= sr.End; s++ {
-				var score float64
-				err := detect.Retry(ctx, retry, func(attempt int) error {
-					var err error
-					score, err = models.ActionScoreAttempt(v, typ, s, attempt)
-					return err
-				})
-				if err != nil {
-					if ctx.Err() != nil {
-						return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
-					}
-					continue
+			if !actFallible {
+				n := sr.End - sr.Start + 1
+				if cap(shotScores) < n {
+					shotScores = make([]float64, n)
 				}
-				sum += score
+				buf := shotScores[:n]
+				detect.ShotScoreBatch(models.Actions, v, typ, sr.Start, buf)
+				for _, s := range buf {
+					sum += s
+				}
+			} else {
+				for s := sr.Start; s <= sr.End; s++ {
+					var score float64
+					err := detect.Retry(ctx, retry, func(attempt int) error {
+						var err error
+						score, err = models.ActionScoreAttempt(v, typ, s, attempt)
+						return err
+					})
+					if err != nil {
+						if ctx.Err() != nil {
+							return nil, &core.InterruptedError{Processed: c, Total: ix.NumClips, Err: ctx.Err()}
+						}
+						continue
+					}
+					sum += score
+				}
 			}
 			if sum > 0 {
 				entries = append(entries, store.Entry{Clip: c, Score: sum})
@@ -200,10 +231,14 @@ func (ix *Index) Pq(q core.Query) (video.IntervalSet, error) {
 }
 
 // scoreClip computes a clip's overall score via random accesses on every
-// query table. Missing rows contribute zero; table read failures surface as
-// errors.
-func scoreClip(tables []store.Table, scorer tableScorer, clip int) (float64, error) {
-	scores := make([]float64, len(tables))
+// query table, filling the caller-owned scores column (grown if too small —
+// callers size it once per query, so the hot path never reallocates).
+// Missing rows contribute zero; table read failures surface as errors.
+func scoreClip(tables []store.Table, scorer tableScorer, clip int, scores []float64) (float64, error) {
+	if cap(scores) < len(tables) {
+		scores = make([]float64, len(tables))
+	}
+	scores = scores[:len(tables)]
 	for i, t := range tables {
 		s, _, err := t.ScoreOf(clip)
 		if err != nil {

@@ -54,10 +54,17 @@ func tableRejectPrior(seqs video.IntervalSet, numClips int) float64 {
 type planScorer struct {
 	c          ClipScorer
 	toDeclared []int // toDeclared[planPos] = declared position
+	// decl is the reused declared-order column. A scorer belongs to exactly
+	// one query and scoreTables runs on one goroutine, so the buffer never
+	// races; the result is consumed before the next call overwrites it.
+	decl []float64
 }
 
-func (p planScorer) scoreTables(scores []float64) float64 {
-	decl := make([]float64, len(scores))
+func (p *planScorer) scoreTables(scores []float64) float64 {
+	if cap(p.decl) < len(scores) {
+		p.decl = make([]float64, len(scores))
+	}
+	decl := p.decl[:len(scores)]
 	for planPos, d := range p.toDeclared {
 		decl[d] = scores[planPos]
 	}
@@ -102,5 +109,5 @@ func (ix *Index) queryTables(q core.Query, st *store.Stats, clip ClipScorer) ([]
 	for planPos, d := range order {
 		tables[planPos] = store.WithStats(decls[d].ti.Table, st)
 	}
-	return tables, planScorer{c: clip, toDeclared: order}, pl.Report(), nil
+	return tables, &planScorer{c: clip, toDeclared: order}, pl.Report(), nil
 }

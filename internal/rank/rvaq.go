@@ -150,6 +150,8 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 		res.Rounds = iter.rounds
 		finishTopkSpan(span, res)
 	}()
+	scratch := acquireTopk()
+	defer scratch.release()
 
 	seqs := make([]*seqState, 0, pq.NumIntervals())
 	for _, iv := range pq.Intervals() {
@@ -188,14 +190,16 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 	// in rank.Separated so the cluster coordinator's merge applies the
 	// identical rule.
 	separated := func() ([]*seqState, bool) {
-		bs := make([]Bounds, len(seqs))
+		bs := scratch.boundsBuf(len(seqs))
 		for i, s := range seqs {
 			bs[i] = boundsOf(s)
 		}
-		idx, sep := Separated(bs, k)
+		idx, sep := separatedInto(bs, k, scratch.orderBuf(len(seqs)))
 		if !sep {
 			return nil, false
 		}
+		// idx aliases the scratch permutation; copy winners out before the
+		// next round reuses it.
 		winners := make([]*seqState, len(idx))
 		for i, j := range idx {
 			winners[i] = seqs[j]
@@ -239,7 +243,7 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 				// below the current k-th lower bound can never win: skip
 				// their remaining clips (Algorithm 4 lines 13-14).
 				if !opts.NoSkip {
-					dropHopeless(seqs, k, upper, lower, iter)
+					dropHopeless(seqs, k, upper, lower, iter, scratch)
 				}
 				continue
 			}
@@ -272,7 +276,7 @@ func topkRun(ctx context.Context, res *Result, tables []store.Table, scorer tabl
 					score, ok := iter.candidates[c]
 					if !ok {
 						var err error
-						score, err = scoreClip(tables, scorer, c)
+						score, err = scoreClip(tables, scorer, c, scratch.scoreBuf(len(tables)))
 						if err != nil {
 							return err
 						}
@@ -347,15 +351,15 @@ func sortSeqResults(rs []SeqResult) {
 // dropHopeless implements the early skip of Algorithm 4 (lines 13-14):
 // sequences whose upper bound is below the current k-th highest lower bound
 // cannot reach the top-k.
-func dropHopeless(seqs []*seqState, k int, upper, lower func(*seqState) float64, iter *tbClip) {
+func dropHopeless(seqs []*seqState, k int, upper, lower func(*seqState) float64, iter *tbClip, scratch *topkScratch) {
 	if len(seqs) <= k {
 		return
 	}
-	bs := make([]Bounds, len(seqs))
+	bs := scratch.boundsBuf(len(seqs))
 	for i, s := range seqs {
 		bs[i] = Bounds{Seq: s.iv, Lo: lower(s), Up: upper(s)}
 	}
-	bloK := TopKLowerBound(bs, k)
+	bloK := topKLowerBoundInto(bs, k, scratch.losBuf(len(seqs)))
 	for _, s := range seqs {
 		if !s.excluded && upper(s) < bloK {
 			s.excluded = true

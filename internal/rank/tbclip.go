@@ -48,23 +48,31 @@ type tbClip struct {
 
 	topFrontier []float64
 	btmFrontier []float64
+
+	// scoreCol is the per-table score column scoreClip fills on each random
+	// access — one allocation per iterator, not one per completed clip.
+	scoreCol []float64
 }
 
 func newTBClip(tables []store.Table, scorer tableScorer, pq video.IntervalSet, scoreAll bool) (*tbClip, error) {
 	n := len(tables)
+	// Pre-size the bookkeeping maps for the candidate clips the traversal
+	// will see, so steady-state admission does not grow buckets.
+	hint := pq.TotalLen()
 	t := &tbClip{
 		tables:      tables,
 		scorer:      scorer,
 		pq:          pq,
 		scoreAll:    scoreAll,
-		remaining:   pq.TotalLen(),
-		candidates:  map[int]float64{},
-		processed:   map[int]bool{},
-		seen:        map[int]bool{},
+		remaining:   hint,
+		candidates:  make(map[int]float64, hint),
+		processed:   make(map[int]bool, hint),
+		seen:        make(map[int]bool, hint),
 		topCur:      make([]int, n),
 		btmCur:      make([]int, n),
 		topFrontier: make([]float64, n),
 		btmFrontier: make([]float64, n),
+		scoreCol:    make([]float64, n),
 	}
 	for i, tbl := range tables {
 		t.btmCur[i] = tbl.Len() - 1
@@ -129,13 +137,13 @@ func (t *tbClip) admitRow(e store.Entry) error {
 			// Without a skip set the iterator cannot tell candidate clips
 			// apart before scoring them; the accesses are paid and the
 			// result thrown away.
-			if _, err := scoreClip(t.tables, t.scorer, e.Clip); err != nil {
+			if _, err := scoreClip(t.tables, t.scorer, e.Clip, t.scoreCol); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	s, err := scoreClip(t.tables, t.scorer, e.Clip)
+	s, err := scoreClip(t.tables, t.scorer, e.Clip, t.scoreCol)
 	if err != nil {
 		return err
 	}

@@ -307,20 +307,42 @@ func Shared(w int, L, alpha, grid float64) *CriticalValues {
 	return c.(*CriticalValues)
 }
 
-// At returns the (possibly cached) critical value for background
-// probability p. It is safe to call from concurrent runs sharing the cache.
-func (c *CriticalValues) At(p float64) int {
+// Sentinel buckets for the degenerate probabilities the grid does not
+// cover: p <= 0 always yields k = 1, p >= 1 the never-positive w+1.
+const (
+	bucketZero = math.MinInt // p <= 0
+	bucketOne  = math.MaxInt // p >= 1
+)
+
+// BucketOf returns the grid bucket p quantizes to. The critical value is a
+// pure function of the bucket, so a caller that tracks the bucket of its
+// last lookup can skip the shared cache entirely while its estimate stays
+// inside one bucket — the per-clip refresh of a drifting background
+// estimate touches the shared grid once per bucket crossing, not once per
+// clip.
+func (c *CriticalValues) BucketOf(p float64) int {
 	if p <= 0 {
-		return 1
+		return bucketZero
 	}
 	if p >= 1 {
-		return c.w + 1
+		return bucketOne
 	}
 	// log10(p) < 0 here, so the ceil bucket is <= 0 and its probability
 	// 10^(bucket*grid) is in [p, 1] (up to a 1e-9 log10 slop that keeps
 	// floating-point representations of on-grid probabilities, e.g.
 	// log10(1e-4)/grid = -399.99999999999994, in their own bucket).
-	bucket := int(math.Ceil(math.Log10(p)/c.grid - 1e-9))
+	return int(math.Ceil(math.Log10(p)/c.grid - 1e-9))
+}
+
+// AtBucket returns the critical value for a bucket previously obtained from
+// BucketOf.
+func (c *CriticalValues) AtBucket(bucket int) int {
+	switch bucket {
+	case bucketZero:
+		return 1
+	case bucketOne:
+		return c.w + 1
+	}
 	c.mu.RLock()
 	k, ok := c.cache[bucket]
 	c.mu.RUnlock()
@@ -334,6 +356,52 @@ func (c *CriticalValues) At(p float64) int {
 	c.cache[bucket] = k
 	c.mu.Unlock()
 	return k
+}
+
+// At returns the (possibly cached) critical value for background
+// probability p. It is safe to call from concurrent runs sharing the cache.
+func (c *CriticalValues) At(p float64) int {
+	return c.AtBucket(c.BucketOf(p))
+}
+
+// AtBatch fills ks[i] with the critical value for ps[i], acquiring the
+// shared lock once for the whole batch instead of once per probability.
+// Misses are computed outside the lock and inserted in a single write
+// round. ks must have len(ps) space; the filled prefix is returned.
+func (c *CriticalValues) AtBatch(ps []float64, ks []int) []int {
+	ks = ks[:len(ps)]
+	miss := false
+	c.mu.RLock()
+	for i, p := range ps {
+		switch b := c.BucketOf(p); b {
+		case bucketZero:
+			ks[i] = 1
+		case bucketOne:
+			ks[i] = c.w + 1
+		default:
+			if k, ok := c.cache[b]; ok {
+				ks[i] = k
+			} else {
+				ks[i] = -1
+				miss = true
+			}
+		}
+	}
+	c.mu.RUnlock()
+	if !miss {
+		return ks
+	}
+	for i, p := range ps {
+		if ks[i] < 0 {
+			ks[i] = CriticalValue(c.w, math.Pow(10, float64(c.BucketOf(p))*c.grid), c.l, c.alpha)
+		}
+	}
+	c.mu.Lock()
+	for i, p := range ps {
+		c.cache[c.BucketOf(p)] = ks[i]
+	}
+	c.mu.Unlock()
+	return ks
 }
 
 // Size reports how many buckets the cache currently holds (diagnostics).

@@ -436,3 +436,49 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// TestAtBatchMatchesAt pins the batch API to the scalar one: for any mix of
+// degenerate, on-grid, and off-grid probabilities — cold cache and warm —
+// AtBatch must return exactly what element-wise At would.
+func TestAtBatchMatchesAt(t *testing.T) {
+	ps := []float64{0, -1, 1, 2, 1e-4, 1.001e-4, 3e-3, 0.7, 1e-9, 0.02}
+	cold := NewCriticalValues(40, 60, 0.05, 0.02)
+	ks := cold.AtBatch(ps, make([]int, len(ps)))
+	ref := NewCriticalValues(40, 60, 0.05, 0.02)
+	for i, p := range ps {
+		if want := ref.At(p); ks[i] != want {
+			t.Errorf("cold AtBatch[%d] (p=%g) = %d, want %d", i, p, ks[i], want)
+		}
+	}
+	// Warm: every bucket is now cached; a second batch must agree and take
+	// the all-hit path.
+	again := cold.AtBatch(ps, make([]int, len(ps)))
+	for i := range ps {
+		if again[i] != ks[i] {
+			t.Errorf("warm AtBatch[%d] = %d, want %d", i, again[i], ks[i])
+		}
+	}
+}
+
+// TestBucketOfContract checks the bucket quantization AtBucket relies on:
+// degenerate sentinels, same-bucket equality for nearby probabilities, and
+// that AtBucket(BucketOf(p)) == At(p).
+func TestBucketOfContract(t *testing.T) {
+	c := NewCriticalValues(50, 100, 0.05, 0.01)
+	if b := c.BucketOf(0); b != c.BucketOf(-3) {
+		t.Error("all p<=0 should share the zero sentinel bucket")
+	}
+	if b := c.BucketOf(1); b != c.BucketOf(7) {
+		t.Error("all p>=1 should share the one sentinel bucket")
+	}
+	// 1.01e-4 and 1.02e-4 both sit strictly inside the (10^-4.00, 10^-3.99]
+	// bucket; 1e-4 itself is the on-grid lower edge and gets its own.
+	if c.BucketOf(1.01e-4) != c.BucketOf(1.02e-4) {
+		t.Error("near-identical probabilities should quantize to one bucket")
+	}
+	for _, p := range []float64{0, 1, 1e-4, 0.37, 1e-8} {
+		if got, want := c.AtBucket(c.BucketOf(p)), c.At(p); got != want {
+			t.Errorf("AtBucket(BucketOf(%g)) = %d, want At = %d", p, got, want)
+		}
+	}
+}

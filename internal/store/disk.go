@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -32,8 +31,16 @@ import (
 // place, so the file at path is always complete. OpenDiskTable verifies the
 // whole file — magic, header checksum, exact size, both region checksums,
 // the sort invariant of each region, and that the regions hold the same
-// rows — and returns a *CorruptError on any violation; after that single
-// sequential pass, row access is O(1) ReadAt as before.
+// rows — and returns a *CorruptError on any violation.
+//
+// Access: the open table holds a read-only view of the verified bytes
+// (mmap on unix, one heap buffer elsewhere — see mapFile) and decodes rows
+// in place, so SortedAt and ScoreOf are zero-copy, zero-syscall, and
+// allocation-free: rank's offline algorithms walk the sorted region without
+// ever materialising []Entry. The view is taken before verification, so
+// what was checksummed is exactly what is served, and it survives closing
+// and even unlinking the file; tables are immutable once renamed into
+// place, so the mapped bytes never change underneath a reader.
 
 var (
 	diskMagicV1 = [8]byte{'S', 'V', 'Q', 'T', 'B', 'L', '1', '\n'}
@@ -143,16 +150,19 @@ func WriteTableFS(fsys FS, path, name string, entries []Entry) (err error) {
 	return fsys.SyncDir(filepath.Dir(path))
 }
 
-// DiskTable is a file-backed clip score table. It reads rows on demand with
-// ReadAt; the whole file is verified once at open.
+// DiskTable is a file-backed clip score table served from a read-only
+// zero-copy view of the verified file bytes. The whole file is verified
+// once at open; after that, row access decodes in place with no syscalls
+// and no allocation.
 type DiskTable struct {
-	f       *os.File
-	name    string
-	count   int
-	rankOff int64
-	clipOff int64
-	minClip int
-	maxClip int
+	view      []byte
+	closeView func() error
+	name      string
+	count     int
+	rankOff   int
+	clipOff   int
+	minClip   int
+	maxClip   int
 }
 
 // OpenDiskTable opens and fully verifies a table written by WriteTable.
@@ -163,81 +173,86 @@ func OpenDiskTable(path string) (*DiskTable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	t, err := openVerify(f, path)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return t, nil
+	// The view outlives the descriptor on every platform, so the file can be
+	// closed as soon as the mapping (or heap read) is established.
+	defer f.Close()
+	return openVerify(f, path)
 }
 
 func openVerify(f *os.File, path string) (*DiskTable, error) {
 	corrupt := func(format string, args ...any) (*DiskTable, error) {
 		return nil, &CorruptError{Path: path, Detail: fmt.Sprintf(format, args...)}
 	}
-	br := bufio.NewReaderSize(f, 1<<16)
-	fixed := make([]byte, fixedHdrSize)
-	if _, err := io.ReadFull(br, fixed); err != nil {
-		return corrupt("truncated header (%v)", err)
-	}
-	var magic [8]byte
-	copy(magic[:], fixed)
-	if magic == diskMagicV1 {
-		return corrupt("legacy un-checksummed table (format 1); re-ingest the repository")
-	}
-	if magic != diskMagic {
-		return corrupt("bad magic %q", fixed[:8])
-	}
-	count64 := binary.LittleEndian.Uint64(fixed[8:16])
-	nameLen := int(binary.LittleEndian.Uint16(fixed[16:18]))
-	if count64 > math.MaxInt64/(2*rowSize) {
-		return corrupt("implausible row count %d", count64)
-	}
-	count := int(count64)
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return corrupt("truncated table name (%v)", err)
-	}
-	var crcBuf [crcSize]byte
-	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-		return corrupt("truncated header checksum (%v)", err)
-	}
-	hdrCRC := crc32.Update(crc32.Update(0, crcTable, fixed), crcTable, name)
-	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != hdrCRC {
-		return corrupt("header checksum mismatch (stored %08x, computed %08x)", got, hdrCRC)
-	}
-	headerLen := int64(fixedHdrSize + nameLen + crcSize)
-	wantSize := headerLen + 2*(int64(count)*rowSize+crcSize)
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	view, closeView, err := mapFile(f, fi.Size())
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping %s: %w", path, err)
+	}
+	verified := false
+	defer func() {
+		if !verified {
+			_ = closeView()
+		}
+	}()
+
+	if len(view) < fixedHdrSize {
+		return corrupt("truncated header (%d bytes)", len(view))
+	}
+	var magic [8]byte
+	copy(magic[:], view)
+	if magic == diskMagicV1 {
+		return corrupt("legacy un-checksummed table (format 1); re-ingest the repository")
+	}
+	if magic != diskMagic {
+		return corrupt("bad magic %q", view[:8])
+	}
+	count64 := binary.LittleEndian.Uint64(view[8:16])
+	nameLen := int(binary.LittleEndian.Uint16(view[16:18]))
+	if count64 > math.MaxInt64/(2*rowSize) {
+		return corrupt("implausible row count %d", count64)
+	}
+	count := int(count64)
+	headerLen := fixedHdrSize + nameLen + crcSize
+	if len(view) < headerLen {
+		return corrupt("truncated table name or header checksum")
+	}
+	hdrCRC := crc32.Update(0, crcTable, view[:fixedHdrSize+nameLen])
+	if got := binary.LittleEndian.Uint32(view[fixedHdrSize+nameLen : headerLen]); got != hdrCRC {
+		return corrupt("header checksum mismatch (stored %08x, computed %08x)", got, hdrCRC)
+	}
+	wantSize := int64(headerLen) + 2*(int64(count)*rowSize+crcSize)
 	if fi.Size() != wantSize {
 		return corrupt("file is %d bytes, want %d for %d rows", fi.Size(), wantSize, count)
 	}
 
 	t := &DiskTable{
-		f:       f,
-		name:    string(name),
-		count:   count,
-		rankOff: headerLen,
-		clipOff: headerLen + int64(count)*rowSize + crcSize,
+		view:      view,
+		closeView: closeView,
+		name:      string(view[fixedHdrSize : fixedHdrSize+nameLen]),
+		count:     count,
+		rankOff:   headerLen,
+		clipOff:   headerLen + count*rowSize + crcSize,
 	}
 
-	// readRegion streams one region, checking its CRC and the per-region
-	// invariant, and folds the per-row checksums order-independently so the
-	// two regions can be proven to hold identical row sets.
-	readRegion := func(region string, check func(i, clip int, score float64) error) (uint32, error) {
-		crc, fold := uint32(0), uint32(0)
-		var buf [rowSize]byte
+	// checkRegion verifies one region's CRC (a single pass over its bytes)
+	// and per-row invariant, and folds the per-row checksums
+	// order-independently so the two regions can be proven to hold identical
+	// row sets.
+	checkRegion := func(region string, off int, check func(i, clip int, score float64) error) (uint32, error) {
+		rows := view[off : off+count*rowSize]
+		crc := crc32.Update(0, crcTable, rows)
+		if got := binary.LittleEndian.Uint32(view[off+count*rowSize : off+count*rowSize+crcSize]); got != crc {
+			return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("%s region checksum mismatch (stored %08x, computed %08x)", region, got, crc)}
+		}
+		fold := uint32(0)
 		for i := 0; i < count; i++ {
-			if _, err := io.ReadFull(br, buf[:]); err != nil {
-				return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("truncated %s region at row %d", region, i), Err: err}
-			}
-			crc = crc32.Update(crc, crcTable, buf[:])
-			fold ^= Checksum(buf[:])
-			clip := int(binary.LittleEndian.Uint32(buf[0:4]))
-			score := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12]))
+			row := rows[i*rowSize : (i+1)*rowSize]
+			fold ^= Checksum(row)
+			clip := int(binary.LittleEndian.Uint32(row[0:4]))
+			score := math.Float64frombits(binary.LittleEndian.Uint64(row[4:12]))
 			if math.IsNaN(score) {
 				return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("NaN score at %s row %d", region, i)}
 			}
@@ -245,17 +260,11 @@ func openVerify(f *os.File, path string) (*DiskTable, error) {
 				return 0, err
 			}
 		}
-		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-			return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("truncated %s region checksum", region), Err: err}
-		}
-		if got := binary.LittleEndian.Uint32(crcBuf[:]); got != crc {
-			return 0, &CorruptError{Path: path, Detail: fmt.Sprintf("%s region checksum mismatch (stored %08x, computed %08x)", region, got, crc)}
-		}
 		return fold, nil
 	}
 
 	prevScore, prevClip := math.Inf(1), -1
-	rankFold, err := readRegion("rank", func(i, clip int, score float64) error {
+	rankFold, err := checkRegion("rank", t.rankOff, func(i, clip int, score float64) error {
 		if i > 0 && (score > prevScore || (score == prevScore && clip <= prevClip)) {
 			return &CorruptError{Path: path, Detail: fmt.Sprintf("rank region order violated at row %d", i)}
 		}
@@ -266,7 +275,7 @@ func openVerify(f *os.File, path string) (*DiskTable, error) {
 		return nil, err
 	}
 	prevClip = -1
-	clipFold, err := readRegion("clip", func(i, clip int, score float64) error {
+	clipFold, err := checkRegion("clip", t.clipOff, func(i, clip int, score float64) error {
 		if clip <= prevClip {
 			return &CorruptError{Path: path, Detail: fmt.Sprintf("clip region order violated at row %d", i)}
 		}
@@ -283,11 +292,19 @@ func openVerify(f *os.File, path string) (*DiskTable, error) {
 	if rankFold != clipFold {
 		return corrupt("rank and clip regions hold different rows")
 	}
+	verified = true
 	return t, nil
 }
 
-// Close releases the underlying file.
-func (t *DiskTable) Close() error { return t.f.Close() }
+// Close releases the view. The table must not be used afterwards.
+func (t *DiskTable) Close() error {
+	if t.closeView == nil {
+		return nil
+	}
+	cv := t.closeView
+	t.closeView, t.view = nil, nil
+	return cv()
+}
 
 // Name implements Table.
 func (t *DiskTable) Name() string { return t.name }
@@ -304,37 +321,45 @@ func (t *DiskTable) ClipBounds() (lo, hi int, ok bool) {
 	return t.minClip, t.maxClip, true
 }
 
-func (t *DiskTable) rowAt(off int64) (Entry, error) {
-	var buf [rowSize]byte
-	if _, err := t.f.ReadAt(buf[:], off); err != nil {
-		return Entry{}, fmt.Errorf("store: reading row of %s: %w", t.name, err)
+// rowAt decodes the row at a byte offset straight out of the view.
+func (t *DiskTable) rowAt(off int) Entry {
+	row := t.view[off : off+rowSize]
+	return Entry{
+		Clip:  int(binary.LittleEndian.Uint32(row[0:4])),
+		Score: math.Float64frombits(binary.LittleEndian.Uint64(row[4:12])),
 	}
-	clip := binary.LittleEndian.Uint32(buf[0:4])
-	score := math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12]))
-	return Entry{Clip: int(clip), Score: score}, nil
 }
 
-// SortedAt implements Table.
+// SortedAt implements Table. The error return exists only for the Table
+// contract (bounds violations and use after Close); in-range access over an
+// open table cannot fail.
 func (t *DiskTable) SortedAt(i int) (Entry, error) {
 	if i < 0 || i >= t.count {
 		return Entry{}, fmt.Errorf("store: SortedAt(%d) out of range [0,%d) in table %q", i, t.count, t.name)
 	}
-	return t.rowAt(t.rankOff + int64(i)*rowSize)
+	if t.view == nil {
+		return Entry{}, fmt.Errorf("store: SortedAt on closed table %q", t.name)
+	}
+	return t.rowAt(t.rankOff + i*rowSize), nil
 }
 
-// ScoreOf implements Table by binary search over the clip-ordered region.
+// ScoreOf implements Table by binary search over the clip-ordered region,
+// decoding only the clip ids until the probe hits.
 func (t *DiskTable) ScoreOf(clip int) (float64, bool, error) {
+	if clip < 0 || t.count == 0 || clip < t.minClip || clip > t.maxClip {
+		return 0, false, nil
+	}
+	if t.view == nil {
+		return 0, false, fmt.Errorf("store: ScoreOf on closed table %q", t.name)
+	}
 	lo, hi := 0, t.count
 	for lo < hi {
 		mid := (lo + hi) / 2
-		e, err := t.rowAt(t.clipOff + int64(mid)*rowSize)
-		if err != nil {
-			return 0, false, err
-		}
-		switch {
-		case e.Clip == clip:
-			return e.Score, true, nil
-		case e.Clip < clip:
+		off := t.clipOff + mid*rowSize
+		switch c := int(binary.LittleEndian.Uint32(t.view[off : off+4])); {
+		case c == clip:
+			return math.Float64frombits(binary.LittleEndian.Uint64(t.view[off+4 : off+12])), true, nil
+		case c < clip:
 			lo = mid + 1
 		default:
 			hi = mid

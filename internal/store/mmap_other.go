@@ -1,0 +1,27 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the first size bytes of f
+// into one heap buffer. Row access is identical to the mapped path — decode
+// in place, no per-access syscalls — the view just lives on the Go heap
+// instead of the page cache.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("file size %d not mappable", size)
+	}
+	view := make([]byte, size)
+	if n, err := f.ReadAt(view, 0); n != len(view) {
+		return nil, nil, err
+	}
+	return view, func() error { return nil }, nil
+}

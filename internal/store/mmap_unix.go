@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile returns a read-only view of the first size bytes of f, backed by
+// the page cache rather than the Go heap, plus the function that releases
+// it. The mapping survives closing f and even unlinking the file. The view
+// must not be written through, and the file must not be truncated in place
+// while mapped; tables are immutable once renamed into place, so neither
+// happens in normal operation.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		// Zero-length mappings are invalid; an empty view needs no cleanup.
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("file size %d not mappable", size)
+	}
+	view, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, func() error { return syscall.Munmap(view) }, nil
+}

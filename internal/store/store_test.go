@@ -176,34 +176,46 @@ func TestSortedAtOutOfRangeErrors(t *testing.T) {
 	}
 }
 
-// TestDiskTableTruncatedRead exercises the error path of a table whose data
-// region is cut short: random and sorted accesses must fail cleanly.
-func TestDiskTableTruncatedRead(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "trunc.tbl")
-	if err := WriteTable(path, "trunc", sampleEntries(64, 9)); err != nil {
+// TestDiskTableViewOutlivesFile pins the zero-copy view's lifetime
+// contract: an open table serves verified bytes even after the file is
+// unlinked (compaction removes superseded generations while readers may
+// still hold them), and a closed table errors cleanly instead of touching
+// freed memory.
+func TestDiskTableViewOutlivesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unlink.tbl")
+	entries := sampleEntries(64, 9)
+	if err := WriteTable(path, "unlink", entries); err != nil {
 		t.Fatal(err)
 	}
 	dt, err := OpenDiskTable(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dt.Close()
-	fi, err := os.Stat(path)
-	if err != nil {
+	if err := os.Remove(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(path, fi.Size()/2); err != nil {
-		t.Fatal(err)
-	}
-	sawErr := false
 	for i := 0; i < dt.Len(); i++ {
 		if _, err := dt.SortedAt(i); err != nil {
-			sawErr = true
-			break
+			t.Fatalf("SortedAt(%d) after unlink: %v", i, err)
 		}
 	}
-	if !sawErr {
-		t.Error("reads past the truncation point should error")
+	for _, e := range entries {
+		got, ok, err := dt.ScoreOf(e.Clip)
+		if err != nil || !ok || got != e.Score {
+			t.Fatalf("ScoreOf(%d) after unlink = (%v, %v, %v), want (%v, true, nil)", e.Clip, got, ok, err, e.Score)
+		}
+	}
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, err := dt.SortedAt(0); err == nil {
+		t.Error("SortedAt on a closed table should error")
+	}
+	if _, _, err := dt.ScoreOf(entries[0].Clip); err == nil {
+		t.Error("ScoreOf on a closed table should error")
 	}
 }
 

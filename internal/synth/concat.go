@@ -93,16 +93,23 @@ func sortedNames(m map[string]bool) []string {
 
 // ObjectInstancesAt implements detect.TruthVideo.
 func (c *Concat) ObjectInstancesAt(typ string, frame int) []int {
-	i, local := c.locate(frame)
-	ids := c.videos[i].ObjectInstancesAt(typ, local)
+	ids := c.AppendObjectInstancesAt(typ, frame, nil)
 	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]int, len(ids))
-	for j, id := range ids {
-		out[j] = id + (i+1)*trackStride
+	return ids
+}
+
+// AppendObjectInstancesAt implements detect.InstanceAppender, remapping the
+// segment-local track IDs into the concatenation's ID space in place.
+func (c *Concat) AppendObjectInstancesAt(typ string, frame int, ids []int) []int {
+	i, local := c.locate(frame)
+	n := len(ids)
+	ids = c.videos[i].AppendObjectInstancesAt(typ, local, ids)
+	for j := n; j < len(ids); j++ {
+		ids[j] += (i + 1) * trackStride
 	}
-	return out
+	return ids
 }
 
 // ObjectPresentAt implements detect.TruthVideo.

@@ -67,12 +67,18 @@ func (v *Video) ActionPresence(act string) video.IntervalSet { return v.actions[
 // ObjectInstancesAt returns the tracking IDs of the type's instances visible
 // on the frame.
 func (v *Video) ObjectInstancesAt(typ string, frame int) []int {
+	return v.AppendObjectInstancesAt(typ, frame, nil)
+}
+
+// AppendObjectInstancesAt implements detect.InstanceAppender: the IDs are
+// appended to the caller's buffer, so per-frame scoring loops reuse one
+// allocation across a whole video.
+func (v *Video) AppendObjectInstancesAt(typ string, frame int, ids []int) []int {
 	apps := v.objects[typ]
 	// Appearances are sorted by start; all candidates start at or before the
 	// frame. Durations vary, so scan the prefix — appearance counts per type
 	// are small (tens to hundreds) and queries are typically sequential.
 	i := sort.Search(len(apps), func(i int) bool { return apps[i].Frames.Start > frame })
-	var ids []int
 	for j := 0; j < i; j++ {
 		if apps[j].Frames.Contains(frame) {
 			ids = append(ids, apps[j].TrackID)

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package testenv exposes build-mode facts tests need to calibrate their
+// expectations — currently only whether the race detector is compiled in
+// (allocation-count assertions are meaningless under its instrumentation).
+package testenv
+
+// RaceEnabled reports whether the race detector is compiled into the binary.
+const RaceEnabled = true

@@ -19,20 +19,30 @@ go build ./...
 echo "==> go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+echo "==> allocation bounds (no race: counts skip under the detector)"
+# The pooled-scratch aliasing tests above ran under -race; the numeric
+# AllocsPerRun bounds skip there (instrumentation inflates counts), so run
+# them again without it to enforce the hot path's allocation budget.
+go test -run 'AllocsSteadyState' ./internal/core/ ./internal/rank/
+
 echo "==> sqlq fuzz smoke (-fuzztime=5s)"
 # A short native-fuzzing burst over the lexer and parser (EXPLAIN included
 # via the seed corpus): catches panics and contract violations cheaply.
 go test -fuzz '^FuzzParse$' -fuzztime=5s ./internal/sqlq
 go test -fuzz '^FuzzLex$' -fuzztime=5s ./internal/sqlq
 
-echo "==> benchmark smoke (-benchtime=1x)"
+echo "==> benchmark smoke (-benchtime=1x -benchmem)"
 # One iteration of every benchmark: catches bit-rot in the experiment and
-# microbenchmark harnesses without paying for real measurements.
-go test -run '^$' -bench . -benchtime=1x .
+# microbenchmark harnesses without paying for real measurements. -benchmem
+# keeps allocs/op in the output so hot-path allocation creep is visible in
+# every CI log, not only when the AllocsPerRun bounds trip.
+go test -run '^$' -bench . -benchtime=1x -benchmem .
 
 echo "==> scaling report + regression gate (BENCH_scaling.json)"
 # Appends a git-rev-stamped entry to the BENCH series and fails on a >25%
-# peak-throughput drop vs the previous entry (first run has no baseline).
+# peak-throughput drop vs the latest prior entry with a matching config
+# (gomaxprocs, fleet size, frames/video, scale, seed); a config change
+# skips the comparison instead of comparing apples to oranges.
 go run ./cmd/experiments -scale 0.1 -bench-json BENCH_scaling.json -bench-gate 25 >/dev/null
 
 echo "==> ingest + svq fsck round trip"
