@@ -12,7 +12,11 @@
 // {ok, degraded, failed} partition. Replica failover, retries with
 // deterministic backoff jitter, optional hedged requests, and per-replica
 // circuit breakers are internal/cluster's; /healthz, /shards and /metrics
-// expose the cluster state.
+// expose the cluster state. An admission gate (-admit-concurrent,
+// -admit-queue, -admit-wait) sheds excess load with 429 + Retry-After
+// before the shards saturate, and POST /rollout walks shard replica sets
+// through a health-gated rolling generation swap (`svq rollout` drives
+// it).
 package main
 
 import (
@@ -71,6 +75,10 @@ func main() {
 		brkCool  = flag.Duration("breaker-cooloff", 5*time.Second, "open-breaker cooloff before a half-open probe")
 		health   = flag.Duration("health-interval", 2*time.Second, "background replica health-probe interval (0 disables)")
 
+		admitN    = flag.Int("admit-concurrent", 16, "concurrently executing scatter-gathers before new arrivals queue")
+		admitQ    = flag.Int("admit-queue", 32, "admission queue depth behind the concurrency limit (-1 disables queueing)")
+		admitWait = flag.Duration("admit-wait", 2*time.Second, "longest a request may queue for admission before a 429")
+
 		traceCap    = flag.Int("trace-capacity", 256, "retained traces kept in memory for /debug/traces")
 		traceSample = flag.Int("trace-sample", 16, "keep 1 in N healthy fast query traces (errors, degraded and tail-latency traces are always kept; < 0 disables sampling)")
 	)
@@ -88,6 +96,9 @@ func main() {
 		QueryTimeout:       *qTimeout,
 		ShardTimeout:       *sTimeout,
 		AttemptsPerReplica: *attempts,
+		MaxConcurrent:      *admitN,
+		QueueDepth:         *admitQ,
+		QueueWait:          *admitWait,
 		BaseBackoff:        *backoff,
 		MaxBackoff:         *maxBack,
 		HedgeAfter:         *hedge,

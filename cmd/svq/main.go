@@ -43,6 +43,15 @@
 //
 //	svq trace -server http://127.0.0.1:8090
 //	svq trace -server http://127.0.0.1:8090 9a4ee1c2bb03d70f
+//
+// The rollout subcommand drives a coordinator's rolling generation swap
+// (POST /rollout): shard replica sets are walked one replica at a time
+// through drain → reload → verify, any failed step halts with the old
+// generation still serving, and the command polls progress until the
+// rollout completes or fails (exit 0 / 1):
+//
+//	svq rollout -server http://127.0.0.1:8090 -canary "SELECT ... LIMIT 1"
+//	svq rollout -server http://127.0.0.1:8090 -status
 package main
 
 import (
@@ -74,6 +83,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "rollout" {
+		os.Exit(runRollout(os.Args[2:]))
 	}
 	var (
 		query   = flag.String("query", "", "SQL-like query (reads stdin when empty)")

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"svqact/internal/cluster"
+)
+
+// runRollout implements `svq rollout`: the operator's lever for a
+// coordinator-driven rolling generation swap. It POSTs /rollout to start
+// the walk, then polls GET /rollout printing per-shard progress until the
+// rollout reaches "done" (exit 0) or "failed" (exit 1 — the halt leaves
+// the old generation serving on every replica that did not complete).
+// -status only reports the current state without starting anything.
+func runRollout(args []string) int {
+	fs := flag.NewFlagSet("svq rollout", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8090", "base URL of the coordinator")
+	canary := fs.String("canary", "", "ranked statement used to verify each reloaded replica (empty skips the canary)")
+	canaryK := fs.Int("canary-k", 1, "canary query LIMIT override")
+	drainWait := fs.Duration("drain-wait", 500*time.Millisecond, "pause between draining a replica and reloading it")
+	requireAdvance := fs.Bool("require-advance", false, "fail replicas whose reload does not increase the generation")
+	wait := fs.Bool("wait", true, "poll until the rollout completes or fails")
+	interval := fs.Duration("interval", 250*time.Millisecond, "poll interval while waiting")
+	timeout := fs.Duration("timeout", 5*time.Minute, "give up waiting after this long")
+	status := fs.Bool("status", false, "report the current rollout status without starting one")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: svq rollout [-server URL] [-canary SQL] [-status] [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*server, "/")
+
+	if *status {
+		st, err := rolloutGet(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svq rollout:", err)
+			return 1
+		}
+		printRollout(st)
+		if st.State == "failed" {
+			return 1
+		}
+		return 0
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"canary_sql":      *canary,
+		"canary_k":        *canaryK,
+		"drain_wait_ms":   int(drainWait.Milliseconds()),
+		"require_advance": *requireAdvance,
+	})
+	resp, err := client.Post(base+"/rollout", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svq rollout:", err)
+		return 1
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			fmt.Fprintln(os.Stderr, "svq rollout:", e.Error)
+		} else {
+			fmt.Fprintf(os.Stderr, "svq rollout: POST /rollout: status %d\n", resp.StatusCode)
+		}
+		return 1
+	}
+	fmt.Println("rollout started")
+	if !*wait {
+		return 0
+	}
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		st, err := rolloutGet(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svq rollout:", err)
+			return 1
+		}
+		switch st.State {
+		case "done":
+			printRollout(st)
+			return 0
+		case "failed":
+			printRollout(st)
+			return 1
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "svq rollout: still %s after %s; poll `svq rollout -status`\n", st.State, *timeout)
+			return 1
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func rolloutGet(client *http.Client, base string) (cluster.RolloutStatus, error) {
+	var st cluster.RolloutStatus
+	resp, err := client.Get(base + "/rollout")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /rollout: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, fmt.Errorf("GET /rollout: %w", err)
+	}
+	return st, nil
+}
+
+func printRollout(st cluster.RolloutStatus) {
+	fmt.Printf("rollout %s", st.State)
+	if st.Error != "" {
+		fmt.Printf(": %s", st.Error)
+	}
+	fmt.Println()
+	for _, sh := range st.Shards {
+		fmt.Printf("  shard %-8s %s\n", sh.Shard, sh.State)
+		for _, r := range sh.Replicas {
+			line := fmt.Sprintf("    %-12s %-10s", r.Replica, r.State)
+			if r.FromGeneration > 0 || r.ToGeneration > 0 {
+				line += fmt.Sprintf(" gen %d -> %d", r.FromGeneration, r.ToGeneration)
+			}
+			if r.Error != "" {
+				line += "  " + r.Error
+			}
+			fmt.Println(line)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"svqact/internal/obs"
+)
+
+// Admission control in front of the scatter-gather path. The coordinator
+// mirrors internal/server's gate — a bounded concurrency semaphore plus a
+// short admission queue, shedding with 429 + Retry-After — and adds the
+// two cluster-only levers: deadline awareness (a request whose deadline
+// cannot survive the queue is shed immediately instead of timing out
+// after it was admitted) and per-shard backpressure (a shard answering
+// 429/503 raises a pressure signal that makes the gate shed new arrivals
+// while the cluster is already saturated, instead of queueing work the
+// shards have asked it not to send).
+
+// admissionReasons enumerates the shed reasons, in metric label order.
+var admissionReasons = []string{"queue_full", "saturated", "deadline", "backpressure"}
+
+type admissionGate struct {
+	sem        chan struct{}
+	queueDepth int
+	queueWait  time.Duration
+
+	// pressure reports the remaining cluster backpressure window (0 when
+	// calm): the longest Retry-After any shard has recently answered.
+	pressure func() time.Duration
+
+	waiting  *obs.Gauge
+	inflight *obs.Gauge
+	admitted *obs.Counter
+	rejected map[string]*obs.Counter
+	waitHist *obs.Histogram
+}
+
+func newAdmissionGate(reg *obs.Registry, maxConcurrent, queueDepth int, queueWait time.Duration, pressure func() time.Duration) *admissionGate {
+	g := &admissionGate{
+		sem:        make(chan struct{}, maxConcurrent),
+		queueDepth: queueDepth,
+		queueWait:  queueWait,
+		pressure:   pressure,
+		waiting: reg.Gauge("svqact_cluster_admission_waiting",
+			"Scatter-gathers queued at the coordinator's admission gate."),
+		inflight: reg.Gauge("svqact_cluster_admission_inflight",
+			"Scatter-gathers executing concurrently."),
+		admitted: reg.Counter("svqact_cluster_admission_admitted_total",
+			"Scatter-gathers admitted past the gate."),
+		rejected: map[string]*obs.Counter{},
+		waitHist: reg.Histogram("svqact_cluster_admission_wait_seconds",
+			"Time admitted scatter-gathers spent queued for a slot.", latencyBounds),
+	}
+	for _, reason := range admissionReasons {
+		g.rejected[reason] = reg.Counter("svqact_cluster_admission_rejected_total",
+			"Scatter-gathers shed by the admission gate, by reason.", obs.L("reason", reason))
+	}
+	return g
+}
+
+func (g *admissionGate) reject(reason string, retryAfter time.Duration) *OverloadError {
+	g.rejected[reason].Inc()
+	if retryAfter <= 0 {
+		retryAfter = g.queueWait
+	}
+	return &OverloadError{Reason: reason, RetryAfter: retryAfter}
+}
+
+// acquire admits one scatter-gather or returns a typed *OverloadError.
+// The returned release must be called exactly once after the work ends.
+func (g *admissionGate) acquire(ctx context.Context) (release func(), err error) {
+	admit := func() func() {
+		g.admitted.Inc()
+		g.inflight.Add(1)
+		return func() {
+			g.inflight.Add(-1)
+			<-g.sem
+		}
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return admit(), nil
+	default:
+	}
+
+	// No free slot. While a shard is pushing back, queuing more work on
+	// its behalf only deepens the overload — shed immediately and tell
+	// the client when the pressure window ends.
+	if p := g.pressure(); p > 0 {
+		return nil, g.reject("backpressure", p)
+	}
+	if g.queueDepth <= 0 || g.waiting.Add(1) > int64(g.queueDepth) {
+		if g.queueDepth > 0 {
+			g.waiting.Add(-1)
+		}
+		return nil, g.reject("queue_full", 0)
+	}
+	defer g.waiting.Add(-1)
+
+	// Deadline-aware wait: never queue longer than the request could
+	// still use. A request that would reach its deadline inside the
+	// queue is shed as "deadline" rather than burning a queue slot.
+	wait, reason := g.queueWait, "saturated"
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, g.reject("deadline", 0)
+		}
+		if remaining < wait {
+			wait, reason = remaining, "deadline"
+		}
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	start := time.Now()
+	select {
+	case g.sem <- struct{}{}:
+		g.waitHist.Observe(time.Since(start).Seconds())
+		return admit(), nil
+	case <-t.C:
+		return nil, g.reject(reason, 0)
+	case <-ctx.Done():
+		return nil, g.reject("deadline", 0)
+	}
+}
+
+// AdmissionHealth is the admission block of the coordinator's /healthz
+// body, mirroring internal/server's counters.
+type AdmissionHealth struct {
+	Capacity   int   `json:"capacity"`
+	QueueDepth int   `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	Waiting    int64 `json:"waiting"`
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected"`
+	// BackpressureMS is the remaining shard backpressure window, 0 when
+	// no shard has recently answered 429/503.
+	BackpressureMS int64 `json:"backpressure_ms,omitempty"`
+}
+
+func (g *admissionGate) health() AdmissionHealth {
+	h := AdmissionHealth{
+		Capacity:   cap(g.sem),
+		QueueDepth: g.queueDepth,
+		Inflight:   g.inflight.Value(),
+		Waiting:    g.waiting.Value(),
+		Admitted:   g.admitted.Value(),
+	}
+	for _, c := range g.rejected {
+		h.Rejected += c.Value()
+	}
+	if p := g.pressure(); p > 0 {
+		h.BackpressureMS = p.Milliseconds()
+	}
+	return h
+}

@@ -73,6 +73,7 @@ type Breaker struct {
 	failures int
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
+	held     bool // pinned open by a rollout drain; outcomes are ignored
 }
 
 // NewBreaker returns a closed breaker.
@@ -86,6 +87,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.held {
+		return false
+	}
 	switch b.state {
 	case BreakerClosed:
 		return true
@@ -106,10 +110,16 @@ func (b *Breaker) Allow() bool {
 	return false
 }
 
-// Success records a successful request, closing the breaker.
+// Success records a successful request, closing the breaker. While the
+// breaker is held by a rollout drain the outcome is discarded: a passing
+// background health probe must not flip a draining replica back into
+// rotation mid-reload.
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.held {
+		return
+	}
 	b.failures = 0
 	b.probing = false
 	if b.state != BreakerClosed {
@@ -118,10 +128,14 @@ func (b *Breaker) Success() {
 }
 
 // Failure records a failed request; enough consecutive failures (or a
-// failed half-open probe) trip the breaker open.
+// failed half-open probe) trip the breaker open. Held breakers discard
+// the outcome (a replica mid-reload is expected to misbehave).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.held {
+		return
+	}
 	b.probing = false
 	b.failures++
 	switch b.state {
@@ -137,14 +151,44 @@ func (b *Breaker) Failure() {
 }
 
 // State returns the breaker's current position (advancing open→half-open
-// when the cool-off has elapsed, so status endpoints see the truth).
+// when the cool-off has elapsed, so status endpoints see the truth). A
+// held breaker reports open: no cool-off can half-open it while a rollout
+// drain pins it.
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.held {
+		return BreakerOpen
+	}
 	if b.state == BreakerOpen && b.cfg.now().Sub(b.openedAt) >= b.cfg.Cooloff {
 		return BreakerHalfOpen
 	}
 	return b.state
+}
+
+// Hold pins the breaker shut for a rollout drain: Allow refuses every
+// request and Success/Failure are discarded until Release, so neither
+// live traffic nor a concurrent background health probe can move a
+// draining replica back into rotation. Hold does not disturb the
+// underlying state — Release resumes from it.
+func (b *Breaker) Hold() {
+	b.mu.Lock()
+	b.held = true
+	b.mu.Unlock()
+}
+
+// Release unpins a held breaker; the underlying state resumes.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	b.held = false
+	b.mu.Unlock()
+}
+
+// Held reports whether the breaker is pinned by a rollout drain.
+func (b *Breaker) Held() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.held
 }
 
 // callers hold b.mu for open and transition.

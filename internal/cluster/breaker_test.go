@@ -70,3 +70,58 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("transitions = %s, want %s", got, want)
 	}
 }
+
+func TestBreakerHoldPinsOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooloff: 10 * time.Second, now: clk.Now})
+
+	// Holding a closed breaker refuses traffic without disturbing the
+	// underlying state.
+	b.Hold()
+	if b.Allow() {
+		t.Fatal("held breaker must refuse")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("held breaker state = %v, want open", b.State())
+	}
+	if !b.Held() {
+		t.Fatal("Held() must report the pin")
+	}
+	// Outcomes recorded while held are discarded: neither a passing health
+	// probe nor a burst of failures moves the breaker.
+	b.Success()
+	if b.Allow() {
+		t.Fatal("discarded success re-opened a held breaker to traffic")
+	}
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	b.Release()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatalf("release must resume the underlying closed state, got %v", b.State())
+	}
+
+	// Holding a tripped breaker outlasts the cool-off: no half-open probe
+	// can slip through mid-drain.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	b.Hold()
+	clk.Advance(time.Hour)
+	if b.Allow() {
+		t.Fatal("held breaker admitted a probe despite the elapsed cool-off")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("held breaker state after cool-off = %v, want open", b.State())
+	}
+	b.Release()
+	if !b.Allow() {
+		t.Fatal("released breaker past its cool-off must admit the half-open probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after passing probe = %v, want closed", b.State())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"svqact/internal/obs"
 	"svqact/internal/rank"
@@ -203,11 +204,47 @@ type BadRequestError struct{ Msg string }
 
 func (e *BadRequestError) Error() string { return e.Msg }
 
+// OverloadError reports a query shed by the coordinator's admission gate
+// before any shard work was done: the concurrency limit is saturated and
+// the request could not (or, given its deadline, must not) wait out the
+// admission queue. Clients should retry after RetryAfter — the HTTP layer
+// maps it to 429 + Retry-After, the same contract internal/server speaks.
+type OverloadError struct {
+	// Reason: "queue_full" (admission queue at capacity), "saturated"
+	// (queued the full wait without a slot freeing), "deadline" (the
+	// request's deadline cannot survive the queue), or "backpressure"
+	// (a shard is telling the cluster to slow down and no slot is free).
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster: coordinator overloaded (%s); retry in %s", e.Reason, e.RetryAfter)
+}
+
+// Reloader is the optional rollout surface of a Backend: triggering a
+// repository generation swap on the replica and reading the generation it
+// is serving. HTTPBackend maps it onto cmd/serve's POST /repo/reload and
+// GET /repo/status; LocalBackend promotes a staged in-process index.
+// Backends that do not implement it cannot be walked by `svq rollout`.
+type Reloader interface {
+	// Reload asks the replica to swap to the newest committed repository
+	// generation and returns the generation serving afterwards. Replicas
+	// fail reload closed: on error the old generation keeps serving.
+	Reload(ctx context.Context) (generation int, err error)
+	// Generation reports the repository generation currently serving.
+	Generation(ctx context.Context) (generation int, err error)
+}
+
 // replicaError wraps a transient replica failure with its attribution.
 type replicaError struct {
 	Replica string
 	Status  int // HTTP status when known, 0 for transport errors
-	Err     error
+	// RetryAfter carries the replica's Retry-After hint on 429/503
+	// answers; the coordinator folds it into retry backoff and the
+	// shard's backpressure signal. 0 means no hint.
+	RetryAfter time.Duration
+	Err        error
 }
 
 func (e *replicaError) Error() string {

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"svqact/internal/detect"
@@ -31,6 +32,17 @@ type Config struct {
 	// round; <= 0 means QueryTimeout.
 	QueryTimeout time.Duration
 	ShardTimeout time.Duration
+
+	// MaxConcurrent bounds concurrently executing scatter-gathers (<= 0
+	// means 16); QueueDepth bounds the admission queue behind it (< 0
+	// disables queueing entirely, 0 means 2*MaxConcurrent) and QueueWait
+	// bounds how long one request may queue (<= 0 means 2s). Requests
+	// beyond queue capacity — or whose deadline cannot survive the
+	// queue — are shed with a typed *OverloadError (HTTP 429 +
+	// Retry-After), before any shard is touched.
+	MaxConcurrent int
+	QueueDepth    int
+	QueueWait     time.Duration
 
 	// AttemptsPerReplica bounds retries: a shard's attempt budget per
 	// round is AttemptsPerReplica * len(replicas); <= 0 means 2.
@@ -77,6 +89,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AttemptsPerReplica <= 0 {
 		c.AttemptsPerReplica = 2
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
 	}
 	if c.BaseBackoff <= 0 {
 		c.BaseBackoff = 20 * time.Millisecond
@@ -126,6 +147,26 @@ type shard struct {
 	failovers *obs.Counter
 	hedges    *obs.Counter
 	hedgeWins *obs.Counter
+
+	// pressureUntil (unix nanos) is the shard's backpressure signal: a
+	// replica answering 429/503 raises it by the Retry-After hint, and
+	// until it passes the admission gate sheds new arrivals whenever no
+	// slot is free instead of queueing work the shard asked not to get.
+	pressureUntil atomic.Int64
+	backpressure  *obs.Counter
+}
+
+// raisePressure extends the shard's backpressure window to now+d if that
+// is later than the current window.
+func (sh *shard) raisePressure(d time.Duration) {
+	sh.backpressure.Inc()
+	until := time.Now().Add(d).UnixNano()
+	for {
+		cur := sh.pressureUntil.Load()
+		if cur >= until || sh.pressureUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
 }
 
 // Coordinator fans ranked queries out over shards and merges the top-k
@@ -138,12 +179,22 @@ type Coordinator struct {
 	log    *slog.Logger
 	traces *obs.TraceStore
 
-	mQueries     map[string]*obs.Counter // outcome -> counter
-	mPruned      *obs.Counter
-	mRefines     *obs.Counter
-	mProbes      map[string]*obs.Counter // outcome -> counter
-	mBreakerOpen *obs.Counter
-	scatterHist  *obs.Histogram
+	admission *admissionGate
+
+	// rollout state: at most one rolling generation swap runs at a time.
+	rolloutMu     sync.Mutex
+	rolloutActive bool
+	rollout       RolloutStatus
+
+	mQueries      map[string]*obs.Counter // outcome -> counter
+	mPruned       *obs.Counter
+	mRefines      *obs.Counter
+	mProbes       map[string]*obs.Counter // outcome -> counter
+	mBreakerOpen  *obs.Counter
+	mMixedGen     *obs.Counter
+	mRollouts     map[string]*obs.Counter // outcome -> counter
+	mRolloutGauge *obs.Gauge
+	scatterHist   *obs.Histogram
 }
 
 var latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
@@ -179,8 +230,18 @@ func New(shards []ShardSpec, cfg Config) (*Coordinator, error) {
 		"Distributed-threshold refinement rounds (re-queries of truncated shards with a doubled k).")
 	c.mBreakerOpen = reg.Counter("svqact_cluster_breaker_transitions_total",
 		"Circuit breaker transitions into the open state.")
+	c.mMixedGen = reg.Counter("svqact_cluster_mixed_generation_answers_total",
+		"Scatter-gathers that merged answers from different repository generations (marked degraded).")
+	c.mRollouts = map[string]*obs.Counter{}
+	for _, o := range []string{"completed", "failed"} {
+		c.mRollouts[o] = reg.Counter("svqact_cluster_rollouts_total",
+			"Rolling generation swaps by outcome.", obs.L("outcome", o))
+	}
+	c.mRolloutGauge = reg.Gauge("svqact_cluster_rollout_running",
+		"1 while a rolling generation swap is in progress.")
 	c.scatterHist = reg.Histogram("svqact_cluster_scatter_seconds",
 		"Whole scatter-gather latency (all rounds).", latencyBounds)
+	c.admission = newAdmissionGate(reg, cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueWait, c.pressure)
 	replicas := 0
 	for _, spec := range shards {
 		if spec.Name == "" || len(spec.Replicas) == 0 {
@@ -204,6 +265,9 @@ func New(shards []ShardSpec, cfg Config) (*Coordinator, error) {
 				"Hedged (raced) requests launched.", obs.L("shard", spec.Name)),
 			hedgeWins: reg.Counter("svqact_cluster_hedge_wins_total",
 				"Hedged requests that answered first.", obs.L("shard", spec.Name)),
+			backpressure: reg.Counter("svqact_cluster_admission_backpressure_total",
+				"Shard 429/503 answers folded into the admission gate's pressure signal.",
+				obs.L("shard", spec.Name)),
 		}
 		reg.AttachHistogram("svqact_cluster_shard_latency_seconds",
 			"Successful shard attempt latency.", sh.latency, obs.L("shard", spec.Name))
@@ -223,6 +287,25 @@ func New(shards []ShardSpec, cfg Config) (*Coordinator, error) {
 	reg.Gauge("svqact_cluster_shards", "Configured shards.").Set(int64(len(c.shards)))
 	reg.Gauge("svqact_cluster_replicas", "Configured replicas across all shards.").Set(int64(replicas))
 	return c, nil
+}
+
+// pressure reports the longest remaining shard backpressure window, 0
+// when every shard is calm. The admission gate consults it on every
+// arrival that finds no free slot.
+func (c *Coordinator) pressure() time.Duration {
+	var until int64
+	for _, sh := range c.shards {
+		if u := sh.pressureUntil.Load(); u > until {
+			until = u
+		}
+	}
+	if until == 0 {
+		return 0
+	}
+	if d := time.Until(time.Unix(0, until)); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // ShardNames lists the configured shards in declaration order.
@@ -264,13 +347,20 @@ type TopKResult struct {
 	Shards    []ShardOutcome `json:"shard_details"`
 	Partition Partition      `json:"shards"`
 	// Generations maps answered shards to the repository generation that
-	// served them.
-	Generations map[string]int `json:"generations,omitempty"`
+	// served them. MixedGenerations is the generation-consistency guard:
+	// true when the merge combined answers from different repository
+	// generations (across shards, or across refinement rounds within one
+	// shard during an in-flight rollout) — the answer is internally
+	// consistent per shard but may interleave old- and new-generation
+	// data, so it is marked degraded rather than silently merged.
+	Generations      map[string]int `json:"generations,omitempty"`
+	MixedGenerations bool           `json:"mixed_generations,omitempty"`
 }
 
-// Degraded reports whether any shard fell short of "ok".
+// Degraded reports whether any shard fell short of "ok" or the answer
+// mixed repository generations.
 func (r *TopKResult) Degraded() bool {
-	return len(r.Partition.Degraded) > 0 || len(r.Partition.Failed) > 0
+	return len(r.Partition.Degraded) > 0 || len(r.Partition.Failed) > 0 || r.MixedGenerations
 }
 
 // TopK scatter-gathers one ranked statement. On whole-shard loss it
@@ -291,6 +381,15 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 	}
 	k := plan.K
 
+	// Admission: bounded concurrency with a short, deadline-aware queue.
+	// Shed requests never touch a shard — the typed *OverloadError maps to
+	// 429 + Retry-After at the HTTP layer.
+	release, aerr := c.admission.acquire(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.QueryTimeout)
 	defer cancel()
 	start := time.Now()
@@ -302,6 +401,10 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 	qid := obs.TraceFrom(ctx).ID()
 
 	res := &TopKResult{K: k, Generations: map[string]int{}}
+	// genTorn trips when one shard's generation changes between rounds: a
+	// refinement round answered by a replica already swapped to (or still
+	// on) a different generation than the round merged earlier.
+	genTorn := false
 	responses := map[string]*Response{}
 	outcomes := map[string]*ShardOutcome{}
 	kShard := map[string]int{}
@@ -339,6 +442,10 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 			}
 			if a.resp != nil {
 				responses[a.sh.name] = a.resp
+				if prev, seen := res.Generations[a.sh.name]; seen &&
+					prev > 0 && a.resp.Generation > 0 && prev != a.resp.Generation {
+					genTorn = true
+				}
 				res.Generations[a.sh.name] = a.resp.Generation
 			} else if firstFailure == nil && a.out.Error != "" {
 				firstFailure = fmt.Errorf("shard %s: %s", a.sh.name, a.out.Error)
@@ -388,6 +495,28 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 		res.BloK = 0
 	}
 
+	// Generation-consistency guard: a scatter that merged answers served
+	// by different repository generations (mid-rollout, or after a torn
+	// partial swap) is correct per shard but may interleave old- and
+	// new-generation data globally — mark it degraded, never merge
+	// silently. Generation 0 means "unknown" (a backend that does not
+	// report one) and is excluded from the comparison.
+	res.MixedGenerations = genTorn
+	seenGen := 0
+	for _, g := range res.Generations {
+		if g <= 0 {
+			continue
+		}
+		if seenGen == 0 {
+			seenGen = g
+		} else if g != seenGen {
+			res.MixedGenerations = true
+		}
+	}
+	if res.MixedGenerations {
+		c.mMixedGen.Inc()
+	}
+
 	for _, sh := range c.shards {
 		o := outcomes[sh.name]
 		if o == nil {
@@ -414,6 +543,9 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 	span.SetAttr("ok", len(res.Partition.OK))
 	span.SetAttr("degraded", len(res.Partition.Degraded))
 	span.SetAttr("failed", len(res.Partition.Failed))
+	if res.MixedGenerations {
+		span.SetAttr("mixed_generations", true)
+	}
 
 	switch {
 	case len(res.Partition.Failed) > 0:
@@ -433,7 +565,7 @@ func (c *Coordinator) TopK(ctx context.Context, sql string) (*TopKResult, error)
 			Degraded: append([]string(nil), res.Partition.Degraded...),
 			Err:      firstFailure,
 		}
-	case len(res.Partition.Degraded) > 0:
+	case len(res.Partition.Degraded) > 0 || res.MixedGenerations:
 		c.mQueries["degraded"].Inc()
 	default:
 		c.mQueries["ok"].Inc()
@@ -573,6 +705,18 @@ func (c *Coordinator) queryShard(ctx context.Context, sh *shard, req Request) (*
 			}
 		}
 		if rep == nil {
+			// Prefer a replica that is merely tripped open over one held
+			// by a rollout drain — a draining replica is mid-reload and
+			// the forced probe would only race the swap.
+			for i := 0; i < len(sh.replicas); i++ {
+				if r := sh.replicas[(next+i)%len(sh.replicas)]; !r.breaker.Held() {
+					rep = r
+					next = (next + i + 1) % len(sh.replicas)
+					break
+				}
+			}
+		}
+		if rep == nil {
 			rep = sh.replicas[next%len(sh.replicas)]
 			next++
 		}
@@ -662,11 +806,24 @@ func (c *Coordinator) queryShard(ctx context.Context, sh *shard, req Request) (*
 			a.rep.breaker.Failure()
 			sh.errs.Inc()
 			lastErr = a.err
+			// A replica answering 429/503 is telling the cluster to slow
+			// down: raise the shard's backpressure signal (admission sheds
+			// on it) and honor its Retry-After hint in the retry backoff.
+			var hint time.Duration
+			var re *replicaError
+			if errors.As(a.err, &re) && (re.Status == 429 || re.Status == 503) {
+				hint = re.RetryAfter
+				p := hint
+				if p <= 0 {
+					p = c.cfg.MaxBackoff
+				}
+				sh.raisePressure(p)
+			}
 			if attempts >= budget && inflight == 0 {
 				return fail(lastErr)
 			}
 			if attempts < budget && backoffC == nil {
-				backoffC = time.After(c.backoff(req, sh.name, attempts))
+				backoffC = time.After(c.backoff(req, sh.name, attempts, hint))
 			}
 		case <-backoffC:
 			backoffC = nil
@@ -705,7 +862,11 @@ func (c *Coordinator) hedgeDelay(sh *shard) time.Duration {
 
 // backoff returns the delay before attempt+1, exponential in the attempt
 // number with deterministic jitter keyed on (seed, query, shard, attempt).
-func (c *Coordinator) backoff(req Request, shardName string, attempt int) time.Duration {
+// hint is the replica's Retry-After when the failed attempt carried one
+// (429/503): the jittered exponential delay is raised to honor it, with
+// the hint clamped to MaxBackoff so a hostile or confused replica cannot
+// park the coordinator indefinitely.
+func (c *Coordinator) backoff(req Request, shardName string, attempt int, hint time.Duration) time.Duration {
 	d := c.cfg.BaseBackoff
 	for i := 1; i < attempt && d < c.cfg.MaxBackoff; i++ {
 		d *= 2
@@ -717,7 +878,14 @@ func (c *Coordinator) backoff(req Request, shardName string, attempt int) time.D
 		detect.KeyString(req.QueryID), detect.KeyString(req.SQL),
 		detect.KeyString(shardName), uint64(attempt))
 	factor := 0.5 + detect.Unit01(h)
-	return time.Duration(float64(d) * factor)
+	out := time.Duration(float64(d) * factor)
+	if hint > c.cfg.MaxBackoff {
+		hint = c.cfg.MaxBackoff
+	}
+	if hint > out {
+		out = hint
+	}
+	return out
 }
 
 // ReplicaStatus is one replica's health snapshot.
@@ -742,10 +910,14 @@ func (c *Coordinator) Status() []ShardStatus {
 	for _, sh := range c.shards {
 		ss := ShardStatus{Name: sh.name}
 		for _, r := range sh.replicas {
+			breaker := r.breaker.State().String()
+			if r.breaker.Held() {
+				breaker = "draining"
+			}
 			r.mu.Lock()
 			rs := ReplicaStatus{
 				Name:      r.backend.Name(),
-				Breaker:   r.breaker.State().String(),
+				Breaker:   breaker,
 				LastError: r.lastErr,
 			}
 			if !r.lastProbe.IsZero() {
@@ -757,6 +929,11 @@ func (c *Coordinator) Status() []ShardStatus {
 		out = append(out, ss)
 	}
 	return out
+}
+
+// Admission snapshots the admission gate for the health endpoint.
+func (c *Coordinator) Admission() AdmissionHealth {
+	return c.admission.health()
 }
 
 // ProbeAll health-checks every replica once, feeding results into the

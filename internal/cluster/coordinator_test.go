@@ -462,13 +462,13 @@ func TestBackoffDeterministicJitter(t *testing.T) {
 	req := Request{SQL: rankedSQL, QueryID: "deadbeefdeadbeef"}
 	a, b, other := mk(7), mk(7), mk(8)
 	for attempt := 1; attempt <= 4; attempt++ {
-		if d1, d2 := a.backoff(req, "s0", attempt), b.backoff(req, "s0", attempt); d1 != d2 {
+		if d1, d2 := a.backoff(req, "s0", attempt, 0), b.backoff(req, "s0", attempt, 0); d1 != d2 {
 			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, d1, d2)
 		}
-		if a.backoff(req, "s0", attempt) == other.backoff(req, "s0", attempt) {
+		if a.backoff(req, "s0", attempt, 0) == other.backoff(req, "s0", attempt, 0) {
 			t.Fatalf("attempt %d: different seeds gave identical jitter", attempt)
 		}
-		base, jittered := fastConfig().BaseBackoff, a.backoff(req, "s0", attempt)
+		base, jittered := fastConfig().BaseBackoff, a.backoff(req, "s0", attempt, 0)
 		max := fastConfig().MaxBackoff
 		if jittered < base/2 || jittered > max+max/2 {
 			t.Fatalf("attempt %d: backoff %v outside [base/2, 1.5*max]", attempt, jittered)

@@ -30,11 +30,23 @@ type FaultPlan struct {
 	// percentiles without breaking correctness).
 	ErrorRate, HangRate, DelayRate float64
 	Delay                          time.Duration
+	// ThrottleRate is the probability a query call answers 429 with
+	// ThrottleRetryAfter as its Retry-After hint — the shard telling the
+	// coordinator to back off (exercising backoff-hint honoring and the
+	// admission gate's backpressure signal).
+	ThrottleRate       float64
+	ThrottleRetryAfter time.Duration
 	// DownFrom kills the replica from the Nth query call onward (1-based;
 	// 0 disables): call numbers >= DownFrom fail with ErrReplicaDown. This
 	// is the deterministic "kill one replica mid-batch" lever. UpFrom,
 	// when > DownFrom, restarts it: calls >= UpFrom serve again.
 	DownFrom, UpFrom int
+	// ReloadFailFrom fails Reload calls from the Nth reload onward
+	// (1-based; 0 disables) with an injected torn-commit error, leaving
+	// the inner backend's generation untouched — the replica failing
+	// reload closed. ReloadOKFrom, when > ReloadFailFrom, repairs it:
+	// reloads >= ReloadOKFrom succeed again.
+	ReloadFailFrom, ReloadOKFrom int
 }
 
 // FaultBackend wraps a Backend with a deterministic FaultPlan. Call
@@ -44,8 +56,9 @@ type FaultBackend struct {
 	inner Backend
 	plan  FaultPlan
 
-	calls  atomic.Int64 // query calls, 1-based after Add
-	served atomic.Int64 // queries that reached the inner backend
+	calls   atomic.Int64 // query calls, 1-based after Add
+	served  atomic.Int64 // queries that reached the inner backend
+	reloads atomic.Int64 // Reload calls, 1-based after Add
 }
 
 // NewFaultBackend wraps inner with plan.
@@ -89,9 +102,54 @@ func (b *FaultBackend) Query(ctx context.Context, req Request) (*Response, error
 		case <-ctx.Done():
 			return nil, &replicaError{Replica: b.Name(), Err: ctx.Err()}
 		}
+	case u < b.plan.ErrorRate+b.plan.HangRate+b.plan.DelayRate+b.plan.ThrottleRate:
+		return nil, &replicaError{Replica: b.Name(), Status: 429,
+			RetryAfter: b.plan.ThrottleRetryAfter,
+			Err:        fmt.Errorf("injected throttle (call %d)", n)}
 	}
 	b.served.Add(1)
 	return b.inner.Query(ctx, req)
+}
+
+// reloadFailed reports whether reload number n falls inside the injected
+// torn-commit window.
+func (b *FaultBackend) reloadFailed(n int64) bool {
+	if b.plan.ReloadFailFrom <= 0 || n < int64(b.plan.ReloadFailFrom) {
+		return false
+	}
+	return b.plan.ReloadOKFrom <= b.plan.ReloadFailFrom || n < int64(b.plan.ReloadOKFrom)
+}
+
+// Reload applies the down window and the torn-commit schedule, then
+// delegates to the inner backend's Reloader. A failed reload never touches
+// the inner backend — the old generation keeps serving, matching the serve
+// process's fail-closed contract.
+func (b *FaultBackend) Reload(ctx context.Context) (int, error) {
+	n := b.reloads.Add(1)
+	if b.down(b.calls.Load() + 1) {
+		return 0, &replicaError{Replica: b.Name(), Err: ErrReplicaDown}
+	}
+	if b.reloadFailed(n) {
+		return 0, &replicaError{Replica: b.Name(), Status: 409,
+			Err: fmt.Errorf("injected reload failure (torn commit, reload %d)", n)}
+	}
+	rl, ok := b.inner.(Reloader)
+	if !ok {
+		return 0, &replicaError{Replica: b.Name(), Err: fmt.Errorf("backend %T does not reload", b.inner)}
+	}
+	return rl.Reload(ctx)
+}
+
+// Generation applies the down window, then delegates.
+func (b *FaultBackend) Generation(ctx context.Context) (int, error) {
+	if b.down(b.calls.Load() + 1) {
+		return 0, &replicaError{Replica: b.Name(), Err: ErrReplicaDown}
+	}
+	rl, ok := b.inner.(Reloader)
+	if !ok {
+		return 0, &replicaError{Replica: b.Name(), Err: fmt.Errorf("backend %T does not reload", b.inner)}
+	}
+	return rl.Generation(ctx)
 }
 
 func (b *FaultBackend) Healthy(ctx context.Context) error {

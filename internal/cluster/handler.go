@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,10 +32,15 @@ type QueryAnswer struct {
 	// Degraded flags a partial answer; Error then explains the first
 	// shard loss. The HTTP status stays 200: a degraded answer is still
 	// an answer.
-	Degraded  bool               `json:"degraded,omitempty"`
-	Error     string             `json:"error,omitempty"`
-	ElapsedMS int64              `json:"elapsed_ms"`
-	Trace     *obs.TraceSnapshot `json:"trace,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Shed marks a batch entry rejected by the admission gate before any
+	// shard work; RetryAfterSeconds is its retry hint. A shed entry has
+	// no result at all — unlike degraded, which is still an answer.
+	Shed              bool               `json:"shed,omitempty"`
+	RetryAfterSeconds int                `json:"retry_after_seconds,omitempty"`
+	ElapsedMS         int64              `json:"elapsed_ms"`
+	Trace             *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // BatchAnswer is the coordinator's /query/batch response body.
@@ -52,13 +60,15 @@ type clusterError struct {
 }
 
 // Handler returns the coordinator's HTTP mux: POST /query, POST
-// /query/batch, GET /healthz, GET /shards, GET /metrics.
+// /query/batch, GET /healthz, GET /shards, GET|POST /rollout, GET
+// /metrics.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
 	mux.HandleFunc("/query/batch", c.handleBatch)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/shards", c.handleShards)
+	mux.HandleFunc("/rollout", c.handleRollout)
 	mux.Handle("/metrics", c.cfg.Registry.Handler())
 	mux.Handle("/debug/traces", c.traces.Handler())
 	mux.Handle("/debug/traces/", c.traces.Handler())
@@ -141,6 +151,14 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	qid, trace := c.admit(r)
 	ans, err := c.runOne(r, trace, qid, req.SQL)
 	if err != nil {
+		var over *OverloadError
+		if errors.As(err, &over) {
+			// Same contract as internal/server: 429 + Retry-After in
+			// seconds. No trace is offered — a shed request did no work.
+			w.Header().Set("Retry-After", retryAfterSeconds(over.RetryAfter))
+			clusterWriteJSON(w, http.StatusTooManyRequests, qid, clusterError{Error: err.Error()})
+			return
+		}
 		status := http.StatusInternalServerError
 		var bad *BadRequestError
 		if errors.As(err, &bad) {
@@ -188,10 +206,26 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// breakers and fault schedules, and a deterministic call order is
 	// what makes kill/failover tests (and incident reconstructions from
 	// the trace) replayable.
+	shed := 0
+	var maxRetryAfter time.Duration
 	for _, sql := range req.Queries {
 		ans, err := c.runOne(r, trace, qid, sql)
 		ans.SQL = sql
 		if err != nil {
+			var over *OverloadError
+			if errors.As(err, &over) {
+				// Per-entry shedding: the overloaded entries carry the
+				// Retry-After contract; the rest of the batch still ran.
+				ans.Shed = true
+				ans.Error = err.Error()
+				ans.RetryAfterSeconds = ceilSeconds(over.RetryAfter)
+				if over.RetryAfter > maxRetryAfter {
+					maxRetryAfter = over.RetryAfter
+				}
+				shed++
+				out.Entries = append(out.Entries, ans)
+				continue
+			}
 			ans.Error = err.Error()
 			ans.Degraded = true
 		}
@@ -211,8 +245,31 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if out.Degraded {
 		outcome = "degraded"
 	}
+	status := http.StatusOK
+	if shed > 0 {
+		// Any shed entry sets the batch-level Retry-After; a fully shed
+		// batch is itself a 429 (no entry did any work).
+		w.Header().Set("Retry-After", retryAfterSeconds(maxRetryAfter))
+		if shed == len(out.Entries) {
+			status = http.StatusTooManyRequests
+		}
+	}
 	c.offerTrace(out.Trace, strings.Join(req.Queries, "; "), outcome)
-	clusterWriteJSON(w, http.StatusOK, qid, out)
+	clusterWriteJSON(w, status, qid, out)
+}
+
+// ceilSeconds rounds a retry hint up to whole seconds, minimum 1 — the
+// Retry-After header granularity internal/server also speaks.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(ceilSeconds(d))
 }
 
 // clusterHealth is the /healthz body.
@@ -220,6 +277,8 @@ type clusterHealth struct {
 	Status   string        `json:"status"`
 	Shards   []ShardStatus `json:"shards"`
 	Replicas int           `json:"replicas"`
+	// Admission mirrors internal/server's admission-control block.
+	Admission AdmissionHealth `json:"admission"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -242,12 +301,55 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			healthy = false
 		}
 	}
-	body := clusterHealth{Status: "ok", Shards: st, Replicas: n}
+	body := clusterHealth{Status: "ok", Shards: st, Replicas: n, Admission: c.Admission()}
 	status := http.StatusOK
 	if !healthy {
 		body.Status = "degraded"
 	}
 	clusterWriteJSON(w, status, "", body)
+}
+
+// handleRollout serves the rolling generation swap: GET reports progress,
+// POST starts one (409 while another is running). The POST body tunes the
+// swap:
+//
+//	{"canary_sql": "...", "canary_k": 1, "drain_wait_ms": 500,
+//	 "require_advance": false}
+//
+// The rollout runs in the background; clients poll GET /rollout until
+// state is "done" or "failed" (which is what `svq rollout` does).
+func (c *Coordinator) handleRollout(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		clusterWriteJSON(w, http.StatusOK, "", c.RolloutStatus())
+	case http.MethodPost:
+		var req struct {
+			CanarySQL      string `json:"canary_sql"`
+			CanaryK        int    `json:"canary_k"`
+			DrainWaitMS    int    `json:"drain_wait_ms"`
+			RequireAdvance bool   `json:"require_advance"`
+		}
+		// An empty body is a default rollout, not an error.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			clusterWriteJSON(w, http.StatusBadRequest, "", clusterError{Error: "malformed rollout body: " + err.Error()})
+			return
+		}
+		cfg := RolloutConfig{
+			CanarySQL:      req.CanarySQL,
+			CanaryK:        req.CanaryK,
+			DrainWait:      time.Duration(req.DrainWaitMS) * time.Millisecond,
+			RequireAdvance: req.RequireAdvance,
+		}
+		// The rollout outlives this request: it runs on the background
+		// context, not r.Context().
+		if err := c.StartRollout(context.Background(), cfg); err != nil {
+			clusterWriteJSON(w, http.StatusConflict, "", clusterError{Error: err.Error()})
+			return
+		}
+		clusterWriteJSON(w, http.StatusAccepted, "", c.RolloutStatus())
+	default:
+		clusterWriteJSON(w, http.StatusMethodNotAllowed, "", clusterError{Error: "GET or POST only"})
+	}
 }
 
 func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {

@@ -82,10 +82,18 @@ func memberIndex(t *testing.T, name string, seed int64) *rank.Index {
 // indexes (hash placement, same as SplitRepository) plus the monolith.
 func buildWorld(t *testing.T, n int) (shardIxs []*rank.Index, mono *rank.Index) {
 	t.Helper()
+	return buildWorldSeeded(t, n, 100)
+}
+
+// buildWorldSeeded is buildWorld with a controllable base seed: different
+// bases give the same membership and shard placement but different scores
+// — two generations of "the same" repository, for rollout tests.
+func buildWorldSeeded(t *testing.T, n int, base int64) (shardIxs []*rank.Index, mono *rank.Index) {
+	t.Helper()
 	byName := map[string]*rank.Index{}
 	var all []*rank.Index
 	for i, m := range testMembers {
-		ix := memberIndex(t, m, int64(100+i*17))
+		ix := memberIndex(t, m, base+int64(i*17))
 		byName[m] = ix
 		all = append(all, ix)
 	}

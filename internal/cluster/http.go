@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"svqact/internal/obs"
 )
@@ -95,7 +97,8 @@ func (b *HTTPBackend) Query(ctx context.Context, req Request) (*Response, error)
 	}
 	if hresp.StatusCode != http.StatusOK {
 		return nil, &replicaError{Replica: b.name, Status: hresp.StatusCode,
-			Err: fmt.Errorf("shard returned %q", strings.TrimSpace(firstLine(qr.Error, raw)))}
+			RetryAfter: parseRetryAfter(hresp.Header.Get("Retry-After")),
+			Err:        fmt.Errorf("shard returned %q", strings.TrimSpace(firstLine(qr.Error, raw)))}
 	}
 	if decodeErr != nil {
 		return nil, &replicaError{Replica: b.name, Err: fmt.Errorf("malformed shard body: %w", decodeErr)}
@@ -140,6 +143,70 @@ func (b *HTTPBackend) Healthy(ctx context.Context) error {
 			Err: fmt.Errorf("healthz returned %d", hresp.StatusCode)}
 	}
 	return nil
+}
+
+// repoStatusResponse is the subset of the server's /repo/status and
+// /repo/reload bodies the rollout consumes.
+type repoStatusResponse struct {
+	Generation int    `json:"generation"`
+	Error      string `json:"error"`
+}
+
+func (b *HTTPBackend) repoCall(ctx context.Context, method, path string) (int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, method, b.base+path, nil)
+	if err != nil {
+		return 0, &replicaError{Replica: b.name, Err: err}
+	}
+	hresp, err := b.client.Do(hreq)
+	if err != nil {
+		return 0, &replicaError{Replica: b.name, Err: err}
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return 0, &replicaError{Replica: b.name, Status: hresp.StatusCode, Err: err}
+	}
+	var rs repoStatusResponse
+	decodeErr := json.Unmarshal(raw, &rs)
+	if hresp.StatusCode != http.StatusOK {
+		return 0, &replicaError{Replica: b.name, Status: hresp.StatusCode,
+			Err: fmt.Errorf("%s %s returned %q", method, path, strings.TrimSpace(firstLine(rs.Error, raw)))}
+	}
+	if decodeErr != nil {
+		return 0, &replicaError{Replica: b.name, Err: fmt.Errorf("malformed %s body: %w", path, decodeErr)}
+	}
+	return rs.Generation, nil
+}
+
+// Reload triggers the serve process's POST /repo/reload. The server fails
+// reload closed: a non-200 answer means the old generation kept serving.
+func (b *HTTPBackend) Reload(ctx context.Context) (int, error) {
+	return b.repoCall(ctx, http.MethodPost, "/repo/reload")
+}
+
+// Generation reads the serving generation from GET /repo/status.
+func (b *HTTPBackend) Generation(ctx context.Context) (int, error) {
+	return b.repoCall(ctx, http.MethodGet, "/repo/status")
+}
+
+// parseRetryAfter parses a Retry-After header value: integer seconds, or
+// an HTTP date. 0 means absent or unparsable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func headerOr(v, def string) string {

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Rolling generation swap: the coordinator walks shard replica sets one
+// replica at a time through drain → reload → verify → advance. Draining
+// pins the replica's breaker shut (Hold), so live traffic fails over to
+// its siblings and no concurrent health probe can flip it back into
+// rotation mid-reload; reload triggers the replica's fail-closed
+// generation swap; verify requires a passing health probe, a served
+// generation that did not move backwards, and a canary query answered by
+// the new generation. Any failed step halts the whole rollout with
+// per-replica attribution — the failed replica's breaker is released and
+// its old generation keeps serving (shards fail reload closed), so a
+// halted rollout degrades to "mixed generations flagged by the
+// consistency guard", never to wrong answers. Re-running after repair
+// resumes: replicas already on the target generation reload as no-ops.
+
+// ErrRolloutActive rejects a second rollout while one is running.
+var ErrRolloutActive = errors.New("cluster: a rollout is already running")
+
+// RolloutConfig tunes one rolling generation swap.
+type RolloutConfig struct {
+	// CanarySQL is the ranked statement used to verify each reloaded
+	// replica actually answers from the new generation; "" skips the
+	// canary (health probe + generation check only). CanaryK defaults 1.
+	CanarySQL string `json:"canary_sql,omitempty"`
+	CanaryK   int    `json:"canary_k,omitempty"`
+	// DrainWait is how long to sit between pinning the breaker and
+	// triggering the reload, letting in-flight requests land; <= 0 means
+	// no wait (tests) — the serve process's reload path quiesces its own
+	// readers regardless.
+	DrainWait time.Duration `json:"-"`
+	// StepTimeout bounds each reload/verify call; <= 0 means the
+	// coordinator's ShardTimeout.
+	StepTimeout time.Duration `json:"-"`
+	// RequireAdvance fails a replica whose reload does not increase the
+	// served generation. Default false: re-running a halted rollout walks
+	// already-swapped replicas as no-ops.
+	RequireAdvance bool `json:"require_advance,omitempty"`
+}
+
+// ReplicaRollout is one replica's progress through the state machine.
+type ReplicaRollout struct {
+	Replica string `json:"replica"`
+	// State: pending → draining → reloading → verifying → done | failed.
+	State          string `json:"state"`
+	FromGeneration int    `json:"from_generation,omitempty"`
+	ToGeneration   int    `json:"to_generation,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// ShardRollout is one shard's progress.
+type ShardRollout struct {
+	Shard string `json:"shard"`
+	// State: pending → rolling → done | failed.
+	State    string           `json:"state"`
+	Replicas []ReplicaRollout `json:"replicas"`
+}
+
+// RolloutStatus is the whole rollout's progress, served on GET /rollout.
+type RolloutStatus struct {
+	// State: idle (never started), running, done, failed.
+	State      string         `json:"state"`
+	StartedAt  string         `json:"started_at,omitempty"`
+	FinishedAt string         `json:"finished_at,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	Shards     []ShardRollout `json:"shards,omitempty"`
+}
+
+func (s RolloutStatus) clone() RolloutStatus {
+	out := s
+	out.Shards = make([]ShardRollout, len(s.Shards))
+	for i, sh := range s.Shards {
+		out.Shards[i] = sh
+		out.Shards[i].Replicas = append([]ReplicaRollout(nil), sh.Replicas...)
+	}
+	return out
+}
+
+// RolloutStatus snapshots the current (or last) rollout's progress.
+func (c *Coordinator) RolloutStatus() RolloutStatus {
+	c.rolloutMu.Lock()
+	defer c.rolloutMu.Unlock()
+	if c.rollout.State == "" {
+		return RolloutStatus{State: "idle"}
+	}
+	return c.rollout.clone()
+}
+
+// StartRollout begins a rolling generation swap in the background,
+// returning ErrRolloutActive if one is already running. Progress is
+// observable via RolloutStatus / GET /rollout.
+func (c *Coordinator) StartRollout(ctx context.Context, cfg RolloutConfig) error {
+	c.rolloutMu.Lock()
+	if c.rolloutActive {
+		c.rolloutMu.Unlock()
+		return ErrRolloutActive
+	}
+	c.rolloutActive = true
+	c.beginRolloutLocked()
+	c.rolloutMu.Unlock()
+	go c.runRollout(ctx, cfg)
+	return nil
+}
+
+// RunRollout runs a rolling generation swap synchronously and returns its
+// terminal error (nil on completion). Tests and embedded callers use it;
+// the HTTP layer uses StartRollout.
+func (c *Coordinator) RunRollout(ctx context.Context, cfg RolloutConfig) error {
+	c.rolloutMu.Lock()
+	if c.rolloutActive {
+		c.rolloutMu.Unlock()
+		return ErrRolloutActive
+	}
+	c.rolloutActive = true
+	c.beginRolloutLocked()
+	c.rolloutMu.Unlock()
+	return c.runRollout(ctx, cfg)
+}
+
+// beginRolloutLocked resets the status tree; caller holds rolloutMu.
+func (c *Coordinator) beginRolloutLocked() {
+	st := RolloutStatus{
+		State:     "running",
+		StartedAt: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	for _, sh := range c.shards {
+		sr := ShardRollout{Shard: sh.name, State: "pending"}
+		for _, r := range sh.replicas {
+			sr.Replicas = append(sr.Replicas, ReplicaRollout{Replica: r.backend.Name(), State: "pending"})
+		}
+		st.Shards = append(st.Shards, sr)
+	}
+	c.rollout = st
+	c.mRolloutGauge.Set(1)
+}
+
+// setRollout mutates the status tree under the lock.
+func (c *Coordinator) setRollout(mut func(st *RolloutStatus)) {
+	c.rolloutMu.Lock()
+	mut(&c.rollout)
+	c.rolloutMu.Unlock()
+}
+
+func (c *Coordinator) runRollout(ctx context.Context, cfg RolloutConfig) (err error) {
+	if cfg.CanaryK <= 0 {
+		cfg.CanaryK = 1
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = c.cfg.ShardTimeout
+	}
+	defer func() {
+		c.rolloutMu.Lock()
+		c.rolloutActive = false
+		c.rollout.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		if err != nil {
+			c.rollout.State = "failed"
+			c.rollout.Error = err.Error()
+			c.mRollouts["failed"].Inc()
+		} else {
+			c.rollout.State = "done"
+			c.mRollouts["completed"].Inc()
+		}
+		c.mRolloutGauge.Set(0)
+		c.rolloutMu.Unlock()
+		if err != nil {
+			c.log.Warn("rollout halted", "error", err.Error())
+		} else {
+			c.log.Info("rollout completed")
+		}
+	}()
+
+	for si, sh := range c.shards {
+		c.setRollout(func(st *RolloutStatus) { st.Shards[si].State = "rolling" })
+		gens := make([]int, len(sh.replicas))
+		for ri, rep := range sh.replicas {
+			gen, rerr := c.rollReplica(ctx, cfg, si, ri, sh, rep)
+			if rerr != nil {
+				c.setRollout(func(st *RolloutStatus) { st.Shards[si].State = "failed" })
+				return fmt.Errorf("shard %s replica %s: %w", sh.name, rep.backend.Name(), rerr)
+			}
+			gens[ri] = gen
+		}
+		// Shard-level consistency: every replica must land on the same
+		// generation, or queries keep tripping the mixed-generation guard
+		// depending on which replica answers.
+		for ri := 1; ri < len(gens); ri++ {
+			if gens[ri] > 0 && gens[0] > 0 && gens[ri] != gens[0] {
+				c.setRollout(func(st *RolloutStatus) { st.Shards[si].State = "failed" })
+				return fmt.Errorf("shard %s: replicas diverged after rollout (generation %d vs %d)",
+					sh.name, gens[0], gens[ri])
+			}
+		}
+		c.setRollout(func(st *RolloutStatus) { st.Shards[si].State = "done" })
+	}
+	return nil
+}
+
+// rollReplica walks one replica through drain → reload → verify → advance
+// and returns the generation it serves afterwards. On any failure the
+// breaker hold is released before returning, so the replica's old
+// generation goes straight back into rotation.
+func (c *Coordinator) rollReplica(ctx context.Context, cfg RolloutConfig, si, ri int, sh *shard, rep *replica) (gen int, err error) {
+	setReplica := func(mut func(rr *ReplicaRollout)) {
+		c.setRollout(func(st *RolloutStatus) { mut(&st.Shards[si].Replicas[ri]) })
+	}
+	defer func() {
+		if err != nil {
+			setReplica(func(rr *ReplicaRollout) {
+				rr.State = "failed"
+				rr.Error = err.Error()
+			})
+		}
+	}()
+
+	rl, ok := rep.backend.(Reloader)
+	if !ok {
+		return 0, fmt.Errorf("backend %T does not support rollout", rep.backend)
+	}
+	call := func(f func(context.Context) (int, error)) (int, error) {
+		sctx, cancel := context.WithTimeout(ctx, cfg.StepTimeout)
+		defer cancel()
+		return f(sctx)
+	}
+
+	// Drain: pin the breaker shut. Live traffic fails over to siblings
+	// and concurrent health probes are discarded until Release.
+	setReplica(func(rr *ReplicaRollout) { rr.State = "draining" })
+	rep.breaker.Hold()
+	defer rep.breaker.Release()
+	if cfg.DrainWait > 0 {
+		select {
+		case <-time.After(cfg.DrainWait):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	from, err := call(rl.Generation)
+	if err != nil {
+		return 0, fmt.Errorf("pre-reload generation: %w", err)
+	}
+	setReplica(func(rr *ReplicaRollout) { rr.FromGeneration = from })
+
+	// Reload: the replica swaps fail-closed — on error the old
+	// generation is still serving and the rollout halts here.
+	setReplica(func(rr *ReplicaRollout) { rr.State = "reloading" })
+	to, err := call(rl.Reload)
+	if err != nil {
+		return 0, fmt.Errorf("reload: %w", err)
+	}
+	setReplica(func(rr *ReplicaRollout) { rr.ToGeneration = to })
+
+	// Verify: health probe, generation sanity, then a canary query that
+	// must be answered by the generation the reload reported.
+	setReplica(func(rr *ReplicaRollout) { rr.State = "verifying" })
+	if _, err := call(func(sctx context.Context) (int, error) {
+		return 0, rep.backend.Healthy(sctx)
+	}); err != nil {
+		return 0, fmt.Errorf("post-reload health probe: %w", err)
+	}
+	if to < from {
+		return 0, fmt.Errorf("generation moved backwards after reload (%d -> %d)", from, to)
+	}
+	if cfg.RequireAdvance && to <= from {
+		return 0, fmt.Errorf("reload did not advance the generation (still %d)", to)
+	}
+	if cfg.CanarySQL != "" {
+		resp, cerr := func() (*Response, error) {
+			sctx, cancel := context.WithTimeout(ctx, cfg.StepTimeout)
+			defer cancel()
+			return rep.backend.Query(sctx, Request{SQL: cfg.CanarySQL, K: cfg.CanaryK, QueryID: "rollout-canary"})
+		}()
+		if cerr != nil {
+			return 0, fmt.Errorf("canary query: %w", cerr)
+		}
+		if resp.Generation > 0 && to > 0 && resp.Generation != to {
+			return 0, fmt.Errorf("canary answered from generation %d, want %d", resp.Generation, to)
+		}
+	}
+
+	// Advance: unpin and reset the breaker so the verified replica goes
+	// straight back into rotation without waiting out an old cool-off.
+	rep.breaker.Release()
+	rep.breaker.Success()
+	setReplica(func(rr *ReplicaRollout) { rr.State = "done" })
+	return to, nil
+}

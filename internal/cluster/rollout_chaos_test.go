@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svqact/internal/rank"
+)
+
+// Chaos coverage for the rolling generation swap: concurrent query load
+// runs through an in-flight rollout with injected reload failures, crashed
+// replicas and torn commits, and every answer is checked against what the
+// shards' generations actually scored — answers are never wrong, only
+// (flagged) mixed, and the rollout either completes or halts with the old
+// generation serving.
+
+// genWorld is one generation's ground truth: the shard indexes, the
+// monolith, and a per-shard map of every sequence's exact score.
+type genWorld struct {
+	shardIxs []*rank.Index
+	mono     *rank.Index
+	// scores[shard][seqKey] is the exact score that shard's index gives
+	// the sequence at this generation.
+	scores []map[string]float64
+}
+
+func newGenWorld(t *testing.T, n int, base int64) *genWorld {
+	t.Helper()
+	shardIxs, mono := buildWorldSeeded(t, n, base)
+	w := &genWorld{shardIxs: shardIxs, mono: mono}
+	for i, ix := range shardIxs {
+		b := NewLocalBackend(fmt.Sprintf("truth-s%d", i), 1, ix)
+		resp, err := b.Query(context.Background(), Request{SQL: rankedSQLK(64)})
+		if err != nil {
+			t.Fatalf("ground-truth query shard %d: %v", i, err)
+		}
+		m := map[string]float64{}
+		for _, s := range resp.Sequences {
+			m[seqKey(s)] = s.Score
+		}
+		w.scores = append(w.scores, m)
+	}
+	return w
+}
+
+// shardOfMember maps each member video to its shard index under the same
+// hash placement the worlds use.
+func shardOfMember(n int) map[string]int {
+	out := map[string]int{}
+	for si, g := range PartitionMembers(testMembers, n) {
+		for _, m := range g {
+			out[m] = si
+		}
+	}
+	return out
+}
+
+// checkAnswer verifies one scatter-gather answer against the per-(gen,
+// shard) ground truth: every returned sequence must carry the exact score
+// its shard's reported generation gives it, scores must be non-increasing,
+// and differing generations must be flagged. Returns an error instead of
+// failing so worker goroutines can report.
+func checkAnswer(res *TopKResult, worlds map[int]*genWorld, memberShard map[string]int) error {
+	seen := 0
+	for _, g := range res.Generations {
+		if g <= 0 {
+			continue
+		}
+		if seen == 0 {
+			seen = g
+		} else if g != seen && !res.MixedGenerations {
+			return fmt.Errorf("generations %v merged without the mixed flag", res.Generations)
+		}
+	}
+	for i, s := range res.Sequences {
+		if i > 0 && s.Score > res.Sequences[i-1].Score+1e-9 {
+			return fmt.Errorf("sequence %d (%s) out of order: %v after %v",
+				i, seqKey(s), s.Score, res.Sequences[i-1].Score)
+		}
+		si, ok := memberShard[s.Video]
+		if !ok {
+			return fmt.Errorf("sequence %s from unknown member", seqKey(s))
+		}
+		gen := res.Generations[fmt.Sprintf("s%d", si)]
+		w, ok := worlds[gen]
+		if !ok {
+			return fmt.Errorf("sequence %s attributed to unknown generation %d", seqKey(s), gen)
+		}
+		want, ok := w.scores[si][seqKey(s)]
+		if !ok {
+			return fmt.Errorf("sequence %s does not exist in shard %d at generation %d", seqKey(s), si, gen)
+		}
+		if diff := s.Score - want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("sequence %s: score %v, want %v (shard %d gen %d)", seqKey(s), s.Score, want, si, gen)
+		}
+	}
+	return nil
+}
+
+// chaosCluster builds n shards x replicasPer replicas: LocalBackends on
+// generation 1 with generation 2 staged, each wrapped in a FaultBackend
+// whose plan comes from plan(shard, replica).
+func chaosCluster(t *testing.T, w1, w2 *genWorld, replicasPer int, plan func(si, ri int) FaultPlan) (*Coordinator, [][]*FaultBackend) {
+	t.Helper()
+	var specs []ShardSpec
+	var faults [][]*FaultBackend
+	for si := range w1.shardIxs {
+		spec := ShardSpec{Name: fmt.Sprintf("s%d", si)}
+		var row []*FaultBackend
+		for ri := 0; ri < replicasPer; ri++ {
+			inner := NewLocalBackend(fmt.Sprintf("s%d-r%d", si, ri), 1, w1.shardIxs[si])
+			inner.StageGeneration(2, w2.shardIxs[si])
+			fb := NewFaultBackend(inner, plan(si, ri))
+			row = append(row, fb)
+			spec.Replicas = append(spec.Replicas, fb)
+		}
+		specs = append(specs, spec)
+		faults = append(faults, row)
+	}
+	cfg := fastConfig()
+	cfg.MaxConcurrent = 8
+	c, err := New(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, faults
+}
+
+// chaosLoad runs workers querying the coordinator until stop flips,
+// verifying every answer. Overload sheds are tolerated (counted), wrong
+// answers are not.
+func chaosLoad(c *Coordinator, workers int, stop *atomic.Bool, worlds map[int]*genWorld, memberShard map[string]int) (wait func() []error) {
+	var mu sync.Mutex
+	var errs []error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				res, err := c.TopK(context.Background(), rankedSQLK(2+(w+i)%3))
+				if err != nil {
+					var over *OverloadError
+					var deg *DegradedError
+					switch {
+					case errors.As(err, &over):
+						continue // shed under pressure: allowed, never wrong
+					case errors.As(err, &deg) && res != nil:
+						// Whole-shard loss: the partial answer alongside must
+						// still be exact for the surviving shards — verified
+						// below like any other answer.
+					default:
+						mu.Lock()
+						errs = append(errs, fmt.Errorf("worker %d query %d: %w", w, i, err))
+						mu.Unlock()
+						return
+					}
+				}
+				if verr := checkAnswer(res, worlds, memberShard); verr != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("worker %d query %d: %w", w, i, verr))
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	return func() []error {
+		wg.Wait()
+		return errs
+	}
+}
+
+// TestRolloutChaosHaltAndRepair drives concurrent load through a rollout
+// whose s1-r0 reload tears deterministically: the first rollout must halt
+// with the old generation still serving (and mixed answers flagged), the
+// re-run after repair must complete, and no answer at any point may
+// disagree with the per-generation ground truth.
+func TestRolloutChaosHaltAndRepair(t *testing.T) {
+	w1 := newGenWorld(t, 3, 100)
+	w2 := newGenWorld(t, 3, 200)
+	worlds := map[int]*genWorld{1: w1, 2: w2}
+	memberShard := shardOfMember(3)
+
+	c, _ := chaosCluster(t, w1, w2, 2, func(si, ri int) FaultPlan {
+		if si == 1 && ri == 0 {
+			// First reload tears; the repair (second reload) succeeds.
+			return FaultPlan{Seed: 11, ReloadFailFrom: 1, ReloadOKFrom: 2}
+		}
+		return FaultPlan{Seed: uint64(11 + si*10 + ri)}
+	})
+
+	var stop atomic.Bool
+	wait := chaosLoad(c, 4, &stop, worlds, memberShard)
+
+	err := c.RunRollout(context.Background(), RolloutConfig{CanarySQL: rankedSQL})
+	if err == nil {
+		t.Error("rollout with a torn reload reported success")
+	}
+
+	// Mid-halt: s0 swapped, s1 and s2 still on the old generation. A
+	// direct query must be flagged mixed, and per-shard answers must still
+	// match each shard's serving generation (checked by the workers too).
+	res, qerr := c.TopK(context.Background(), rankedSQLK(3))
+	if qerr != nil {
+		t.Fatalf("query after halt: %v", qerr)
+	}
+	if !res.MixedGenerations || !res.Degraded() {
+		t.Errorf("post-halt answer not flagged mixed: generations %v", res.Generations)
+	}
+	if res.Generations["s0"] != 2 || res.Generations["s1"] != 1 || res.Generations["s2"] != 1 {
+		t.Errorf("post-halt generations = %v, want s0:2 s1:1 s2:1", res.Generations)
+	}
+	if verr := checkAnswer(res, worlds, memberShard); verr != nil {
+		t.Errorf("post-halt answer wrong: %v", verr)
+	}
+
+	// Repaired: the re-run walks already-swapped replicas as no-ops and
+	// completes; the cluster converges on generation 2.
+	if err := c.RunRollout(context.Background(), RolloutConfig{CanarySQL: rankedSQL}); err != nil {
+		t.Fatalf("re-run after repair: %v", err)
+	}
+	stop.Store(true)
+	for _, werr := range wait() {
+		t.Error(werr)
+	}
+	assertNoHeldBreakers(t, c)
+
+	final, err := c.TopK(context.Background(), rankedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.MixedGenerations || final.Degraded() {
+		t.Fatalf("final answer degraded: generations %v partition %+v", final.Generations, final.Partition)
+	}
+	assertSameSeqs(t, final.Sequences, monolithTopK(t, w2.mono, rankedSQL))
+}
+
+// TestRolloutChaosRateFaults layers probabilistic faults — transient
+// errors, 429 throttles with Retry-After hints, and a crashed-then-
+// restarted replica — under concurrent load with a rollout in flight. The
+// invariants are weaker but unconditional: answers always match their
+// shards' reported generations, mixed merges are always flagged, the
+// rollout reaches a terminal state, and no breaker stays held.
+func TestRolloutChaosRateFaults(t *testing.T) {
+	w1 := newGenWorld(t, 3, 100)
+	w2 := newGenWorld(t, 3, 200)
+	worlds := map[int]*genWorld{1: w1, 2: w2}
+	memberShard := shardOfMember(3)
+
+	c, _ := chaosCluster(t, w1, w2, 2, func(si, ri int) FaultPlan {
+		p := FaultPlan{
+			Seed:               uint64(31 + si*10 + ri),
+			ErrorRate:          0.05,
+			ThrottleRate:       0.05,
+			ThrottleRetryAfter: 10 * time.Millisecond,
+		}
+		if si == 2 && ri == 1 {
+			// A replica crash mid-run, restarting later.
+			p.DownFrom, p.UpFrom = 10, 40
+		}
+		return p
+	})
+
+	var stop atomic.Bool
+	wait := chaosLoad(c, 4, &stop, worlds, memberShard)
+	rerr := c.RunRollout(context.Background(), RolloutConfig{CanarySQL: rankedSQL, DrainWait: 5 * time.Millisecond})
+	stop.Store(true)
+	for _, werr := range wait() {
+		t.Error(werr)
+	}
+
+	st := c.RolloutStatus()
+	if st.State != "done" && st.State != "failed" {
+		t.Fatalf("rollout never reached a terminal state: %q", st.State)
+	}
+	if (rerr == nil) != (st.State == "done") {
+		t.Fatalf("rollout error %v inconsistent with state %q", rerr, st.State)
+	}
+	assertNoHeldBreakers(t, c)
+
+	// Whatever happened, every shard still answers from a generation whose
+	// ground truth it matches (the down window has passed: UpFrom
+	// restarted the crashed replica, though retries may need a moment).
+	res, err := c.TopK(context.Background(), rankedSQL)
+	if err != nil {
+		var deg *DegradedError
+		if !errors.As(err, &deg) || res == nil {
+			t.Fatalf("post-chaos query: %v", err)
+		}
+	}
+	if verr := checkAnswer(res, worlds, memberShard); verr != nil {
+		t.Fatalf("post-chaos answer wrong: %v", verr)
+	}
+	if rerr == nil {
+		for sh, g := range res.Generations {
+			if g != 2 {
+				t.Fatalf("rollout done but shard %s serves generation %d", sh, g)
+			}
+		}
+	}
+}

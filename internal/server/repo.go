@@ -13,6 +13,7 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+	"time"
 
 	"svqact/internal/rank"
 )
@@ -81,6 +82,7 @@ func (s *Server) Reload() error {
 	recovered := s.repoFailed
 	s.repoFailed = false
 	s.repoErr = ""
+	s.repoLoadedAt = time.Now()
 	s.repoMu.Unlock()
 	if old != nil {
 		old.retire()
@@ -120,6 +122,10 @@ type RepoHealth struct {
 	// went wrong, not just that something did.
 	Failed bool   `json:"failed,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// LastReload is the RFC3339 time the serving repository was last
+	// (re)loaded successfully — rollout tooling uses it to tell "swapped
+	// just now" from "still on the boot-time load".
+	LastReload string `json:"last_reload,omitempty"`
 }
 
 func (s *Server) repoHealth() *RepoHealth {
@@ -127,9 +133,12 @@ func (s *Server) repoHealth() *RepoHealth {
 		return nil
 	}
 	s.repoMu.Lock()
-	h, failed, lastErr := s.repo, s.repoFailed, s.repoErr
+	h, failed, lastErr, loadedAt := s.repo, s.repoFailed, s.repoErr, s.repoLoadedAt
 	s.repoMu.Unlock()
 	rh := &RepoHealth{Dir: s.cfg.RepoDir, Failed: failed, Error: lastErr}
+	if !loadedAt.IsZero() {
+		rh.LastReload = loadedAt.UTC().Format(time.RFC3339Nano)
+	}
 	if h != nil {
 		rh.Generation = h.repo.MaxGeneration()
 		rh.Videos = len(h.repo.Videos())

@@ -177,6 +177,7 @@ type Server struct {
 	repo           *repoHandle
 	repoFailed     bool
 	repoErr        string
+	repoLoadedAt   time.Time
 	repoGeneration *obs.Gauge
 	repoMembers    *obs.Gauge
 	repoReloads    map[string]*obs.Counter

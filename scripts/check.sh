@@ -19,6 +19,14 @@ go build ./...
 echo "==> go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+echo "==> rolling-swap chaos property tests (-race, bounded schedules)"
+# Concurrent query load through an in-flight rollout with injected reload
+# failures, throttles and a crashed replica: answers must match their
+# shards' reported generations, mixed merges must be flagged, and the
+# rollout must complete or halt with the old generation serving. The fault
+# schedules are deterministic, so this is repeatable despite the chaos.
+go test -race -run 'TestRolloutChaos' -count=1 ./internal/cluster/
+
 echo "==> allocation bounds (no race: counts skip under the detector)"
 # The pooled-scratch aliasing tests above ran under -race; the numeric
 # AllocsPerRun bounds skip there (instrumentation inflates counts), so run

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -32,6 +33,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"svqact/internal/rank"
 )
 
 const query = `{"sql": "SELECT MERGE(clipID) AS s FROM (PROCESS q2 PRODUCE clipID) WHERE act='blowing_leaves' AND obj.include('car')"}`
@@ -432,9 +435,10 @@ type clusterSeq struct {
 type clusterBatchAnswer struct {
 	QueryID string `json:"query_id"`
 	Entries []struct {
-		Sequences []clusterSeq `json:"sequences"`
-		Degraded  bool         `json:"degraded"`
-		Error     string       `json:"error"`
+		Sequences        []clusterSeq `json:"sequences"`
+		Degraded         bool         `json:"degraded"`
+		MixedGenerations bool         `json:"mixed_generations"`
+		Error            string       `json:"error"`
 	} `json:"entries"`
 	Shards struct {
 		OK       []string `json:"ok"`
@@ -677,6 +681,19 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 		return fmt.Errorf("recovered cluster disagrees with the monolith: %w", err)
 	}
 
+	// Overload protection: a burst beyond the admission limits must be
+	// shed with 429 + Retry-After before it reaches the shards.
+	if err := overloadPhase(coordBase, batch.Queries[0]); err != nil {
+		return fmt.Errorf("overload: %w", err)
+	}
+
+	// Rolling generation swap: commit a new generation to every shard
+	// repository, halt a rollout on a killed replica, verify the old
+	// generation keeps answering (flagged mixed), repair, re-run to done.
+	if err := rolloutPhase(bins, s0dir, s1dir, coordBase, urls, procs, kill, want); err != nil {
+		return fmt.Errorf("rollout: %w", err)
+	}
+
 	// The coordinator's metrics surface must expose the cluster families,
 	// with the failover counter moving.
 	mresp, err := http.Get(coordBase + "/metrics")
@@ -703,6 +720,15 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 		"svqact_cluster_scatter_seconds_p50",
 		"svqact_cluster_scatter_seconds_p95",
 		"svqact_cluster_scatter_seconds_p99",
+		"svqact_cluster_admission_waiting",
+		"svqact_cluster_admission_inflight",
+		"svqact_cluster_admission_admitted_total",
+		"svqact_cluster_admission_rejected_total",
+		"svqact_cluster_admission_wait_seconds",
+		"svqact_cluster_admission_backpressure_total",
+		"svqact_cluster_mixed_generation_answers_total",
+		"svqact_cluster_rollouts_total",
+		"svqact_cluster_rollout_running",
 	} {
 		if !strings.Contains(text, "# TYPE "+fam+" ") {
 			return fmt.Errorf("coordinator metrics missing family %s", fam)
@@ -711,7 +737,281 @@ func clusterPhase(bins map[string]string, dir, repoDir, monoBase string) error {
 	if v, ok := seriesValue(text, `svqact_cluster_failovers_total{shard="s1"}`); !ok || v <= 0 {
 		return fmt.Errorf(`svqact_cluster_failovers_total{shard="s1"} = %v, want > 0 after the kill`, v)
 	}
-	fmt.Println("smoke: cluster OK (failover, shard loss, recovery)")
+	for series, why := range map[string]string{
+		`svqact_cluster_rollouts_total{outcome="completed"}`:           "the repaired rollout completed",
+		`svqact_cluster_rollouts_total{outcome="failed"}`:              "the first rollout halted on the killed replica",
+		`svqact_cluster_mixed_generation_answers_total`:                "the halted rollout left mixed generations",
+		`svqact_cluster_admission_rejected_total{reason="queue_full"}`: "the overload burst was shed",
+	} {
+		if v, ok := seriesValue(text, series); !ok || v <= 0 {
+			return fmt.Errorf("%s = %v, want > 0 (%s)", series, v, why)
+		}
+	}
+	fmt.Println("smoke: cluster OK (failover, shard loss, recovery, overload shed, rolling swap)")
+	return nil
+}
+
+// overloadPhase fires a burst of concurrent queries far beyond the
+// coordinator's admission limits (-admit-concurrent 2 -admit-queue 2) and
+// requires load shedding: at least one 429 with a Retry-After hint, while
+// the rest still answer 200. The admission block on /healthz must agree.
+func overloadPhase(coordBase, sql string) error {
+	raw, _ := json.Marshal(map[string]string{"sql": sql})
+	const burst = 24
+	codes := make(chan int, burst)
+	retryAfter := make(chan string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(coordBase+"/query", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retryAfter <- resp.Header.Get("Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	close(retryAfter)
+	var ok200, shed, other int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			other++
+		}
+	}
+	if other > 0 {
+		return fmt.Errorf("burst of %d: %d answers were neither 200 nor 429", burst, other)
+	}
+	if shed == 0 {
+		return fmt.Errorf("burst of %d against capacity 2 + queue 2 shed nothing", burst)
+	}
+	if ok200 == 0 {
+		return fmt.Errorf("burst of %d: everything was shed, nothing served", burst)
+	}
+	for ra := range retryAfter {
+		if ra == "" || ra == "0" {
+			return fmt.Errorf("a 429 carried Retry-After %q, want a positive seconds value", ra)
+		}
+	}
+
+	hresp, err := http.Get(coordBase + "/healthz")
+	if err != nil {
+		return err
+	}
+	var hz struct {
+		Admission struct {
+			Capacity int `json:"capacity"`
+			Admitted int `json:"admitted"`
+			Rejected int `json:"rejected"`
+		} `json:"admission"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hz)
+	hresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if hz.Admission.Capacity != 2 || hz.Admission.Admitted <= 0 || hz.Admission.Rejected < shed {
+		return fmt.Errorf("healthz admission block %+v disagrees with the burst (shed %d)", hz.Admission, shed)
+	}
+	fmt.Printf("smoke: overload OK (%d served, %d shed with Retry-After)\n", ok200, shed)
+	return nil
+}
+
+// bumpGenerations commits a fresh generation to every member of a shard
+// repository — same data, new generation number — the on-disk state a real
+// re-ingest would leave for a rollout to pick up.
+func bumpGenerations(shardDir string) error {
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		member := filepath.Join(shardDir, e.Name())
+		if _, err := os.Stat(filepath.Join(member, "CURRENT")); err != nil {
+			continue
+		}
+		ix, err := rank.Load(member)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", member, err)
+		}
+		if err := rank.Save(member, ix); err != nil {
+			return fmt.Errorf("re-saving %s: %w", member, err)
+		}
+	}
+	return nil
+}
+
+// replicaGeneration reads one replica's served generation off GET
+// /repo/status.
+func replicaGeneration(base string) (int, error) {
+	resp, err := http.Get(base + "/repo/status")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var rh struct {
+		Generation int `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rh); err != nil {
+		return 0, err
+	}
+	return rh.Generation, nil
+}
+
+// rolloutPhase proves the health-gated rolling generation swap with real
+// processes. Generation 2 is committed to both shard repositories, s1's
+// primary is killed, and `svq rollout` must halt there (exit 1) with s0
+// already swapped — the cluster keeps answering correctly, flagged as
+// mixed-generation, with s1's survivor still on the old generation. After
+// restarting the dead replica a second `svq rollout` must run to
+// completion and converge every replica on generation 2.
+func rolloutPhase(bins map[string]string, s0dir, s1dir, coordBase string,
+	urls map[string]string, procs map[string]*exec.Cmd, kill func(string), want [][]clusterSeq) error {
+	for _, dir := range []string{s0dir, s1dir} {
+		if err := bumpGenerations(dir); err != nil {
+			return err
+		}
+	}
+	kill("s1-r0")
+
+	canary := "SELECT MERGE(clipID) AS s, RANK(act, obj) FROM (PROCESS repo PRODUCE clipID, obj USING ObjectDetector, act USING ActionRecognizer) WHERE act='kissing' AND obj.include('surfboard','boat') ORDER BY RANK(act, obj) LIMIT 1"
+	rollout := func() (string, int, error) {
+		out, err := exec.Command(bins["svq"], "rollout",
+			"-server", coordBase, "-canary", canary,
+			"-drain-wait", "50ms", "-interval", "50ms", "-timeout", "60s").CombinedOutput()
+		if err == nil {
+			return string(out), 0, nil
+		}
+		var xerr *exec.ExitError
+		if errors.As(err, &xerr) {
+			return string(out), xerr.ExitCode(), nil
+		}
+		return string(out), 0, err
+	}
+
+	// First walk: s0 swaps to generation 2, then the dead s1-r0 halts the
+	// rollout before s1's survivor is ever touched.
+	out, code, err := rollout()
+	if err != nil {
+		return err
+	}
+	if code != 1 || !strings.Contains(out, "failed") || !strings.Contains(out, "s1-r0") {
+		return fmt.Errorf("rollout against a dead replica: exit %d, want 1 with a failure naming s1-r0\n%s", code, out)
+	}
+	if g, err := replicaGeneration(urls["s0-r0"]); err != nil || g != 2 {
+		return fmt.Errorf("s0-r0 generation after the halted rollout = %d (%v), want 2", g, err)
+	}
+	if g, err := replicaGeneration(urls["s1-r1"]); err != nil || g != 1 {
+		return fmt.Errorf("s1-r1 generation after the halt = %d (%v), want 1 (old generation keeps serving)", g, err)
+	}
+
+	// Mid-halt the cluster is mixed (s0 on 2, s1 surviving on 1): answers
+	// must still match the ground truth, flagged mixed and degraded.
+	ans, err := postBatch(coordBase)
+	if err != nil {
+		return err
+	}
+	if err := matchEntries(ans, want); err != nil {
+		return fmt.Errorf("halted rollout changed answers: %w", err)
+	}
+	if !ans.Degraded {
+		return fmt.Errorf("mid-halt batch not degraded: partition %+v", ans.Shards)
+	}
+	for i, e := range ans.Entries {
+		if !e.MixedGenerations {
+			return fmt.Errorf("mid-halt entry %d not flagged mixed_generations", i)
+		}
+	}
+
+	// Repair: restart the dead replica on its old address and wait for the
+	// health checker to close its breaker again.
+	cmd, _, err := startShard(bins["serve"], s1dir, "s1", strings.TrimPrefix(urls["s1-r0"], "http://"))
+	if err != nil {
+		return fmt.Errorf("restarting s1-r0: %w", err)
+	}
+	procs["s1-r0"] = cmd
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sresp, err := http.Get(coordBase + "/shards")
+		if err != nil {
+			return err
+		}
+		var shards struct {
+			Shards []struct {
+				Replicas []struct {
+					Breaker   string `json:"breaker"`
+					LastError string `json:"last_error"`
+				} `json:"replicas"`
+			} `json:"shards"`
+		}
+		err = json.NewDecoder(sresp.Body).Decode(&shards)
+		sresp.Body.Close()
+		if err != nil {
+			return err
+		}
+		healthy := true
+		for _, sh := range shards.Shards {
+			for _, r := range sh.Replicas {
+				if r.Breaker != "closed" || r.LastError != "" {
+					healthy = false
+				}
+			}
+		}
+		if healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("s1-r0 never rejoined after restart")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Second walk resumes: already-swapped replicas reload as no-ops, the
+	// repaired shard completes, and every replica converges on 2.
+	out, code, err = rollout()
+	if err != nil {
+		return err
+	}
+	if code != 0 || !strings.Contains(out, "rollout done") {
+		return fmt.Errorf("re-run rollout after repair: exit %d\n%s", code, out)
+	}
+	for _, rep := range []string{"s0-r0", "s1-r0", "s1-r1"} {
+		if g, err := replicaGeneration(urls[rep]); err != nil || g != 2 {
+			return fmt.Errorf("%s generation after the completed rollout = %d (%v), want 2", rep, g, err)
+		}
+	}
+	ans, err = postBatch(coordBase)
+	if err != nil {
+		return err
+	}
+	if err := matchEntries(ans, want); err != nil {
+		return fmt.Errorf("completed rollout changed answers: %w", err)
+	}
+	if ans.Degraded {
+		return fmt.Errorf("post-rollout batch still degraded: partition %+v", ans.Shards)
+	}
+	for i, e := range ans.Entries {
+		if e.MixedGenerations {
+			return fmt.Errorf("post-rollout entry %d still flagged mixed_generations", i)
+		}
+	}
+	fmt.Println("smoke: rollout OK (halt on dead replica, old generation served, repaired re-run to done)")
 	return nil
 }
 
@@ -958,6 +1258,10 @@ func startCoordinator(bin string, shardArgs ...string) (*exec.Cmd, string, func(
 		"-base-backoff", "5ms", "-max-backoff", "50ms",
 		"-breaker-threshold", "3", "-breaker-cooloff", "500ms",
 		"-health-interval", "150ms",
+		// Tight admission limits so the overload phase can provoke 429s
+		// with a modest burst; the sequential phases never queue deeper
+		// than one batch, so this does not perturb them.
+		"-admit-concurrent", "2", "-admit-queue", "2", "-admit-wait", "300ms",
 	}, shardArgs...)
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
