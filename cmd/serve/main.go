@@ -39,17 +39,19 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		scale   = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
-		seed    = flag.Int64("seed", 42, "dataset and model seed")
-		timeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline")
-		conc    = flag.Int("max-concurrent", 8, "queries executing at once")
-		queue   = flag.Int("queue-depth", 16, "requests allowed to wait for a slot")
-		wait    = flag.Duration("queue-wait", 2*time.Second, "max wait for an execution slot")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
-		workers = flag.Int("workers", 0, "videos evaluated concurrently per /query/batch fleet (<= 0 = GOMAXPROCS)")
-		repoDir = flag.String("repo", "", "serve offline (RVAQ) queries from this saved repository (built with cmd/ingest); SIGHUP or POST /repo/reload picks up new generations")
-		shard   = flag.String("shard-name", "", "serve as one shard of a cluster: answers carry X-SVQ-Shard and per-shard truncation bounds for the coordinator (see cmd/coordinator)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		scale     = flag.Float64("scale", 0.25, "dataset scale relative to the paper")
+		seed      = flag.Int64("seed", 42, "dataset and model seed")
+		timeout   = flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline")
+		conc      = flag.Int("max-concurrent", 8, "queries executing at once")
+		queue     = flag.Int("queue-depth", 16, "requests allowed to wait for a slot")
+		wait      = flag.Duration("queue-wait", 2*time.Second, "max wait for an execution slot")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+		workers   = flag.Int("workers", 0, "videos evaluated concurrently per /query/batch fleet (<= 0 = GOMAXPROCS)")
+		repoDir   = flag.String("repo", "", "serve offline (RVAQ) queries from this saved repository (built with cmd/ingest); SIGHUP or POST /repo/reload picks up new generations")
+		cascade   = flag.Bool("cascade", false, "run the detectors as tiered cascades (distilled cheap tier in front of each model; identical results, lower cost)")
+		infBudget = flag.Duration("budget", 0, "default per-query inference budget (simulated model time); 0 means unlimited. A request's budget_ms overrides it")
+		shard     = flag.String("shard-name", "", "serve as one shard of a cluster: answers carry X-SVQ-Shard and per-shard truncation bounds for the coordinator (see cmd/coordinator)")
 
 		faultTransient = flag.Float64("fault-transient", 0, "injected transient detector failure rate [0,1)")
 		faultPermanent = flag.Float64("fault-permanent", 0, "injected permanent detector failure rate [0,1)")
@@ -69,19 +71,21 @@ func main() {
 	slog.SetDefault(logger)
 
 	cfg := server.Config{
-		Scale:         *scale,
-		Seed:          *seed,
-		QueryTimeout:  *timeout,
-		MaxConcurrent: *conc,
-		QueueDepth:    *queue,
-		QueueWait:     *wait,
-		Retry:         detect.RetryConfig{Attempts: *retries},
-		FailureBudget: *budget,
-		Workers:       *workers,
-		RepoDir:       *repoDir,
-		ShardName:     *shard,
-		Logger:        logger,
-		Traces:        obs.NewTraceStore(obs.TraceStoreConfig{Capacity: *traceCap, SampleEvery: *traceSample}),
+		Scale:           *scale,
+		Seed:            *seed,
+		QueryTimeout:    *timeout,
+		MaxConcurrent:   *conc,
+		QueueDepth:      *queue,
+		QueueWait:       *wait,
+		Retry:           detect.RetryConfig{Attempts: *retries},
+		FailureBudget:   *budget,
+		Workers:         *workers,
+		RepoDir:         *repoDir,
+		Cascade:         *cascade,
+		InferenceBudget: *infBudget,
+		ShardName:       *shard,
+		Logger:          logger,
+		Traces:          obs.NewTraceStore(obs.TraceStoreConfig{Capacity: *traceCap, SampleEvery: *traceSample}),
 	}
 	if *faultTransient > 0 || *faultPermanent > 0 || *faultSpike > 0 {
 		fc := &detect.FaultConfig{

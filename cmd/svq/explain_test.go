@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"svqact/internal/plan"
+)
+
+func legacyReport() *plan.Report {
+	p := plan.New([]plan.Node{
+		{Name: "obj:car", PriorCost: 1125 * time.Millisecond, PriorReject: 0.8},
+		{Name: "act:jumping", PriorCost: 90 * time.Millisecond, PriorReject: 0.6},
+	}, plan.Options{})
+	for c := 0; c < 8; c++ {
+		p.Observe(0, c%2 == 0, 1100*time.Millisecond)
+		p.Observe(1, c%3 == 0, 95*time.Millisecond)
+		p.EndClip()
+	}
+	return p.Report()
+}
+
+// TestExplainLegacyGolden pins the single-tier EXPLAIN rendering byte for
+// byte: the cascade columns must not leak into plans without cascades.
+func TestExplainLegacyGolden(t *testing.T) {
+	var sb strings.Builder
+	fprintExplain(&sb, legacyReport())
+	want := `EXPLAIN predicate plan: adaptive (cheapest expected cost to reject first)
+  order:    act:jumping -> obj:car
+  declared: obj:car -> act:jumping
+  replans 0, observed clips 8, skipped evaluations 0, saved cost 0 ms
+  pos  predicate                    est cost     obs cost   reject    cost/reject    evals    skips
+  0    act:jumping                   90.00ms      95.00ms    0.420       226.19ms        8        0
+  1    obj:car                     1125.00ms    1100.00ms    0.560      1964.29ms        8        0
+`
+	if got := sb.String(); got != want {
+		t.Errorf("legacy EXPLAIN drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	for _, leak := range []string{"tier", "esc", "budget"} {
+		if strings.Contains(sb.String(), leak) {
+			t.Errorf("single-tier EXPLAIN leaks %q", leak)
+		}
+	}
+}
+
+// TestExplainTieredRendering: tiered plans add the tier/esc columns, the
+// per-tier sub-rows, and the budget line when a budget was set.
+func TestExplainTieredRendering(t *testing.T) {
+	p := plan.New([]plan.Node{
+		{Name: "obj:car", PriorCost: 1125 * time.Millisecond, Window: 25, Tiers: []plan.TierCost{
+			{Name: "distilled-rcnn", UnitCost: 3 * time.Millisecond, PriorEscalate: 0.2},
+			{Name: "maskrcnn", UnitCost: 45 * time.Millisecond},
+		}},
+		{Name: "act:jumping", PriorCost: 90 * time.Millisecond},
+	}, plan.Options{})
+	p.ObserveTiers(0, []int64{250, 50}, []int64{50, 0})
+	rep := p.Report()
+	rep.Budget = &plan.BudgetReport{LimitMS: 5000, SpentMS: 5100, SkippedClips: 12, Exhausted: true}
+
+	var sb strings.Builder
+	fprintExplain(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{
+		"budget 5000 ms: spent 5100 ms, skipped 12 clips (exhausted)",
+		"tier", "esc",
+		"cascade",
+		"tier distilled-rcnn",
+		"tier maskrcnn",
+		"units      250 escalated       50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tiered EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	// The single-model node renders with placeholder tier columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "act:jumping") && !strings.Contains(line, "-") {
+			t.Errorf("single-model node lacks tier placeholders: %q", line)
+		}
+	}
+
+	var nb strings.Builder
+	fprintExplain(&nb, nil)
+	if !strings.Contains(nb.String(), "no predicate plan") {
+		t.Errorf("nil report rendering drifted: %q", nb.String())
+	}
+}

@@ -95,15 +95,17 @@ func main() {
 		algo    = flag.String("algo", "svaqd", "online algorithm: svaq or svaqd")
 		p0      = flag.Float64("p0", 1e-4, "initial background probability")
 		repo    = flag.String("repo", "", "answer ranked queries from a saved repository (built with cmd/ingest) instead of re-ingesting")
+		cascade = flag.Bool("cascade", false, "run the detectors as tiered cascades (recall-complete distilled cheap tier in front of each model)")
+		budget  = flag.Duration("budget", 0, "per-query inference budget (simulated model time); 0 means unlimited. Online queries degrade gracefully past it")
 	)
 	flag.Parse()
-	if err := run(*query, *dataset, *scale, *seed, *algo, *p0, *repo); err != nil {
+	if err := run(*query, *dataset, *scale, *seed, *algo, *p0, *repo, *cascade, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "svq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, dataset string, scale float64, seed int64, algo string, p0 float64, repoDir string) error {
+func run(query, dataset string, scale float64, seed int64, algo string, p0 float64, repoDir string, cascade bool, budget time.Duration) error {
 	if query == "" {
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
@@ -120,10 +122,13 @@ func run(query, dataset string, scale float64, seed int64, algo string, p0 float
 		return err
 	}
 
-	models := detect.NewModels(
-		detect.NewObjectDetector(detect.MaskRCNN, seed),
-		detect.NewActionRecognizer(detect.I3D, seed),
-	)
+	var obj detect.ObjectDetector = detect.NewObjectDetector(detect.MaskRCNN, seed)
+	var act detect.ActionRecognizer = detect.NewActionRecognizer(detect.I3D, seed)
+	if cascade {
+		obj = detect.NewDistilledObjectCascade(obj, detect.DistilledRCNN, seed)
+		act = detect.NewDistilledActionCascade(act, detect.DistilledI3D, seed)
+	}
+	models := detect.NewModels(obj, act)
 	if !plan.Online && repoDir != "" {
 		return runRepo(repoDir, plan.Query, plan.K, plan.Explain)
 	}
@@ -138,7 +143,7 @@ func run(query, dataset string, scale float64, seed int64, algo string, p0 float
 	if plan.Extended {
 		return runExtended(stream, plan.CNF, models, algo, p0, plan.Explain)
 	}
-	return runOnline(stream, plan.Query, models, algo, p0, plan.Explain)
+	return runOnline(stream, plan.Query, models, algo, p0, budget, plan.Explain)
 }
 
 // source is the minimal stream interface the command needs.
@@ -176,34 +181,67 @@ func resolveSource(dataset, name string, scale float64, seed int64) (source, err
 // printExplain renders a predicate-ordering plan report as the EXPLAIN
 // block. Ordering is a cost decision only; EXPLAIN output never implies a
 // different result.
-func printExplain(rep *plan.Report) {
+func printExplain(rep *plan.Report) { fprintExplain(os.Stdout, rep) }
+
+// fprintExplain is printExplain against an arbitrary writer (testable). The
+// tier columns and the budget line appear only on tiered plans; a
+// single-tier plan renders byte-identically to the pre-cascade output.
+func fprintExplain(w io.Writer, rep *plan.Report) {
 	if rep == nil {
-		fmt.Println("EXPLAIN: no predicate plan available for this execution path")
+		fmt.Fprintln(w, "EXPLAIN: no predicate plan available for this execution path")
 		return
 	}
 	mode := "adaptive (cheapest expected cost to reject first)"
 	if !rep.Adaptive {
 		mode = "pinned (declared order)"
 	}
-	fmt.Printf("EXPLAIN predicate plan: %s\n", mode)
-	fmt.Printf("  order:    %s\n", strings.Join(rep.Order, " -> "))
-	fmt.Printf("  declared: %s\n", strings.Join(rep.Declared, " -> "))
-	fmt.Printf("  replans %d, observed clips %d, skipped evaluations %d, saved cost %.0f ms\n",
+	fmt.Fprintf(w, "EXPLAIN predicate plan: %s\n", mode)
+	fmt.Fprintf(w, "  order:    %s\n", strings.Join(rep.Order, " -> "))
+	fmt.Fprintf(w, "  declared: %s\n", strings.Join(rep.Declared, " -> "))
+	fmt.Fprintf(w, "  replans %d, observed clips %d, skipped evaluations %d, saved cost %.0f ms\n",
 		rep.Replans, rep.ObservedClips, rep.SkippedEvaluations, rep.SavedCostMS)
-	fmt.Printf("  %-4s %-24s %12s %12s %8s %14s %8s %8s\n",
-		"pos", "predicate", "est cost", "obs cost", "reject", "cost/reject", "evals", "skips")
+	if b := rep.Budget; b != nil {
+		status := "within budget"
+		if b.Exhausted {
+			status = "exhausted"
+		}
+		fmt.Fprintf(w, "  budget %.0f ms: spent %.0f ms, skipped %d clips (%s)\n",
+			b.LimitMS, b.SpentMS, b.SkippedClips, status)
+	}
 	nodes := append([]plan.NodeReport(nil), rep.Nodes...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Position < nodes[j].Position })
+	if !rep.Tiered {
+		fmt.Fprintf(w, "  %-4s %-24s %12s %12s %8s %14s %8s %8s\n",
+			"pos", "predicate", "est cost", "obs cost", "reject", "cost/reject", "evals", "skips")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "  %-4d %-24s %10.2fms %10.2fms %8.3f %12.2fms %8d %8d\n",
+				n.Position, n.Name, n.EstimatedCostMS, n.ObservedCostMS,
+				n.RejectRate, n.CostToRejectMS, n.ObservedEvaluations, n.SkippedEvaluations)
+		}
+		return
+	}
+	fmt.Fprintf(w, "  %-4s %-24s %12s %12s %8s %14s %8s %8s %-8s %8s\n",
+		"pos", "predicate", "est cost", "obs cost", "reject", "cost/reject", "evals", "skips", "tier", "esc")
 	for _, n := range nodes {
-		fmt.Printf("  %-4d %-24s %10.2fms %10.2fms %8.3f %12.2fms %8d %8d\n",
+		tier, esc := "-", "-"
+		if n.Tier != "" {
+			tier = n.Tier
+			esc = fmt.Sprintf("%.3f", n.EscalationRate)
+		}
+		fmt.Fprintf(w, "  %-4d %-24s %10.2fms %10.2fms %8.3f %12.2fms %8d %8d %-8s %8s\n",
 			n.Position, n.Name, n.EstimatedCostMS, n.ObservedCostMS,
-			n.RejectRate, n.CostToRejectMS, n.ObservedEvaluations, n.SkippedEvaluations)
+			n.RejectRate, n.CostToRejectMS, n.ObservedEvaluations, n.SkippedEvaluations, tier, esc)
+		for _, t := range n.Tiers {
+			fmt.Fprintf(w, "       tier %-18s unit %8.2fms units %8d escalated %8d rate %.3f spent %10.2fms\n",
+				t.Name, t.UnitCostMS, t.Units, t.Escalated, t.EscalationRate, t.SpentMS)
+		}
 	}
 }
 
-func runOnline(stream source, q core.Query, models detect.Models, algo string, p0 float64, explain bool) error {
+func runOnline(stream source, q core.Query, models detect.Models, algo string, p0 float64, budget time.Duration, explain bool) error {
 	cfg := core.DefaultConfig()
 	cfg.P0Object, cfg.P0Action = p0, p0
+	cfg.InferenceBudget = budget
 	var eng *core.Engine
 	var err error
 	switch algo {

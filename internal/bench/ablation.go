@@ -143,6 +143,7 @@ var Experiments = []Experiment{
 	{"scaling", "Fleet throughput vs worker count (RunAll)", ScalingExperiment},
 	{"drift", "Non-stationary background (surveillance peaks)", DriftExperiment},
 	{"extended", "Extended queries: relations, multi-action, disjunction", ExtendedQueries},
+	{"ablation-cascade", "Tiered cascade vs cheap-only vs accurate-only (cost at equal F1)", AblationCascade},
 }
 
 // Find returns the experiment with the given id, or nil.

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"svqact/internal/core"
+	"svqact/internal/detect"
+	"svqact/internal/video"
+)
+
+// AblationCascade quantifies the tiered detector cascade on q2: the same
+// query runs under the cheap distilled proxies alone, the two-tier cascade
+// (distilled proxy gating the accurate model under the recall band), and the
+// accurate models alone. The cascade's recall-complete construction makes
+// its results bit-identical to the accurate arm (see internal/core's
+// tier-invariance property tests), so its F1 must equal the accurate arm's
+// at strictly lower priced inference cost; the cheap-only arm shows the
+// accuracy the extra distillation false positives cost when nothing gates
+// them.
+func AblationCascade(w *Workspace) ([]Table, error) {
+	stream, spec, err := w.QueryStream(video.DefaultGeometry, "q2")
+	if err != nil {
+		return nil, err
+	}
+	seed := w.opts.Seed
+	obj := detect.NewObjectDetector(detect.MaskRCNN, seed)
+	act := detect.NewActionRecognizer(detect.I3D, seed)
+
+	arms := []struct {
+		label  string
+		models detect.Models
+	}{
+		{"cheap-only (distilled proxies)", detect.NewModels(
+			detect.NewDistilledObjectDetector(obj, detect.DistilledRCNN, seed),
+			detect.NewDistilledActionRecognizer(act, detect.DistilledI3D, seed),
+		)},
+		{"cascade (distilled -> accurate)", detect.NewModels(
+			detect.NewDistilledObjectCascade(obj, detect.DistilledRCNN, seed),
+			detect.NewDistilledActionCascade(act, detect.DistilledI3D, seed),
+		)},
+		{"accurate-only (Mask R-CNN + I3D)", detect.NewModels(obj, act)},
+	}
+
+	t := Table{
+		Title: "Ablation: tiered detector cascade (q2, SVAQD)",
+		Header: []string{"variant", "F1", "inference cost", "escalation rate",
+			"units escalated", "sequences"},
+	}
+	var cascadeCost, accurateCost float64
+	var cascadeF1, accurateF1 float64
+	for _, a := range arms {
+		eng, err := core.NewSVAQD(a.models, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		c, res, err := OnlineEval(eng, stream, spec)
+		if err != nil {
+			return nil, err
+		}
+		escRate, escalated := escalationRate(res)
+		esc := "-"
+		if escRate >= 0 {
+			esc = f2(escRate)
+		}
+		t.AddRow(a.label, f2(c.F1()), res.InferenceCost.String(), esc,
+			fmt.Sprint(escalated), fmt.Sprint(res.Sequences.NumIntervals()))
+		switch a.label {
+		case arms[1].label:
+			cascadeCost, cascadeF1 = res.InferenceCost.Seconds(), c.F1()
+		case arms[2].label:
+			accurateCost, accurateF1 = res.InferenceCost.Seconds(), c.F1()
+		}
+	}
+
+	s := Table{
+		Title:  "Cascade savings (priced inference cost, result-identical arms)",
+		Header: []string{"comparison", "value"},
+	}
+	s.AddRow("cascade vs accurate-only speedup", f2(accurateCost/cascadeCost))
+	s.AddRow("F1 delta (cascade - accurate)", f2(cascadeF1-accurateF1))
+	return []Table{t, s}, nil
+}
+
+// escalationRate extracts the entry-tier escalation fraction from a run's
+// plan report: units escalated past the cheapest tier over units it scored,
+// summed across cascaded predicates. Returns -1 when the plan carries no
+// tiers (single-model arms).
+func escalationRate(res *core.Result) (float64, int64) {
+	if res.Plan == nil || !res.Plan.Tiered {
+		return -1, 0
+	}
+	var units, escalated int64
+	for _, n := range res.Plan.Nodes {
+		if len(n.Tiers) == 0 {
+			continue
+		}
+		units += n.Tiers[0].Units
+		escalated += n.Tiers[0].Escalated
+	}
+	if units == 0 {
+		return 0, 0
+	}
+	return float64(escalated) / float64(units), escalated
+}

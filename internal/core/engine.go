@@ -42,6 +42,12 @@ type Engine struct {
 	cfg    Config
 	mode   Mode
 	meter  *detect.Meter
+
+	// objTiers/actTiers describe the models' detector cascades (nil for
+	// single-tier models), cached once so the per-clip tier dispatch is a
+	// slice-length check rather than an interface assertion.
+	objTiers []detect.TierInfo
+	actTiers []detect.TierInfo
 }
 
 // NewSVAQ builds the static-background engine.
@@ -62,7 +68,28 @@ func newEngine(models detect.Models, cfg Config, mode Mode) (*Engine, error) {
 	if models.Objects == nil || models.Actions == nil {
 		return nil, fmt.Errorf("core: engine needs both an object detector and an action recogniser")
 	}
-	return &Engine{models: models, cfg: cfg, mode: mode, meter: cfg.Meter}, nil
+	e := &Engine{models: models, cfg: cfg, mode: mode, meter: cfg.Meter}
+	if _, ok := models.Objects.(detect.CascadedObjectScorer); ok {
+		e.objTiers = detect.CascadeTierInfos(models.Objects)
+	}
+	if _, ok := models.Actions.(detect.CascadedActionScorer); ok {
+		e.actTiers = detect.CascadeTierInfos(models.Actions)
+	}
+	return e, nil
+}
+
+// TierCosts converts cascade tier descriptions into the planner's tier cost
+// model — the bridge between detect's calibrated profiles and plan's
+// escalation estimators, shared by the online planner and rank's static one.
+func TierCosts(infos []detect.TierInfo) []plan.TierCost {
+	if len(infos) < 2 {
+		return nil
+	}
+	tiers := make([]plan.TierCost, len(infos))
+	for i, ti := range infos {
+		tiers[i] = plan.TierCost{Name: ti.Name, UnitCost: ti.UnitCost, PriorEscalate: ti.PriorEscalate}
+	}
+	return tiers
 }
 
 // Mode returns which algorithm the engine runs.
@@ -128,6 +155,13 @@ type Result struct {
 	// savings. Runs sharing a fleet-wide planner report the shared
 	// (fleet-cumulative) statistics.
 	Plan *plan.Report
+	// InferenceCost is the priced simulated inference time the run spent —
+	// for cascaded models the per-attempt tier spend, otherwise units scored
+	// times the detector's unit cost.
+	InferenceCost time.Duration
+	// BudgetSkipped counts the clips skipped-and-flagged after the
+	// inference budget ran out (zero when no budget is configured).
+	BudgetSkipped int64
 }
 
 // FrameSequences converts the clip-level result sequences to frame
@@ -221,6 +255,14 @@ type predState struct {
 	evalTime   time.Duration
 	units      int
 	recomputes int
+
+	// Cascade accounting (empty slices for single-tier models): cumulative
+	// units scored and units escalated per tier across the run, and the
+	// planner's most recent tier decision — the run-local numbers behind the
+	// tier:* span attributes.
+	tierUnits     []int64
+	tierEscalated []int64
+	lastMode      plan.TierMode
 }
 
 // Run is an in-progress streaming evaluation over one video. It is not safe
@@ -248,6 +290,17 @@ type Run struct {
 	flagged      []bool
 	flaggedCount int
 	err          error
+
+	// Inference-budget state: the simulated inference cost spent so far,
+	// and the clips skipped-and-flagged after the budget ran out (planned
+	// degradation — these never raise a DegradedError).
+	budgetSpent   time.Duration
+	budgetSkipped int64
+
+	// lastAcc points at the cascade account the most recent evaluate call
+	// filled (nil when the predicate's model is single-tier), so Step can
+	// feed the planner's escalation estimators without re-deriving it.
+	lastAcc *detect.CascadeAccount
 
 	// Observability: the trace carried by the run's context (nil when the
 	// caller attached none), the context's current span (the engine span's
@@ -338,11 +391,12 @@ func (e *Engine) newRun(ctx context.Context, v detect.TruthVideo, q Query, pl *p
 func (e *Engine) plannerForQuery(q Query, g video.Geometry) *plan.Planner {
 	objCost := time.Duration(g.FramesPerClip()) * e.models.Objects.UnitCost()
 	actCost := time.Duration(g.ShotsPerClip) * e.models.Actions.UnitCost()
+	objTiers, actTiers := TierCosts(e.objTiers), TierCosts(e.actTiers)
 	nodes := make([]plan.Node, 0, len(q.Objects)+1)
 	for _, o := range q.Objects {
-		nodes = append(nodes, plan.Node{Name: o, PriorCost: objCost})
+		nodes = append(nodes, plan.Node{Name: o, PriorCost: objCost, Tiers: objTiers, Window: g.FramesPerClip()})
 	}
-	act := plan.Node{Name: q.Action, PriorCost: actCost}
+	act := plan.Node{Name: q.Action, PriorCost: actCost, Tiers: actTiers, Window: g.ShotsPerClip}
 	if e.cfg.ActionFirst {
 		nodes = append([]plan.Node{act}, nodes...)
 	} else {
@@ -367,6 +421,12 @@ func (r *Run) initPred(ps *predState, name string, kind PredicateKind, w int, p0
 	ps.prev2, ps.prev1, ps.lagSeen = 0, 0, 0
 	ps.evaluated = 0
 	ps.evalTime, ps.units, ps.recomputes = 0, 0, 0
+	ps.tierUnits, ps.tierEscalated = ps.tierUnits[:0], ps.tierEscalated[:0]
+	ps.lastMode = plan.TierSingle
+	if tiers := r.tierInfos(kind); len(tiers) >= 2 {
+		ps.tierUnits = zeroInt64s(ps.tierUnits, len(tiers))
+		ps.tierEscalated = zeroInt64s(ps.tierEscalated, len(tiers))
+	}
 	ps.hasBucket = false
 	ps.cache = nil
 	ps.crit = scanstat.CriticalValue(w, p0, cfg.HorizonClips, cfg.Alpha)
@@ -465,6 +525,20 @@ func (r *Run) Step() bool {
 	c := r.nextClip
 	r.nextClip++
 
+	// Inference-budget gate, at clip granularity: once the spend reaches
+	// the budget the remaining clips are skipped-and-flagged without
+	// touching a detector — graceful degradation, not an error, so the
+	// flagged clips stay out of the failure budget.
+	if r.e.cfg.InferenceBudget > 0 && r.budgetSpent >= r.e.cfg.InferenceBudget {
+		for _, ps := range r.preds {
+			ps.clipInd = append(ps.clipInd, false)
+		}
+		r.clipInd = append(r.clipInd, false)
+		r.flagged = append(r.flagged, true)
+		r.budgetSkipped++
+		return true
+	}
+
 	// Every EstimatorSampleEvery-th clip all predicates are evaluated
 	// unconditionally; only these unbiased evaluations may feed background
 	// estimators and the planner's cost model (evaluations admitted by
@@ -476,7 +550,8 @@ func (r *Run) Step() bool {
 	positive := true
 	var clipErr error // detection failure flagging this clip
 	objectFramesCharged := false
-	for _, idx := range r.planner.AppendOrder(r.orderBuf()) {
+	modes := r.modesBuf()
+	for _, idx := range r.planner.AppendDecisions(r.orderBuf(), modes) {
 		ps := r.preds[idx]
 		if clipErr != nil || r.err != nil ||
 			(!positive && !r.e.cfg.NoShortCircuit && !sampled) {
@@ -488,8 +563,8 @@ func (r *Run) Step() bool {
 			ps.clipInd = append(ps.clipInd, false)
 			continue
 		}
-		units0 := ps.units
-		count, err := r.evaluate(ps, c, &objectFramesCharged)
+		count, cost, err := r.evaluate(ps, c, modes[idx], &objectFramesCharged)
+		r.budgetSpent += cost
 		if err != nil {
 			// Keep per-predicate indicator alignment, then decide whether
 			// this is an interruption (context ended during retries) or a
@@ -506,10 +581,14 @@ func (r *Run) Step() bool {
 		ps.evaluated++
 		ind := count >= ps.crit
 		if sampled {
-			// The observed cost is the evaluation's priced inference time
-			// (units scored × the detector's unit cost) — the simulator's
+			// The observed cost is the evaluation's priced inference time —
+			// for cascades, the per-attempt tier spend; otherwise units
+			// scored × the detector's unit cost — the simulator's
 			// equivalent of measured detector latency.
-			r.planner.Observe(idx, !ind, time.Duration(ps.units-units0)*r.unitCost(ps.kind))
+			r.planner.Observe(idx, !ind, cost)
+			if r.lastAcc != nil {
+				r.planner.ObserveTiers(idx, r.lastAcc.Units, r.lastAcc.Escalated)
+			}
 		}
 		if ps.est != nil && sampled {
 			r.learn(ps, count)
@@ -624,14 +703,37 @@ func (r *Run) unitCost(kind PredicateKind) time.Duration {
 	return r.e.models.Objects.UnitCost()
 }
 
+// tierInfos returns the engine's cascade description for a predicate kind
+// (nil for single-tier models).
+func (r *Run) tierInfos(kind PredicateKind) []detect.TierInfo {
+	if kind == ActionPredicate {
+		return r.e.actTiers
+	}
+	return r.e.objTiers
+}
+
+// entryTier maps the planner's tier decision to the cascade entry index.
+func entryTier(mode plan.TierMode, tiers int) int {
+	if mode == plan.TierAccurate {
+		return tiers - 1
+	}
+	return 0
+}
+
 // evaluate runs the detector over the clip's occurrence units for one
 // predicate, records the raw indicators, charges the meter and the
-// predicate's evaluation-time accumulator, and returns the positive count. A
-// detector invocation that fails after retries aborts the clip's evaluation
-// with the error (the caller flags the clip).
-func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int, error) {
+// predicate's evaluation-time accumulator, and returns the positive count
+// together with the evaluation's priced inference cost. Cascaded models
+// execute the planner's tier decision (mode) with per-tier retry and
+// accounting; the cost is then the per-attempt tier spend. A detector
+// invocation that fails after retries aborts the clip's evaluation with the
+// error (the caller flags the clip); the cost spent up to the failure is
+// still reported so the budget ledger stays honest.
+func (r *Run) evaluate(ps *predState, clip int, mode plan.TierMode, objectFramesCharged *bool) (int, time.Duration, error) {
 	defer func(t0 time.Time) { ps.evalTime += time.Since(t0) }(time.Now())
 	count := 0
+	units0 := ps.units
+	r.lastAcc = nil
 	m := r.e.models
 	switch ps.kind {
 	case ObjectPredicate:
@@ -642,6 +744,18 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 			// predicates read them.
 			r.e.meter.AddObjectFrames(fr.Len())
 			*objectFramesCharged = true
+		}
+		if len(r.e.objTiers) >= 2 {
+			cs := m.Objects.(detect.CascadedObjectScorer)
+			acc := r.accountBuf(detect.KindObject)
+			acc.Reset(len(r.e.objTiers))
+			scores := r.scoreBuf(fr.Len())
+			err := cs.FrameScoreCascade(r.ctx, r.v, ps.name, fr.Start, entryTier(mode, len(r.e.objTiers)), scores, r.e.cfg.Retry, r.e.meter, acc)
+			count = r.settleCascade(ps, acc, mode, scores, fr.Start, m.ObjThreshold, detect.KindObject, err)
+			if err != nil {
+				return 0, acc.Cost, err
+			}
+			return count, acc.Cost, nil
 		}
 		if _, fallible := m.Objects.(detect.FallibleObjectDetector); !fallible {
 			// Infallible detectors cannot fail an attempt, so the whole
@@ -658,12 +772,12 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 					count++
 				}
 			}
-			return count, nil
+			return count, time.Duration(len(scores)) * r.unitCost(ps.kind), nil
 		}
 		for f := fr.Start; f <= fr.End; f++ {
 			score, err := r.objectScore(ps.name, f)
 			if err != nil {
-				return 0, err
+				return 0, time.Duration(ps.units-units0) * r.unitCost(ps.kind), err
 			}
 			ps.units++
 			if score >= m.ObjThreshold {
@@ -676,6 +790,18 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 		if r.e.meter != nil {
 			r.e.meter.AddActionShots(sr.Len())
 		}
+		if len(r.e.actTiers) >= 2 {
+			cs := m.Actions.(detect.CascadedActionScorer)
+			acc := r.accountBuf(detect.KindAction)
+			acc.Reset(len(r.e.actTiers))
+			scores := r.scoreBuf(sr.Len())
+			err := cs.ShotScoreCascade(r.ctx, r.v, ps.name, sr.Start, entryTier(mode, len(r.e.actTiers)), scores, r.e.cfg.Retry, r.e.meter, acc)
+			count = r.settleCascade(ps, acc, mode, scores, sr.Start, m.ActThreshold, detect.KindAction, err)
+			if err != nil {
+				return 0, acc.Cost, err
+			}
+			return count, acc.Cost, nil
+		}
 		if _, fallible := m.Actions.(detect.FallibleActionRecognizer); !fallible {
 			scores := r.scoreBuf(sr.Len())
 			detect.ShotScoreBatch(m.Actions, r.v, ps.name, sr.Start, scores)
@@ -687,12 +813,12 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 					count++
 				}
 			}
-			return count, nil
+			return count, time.Duration(len(scores)) * r.unitCost(ps.kind), nil
 		}
 		for s := sr.Start; s <= sr.End; s++ {
 			score, err := r.actionScore(ps.name, s)
 			if err != nil {
-				return 0, err
+				return 0, time.Duration(ps.units-units0) * r.unitCost(ps.kind), err
 			}
 			ps.units++
 			if score >= m.ActThreshold {
@@ -701,7 +827,41 @@ func (r *Run) evaluate(ps *predState, clip int, objectFramesCharged *bool) (int,
 			}
 		}
 	}
-	return count, nil
+	return count, time.Duration(ps.units-units0) * r.unitCost(ps.kind), nil
+}
+
+// settleCascade folds one cascade evaluation into the predicate's state and
+// the meter: thresholds the scores into raw indicators (on success),
+// accumulates the per-tier accounting, flushes the tier counters, and
+// leaves the account on lastAcc for the planner's escalation estimators.
+// Returns the positive count.
+func (r *Run) settleCascade(ps *predState, acc *detect.CascadeAccount, mode plan.TierMode, scores []float64, start int, threshold float64, kind string, err error) int {
+	count := 0
+	if err == nil {
+		for i, score := range scores {
+			if score >= threshold {
+				ps.rawInd[start+i] = true
+				count++
+			}
+		}
+	}
+	total := 0
+	for t := range acc.Units {
+		total += int(acc.Units[t])
+		if t < len(ps.tierUnits) {
+			ps.tierUnits[t] += acc.Units[t]
+		}
+		if t < len(ps.tierEscalated) {
+			ps.tierEscalated[t] += acc.Escalated[t]
+		}
+	}
+	ps.units += total
+	ps.lastMode = mode
+	if r.e.meter != nil {
+		r.e.meter.RecordCascade(kind, r.tierInfos(ps.kind), acc)
+	}
+	r.lastAcc = acc
+	return count
 }
 
 // objectScore invokes the object detector on one frame, retrying transient
@@ -830,6 +990,16 @@ func (r *Run) Result() *Result {
 		res.Predicates = append(res.Predicates, st)
 	}
 	res.Plan = r.planner.Report()
+	res.InferenceCost = r.budgetSpent
+	res.BudgetSkipped = r.budgetSkipped
+	if res.Plan != nil && r.e.cfg.InferenceBudget > 0 {
+		res.Plan.Budget = &plan.BudgetReport{
+			LimitMS:      float64(r.e.cfg.InferenceBudget) / 1e6,
+			SpentMS:      float64(r.budgetSpent) / 1e6,
+			SkippedClips: r.budgetSkipped,
+			Exhausted:    r.budgetSpent >= r.e.cfg.InferenceBudget,
+		}
+	}
 	r.emitSpans("engine.run", ordered)
 	return res
 }
@@ -849,9 +1019,16 @@ func (r *Run) emitSpans(root string, preds []*predState) {
 	eng.SetAttr("clips_processed", r.nextClip)
 	eng.SetAttr("num_clips", r.numClips)
 	eng.SetAttr("flagged_clips", r.flaggedCount)
+	if r.e.cfg.InferenceBudget > 0 {
+		eng.SetAttr("tier:budget_spent_ms", float64(r.budgetSpent)/1e6)
+		eng.SetAttr("tier:budget_skipped_clips", r.budgetSkipped)
+	}
 	if rep := r.planner.Report(); rep != nil {
 		sp := r.trace.AddSpanUnder(eng, "plan.order", r.started, 0)
 		sp.SetAttr("adaptive", rep.Adaptive)
+		if rep.Tiered {
+			sp.SetAttr("tiered", true)
+		}
 		sp.SetAttr("order", strings.Join(rep.Order, ","))
 		sp.SetAttr("replans", rep.Replans)
 		sp.SetAttr("skipped_evaluations", rep.SkippedEvaluations)
@@ -866,6 +1043,16 @@ func (r *Run) emitSpans(root string, preds []*predState) {
 		sp.SetAttr("background", r.background(ps))
 		if r.e.mode == Dynamic {
 			sp.SetAttr("k_crit_recomputes", ps.recomputes)
+		}
+		if len(ps.tierUnits) > 0 {
+			var units, escalated int64
+			for t := range ps.tierUnits {
+				units += ps.tierUnits[t]
+				escalated += ps.tierEscalated[t]
+			}
+			sp.SetAttr("tier:mode", ps.lastMode.String())
+			sp.SetAttr("tier:units", units)
+			sp.SetAttr("tier:escalated", escalated)
 		}
 	}
 }

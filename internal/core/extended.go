@@ -8,6 +8,7 @@ import (
 
 	"svqact/internal/detect"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 	"svqact/internal/video"
 )
 
@@ -368,10 +369,12 @@ func (e *Engine) RunCNF(ctx context.Context, v detect.TruthVideo, q CNF) (*Exten
 func (r *Run) evaluateAtom(a Atom, ps *predState, clip int, chargedFrames *bool) (int, error) {
 	count := 0
 	switch a.Kind {
-	case ObjectPredicate:
-		return r.evaluate(ps, clip, chargedFrames)
-	case ActionPredicate:
-		return r.evaluate(ps, clip, chargedFrames)
+	case ObjectPredicate, ActionPredicate:
+		// The CNF path has no adaptive planner; cascaded models run under
+		// the static tier choice priced from the calibrated priors.
+		mode := plan.StaticTierChoice(TierCosts(r.tierInfos(a.Kind)))
+		n, _, err := r.evaluate(ps, clip, mode, chargedFrames)
+		return n, err
 	case RelationPredicate:
 		defer func(t0 time.Time) { ps.evalTime += time.Since(t0) }(time.Now())
 		fr := r.geom.FrameRangeOfClip(clip)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"svqact/internal/detect"
+	"svqact/internal/plan"
 	"svqact/internal/video"
 )
 
@@ -66,6 +67,12 @@ func (e *Engine) EvaluateTypes(ctx context.Context, v detect.TruthVideo, objects
 	}
 	run.seedCrits()
 
+	// Ingestion has no adaptive planner: cascaded models run under the
+	// static tier choice priced from the calibrated escalation priors (the
+	// same decision rank's offline planner makes).
+	objMode := plan.StaticTierChoice(TierCosts(e.objTiers))
+	actMode := plan.StaticTierChoice(TierCosts(e.actTiers))
+
 	for c := 0; c < numClips; c++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, &InterruptedError{Processed: c, Total: numClips, Err: cerr}
@@ -77,7 +84,11 @@ func (e *Engine) EvaluateTypes(ctx context.Context, v detect.TruthVideo, objects
 				ps.clipInd = append(ps.clipInd, false)
 				continue
 			}
-			count, err := run.evaluate(ps, c, &objectFramesCharged)
+			mode := objMode
+			if ps.kind == ActionPredicate {
+				mode = actMode
+			}
+			count, _, err := run.evaluate(ps, c, mode, &objectFramesCharged)
 			if err != nil {
 				ps.clipInd = append(ps.clipInd, false)
 				if ctx.Err() != nil {

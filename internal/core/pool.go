@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"svqact/internal/detect"
+	"svqact/internal/plan"
+)
 
 // Per-run scratch pooling. A fleet run allocates the same per-video state —
 // the Run itself, one predState per predicate, the clip/flag indicator
@@ -43,8 +48,15 @@ type runScratch struct {
 	gateSort []int
 
 	// planOrder receives the planner's per-clip evaluation order (a copy —
-	// the planner itself may be shared fleet-wide and reorder concurrently).
+	// the planner itself may be shared fleet-wide and reorder concurrently);
+	// tierModes receives the matching per-predicate tier decisions, indexed
+	// by declared position.
 	planOrder []int
+	tierModes []plan.TierMode
+
+	// objAcc/actAcc are the per-kind cascade accounts evaluate resets and
+	// fills per clip — their per-tier slices are retained across runs.
+	objAcc, actAcc detect.CascadeAccount
 }
 
 var runPool = sync.Pool{New: func() any { return new(runScratch) }}
@@ -134,6 +146,31 @@ func (r *Run) orderBuf() []int {
 	return r.scratch.planOrder[:0]
 }
 
+// modesBuf returns the scratch tier-decision column sized to the predicate
+// count; the planner fills it by declared index.
+func (r *Run) modesBuf() []plan.TierMode {
+	n := len(r.preds)
+	if r.scratch == nil {
+		return make([]plan.TierMode, n)
+	}
+	if cap(r.scratch.tierModes) < n {
+		r.scratch.tierModes = make([]plan.TierMode, n)
+	}
+	r.scratch.tierModes = r.scratch.tierModes[:n]
+	return r.scratch.tierModes
+}
+
+// accountBuf returns the per-kind scratch cascade account.
+func (r *Run) accountBuf(kind string) *detect.CascadeAccount {
+	if r.scratch == nil {
+		return &detect.CascadeAccount{}
+	}
+	if kind == detect.KindAction {
+		return &r.scratch.actAcc
+	}
+	return &r.scratch.objAcc
+}
+
 // resizeBools returns b with length n and every element false, reusing the
 // backing array when it is large enough.
 func resizeBools(b []bool, n int) []bool {
@@ -143,4 +180,15 @@ func resizeBools(b []bool, n int) []bool {
 	b = b[:n]
 	clear(b)
 	return b
+}
+
+// zeroInt64s returns s with length n and every element zero, reusing the
+// backing array when it is large enough.
+func zeroInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"svqact/internal/detect"
 )
@@ -157,6 +158,16 @@ type Config struct {
 	// holes. Zero means the default of 0.25.
 	FailureBudget float64
 
+	// InferenceBudget caps the simulated inference cost one run may spend;
+	// zero means unlimited. Enforced at clip granularity: once the spend
+	// reaches the budget, every remaining clip is skipped-and-flagged (its
+	// indicator conservatively negative, the clip surfaced in
+	// Result.Flagged and the plan report's budget block) and the run
+	// completes normally — planned degradation, not a failure, so budget
+	// skips do not count against FailureBudget and never raise a
+	// DegradedError.
+	InferenceBudget time.Duration
+
 	// Meter, when set, receives every engine's inference, retry, fault and
 	// flagged-clip accounting (equivalent to calling SetMeter on each engine
 	// built from this config). The serving path uses a process-lifetime meter
@@ -237,6 +248,9 @@ func (c Config) Validate() error {
 	}
 	if c.Retry.Attempts < 0 {
 		return fmt.Errorf("core: Retry.Attempts = %d must be >= 0", c.Retry.Attempts)
+	}
+	if c.InferenceBudget < 0 {
+		return fmt.Errorf("core: InferenceBudget = %v must be >= 0", c.InferenceBudget)
 	}
 	return nil
 }

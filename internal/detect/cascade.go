@@ -1,0 +1,563 @@
+package detect
+
+import (
+	"context"
+	"strings"
+	"time"
+)
+
+// Multi-tier detector cascades. Production video systems rarely run the
+// accurate model on every unit: a cheap proxy (a distilled or pruned student
+// of the accurate teacher) scores first, and only units whose proxy score
+// lands in an uncertainty band escalate to the expensive tier. The types
+// here wrap ordered detector tiers behind the ordinary ObjectDetector /
+// ActionRecognizer contracts, so every existing consumer keeps working,
+// while tier-aware callers (the engine's evaluate path, rank's ingest) use
+// the *Cascade methods to execute the planner's tier decisions with full
+// per-tier accounting.
+//
+// Soundness. A cascade is never less sound than its most accurate tier
+// alone, by construction:
+//
+//   - a tier decides a unit only when its score falls outside its
+//     escalation band; anything in-band escalates to the next tier, and the
+//     last tier always decides;
+//   - a tier whose invocation fails (after its own per-model retry budget)
+//     falls through to the next tier instead of failing the unit — only the
+//     last tier's failure surfaces as an error;
+//   - the calibrated proxies built by NewDistilledObjectCascade /
+//     NewDistilledActionCascade are recall-complete: the proxy's score is
+//     ≥ the teacher's score on every unit (it sees everything the teacher
+//     sees, plus its own extra false positives). Under RecallBand — escalate
+//     on any nonzero score — the teacher therefore scores every unit the
+//     proxy does not silently reject, and a proxy rejection (score 0)
+//     implies the teacher would also have scored 0. The cascade's scores,
+//     detections and events are bit-identical to running the accurate tier
+//     alone; only the cost differs.
+
+// Band is a tier's escalation band: a score in [Lo, Hi) is uncertain and
+// escalates to the next tier; a score outside the band decides the unit at
+// this tier. The last tier's band is ignored — it always decides.
+type Band struct {
+	Lo, Hi float64
+}
+
+// Escalates reports whether a score is uncertain at this tier.
+func (b Band) Escalates(s float64) bool { return s >= b.Lo && s < b.Hi }
+
+// RecallBand escalates on any detection at all: simulated scores are either
+// 0 (nothing detected) or ≥ 0.01 (clampScore's floor), so Lo sits strictly
+// between and Hi above the score ceiling. With a recall-complete proxy this
+// band makes the cascade bit-identical to its accurate tier.
+func RecallBand() Band { return Band{Lo: 0.005, Hi: 2} }
+
+// TierInfo describes one cascade tier to the planner and the EXPLAIN
+// surfaces.
+type TierInfo struct {
+	// Name is the tier model's name.
+	Name string
+	// UnitCost is the tier's simulated inference latency per unit.
+	UnitCost time.Duration
+	// PriorEscalate is the prior probability a unit scored at this tier
+	// escalates past it, before any live observations. Always 0 for the
+	// last tier.
+	PriorEscalate float64
+}
+
+// ObjectTier is one tier of an object cascade. The detector may be wrapped
+// in a FaultyObjectDetector — fault decorators compose per tier, so each
+// model keeps its own fault realisation and its own retry budget.
+type ObjectTier struct {
+	Detector ObjectDetector
+	// Band is the tier's escalation band; ignored for the last tier.
+	Band Band
+	// PriorEscalate seeds the planner's escalation estimate for this tier.
+	PriorEscalate float64
+}
+
+// ActionTier is one tier of an action cascade.
+type ActionTier struct {
+	Recognizer    ActionRecognizer
+	Band          Band
+	PriorEscalate float64
+}
+
+// CascadeAccount accumulates per-tier accounting across FrameScoreCascade /
+// ShotScoreCascade calls: how many units each tier scored, how each was
+// resolved, and the simulated inference cost accrued (priced per attempt,
+// so retries are paid for). Callers reset it per clip and feed it to the
+// planner's escalation estimators and the meter's tier counters.
+type CascadeAccount struct {
+	// Units counts units scored at each tier (indexed by tier position).
+	Units []int64
+	// Decided counts units resolved at each tier.
+	Decided []int64
+	// Escalated counts units whose score landed in the tier's band.
+	Escalated []int64
+	// Fallthroughs counts units escalated because the tier's invocation
+	// failed after its retry budget — the conservative failure path.
+	Fallthroughs []int64
+	// Cost is the simulated inference cost accrued, per attempt.
+	Cost time.Duration
+}
+
+// Reset zeroes the account for a cascade with the given number of tiers.
+func (a *CascadeAccount) Reset(tiers int) {
+	a.Units = zeroCounts(a.Units, tiers)
+	a.Decided = zeroCounts(a.Decided, tiers)
+	a.Escalated = zeroCounts(a.Escalated, tiers)
+	a.Fallthroughs = zeroCounts(a.Fallthroughs, tiers)
+	a.Cost = 0
+}
+
+func zeroCounts(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// CascadedObjectScorer is the tier-aware interface of an object cascade:
+// the engine uses it to execute the planner's tier decision (enter at tier
+// `from`) with per-tier retry, fallthrough and accounting.
+type CascadedObjectScorer interface {
+	ObjectDetector
+	// Tiers describes the cascade for planning and EXPLAIN.
+	Tiers() []TierInfo
+	// AccurateTier returns the last (most accurate) tier's detector.
+	AccurateTier() ObjectDetector
+	// FrameScoreCascade fills dst[i] with the cascade's score for frame
+	// start+i, entering at tier from (clamped to the tier range) and
+	// escalating as bands and failures dictate. retry is applied per tier —
+	// each model invocation gets its own attempt budget. meter (optional)
+	// receives attempt/fault accounting; acc (optional) accumulates tier
+	// accounting. The first unit whose last-tier invocation fails aborts
+	// with that error.
+	FrameScoreCascade(ctx context.Context, v TruthVideo, typ string, start, from int, dst []float64, retry RetryConfig, meter *Meter, acc *CascadeAccount) error
+}
+
+// CascadedActionScorer is the shot-level analogue of CascadedObjectScorer.
+type CascadedActionScorer interface {
+	ActionRecognizer
+	Tiers() []TierInfo
+	AccurateTier() ActionRecognizer
+	ShotScoreCascade(ctx context.Context, v TruthVideo, act string, start, from int, dst []float64, retry RetryConfig, meter *Meter, acc *CascadeAccount) error
+}
+
+// ObjectCascade chains object detector tiers from cheapest to most
+// accurate. It implements ObjectDetector (plus the batch capabilities), so
+// any consumer built for a single detector runs the full cascade
+// transparently; tier-aware consumers use FrameScoreCascade.
+type ObjectCascade struct {
+	tiers []ObjectTier
+	infos []TierInfo
+	name  string
+}
+
+// NewObjectCascade chains tiers ordered cheapest first, most accurate last.
+// Panics on fewer than two tiers — a one-tier cascade is just the detector.
+func NewObjectCascade(tiers ...ObjectTier) *ObjectCascade {
+	if len(tiers) < 2 {
+		panic("detect: object cascade needs at least two tiers")
+	}
+	c := &ObjectCascade{tiers: tiers}
+	names := make([]string, len(tiers))
+	c.infos = make([]TierInfo, len(tiers))
+	for i, t := range tiers {
+		names[i] = t.Detector.Name()
+		esc := t.PriorEscalate
+		if i == len(tiers)-1 {
+			esc = 0
+		}
+		c.infos[i] = TierInfo{Name: t.Detector.Name(), UnitCost: t.Detector.UnitCost(), PriorEscalate: esc}
+	}
+	c.name = "cascade(" + strings.Join(names, ">") + ")"
+	return c
+}
+
+// NewDistilledObjectCascade builds the standard two-tier cascade: a
+// recall-complete distilled proxy of teacher (see DistilledObjectDetector)
+// gating the teacher itself, escalating under RecallBand. prof calibrates
+// the proxy's extra false positives and unit cost.
+func NewDistilledObjectCascade(teacher ObjectDetector, prof Profile, seed int64) *ObjectCascade {
+	proxy := NewDistilledObjectDetector(teacher, prof, seed)
+	return NewObjectCascade(
+		ObjectTier{Detector: proxy, Band: RecallBand(), PriorEscalate: prof.EscalationPrior(RecallBand())},
+		ObjectTier{Detector: teacher},
+	)
+}
+
+// Name implements ObjectDetector.
+func (c *ObjectCascade) Name() string { return c.name }
+
+// UnitCost implements ObjectDetector. It reports the accurate tier's unit
+// cost — the conservative price a consumer without tier awareness plans
+// with.
+func (c *ObjectCascade) UnitCost() time.Duration { return c.tiers[len(c.tiers)-1].Detector.UnitCost() }
+
+// Tiers implements CascadedObjectScorer.
+func (c *ObjectCascade) Tiers() []TierInfo { return c.infos }
+
+// AccurateTier implements CascadedObjectScorer.
+func (c *ObjectCascade) AccurateTier() ObjectDetector { return c.tiers[len(c.tiers)-1].Detector }
+
+// decidingTier walks the cascade faultlessly and returns the tier index
+// that decides the frame along with its score.
+func (c *ObjectCascade) decidingTier(v TruthVideo, typ string, frame int) (int, float64) {
+	last := len(c.tiers) - 1
+	for i, t := range c.tiers {
+		s := t.Detector.FrameScore(v, typ, frame)
+		if i == last || !t.Band.Escalates(s) {
+			return i, s
+		}
+	}
+	return last, 0 // unreachable
+}
+
+// FrameScore implements ObjectDetector: the deciding tier's score.
+func (c *ObjectCascade) FrameScore(v TruthVideo, typ string, frame int) float64 {
+	_, s := c.decidingTier(v, typ, frame)
+	return s
+}
+
+// FrameDetections implements ObjectDetector: the deciding tier's
+// detections.
+func (c *ObjectCascade) FrameDetections(v TruthVideo, typ string, frame int) []Detection {
+	i, _ := c.decidingTier(v, typ, frame)
+	return c.tiers[i].Detector.FrameDetections(v, typ, frame)
+}
+
+// AppendFrameEvents implements ObjectEventAppender: the deciding tier's
+// events, appended columnar.
+func (c *ObjectCascade) AppendFrameEvents(v TruthVideo, typ string, frame int, ev *Events) {
+	i, _ := c.decidingTier(v, typ, frame)
+	AppendFrameEvents(c.tiers[i].Detector, v, typ, frame, ev)
+}
+
+// FrameScoreBatch implements BatchObjectScorer: the cheap tier scores the
+// whole run in one batch call, and only in-band frames walk the higher
+// tiers. Faultless, like every plain-method path.
+func (c *ObjectCascade) FrameScoreBatch(v TruthVideo, typ string, start int, dst []float64) {
+	t0 := c.tiers[0]
+	FrameScoreBatch(t0.Detector, v, typ, start, dst)
+	if len(c.tiers) == 1 {
+		return
+	}
+	for i, s := range dst {
+		if t0.Band.Escalates(s) {
+			dst[i] = c.frameScoreFrom(v, typ, start+i, 1)
+		}
+	}
+}
+
+// frameScoreFrom is the faultless scalar walk entering at tier from.
+func (c *ObjectCascade) frameScoreFrom(v TruthVideo, typ string, frame, from int) float64 {
+	last := len(c.tiers) - 1
+	for i := from; ; i++ {
+		s := c.tiers[i].Detector.FrameScore(v, typ, frame)
+		if i == last || !c.tiers[i].Band.Escalates(s) {
+			return s
+		}
+	}
+}
+
+// FrameScoreCascade implements CascadedObjectScorer.
+func (c *ObjectCascade) FrameScoreCascade(ctx context.Context, v TruthVideo, typ string, start, from int, dst []float64, retry RetryConfig, meter *Meter, acc *CascadeAccount) error {
+	last := len(c.tiers) - 1
+	if from < 0 {
+		from = 0
+	}
+	if from > last {
+		from = last
+	}
+	t := c.tiers[from]
+	_, fallible := t.Detector.(FallibleObjectDetector)
+	if bs, ok := t.Detector.(BatchObjectScorer); ok && !fallible {
+		// Columnar fast path: the entry tier cannot fault, so the whole run
+		// is scored in one batch call and only in-band units walk up.
+		bs.FrameScoreBatch(v, typ, start, dst)
+		chargeTier(acc, from, int64(len(dst)), int64(len(dst)), t.Detector.UnitCost())
+		if meter != nil {
+			meter.RecordAttempts(KindObject, len(dst))
+		}
+		for i, s := range dst {
+			if from < last && t.Band.Escalates(s) {
+				noteEscalate(acc, from, false)
+				s2, err := c.scoreFrom(ctx, v, typ, start+i, from+1, retry, meter, acc)
+				if err != nil {
+					return err
+				}
+				dst[i] = s2
+			} else {
+				noteDecide(acc, from)
+			}
+		}
+		return nil
+	}
+	for i := range dst {
+		s, err := c.scoreFrom(ctx, v, typ, start+i, from, retry, meter, acc)
+		if err != nil {
+			return err
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// scoreFrom scores one frame entering at tier from, with per-tier retry and
+// conservative fallthrough.
+func (c *ObjectCascade) scoreFrom(ctx context.Context, v TruthVideo, typ string, frame, from int, retry RetryConfig, meter *Meter, acc *CascadeAccount) (float64, error) {
+	last := len(c.tiers) - 1
+	for ti := from; ; ti++ {
+		t := c.tiers[ti]
+		var s float64
+		var err error
+		attempts := int64(0)
+		if fd, ok := t.Detector.(FallibleObjectDetector); ok {
+			err = Retry(ctx, retry, func(attempt int) error {
+				attempts++
+				if meter != nil {
+					meter.RecordAttempt(KindObject, attempt)
+				}
+				var aerr error
+				s, aerr = fd.FrameScoreAttempt(v, typ, frame, attempt)
+				if aerr != nil && meter != nil {
+					meter.RecordFault(KindObject, IsTransient(aerr))
+				}
+				return aerr
+			})
+		} else {
+			attempts = 1
+			if meter != nil {
+				meter.RecordAttempt(KindObject, 0)
+			}
+			s = t.Detector.FrameScore(v, typ, frame)
+		}
+		chargeTier(acc, ti, 1, attempts, t.Detector.UnitCost())
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return 0, ctx.Err()
+		case err != nil && ti < last:
+			// Conservative fallthrough: a failed tier escalates instead of
+			// failing the unit, so the cascade is never less sound than its
+			// accurate tier.
+			noteEscalate(acc, ti, true)
+		case err != nil:
+			return 0, err
+		case ti < last && t.Band.Escalates(s):
+			noteEscalate(acc, ti, false)
+		default:
+			noteDecide(acc, ti)
+			return s, nil
+		}
+	}
+}
+
+// ActionCascade chains action recogniser tiers cheapest first. See
+// ObjectCascade; the structure is identical with shots for units.
+type ActionCascade struct {
+	tiers []ActionTier
+	infos []TierInfo
+	name  string
+}
+
+// NewActionCascade chains tiers ordered cheapest first, most accurate last.
+func NewActionCascade(tiers ...ActionTier) *ActionCascade {
+	if len(tiers) < 2 {
+		panic("detect: action cascade needs at least two tiers")
+	}
+	c := &ActionCascade{tiers: tiers}
+	names := make([]string, len(tiers))
+	c.infos = make([]TierInfo, len(tiers))
+	for i, t := range tiers {
+		names[i] = t.Recognizer.Name()
+		esc := t.PriorEscalate
+		if i == len(tiers)-1 {
+			esc = 0
+		}
+		c.infos[i] = TierInfo{Name: t.Recognizer.Name(), UnitCost: t.Recognizer.UnitCost(), PriorEscalate: esc}
+	}
+	c.name = "cascade(" + strings.Join(names, ">") + ")"
+	return c
+}
+
+// NewDistilledActionCascade builds the two-tier recall-complete cascade for
+// action recognisers, mirroring NewDistilledObjectCascade.
+func NewDistilledActionCascade(teacher ActionRecognizer, prof Profile, seed int64) *ActionCascade {
+	proxy := NewDistilledActionRecognizer(teacher, prof, seed)
+	return NewActionCascade(
+		ActionTier{Recognizer: proxy, Band: RecallBand(), PriorEscalate: prof.EscalationPrior(RecallBand())},
+		ActionTier{Recognizer: teacher},
+	)
+}
+
+// Name implements ActionRecognizer.
+func (c *ActionCascade) Name() string { return c.name }
+
+// UnitCost implements ActionRecognizer, reporting the accurate tier's cost.
+func (c *ActionCascade) UnitCost() time.Duration {
+	return c.tiers[len(c.tiers)-1].Recognizer.UnitCost()
+}
+
+// Tiers implements CascadedActionScorer.
+func (c *ActionCascade) Tiers() []TierInfo { return c.infos }
+
+// AccurateTier implements CascadedActionScorer.
+func (c *ActionCascade) AccurateTier() ActionRecognizer {
+	return c.tiers[len(c.tiers)-1].Recognizer
+}
+
+// ShotScore implements ActionRecognizer: the deciding tier's score.
+func (c *ActionCascade) ShotScore(v TruthVideo, act string, shot int) float64 {
+	return c.shotScoreFrom(v, act, shot, 0)
+}
+
+func (c *ActionCascade) shotScoreFrom(v TruthVideo, act string, shot, from int) float64 {
+	last := len(c.tiers) - 1
+	for i := from; ; i++ {
+		s := c.tiers[i].Recognizer.ShotScore(v, act, shot)
+		if i == last || !c.tiers[i].Band.Escalates(s) {
+			return s
+		}
+	}
+}
+
+// ShotScoreBatch implements BatchActionScorer: batch the cheap tier, walk
+// escalations scalar.
+func (c *ActionCascade) ShotScoreBatch(v TruthVideo, act string, start int, dst []float64) {
+	t0 := c.tiers[0]
+	ShotScoreBatch(t0.Recognizer, v, act, start, dst)
+	for i, s := range dst {
+		if t0.Band.Escalates(s) {
+			dst[i] = c.shotScoreFrom(v, act, start+i, 1)
+		}
+	}
+}
+
+// ShotScoreCascade implements CascadedActionScorer.
+func (c *ActionCascade) ShotScoreCascade(ctx context.Context, v TruthVideo, act string, start, from int, dst []float64, retry RetryConfig, meter *Meter, acc *CascadeAccount) error {
+	last := len(c.tiers) - 1
+	if from < 0 {
+		from = 0
+	}
+	if from > last {
+		from = last
+	}
+	t := c.tiers[from]
+	_, fallible := t.Recognizer.(FallibleActionRecognizer)
+	if bs, ok := t.Recognizer.(BatchActionScorer); ok && !fallible {
+		bs.ShotScoreBatch(v, act, start, dst)
+		chargeTier(acc, from, int64(len(dst)), int64(len(dst)), t.Recognizer.UnitCost())
+		if meter != nil {
+			meter.RecordAttempts(KindAction, len(dst))
+		}
+		for i, s := range dst {
+			if from < last && t.Band.Escalates(s) {
+				noteEscalate(acc, from, false)
+				s2, err := c.shotFrom(ctx, v, act, start+i, from+1, retry, meter, acc)
+				if err != nil {
+					return err
+				}
+				dst[i] = s2
+			} else {
+				noteDecide(acc, from)
+			}
+		}
+		return nil
+	}
+	for i := range dst {
+		s, err := c.shotFrom(ctx, v, act, start+i, from, retry, meter, acc)
+		if err != nil {
+			return err
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+func (c *ActionCascade) shotFrom(ctx context.Context, v TruthVideo, act string, shot, from int, retry RetryConfig, meter *Meter, acc *CascadeAccount) (float64, error) {
+	last := len(c.tiers) - 1
+	for ti := from; ; ti++ {
+		t := c.tiers[ti]
+		var s float64
+		var err error
+		attempts := int64(0)
+		if fr, ok := t.Recognizer.(FallibleActionRecognizer); ok {
+			err = Retry(ctx, retry, func(attempt int) error {
+				attempts++
+				if meter != nil {
+					meter.RecordAttempt(KindAction, attempt)
+				}
+				var aerr error
+				s, aerr = fr.ShotScoreAttempt(v, act, shot, attempt)
+				if aerr != nil && meter != nil {
+					meter.RecordFault(KindAction, IsTransient(aerr))
+				}
+				return aerr
+			})
+		} else {
+			attempts = 1
+			if meter != nil {
+				meter.RecordAttempt(KindAction, 0)
+			}
+			s = t.Recognizer.ShotScore(v, act, shot)
+		}
+		chargeTier(acc, ti, 1, attempts, t.Recognizer.UnitCost())
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return 0, ctx.Err()
+		case err != nil && ti < last:
+			noteEscalate(acc, ti, true)
+		case err != nil:
+			return 0, err
+		case ti < last && t.Band.Escalates(s):
+			noteEscalate(acc, ti, false)
+		default:
+			noteDecide(acc, ti)
+			return s, nil
+		}
+	}
+}
+
+// chargeTier accrues scored units and per-attempt cost for a tier on the
+// account (attempts ≥ units when retries fired).
+func chargeTier(acc *CascadeAccount, tier int, units, attempts int64, unitCost time.Duration) {
+	if acc == nil {
+		return
+	}
+	if tier < len(acc.Units) {
+		acc.Units[tier] += units
+		acc.Cost += time.Duration(attempts) * unitCost
+	}
+}
+
+func noteEscalate(acc *CascadeAccount, tier int, fellthrough bool) {
+	if acc == nil || tier >= len(acc.Escalated) {
+		return
+	}
+	acc.Escalated[tier]++
+	if fellthrough {
+		acc.Fallthroughs[tier]++
+	}
+}
+
+func noteDecide(acc *CascadeAccount, tier int) {
+	if acc == nil || tier >= len(acc.Decided) {
+		return
+	}
+	acc.Decided[tier]++
+}
+
+// CascadeTierInfos returns d's tier descriptions when d is a cascade, nil
+// otherwise. It accepts any detector-shaped value so both object and action
+// models flow through one call site.
+func CascadeTierInfos(d any) []TierInfo {
+	if c, ok := d.(interface{ Tiers() []TierInfo }); ok {
+		return c.Tiers()
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The cascades must satisfy both the plain and the tier-aware contracts.
+var (
+	_ CascadedObjectScorer = (*ObjectCascade)(nil)
+	_ CascadedActionScorer = (*ActionCascade)(nil)
+	_ BatchObjectScorer    = (*ObjectCascade)(nil)
+	_ BatchActionScorer    = (*ActionCascade)(nil)
+	_ BatchObjectScorer    = (*DistilledObjectDetector)(nil)
+	_ BatchActionScorer    = (*DistilledActionRecognizer)(nil)
+)
+
+// TestDistilledRecallComplete pins the property the cascade's soundness
+// argument rests on: the proxy's score equals the teacher's wherever the
+// teacher detects anything, and is ≥ 0 (its own false-positive draw)
+// elsewhere — so the proxy never scores below the teacher on any unit.
+func TestDistilledRecallComplete(t *testing.T) {
+	v := testVideo(t, 31)
+	teacher := NewObjectDetector(MaskRCNN, 7)
+	proxy := NewDistilledObjectDetector(teacher, DistilledRCNN, 7)
+	for f := 0; f < v.NumFrames(); f++ {
+		ts := teacher.FrameScore(v, "car", f)
+		ps := proxy.FrameScore(v, "car", f)
+		if ps < ts {
+			t.Fatalf("frame %d: proxy score %v below teacher %v", f, ps, ts)
+		}
+		if ts > 0 && ps != ts {
+			t.Fatalf("frame %d: teacher detected (%v) but proxy returned %v", f, ts, ps)
+		}
+	}
+	art := NewActionRecognizer(I3D, 7)
+	arp := NewDistilledActionRecognizer(art, DistilledI3D, 7)
+	numShots := v.Geometry().NumShots(v.NumFrames())
+	for s := 0; s < numShots; s++ {
+		ts := art.ShotScore(v, "jumping", s)
+		ps := arp.ShotScore(v, "jumping", s)
+		if ps < ts {
+			t.Fatalf("shot %d: proxy score %v below teacher %v", s, ps, ts)
+		}
+		if ts > 0 && ps != ts {
+			t.Fatalf("shot %d: teacher detected (%v) but proxy returned %v", s, ts, ps)
+		}
+	}
+}
+
+// TestCascadeBitIdenticalToAccurate: under the recall band, the cascade's
+// plain-contract outputs (scores, detections, events) are bit-identical to
+// running the accurate tier alone.
+func TestCascadeBitIdenticalToAccurate(t *testing.T) {
+	v := testVideo(t, 32)
+	teacher := NewObjectDetector(MaskRCNN, 9)
+	casc := NewDistilledObjectCascade(teacher, DistilledRCNN, 9)
+	var evC, evT Events
+	for f := 0; f < v.NumFrames(); f++ {
+		if cs, ts := casc.FrameScore(v, "car", f), teacher.FrameScore(v, "car", f); cs != ts {
+			t.Fatalf("frame %d: cascade score %v != accurate %v", f, cs, ts)
+		}
+		cd, td := casc.FrameDetections(v, "car", f), teacher.FrameDetections(v, "car", f)
+		if len(cd) != len(td) {
+			t.Fatalf("frame %d: %d cascade detections vs %d accurate", f, len(cd), len(td))
+		}
+		for i := range cd {
+			if cd[i] != td[i] {
+				t.Fatalf("frame %d: detection %d differs: %+v vs %+v", f, i, cd[i], td[i])
+			}
+		}
+		casc.AppendFrameEvents(v, "car", f, &evC)
+		AppendFrameEvents(teacher, v, "car", f, &evT)
+	}
+	if evC.Len() != evT.Len() {
+		t.Fatalf("event streams diverge: %d vs %d", evC.Len(), evT.Len())
+	}
+	for i := range evC.Scores {
+		if evC.Scores[i] != evT.Scores[i] || evC.Units[i] != evT.Units[i] || evC.Tracks[i] != evT.Tracks[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+
+	art := NewActionRecognizer(I3D, 9)
+	acasc := NewDistilledActionCascade(art, DistilledI3D, 9)
+	numShots := v.Geometry().NumShots(v.NumFrames())
+	for s := 0; s < numShots; s++ {
+		if cs, ts := acasc.ShotScore(v, "jumping", s), art.ShotScore(v, "jumping", s); cs != ts {
+			t.Fatalf("shot %d: cascade score %v != accurate %v", s, cs, ts)
+		}
+	}
+}
+
+// TestFrameScoreCascadeAccounting runs the tier-aware batch path over the
+// video and checks the scores match the plain contract and the account's
+// invariants hold: every unit is scored at the entry tier, each is either
+// decided or escalated there, exactly the escalated units reach tier 1, and
+// the cost is the per-tier unit-cost weighted sum.
+func TestFrameScoreCascadeAccounting(t *testing.T) {
+	v := testVideo(t, 33)
+	teacher := NewObjectDetector(MaskRCNN, 5)
+	casc := NewDistilledObjectCascade(teacher, DistilledRCNN, 5)
+	ctx := context.Background()
+	var acc CascadeAccount
+	acc.Reset(2)
+	n := 2000
+	dst := make([]float64, n)
+	if err := casc.FrameScoreCascade(ctx, v, "car", 0, 0, dst, DefaultRetryConfig(), nil, &acc); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range dst {
+		if want := teacher.FrameScore(v, "car", i); s != want {
+			t.Fatalf("frame %d: cascade path %v != accurate %v", i, s, want)
+		}
+	}
+	if acc.Units[0] != int64(n) {
+		t.Errorf("entry tier scored %d units, want %d", acc.Units[0], n)
+	}
+	if acc.Decided[0]+acc.Escalated[0] != acc.Units[0] {
+		t.Errorf("tier 0: decided %d + escalated %d != units %d", acc.Decided[0], acc.Escalated[0], acc.Units[0])
+	}
+	if acc.Units[1] != acc.Escalated[0] {
+		t.Errorf("tier 1 scored %d units, want the %d escalated", acc.Units[1], acc.Escalated[0])
+	}
+	if acc.Escalated[0] == 0 || acc.Escalated[0] == int64(n) {
+		t.Errorf("escalations %d should be strictly between 0 and %d", acc.Escalated[0], n)
+	}
+	infos := casc.Tiers()
+	want := time.Duration(acc.Units[0])*infos[0].UnitCost + time.Duration(acc.Units[1])*infos[1].UnitCost
+	if acc.Cost != want {
+		t.Errorf("cost %v, want %v (faultless run: attempts == units)", acc.Cost, want)
+	}
+	if acc.Cost >= time.Duration(n)*infos[1].UnitCost {
+		t.Errorf("cascade cost %v not below accurate-only %v", acc.Cost, time.Duration(n)*infos[1].UnitCost)
+	}
+
+	// Entering at the accurate tier skips tier 0 entirely.
+	acc.Reset(2)
+	if err := casc.FrameScoreCascade(ctx, v, "car", 0, 1, dst, DefaultRetryConfig(), nil, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Units[0] != 0 || acc.Units[1] != int64(n) {
+		t.Errorf("accurate entry: units %v, want [0 %d]", acc.Units, n)
+	}
+	for i, s := range dst {
+		if want := teacher.FrameScore(v, "car", i); s != want {
+			t.Fatalf("accurate entry frame %d: %v != %v", i, s, want)
+		}
+	}
+}
+
+// failingObjectDetector always fails (transiently or permanently) — used to
+// exercise per-tier fallthrough and last-tier error surfacing.
+type failingObjectDetector struct {
+	name      string
+	transient bool
+}
+
+func (d failingObjectDetector) Name() string                                        { return d.name }
+func (d failingObjectDetector) UnitCost() time.Duration                             { return time.Millisecond }
+func (d failingObjectDetector) FrameScore(TruthVideo, string, int) float64          { return 0 }
+func (d failingObjectDetector) FrameDetections(TruthVideo, string, int) []Detection { return nil }
+func (d failingObjectDetector) FrameScoreAttempt(v TruthVideo, typ string, frame, attempt int) (float64, error) {
+	return 0, &DetectionError{Model: d.name, Unit: frame, Transient: d.transient}
+}
+func (d failingObjectDetector) FrameDetectionsAttempt(v TruthVideo, typ string, frame, attempt int) ([]Detection, error) {
+	return nil, &DetectionError{Model: d.name, Unit: frame, Transient: d.transient}
+}
+
+// TestCascadeFallthroughOnTierFailure: a failed non-last tier escalates
+// conservatively instead of failing the unit, with the fallthrough counted;
+// a failed last tier surfaces the error.
+func TestCascadeFallthroughOnTierFailure(t *testing.T) {
+	v := testVideo(t, 34)
+	teacher := NewObjectDetector(MaskRCNN, 5)
+	casc := NewObjectCascade(
+		ObjectTier{Detector: failingObjectDetector{name: "dead-proxy", transient: true}, Band: RecallBand()},
+		ObjectTier{Detector: teacher},
+	)
+	ctx := context.Background()
+	var acc CascadeAccount
+	acc.Reset(2)
+	n := 64
+	dst := make([]float64, n)
+	retry := RetryConfig{Attempts: 2}
+	if err := casc.FrameScoreCascade(ctx, v, "car", 0, 0, dst, retry, nil, &acc); err != nil {
+		t.Fatalf("dead entry tier must fall through, got error: %v", err)
+	}
+	for i, s := range dst {
+		if want := teacher.FrameScore(v, "car", i); s != want {
+			t.Fatalf("frame %d after fallthrough: %v != accurate %v", i, s, want)
+		}
+	}
+	if acc.Fallthroughs[0] != int64(n) {
+		t.Errorf("fallthroughs[0] = %d, want %d", acc.Fallthroughs[0], n)
+	}
+	if acc.Escalated[0] != int64(n) || acc.Decided[1] != int64(n) {
+		t.Errorf("escalated[0]=%d decided[1]=%d, want both %d", acc.Escalated[0], acc.Decided[1], n)
+	}
+	// Each transient-failing attempt is priced: the 2-attempt retry budget
+	// is spent per unit before the tier falls through.
+	if want := time.Duration(2*n)*time.Millisecond + time.Duration(n)*teacher.UnitCost(); acc.Cost != want {
+		t.Errorf("cost %v, want %v (per-attempt pricing)", acc.Cost, want)
+	}
+
+	// A permanently failing last tier surfaces the error.
+	bad := NewObjectCascade(
+		ObjectTier{Detector: failingObjectDetector{name: "dead-proxy"}, Band: RecallBand()},
+		ObjectTier{Detector: failingObjectDetector{name: "dead-teacher"}},
+	)
+	err := bad.FrameScoreCascade(ctx, v, "car", 0, 0, dst, retry, nil, nil)
+	var de *DetectionError
+	if !errors.As(err, &de) || de.Model != "dead-teacher" {
+		t.Fatalf("want dead-teacher DetectionError from last tier, got %v", err)
+	}
+
+	// Context cancellation aborts instead of falling through.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := casc.FrameScoreCascade(cctx, v, "car", 0, 0, dst, retry, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: want context.Canceled, got %v", err)
+	}
+}
+
+// TestCascadePerTierFaults: each tier composes its own fault decorator and
+// retry budget; transient faults on the cheap tier retry within the tier and
+// the final scores stay identical to the faultless accurate run.
+func TestCascadePerTierFaults(t *testing.T) {
+	v := testVideo(t, 35)
+	teacher := NewObjectDetector(MaskRCNN, 5)
+	proxy := NewDistilledObjectDetector(teacher, DistilledRCNN, 5)
+	flakyProxy := InjectObjectFaults(proxy, FaultConfig{TransientRate: 0.3, Seed: 21})
+	casc := NewObjectCascade(
+		ObjectTier{Detector: flakyProxy, Band: RecallBand()},
+		ObjectTier{Detector: teacher},
+	)
+	var acc CascadeAccount
+	acc.Reset(2)
+	n := 1000
+	dst := make([]float64, n)
+	retry := RetryConfig{Attempts: 8}
+	if err := casc.FrameScoreCascade(context.Background(), v, "car", 0, 0, dst, retry, nil, &acc); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range dst {
+		if want := teacher.FrameScore(v, "car", i); s != want {
+			t.Fatalf("frame %d under tier-0 faults: %v != accurate %v", i, s, want)
+		}
+	}
+	// A 30% transient rate must have cost extra attempts on tier 0 (priced),
+	// but no unit may have fallen through with an 8-attempt budget.
+	infos := casc.Tiers()
+	faultless := time.Duration(acc.Units[0])*infos[0].UnitCost + time.Duration(acc.Units[1])*infos[1].UnitCost
+	if acc.Cost <= faultless {
+		t.Errorf("cost %v should exceed faultless %v (retried attempts are priced)", acc.Cost, faultless)
+	}
+	if acc.Fallthroughs[0] != 0 {
+		t.Errorf("%d fallthroughs under a generous retry budget", acc.Fallthroughs[0])
+	}
+}
+
+// TestCascadeDeterminism: same construction, same draws — tier-aware and
+// plain paths agree run to run.
+func TestCascadeDeterminism(t *testing.T) {
+	v := testVideo(t, 36)
+	mk := func() *ObjectCascade {
+		return NewDistilledObjectCascade(NewObjectDetector(MaskRCNN, 11), DistilledRCNN, 11)
+	}
+	a, b := mk(), mk()
+	for f := 0; f < 3000; f++ {
+		if a.FrameScore(v, "car", f) != b.FrameScore(v, "car", f) {
+			t.Fatalf("frame %d: identical cascades disagree", f)
+		}
+	}
+}
+
+// TestCascadeTierInfos pins the planner-facing tier metadata: cheapest
+// first, last tier never escalates, and the conservative UnitCost is the
+// accurate tier's.
+func TestCascadeTierInfos(t *testing.T) {
+	teacher := NewObjectDetector(MaskRCNN, 1)
+	casc := NewDistilledObjectCascade(teacher, DistilledRCNN, 1)
+	infos := casc.Tiers()
+	if len(infos) != 2 {
+		t.Fatalf("want 2 tiers, got %d", len(infos))
+	}
+	if infos[0].UnitCost >= infos[1].UnitCost {
+		t.Errorf("tier order not cheapest-first: %v then %v", infos[0].UnitCost, infos[1].UnitCost)
+	}
+	if infos[0].PriorEscalate <= 0 || infos[0].PriorEscalate >= 1 {
+		t.Errorf("entry tier escalation prior %v outside (0,1)", infos[0].PriorEscalate)
+	}
+	if infos[1].PriorEscalate != 0 {
+		t.Errorf("last tier must not escalate, prior %v", infos[1].PriorEscalate)
+	}
+	if casc.UnitCost() != teacher.UnitCost() {
+		t.Errorf("cascade UnitCost %v, want accurate tier's %v", casc.UnitCost(), teacher.UnitCost())
+	}
+	if CascadeTierInfos(casc) == nil || CascadeTierInfos(teacher) != nil {
+		t.Error("CascadeTierInfos must detect cascades and only cascades")
+	}
+}
+
+// TestProfileCalibrationInvariants checks every calibrated profile is
+// internally coherent: at the operating threshold each tier separates truth
+// from noise (effective TPR strictly above effective FPR), true-detection
+// scores dominate hallucinated ones, and cascade-tier profiles price below
+// their teachers while escalating a nontrivial-but-bounded fraction.
+func TestProfileCalibrationInvariants(t *testing.T) {
+	const threshold = 0.5
+	for _, p := range []Profile{MaskRCNN, YOLOv3, I3D, DistilledRCNN, DistilledI3D} {
+		tpr, fpr := p.EffectiveTPR(threshold), p.EffectiveFPR(threshold)
+		if tpr <= fpr {
+			t.Errorf("%s: effective TPR %v not above effective FPR %v at %v", p.Name, tpr, fpr, threshold)
+		}
+		if tpr <= 0 || tpr > p.TPR {
+			t.Errorf("%s: effective TPR %v outside (0, %v]", p.Name, tpr, p.TPR)
+		}
+		if fpr < 0 || fpr >= 0.2 {
+			t.Errorf("%s: effective FPR %v outside [0, 0.2)", p.Name, fpr)
+		}
+		if p.TPScoreMean <= p.FPScoreMean {
+			t.Errorf("%s: TP score mean %v not above FP score mean %v", p.Name, p.TPScoreMean, p.FPScoreMean)
+		}
+		// EffectiveTPR must be monotone non-increasing in the threshold.
+		prev := p.EffectiveTPR(0)
+		for _, th := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			cur := p.EffectiveTPR(th)
+			if cur > prev+1e-12 {
+				t.Errorf("%s: EffectiveTPR not monotone at %v: %v > %v", p.Name, th, cur, prev)
+			}
+			prev = cur
+		}
+	}
+	for _, pair := range [][2]Profile{{DistilledRCNN, MaskRCNN}, {DistilledI3D, I3D}} {
+		student, tchr := pair[0], pair[1]
+		if student.UnitCost >= tchr.UnitCost {
+			t.Errorf("%s: unit cost %v not below teacher %s's %v", student.Name, student.UnitCost, tchr.Name, tchr.UnitCost)
+		}
+		prior := student.EscalationPrior(RecallBand())
+		if prior <= 0 || prior >= 0.5 {
+			t.Errorf("%s: recall-band escalation prior %v outside (0, 0.5)", student.Name, prior)
+		}
+	}
+}
+
+// TestDistilledDeterminism: same (teacher, profile, seed) → identical
+// draws; a different seed must change the false-positive overlay.
+func TestDistilledDeterminism(t *testing.T) {
+	v := testVideo(t, 37)
+	teacher := NewObjectDetector(MaskRCNN, 2)
+	a := NewDistilledObjectDetector(teacher, DistilledRCNN, 13)
+	b := NewDistilledObjectDetector(teacher, DistilledRCNN, 13)
+	c := NewDistilledObjectDetector(teacher, DistilledRCNN, 14)
+	same := true
+	for f := 0; f < v.NumFrames(); f += 7 {
+		if a.FrameScore(v, "car", f) != b.FrameScore(v, "car", f) {
+			t.Fatalf("frame %d: same seed disagrees", f)
+		}
+		if a.FrameScore(v, "car", f) != c.FrameScore(v, "car", f) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different proxy seeds produced identical draws")
+	}
+	// The batch path must agree bit-for-bit with the scalar path.
+	n := 4096
+	dst := make([]float64, n)
+	a.FrameScoreBatch(v, "car", 0, dst)
+	for i, s := range dst {
+		if want := b.FrameScore(v, "car", i); s != want {
+			t.Fatalf("frame %d: batch %v != scalar %v", i, s, want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package detect
+
+import "time"
+
+// Recall-complete distilled proxies. A distilled student model compresses
+// an accurate teacher into a fraction of the inference cost; calibrated for
+// cascade duty, its operating threshold is tuned so it never misses a unit
+// the teacher would score — at the price of extra false positives the
+// teacher then has to veto. The simulation reproduces exactly that
+// contract: the proxy's score is the teacher's score wherever the teacher
+// detects anything, and the proxy's own (cheaper, noisier) false-positive
+// process elsewhere. The proxy's score is therefore ≥ the teacher's on
+// every unit, which is the property the cascade soundness argument in
+// cascade.go rests on.
+
+// DistilledObjectDetector is a recall-complete cheap proxy of a teacher
+// object detector. Construct with NewDistilledObjectDetector.
+type DistilledObjectDetector struct {
+	teacher ObjectDetector
+	core    *simCore
+}
+
+// NewDistilledObjectDetector builds a proxy of teacher whose extra false
+// positives and unit cost come from prof. Draws are deterministic per
+// (profile, seed, video, type, unit), like every simulated model.
+func NewDistilledObjectDetector(teacher ObjectDetector, prof Profile, seed int64) *DistilledObjectDetector {
+	return &DistilledObjectDetector{teacher: teacher, core: newSimCore(prof, seed)}
+}
+
+// Name implements ObjectDetector.
+func (d *DistilledObjectDetector) Name() string { return d.core.prof.Name }
+
+// UnitCost implements ObjectDetector.
+func (d *DistilledObjectDetector) UnitCost() time.Duration { return d.core.prof.UnitCost }
+
+// FrameScore implements ObjectDetector: the teacher's score when the
+// teacher detects anything, otherwise the proxy's own false-positive draw.
+func (d *DistilledObjectDetector) FrameScore(v TruthVideo, typ string, frame int) float64 {
+	if s := d.teacher.FrameScore(v, typ, frame); s > 0 {
+		return s
+	}
+	if !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			return s
+		}
+	}
+	return 0
+}
+
+// FrameDetections implements ObjectDetector: the teacher's detections, plus
+// a phantom instance when only the proxy hallucinates.
+func (d *DistilledObjectDetector) FrameDetections(v TruthVideo, typ string, frame int) []Detection {
+	out := d.teacher.FrameDetections(v, typ, frame)
+	if len(out) == 0 && !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			// Same stable phantom identity scheme as SimObjectDetector.
+			id := -1 - int(keyed(hashString(v.ID()), hashString(typ), uint64(frame/30))%1_000_000)
+			out = append(out, Detection{TrackID: id, Score: s})
+		}
+	}
+	return out
+}
+
+// FrameScoreBatch implements BatchObjectScorer: the teacher's batch path
+// with the proxy's false-positive overlay filled in over its zeros.
+func (d *DistilledObjectDetector) FrameScoreBatch(v TruthVideo, typ string, start int, dst []float64) {
+	FrameScoreBatch(d.teacher, v, typ, start, dst)
+	overlay := d.core.burstOverlay(v.ID(), typ, v.NumFrames())
+	for i, s := range dst {
+		if s > 0 {
+			continue
+		}
+		frame := start + i
+		if v.ObjectPresentAt(typ, frame) {
+			continue
+		}
+		if fs, ok := d.core.falsePositiveIn(overlay, v, typ, frame); ok {
+			dst[i] = fs
+		}
+	}
+}
+
+// AppendFrameEvents implements ObjectEventAppender.
+func (d *DistilledObjectDetector) AppendFrameEvents(v TruthVideo, typ string, frame int, ev *Events) {
+	n := ev.Len()
+	AppendFrameEvents(d.teacher, v, typ, frame, ev)
+	if ev.Len() == n && !v.ObjectPresentAt(typ, frame) {
+		if s, ok := d.core.falsePositive(v, typ, frame, v.NumFrames()); ok {
+			id := -1 - int(keyed(hashString(v.ID()), hashString(typ), uint64(frame/30))%1_000_000)
+			ev.Append(frame, int64(id), s)
+		}
+	}
+}
+
+// DistilledActionRecognizer is the recall-complete cheap proxy of a teacher
+// action recogniser.
+type DistilledActionRecognizer struct {
+	teacher ActionRecognizer
+	core    *simCore
+}
+
+// NewDistilledActionRecognizer builds a proxy of teacher whose extra false
+// positives and unit cost come from prof.
+func NewDistilledActionRecognizer(teacher ActionRecognizer, prof Profile, seed int64) *DistilledActionRecognizer {
+	return &DistilledActionRecognizer{teacher: teacher, core: newSimCore(prof, seed)}
+}
+
+// Name implements ActionRecognizer.
+func (r *DistilledActionRecognizer) Name() string { return r.core.prof.Name }
+
+// UnitCost implements ActionRecognizer.
+func (r *DistilledActionRecognizer) UnitCost() time.Duration { return r.core.prof.UnitCost }
+
+// ShotScore implements ActionRecognizer.
+func (r *DistilledActionRecognizer) ShotScore(v TruthVideo, act string, shot int) float64 {
+	if s := r.teacher.ShotScore(v, act, shot); s > 0 {
+		return s
+	}
+	if !v.ActionAt(act, shot) {
+		numShots := v.Geometry().NumShots(v.NumFrames())
+		if s, ok := r.core.falsePositive(v, act, shot, numShots); ok {
+			return s
+		}
+	}
+	return 0
+}
+
+// ShotScoreBatch implements BatchActionScorer.
+func (r *DistilledActionRecognizer) ShotScoreBatch(v TruthVideo, act string, start int, dst []float64) {
+	ShotScoreBatch(r.teacher, v, act, start, dst)
+	numShots := v.Geometry().NumShots(v.NumFrames())
+	overlay := r.core.burstOverlay(v.ID(), act, numShots)
+	for i, s := range dst {
+		if s > 0 {
+			continue
+		}
+		shot := start + i
+		if v.ActionAt(act, shot) {
+			continue
+		}
+		if fs, ok := r.core.falsePositiveIn(overlay, v, act, shot); ok {
+			dst[i] = fs
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"strings"
+	"sync"
 	"time"
 
 	"svqact/internal/obs"
@@ -40,6 +42,22 @@ type Meter struct {
 
 	objFlagged obs.Counter
 	actFlagged obs.Counter
+
+	// Tier accounting is dynamic: cascade tiers are named models discovered
+	// at charge time, so their counters live in a map and attach lazily to
+	// the registry the meter was registered on.
+	mu    sync.Mutex
+	reg   *obs.Registry
+	tiers map[string]*tierCounters
+}
+
+// tierCounters is the per-(kind, tier) counter block of the
+// svqact_detect_tier_* families.
+type tierCounters struct {
+	units       obs.Counter
+	decided     obs.Counter
+	escalated   obs.Counter
+	fellthrough obs.Counter
 }
 
 // AddObjectFrames records n frames passed through the object detector.
@@ -139,6 +157,85 @@ func (m *Meter) Flagged(kind string) int64 {
 	return m.objFlagged.Value()
 }
 
+// tier returns the counter block for a (kind, tier) pair, creating it — and
+// attaching it to the registry when the meter is registered — on first use.
+func (m *Meter) tier(kind, name string) *tierCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := kind + "/" + name
+	tc, ok := m.tiers[key]
+	if !ok {
+		if m.tiers == nil {
+			m.tiers = make(map[string]*tierCounters)
+		}
+		tc = &tierCounters{}
+		m.tiers[key] = tc
+		if m.reg != nil {
+			attachTierCounters(m.reg, kind, name, tc)
+		}
+	}
+	return tc
+}
+
+func attachTierCounters(r *obs.Registry, kind, name string, tc *tierCounters) {
+	kl, tl := obs.L("kind", kind), obs.L("tier", name)
+	r.AttachCounter("svqact_detect_tier_units_total",
+		"Inference units scored at each cascade tier.",
+		&tc.units, kl, tl)
+	r.AttachCounter("svqact_detect_tier_decisions_total",
+		"Cascade tier outcomes: units decided at the tier, escalated past it, or fallen through after tier failure.",
+		&tc.decided, kl, tl, obs.L("outcome", "decided"))
+	r.AttachCounter("svqact_detect_tier_decisions_total", "",
+		&tc.escalated, kl, tl, obs.L("outcome", "escalated"))
+	r.AttachCounter("svqact_detect_tier_decisions_total", "",
+		&tc.fellthrough, kl, tl, obs.L("outcome", "fallthrough"))
+}
+
+// RecordTier adds one tier's accounting deltas: units scored at the tier
+// and how many of them were decided there, escalated past it, or fell
+// through on tier failure.
+func (m *Meter) RecordTier(kind, tier string, units, decided, escalated, fellthrough int64) {
+	tc := m.tier(kind, tier)
+	tc.units.Add(units)
+	tc.decided.Add(decided)
+	tc.escalated.Add(escalated)
+	tc.fellthrough.Add(fellthrough)
+}
+
+// RecordCascade flushes a cascade account against the cascade's tier
+// descriptions — one RecordTier per tier that saw traffic.
+func (m *Meter) RecordCascade(kind string, infos []TierInfo, acc *CascadeAccount) {
+	for i, ti := range infos {
+		if i >= len(acc.Units) {
+			break
+		}
+		u, d, e, f := acc.Units[i], acc.Decided[i], acc.Escalated[i], acc.Fallthroughs[i]
+		if u == 0 && d == 0 && e == 0 && f == 0 {
+			continue
+		}
+		m.RecordTier(kind, ti.Name, u, d, e, f)
+	}
+}
+
+// TierUnits returns the units scored at a tier.
+func (m *Meter) TierUnits(kind, tier string) int64 {
+	return m.tier(kind, tier).units.Value()
+}
+
+// TierOutcome returns a tier's count for one outcome: "decided",
+// "escalated" or "fallthrough".
+func (m *Meter) TierOutcome(kind, tier, outcome string) int64 {
+	tc := m.tier(kind, tier)
+	switch outcome {
+	case "escalated":
+		return tc.escalated.Value()
+	case "fallthrough":
+		return tc.fellthrough.Value()
+	default:
+		return tc.decided.Value()
+	}
+}
+
 // Cost prices the recorded inferences with the given models.
 func (m *Meter) Cost(models Models) time.Duration {
 	oc, ac := time.Duration(0), time.Duration(0)
@@ -162,6 +259,14 @@ func (m *Meter) Reset() {
 	} {
 		c.Reset()
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tc := range m.tiers {
+		tc.units.Reset()
+		tc.decided.Reset()
+		tc.escalated.Reset()
+		tc.fellthrough.Reset()
+	}
 }
 
 // Register exposes the meter's counters on the registry as the
@@ -169,6 +274,13 @@ func (m *Meter) Reset() {
 // serves the very counters the engine charges, so /metrics can never
 // disagree with the meter.
 func (m *Meter) Register(r *obs.Registry) {
+	m.mu.Lock()
+	m.reg = r
+	for key, tc := range m.tiers {
+		k, t, _ := strings.Cut(key, "/")
+		attachTierCounters(r, k, t, tc)
+	}
+	m.mu.Unlock()
 	kind := func(k string) obs.Label { return obs.L("kind", k) }
 	r.AttachCounter("svqact_detect_inferences_total",
 		"Model inference units executed (frames for objects, shots for actions).",

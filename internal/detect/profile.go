@@ -1,6 +1,9 @@
 package detect
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Profile calibrates a simulated model's error structure. The same profile
 // type serves object detectors (occurrence unit: frame) and action
@@ -32,6 +35,67 @@ type Profile struct {
 	// used for the runtime accounting of §5.2 (the paper reports >98% of
 	// query latency is model inference).
 	UnitCost time.Duration
+}
+
+// scoreTail returns P(score ≥ t) for a clamped-normal score distribution
+// with the given mean and std. Scores clamp into (0, 1], so for thresholds
+// in that range the clamping does not move mass across t and the plain
+// normal tail applies; a zero std collapses to a point mass at the mean.
+func scoreTail(t, mean, std float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if std <= 0 {
+		if mean >= t {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((t-mean)/(std*math.Sqrt2))
+}
+
+// fpUnitRate is the steady-state per-unit probability of a hallucinated
+// detection: the burst process is an alternating renewal with mean gap
+// FPBurstGap and mean length FPBurstLen, so a unit is inside a burst with
+// probability len/(gap+len), hallucinating at FPWithinBurst there and FPIID
+// elsewhere.
+func (p Profile) fpUnitRate() float64 {
+	bf := 0.0
+	if p.FPBurstGap > 0 && p.FPBurstLen > 0 {
+		bf = p.FPBurstLen / (p.FPBurstGap + p.FPBurstLen)
+	}
+	return (1-bf)*p.FPIID + bf*p.FPWithinBurst
+}
+
+// EffectiveTPR is the probability a truly present unit yields a score ≥
+// threshold: the detection rate times the true-positive score tail. This is
+// the per-tier indicator-level TPR the planner and the calibration tests
+// reason about.
+func (p Profile) EffectiveTPR(threshold float64) float64 {
+	return p.TPR * scoreTail(threshold, p.TPScoreMean, p.TPScoreStd)
+}
+
+// EffectiveFPR is the steady-state probability an absent unit yields a
+// score ≥ threshold: the hallucination rate times the false-positive score
+// tail.
+func (p Profile) EffectiveFPR(threshold float64) float64 {
+	return p.fpUnitRate() * scoreTail(threshold, p.FPScoreMean, p.FPScoreStd)
+}
+
+// presencePrior is the assumed fraction of units whose type is truly
+// present, used only to seed escalation priors before the planner observes
+// real traffic. The synthetic worlds are sparse; the live estimators take
+// over within a few clips either way.
+const presencePrior = 0.1
+
+// EscalationPrior estimates the probability a unit scored under this
+// profile lands in the escalation band b: present units contribute the
+// true-positive band mass, absent units the hallucination band mass.
+func (p Profile) EscalationPrior(b Band) float64 {
+	tp := p.TPR * (scoreTail(b.Lo, p.TPScoreMean, p.TPScoreStd) - scoreTail(b.Hi, p.TPScoreMean, p.TPScoreStd))
+	fp := p.fpUnitRate() * (scoreTail(b.Lo, p.FPScoreMean, p.FPScoreStd) - scoreTail(b.Hi, p.FPScoreMean, p.FPScoreStd))
+	e := presencePrior*tp + (1-presencePrior)*fp
+	return math.Min(1, math.Max(0, e))
 }
 
 // Calibrated model profiles. True-positive and false-positive rates are set
@@ -72,6 +136,37 @@ var (
 		FPBurstGap: 500, FPBurstLen: 4, FPWithinBurst: 0.50,
 		FPScoreMean: 0.57, FPScoreStd: 0.10,
 		UnitCost: 90 * time.Millisecond,
+	}
+
+	// DistilledRCNN calibrates the recall-complete distilled student of
+	// Mask R-CNN used as the cheap tier of the default object cascade: 15×
+	// cheaper per frame, with the extra hallucination rate the distillation
+	// trades for never missing a teacher detection. The TPR/TPScore fields
+	// describe its indicator-level behaviour (teacher recall preserved,
+	// scores shifted down) for calibration checks and planner priors; the
+	// simulated proxy delegates true detections to its teacher, so only the
+	// FP fields and UnitCost drive draws.
+	DistilledRCNN = Profile{
+		Name:        "distilled-rcnn",
+		TPR:         0.94,
+		TPScoreMean: 0.70, TPScoreStd: 0.14,
+		FPIID:      0.060,
+		FPBurstGap: 1200, FPBurstLen: 70, FPWithinBurst: 0.70,
+		FPScoreMean: 0.52, FPScoreStd: 0.12,
+		UnitCost: 3 * time.Millisecond,
+	}
+
+	// DistilledI3D calibrates the recall-complete distilled student of I3D
+	// used as the cheap tier of the default action cascade: 10× cheaper per
+	// shot.
+	DistilledI3D = Profile{
+		Name:        "distilled-i3d",
+		TPR:         0.90,
+		TPScoreMean: 0.68, TPScoreStd: 0.13,
+		FPIID:      0.050,
+		FPBurstGap: 350, FPBurstLen: 6, FPWithinBurst: 0.60,
+		FPScoreMean: 0.52, FPScoreStd: 0.12,
+		UnitCost: 9 * time.Millisecond,
 	}
 
 	// IdealObject reproduces object ground truth exactly (paper Table 4).

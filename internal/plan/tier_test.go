@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func tieredNodes() []Node {
+	return []Node{
+		{Name: "obj:car", PriorCost: 100 * time.Millisecond, Window: 25, Tiers: []TierCost{
+			{Name: "distilled-rcnn", UnitCost: 3 * time.Millisecond, PriorEscalate: 0.2},
+			{Name: "maskrcnn", UnitCost: 45 * time.Millisecond},
+		}},
+		{Name: "act:jumping", PriorCost: 90 * time.Millisecond, Window: 1, Tiers: []TierCost{
+			{Name: "distilled-i3d", UnitCost: 9 * time.Millisecond, PriorEscalate: 0.15},
+			{Name: "i3d", UnitCost: 90 * time.Millisecond},
+		}},
+		{Name: "obj:human", PriorCost: 100 * time.Millisecond},
+	}
+}
+
+func TestStaticTierChoice(t *testing.T) {
+	cheapEsc := []TierCost{
+		{Name: "proxy", UnitCost: 3 * time.Millisecond, PriorEscalate: 0.2},
+		{Name: "teacher", UnitCost: 45 * time.Millisecond},
+	}
+	// 3 + 0.2*45 = 12ms < 45ms → cascade pays.
+	if got := StaticTierChoice(cheapEsc); got != TierCascade {
+		t.Errorf("cheap proxy with 0.2 escalation: got %v, want cascade", got)
+	}
+	hotEsc := []TierCost{
+		{Name: "proxy", UnitCost: 40 * time.Millisecond, PriorEscalate: 0.95},
+		{Name: "teacher", UnitCost: 45 * time.Millisecond},
+	}
+	// 40 + 0.95*45 = 82.75ms > 45ms → skip straight to accurate.
+	if got := StaticTierChoice(hotEsc); got != TierAccurate {
+		t.Errorf("expensive proxy with 0.95 escalation: got %v, want accurate", got)
+	}
+	if got := StaticTierChoice(nil); got != TierSingle {
+		t.Errorf("no tiers: got %v, want single", got)
+	}
+	if got := StaticTierChoice(cheapEsc[:1]); got != TierSingle {
+		t.Errorf("one tier: got %v, want single", got)
+	}
+}
+
+// TestTierDecisionFlipsOnObservedEscalations: the planner starts from the
+// prior (cascade pays), then live escalation observations push the expected
+// cascade cost past the accurate tier's and the decision flips — and flips
+// back when escalations subside.
+func TestTierDecisionFlipsOnObservedEscalations(t *testing.T) {
+	p := New(tieredNodes(), Options{ReplanEvery: 1})
+	order := make([]int, 0, 3)
+	modes := make([]TierMode, 3)
+	p.AppendDecisions(order, modes)
+	if modes[0] != TierCascade || modes[1] != TierCascade {
+		t.Fatalf("prior decision: got %v/%v, want cascade for both tiered nodes", modes[0], modes[1])
+	}
+	if modes[2] != TierSingle {
+		t.Fatalf("single-model node: got %v, want single", modes[2])
+	}
+
+	// Feed clips where every unit of obj:car escalates: expected unit cost
+	// climbs to 3 + 1*45 > 45 and the planner must jump to the accurate
+	// tier at the next re-plan.
+	for c := 0; c < 50; c++ {
+		p.ObserveTiers(0, []int64{25, 25}, []int64{25, 0})
+		p.EndClip()
+	}
+	p.AppendDecisions(order, modes)
+	if modes[0] != TierAccurate {
+		t.Errorf("all-escalate traffic: got %v, want accurate", modes[0])
+	}
+	if modes[1] != TierCascade {
+		t.Errorf("unobserved node must keep its prior decision, got %v", modes[1])
+	}
+
+	// Long benign traffic drags the smoothed rate back down; the decision
+	// returns to cascade.
+	for c := 0; c < 2000; c++ {
+		p.ObserveTiers(0, []int64{25, 0}, []int64{0, 0})
+		p.EndClip()
+	}
+	p.AppendDecisions(order, modes)
+	if modes[0] != TierCascade {
+		t.Errorf("benign traffic: got %v, want cascade again", modes[0])
+	}
+}
+
+// TestTieredNodePricedByExpectedCostToDecide: a tiered node's ordering cost
+// is window × expected unit cost under the current decision, so a cascade
+// whose escalations are rare is ordered far cheaper than its accurate
+// tier's sticker price.
+func TestTieredNodePricedByExpectedCostToDecide(t *testing.T) {
+	p := New(tieredNodes(), Options{})
+	rep := p.Report()
+	if !rep.Tiered {
+		t.Fatal("report of a tiered plan must set Tiered")
+	}
+	car := rep.Nodes[0]
+	if car.Tier != "cascade" {
+		t.Fatalf("obj:car tier %q, want cascade", car.Tier)
+	}
+	// Smoothed prior escalation 0.2 → 25 × (3 + 0.2×45) = 300ms, far below
+	// the accurate sticker 25 × 45 = 1125ms.
+	sticker := 25 * 45.0
+	if car.ObservedCostMS >= sticker {
+		t.Errorf("cascade priced at %vms, not below accurate sticker %vms", car.ObservedCostMS, sticker)
+	}
+	if len(car.Tiers) != 2 || car.Tiers[0].Name != "distilled-rcnn" {
+		t.Fatalf("tier report malformed: %+v", car.Tiers)
+	}
+	human := rep.Nodes[2]
+	if human.Tier != "" || human.Tiers != nil {
+		t.Errorf("single-model node must omit tier fields, got %+v", human)
+	}
+}
+
+// TestReportUnderConcurrentTierObservation hammers Report against Observe,
+// ObserveTiers, EndClip (re-planning), Skip and AppendDecisions from many
+// goroutines — the race detector turns any unsynchronised access into a
+// failure, and the invariant checks catch torn snapshots.
+func TestReportUnderConcurrentTierObservation(t *testing.T) {
+	p := New(tieredNodes(), Options{ReplanEvery: 4})
+	const writers = 4
+	const rounds = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			order := make([]int, 0, 3)
+			modes := make([]TierMode, 3)
+			for r := 0; r < rounds; r++ {
+				order = p.AppendDecisions(order[:0], modes)
+				for _, i := range order {
+					p.Observe(i, (r+i)%3 == 0, 10*time.Millisecond)
+					if i != 2 {
+						p.ObserveTiers(i, []int64{25, 5}, []int64{5, 0})
+					}
+				}
+				p.Skip(2)
+				p.EndClip()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		rep := p.Report()
+		if !rep.Tiered {
+			t.Error("tiered flag lost mid-run")
+		}
+		for _, n := range rep.Nodes[:2] {
+			if len(n.Tiers) != 2 {
+				t.Fatalf("torn tier report: %+v", n)
+			}
+			if n.Tiers[0].Escalated > n.Tiers[0].Units {
+				t.Fatalf("torn counters: escalated %d > units %d", n.Tiers[0].Escalated, n.Tiers[0].Units)
+			}
+			// Every escalated unit is scored at the next tier; writers update
+			// both counters under one lock per call, so a snapshot can never
+			// show more tier-1 units than tier-0 escalations.
+			if n.Tiers[1].Units > n.Tiers[0].Escalated {
+				t.Fatalf("torn snapshot: tier-1 units %d > tier-0 escalated %d", n.Tiers[1].Units, n.Tiers[0].Escalated)
+			}
+		}
+		select {
+		case <-done:
+			rep := p.Report()
+			wantUnits := int64(writers * rounds * 25)
+			if got := rep.Nodes[0].Tiers[0].Units; got != wantUnits {
+				t.Errorf("tier-0 units %d, want %d (no lost updates)", got, wantUnits)
+			}
+			return
+		default:
+		}
+	}
+}

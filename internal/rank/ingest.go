@@ -7,6 +7,7 @@ import (
 	"svqact/internal/core"
 	"svqact/internal/detect"
 	"svqact/internal/obs"
+	"svqact/internal/plan"
 	"svqact/internal/store"
 	"svqact/internal/video"
 )
@@ -72,7 +73,34 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 		return nil, err
 	}
 
+	// Offline tier choice: ingestion is a static plan, so cascaded models
+	// run under the tier mode priced once from the calibrated escalation
+	// priors. TierCascade keeps the cascade (its deciding-tier detections
+	// and scores are identical to the accurate tier's under a
+	// recall-complete cheap tier, so the score tables and top-k do not
+	// move); TierAccurate unwraps to the accurate tier directly. The choice
+	// happens before tracker wrapping so the tracker sees the chosen model.
 	det := models.Objects
+	objMode, actMode := plan.TierSingle, plan.TierSingle
+	if casc, ok := det.(detect.CascadedObjectScorer); ok {
+		objMode = plan.StaticTierChoice(core.TierCosts(casc.Tiers()))
+		if objMode == plan.TierAccurate {
+			det = casc.AccurateTier()
+		}
+	}
+	rec := models.Actions
+	if casc, ok := rec.(detect.CascadedActionScorer); ok {
+		actMode = plan.StaticTierChoice(core.TierCosts(casc.Tiers()))
+		if actMode == plan.TierAccurate {
+			rec = casc.AccurateTier()
+		}
+	}
+	if objMode != plan.TierSingle {
+		span.SetAttr("tier:objects", objMode.String())
+	}
+	if actMode != plan.TierSingle {
+		span.SetAttr("tier:actions", actMode.String())
+	}
 	if cfg.Tracker != nil {
 		det = cfg.Tracker(det)
 	}
@@ -97,7 +125,7 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 	// per-attempt retry contract applies only to fallible models, which keep
 	// the scalar loop.
 	_, objFallible := det.(detect.FallibleObjectDetector)
-	_, actFallible := models.Actions.(detect.FallibleActionRecognizer)
+	_, actFallible := rec.(detect.FallibleActionRecognizer)
 	var ev detect.Events
 	var shotScores []float64
 	for _, typ := range objTypes {
@@ -159,7 +187,7 @@ func Ingest(ctx context.Context, v detect.TruthVideo, models detect.Models, scor
 					shotScores = make([]float64, n)
 				}
 				buf := shotScores[:n]
-				detect.ShotScoreBatch(models.Actions, v, typ, sr.Start, buf)
+				detect.ShotScoreBatch(rec, v, typ, sr.Start, buf)
 				for _, s := range buf {
 					sum += s
 				}

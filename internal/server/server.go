@@ -74,8 +74,23 @@ type Config struct {
 	// attribute answers to shards.
 	ShardName string
 
+	// Cascade runs the detectors as tiered cascades: a recall-complete
+	// distilled cheap tier in front of each accurate model, with the
+	// planner pricing per-query tier decisions. Results are identical to
+	// the accurate models alone; only cost and the tier observability
+	// change.
+	Cascade bool
+	// InferenceBudget caps the simulated inference cost of one online
+	// query; 0 means unlimited. A request's budget_ms field, when positive,
+	// overrides it per query. Exhaustion degrades gracefully: remaining
+	// clips are skipped-and-flagged and the plan report carries the budget
+	// block.
+	InferenceBudget time.Duration
+
 	// Fault, when set, wraps the detection models with the fault injector —
 	// the operational testbed for the retry and skip-and-flag machinery.
+	// With Cascade it composes per tier: each tier keeps its own fault
+	// realisation and its own retry budget.
 	Fault *detect.FaultConfig
 	// Retry and FailureBudget configure the engines built per query; zero
 	// values take the core defaults.
@@ -160,6 +175,13 @@ type Server struct {
 	planSkipped *obs.Counter
 	planSavedMS *obs.Counter
 
+	// Tier instruments: queries whose plan carried a detector cascade,
+	// units escalated past their entry tier, and inference-budget outcomes.
+	planTierQueries     *obs.Counter
+	planTierEscalations *obs.Counter
+	planBudgetSkipped   *obs.Counter
+	planBudgetExhausted *obs.Counter
+
 	// Fleet instruments: batches served, end-to-end batch latency, and
 	// per-outcome video counts across every /query/batch fleet.
 	fleetBatches *obs.Counter
@@ -196,14 +218,7 @@ type Server struct {
 // New creates a server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	models := detect.NewModels(
-		detect.NewObjectDetector(detect.MaskRCNN, cfg.Seed),
-		detect.NewActionRecognizer(detect.I3D, cfg.Seed),
-	)
-	if cfg.Fault != nil {
-		models.Objects = detect.InjectObjectFaults(models.Objects, *cfg.Fault)
-		models.Actions = detect.InjectActionFaults(models.Actions, *cfg.Fault)
-	}
+	models := buildModels(cfg)
 	s := &Server{
 		cfg:     cfg,
 		models:  models,
@@ -240,6 +255,14 @@ func New(cfg Config) *Server {
 		"Predicate evaluations avoided by short-circuiting under the plan.")
 	s.planSavedMS = r.Counter("svqact_plan_saved_cost_ms_total",
 		"Estimated simulated-inference milliseconds saved by plan short-circuiting.")
+	s.planTierQueries = r.Counter("svqact_plan_tier_queries_total",
+		"Queries whose plan priced detector cascade tiers.")
+	s.planTierEscalations = r.Counter("svqact_plan_tier_escalations_total",
+		"Units escalated past a cascade tier under the plan's tier decisions.")
+	s.planBudgetSkipped = r.Counter("svqact_plan_tier_budget_skipped_clips_total",
+		"Clips skipped-and-flagged after a query's inference budget ran out.")
+	s.planBudgetExhausted = r.Counter("svqact_plan_tier_budget_exhausted_total",
+		"Queries whose inference budget ran out before the stream did.")
 	s.fleetBatches = r.Counter("svqact_fleet_batches_total",
 		"Fleet evaluations served by /query/batch.")
 	s.fleetLatency = r.Histogram("svqact_fleet_batch_duration_seconds",
@@ -272,6 +295,41 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// buildModels assembles the serving detection models: the base simulated
+// models, optionally stacked into distilled cascades, optionally wrapped
+// with the fault injector. Fault decorators compose per tier, so under
+// -cascade each tier carries its own fault realisation and retry budget.
+func buildModels(cfg Config) detect.Models {
+	var obj detect.ObjectDetector = detect.NewObjectDetector(detect.MaskRCNN, cfg.Seed)
+	var act detect.ActionRecognizer = detect.NewActionRecognizer(detect.I3D, cfg.Seed)
+	if !cfg.Cascade {
+		models := detect.NewModels(obj, act)
+		if cfg.Fault != nil {
+			models.Objects = detect.InjectObjectFaults(models.Objects, *cfg.Fault)
+			models.Actions = detect.InjectActionFaults(models.Actions, *cfg.Fault)
+		}
+		return models
+	}
+	var objCheap detect.ObjectDetector = detect.NewDistilledObjectDetector(obj, detect.DistilledRCNN, cfg.Seed)
+	var actCheap detect.ActionRecognizer = detect.NewDistilledActionRecognizer(act, detect.DistilledI3D, cfg.Seed)
+	if cfg.Fault != nil {
+		objCheap = detect.InjectObjectFaults(objCheap, *cfg.Fault)
+		obj = detect.InjectObjectFaults(obj, *cfg.Fault)
+		actCheap = detect.InjectActionFaults(actCheap, *cfg.Fault)
+		act = detect.InjectActionFaults(act, *cfg.Fault)
+	}
+	return detect.NewModels(
+		detect.NewObjectCascade(
+			detect.ObjectTier{Detector: objCheap, Band: detect.RecallBand(), PriorEscalate: detect.DistilledRCNN.EscalationPrior(detect.RecallBand())},
+			detect.ObjectTier{Detector: obj},
+		),
+		detect.NewActionCascade(
+			detect.ActionTier{Recognizer: actCheap, Band: detect.RecallBand(), PriorEscalate: detect.DistilledI3D.EscalationPrior(detect.RecallBand())},
+			detect.ActionTier{Recognizer: act},
+		),
+	)
+}
+
 // Registry returns the server's metrics registry (the one /metrics serves).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
@@ -284,6 +342,22 @@ func (s *Server) observePlan(rep *plan.Report) {
 	s.planReplans.Add(int64(rep.Replans))
 	s.planSkipped.Add(rep.SkippedEvaluations)
 	s.planSavedMS.Add(int64(rep.SavedCostMS))
+	if rep.Tiered {
+		s.planTierQueries.Inc()
+		var escalated int64
+		for _, n := range rep.Nodes {
+			for _, t := range n.Tiers {
+				escalated += t.Escalated
+			}
+		}
+		s.planTierEscalations.Add(escalated)
+	}
+	if b := rep.Budget; b != nil {
+		s.planBudgetSkipped.Add(b.SkippedClips)
+		if b.Exhausted {
+			s.planBudgetExhausted.Inc()
+		}
+	}
 }
 
 func (s *Server) engineConfig() core.Config {
@@ -294,6 +368,7 @@ func (s *Server) engineConfig() core.Config {
 	if s.cfg.FailureBudget > 0 {
 		cfg.FailureBudget = s.cfg.FailureBudget
 	}
+	cfg.InferenceBudget = s.cfg.InferenceBudget
 	cfg.Meter = &s.meter
 	return cfg
 }
@@ -398,6 +473,12 @@ type QueryRequest struct {
 	// top-k from a shard during distributed-threshold refinement without
 	// rewriting the SQL text.
 	K int `json:"k,omitempty"`
+	// BudgetMS, when positive, caps this online query's simulated
+	// inference spend (overriding the server's -budget default). Past the
+	// budget the query degrades gracefully — remaining clips are
+	// skipped-and-flagged and the plan report carries the budget block —
+	// instead of erroring.
+	BudgetMS float64 `json:"budget_ms,omitempty"`
 }
 
 // Sequence is one result sequence. Repository-backed answers resolve clips
@@ -866,7 +947,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, plan sqlq.Plan
 		defer cancel()
 	}
 	start := time.Now()
-	resp, err := s.execute(ctx, plan, req.Algo, req.K)
+	resp, err := s.execute(ctx, plan, req.Algo, req.K, req.BudgetMS)
 	elapsed := time.Since(start)
 	s.latency.ObserveDuration(elapsed)
 	if err != nil {
@@ -960,7 +1041,7 @@ func errorStatus(err error) (int, errorResponse) {
 
 type notFoundError struct{ error }
 
-func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string, kOverride int) (*QueryResponse, error) {
+func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string, kOverride int, budgetMS float64) (*QueryResponse, error) {
 	start := time.Now()
 	if kOverride > 0 && !plan.Online {
 		plan.K = kOverride
@@ -981,6 +1062,9 @@ func (s *Server) execute(ctx context.Context, plan sqlq.Plan, algo string, kOver
 
 	if plan.Online {
 		cfg := s.engineConfig()
+		if budgetMS > 0 {
+			cfg.InferenceBudget = time.Duration(budgetMS * float64(time.Millisecond))
+		}
 		var eng *core.Engine
 		switch algo {
 		case "", "svaqd":

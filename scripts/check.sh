@@ -27,6 +27,16 @@ echo "==> rolling-swap chaos property tests (-race, bounded schedules)"
 # schedules are deterministic, so this is repeatable despite the chaos.
 go test -race -run 'TestRolloutChaos' -count=1 ./internal/cluster/
 
+echo "==> tier-invariance property suite (-race, -count=1)"
+# The cascade refactor's correctness contract: running the tiered detector
+# cascades — any tier mode, any predicate order, online or offline — must
+# be bit-identical to running the accurate models alone, and a too-small
+# inference budget must degrade (skip-and-flag) instead of erroring. The
+# full suite above already runs these, but a dedicated uncached pass keeps
+# the contract visible and immune to test caching.
+go test -race -count=1 -run 'TierInvariance|InferenceBudget|OfflineIngestIdenticalUnderCascade|ReportUnderConcurrentTierObservation' \
+  ./internal/core/ ./internal/rank/ ./internal/plan/
+
 echo "==> allocation bounds (no race: counts skip under the detector)"
 # The pooled-scratch aliasing tests above ran under -race; the numeric
 # AllocsPerRun bounds skip there (instrumentation inflates counts), so run
